@@ -1,0 +1,278 @@
+//! The CBI baseline: Cooperative Bug Isolation with branch predicates and
+//! 1/100 random sampling (Liblit et al., PLDI'03/'05) — the system the
+//! paper compares LBRA against in Table 6 and §7.2.
+//!
+//! CBI instruments every source conditional with a sampled probe. A run's
+//! report says, per branch, whether the probe fired at all and which
+//! outcomes it saw; the [`CbiModel`] ranks `(branch, outcome)` predicates
+//! by Importance. Because the probes are sampled at 1/100, a predicate must
+//! fire in many failing runs to become rankable — hence CBI's ~1000-run
+//! diagnosis latency, versus LBRA's 10.
+
+use crate::scoring::{CbiModel, ScoredPredicate};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use stm_core::runner::{FailureSpec, RunClass, Runner, Workload};
+use stm_machine::ids::{BranchId, SampleId};
+use stm_machine::ir::{Instr, Program, Stmt, Terminator};
+use stm_machine::report::RunReport;
+
+/// A CBI branch predicate: "branch `branch` evaluated `taken`".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BranchPredicate {
+    /// The source branch.
+    pub branch: BranchId,
+    /// The outcome the predicate asserts.
+    pub taken: bool,
+}
+
+/// Instruments every conditional branch of the application code with a
+/// sampled probe (the CBI compiler pass). The probe id equals the branch
+/// id, so reports decode trivially.
+pub fn instrument_cbi(program: &Program) -> Program {
+    let mut p = program.clone();
+    for func in &mut p.functions {
+        if func.is_library {
+            continue;
+        }
+        for block in &mut func.blocks {
+            if let Terminator::Br { cond, .. } = block.term {
+                let branch = block
+                    .branch
+                    .expect("program must be finalized before CBI instrumentation");
+                block.stmts.push(Stmt {
+                    instr: Instr::Sample {
+                        id: SampleId::new(branch.raw()),
+                        value: cond,
+                    },
+                    loc: block.term_loc,
+                });
+            }
+        }
+    }
+    p.finalize();
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+/// Per-run predicate report extraction: which branches were sampled and
+/// which outcomes were seen.
+fn run_observations(report: &RunReport) -> BTreeMap<BranchPredicate, bool> {
+    let mut obs: BTreeMap<BranchPredicate, bool> = BTreeMap::new();
+    for s in &report.samples {
+        let branch = BranchId::new(s.id.raw());
+        let taken = s.value != 0;
+        for outcome in [true, false] {
+            let pred = BranchPredicate {
+                branch,
+                taken: outcome,
+            };
+            let held = taken == outcome;
+            obs.entry(pred)
+                .and_modify(|w| *w |= held)
+                .or_insert(held);
+        }
+    }
+    obs
+}
+
+/// CBI collection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbiConfig {
+    /// Failing runs to collect (the CBI default workload is 1000).
+    pub failing_runs: usize,
+    /// Successful runs to collect.
+    pub successful_runs: usize,
+    /// Hard cap on runs per phase.
+    pub max_runs: usize,
+}
+
+impl Default for CbiConfig {
+    fn default() -> Self {
+        CbiConfig {
+            failing_runs: 1000,
+            successful_runs: 1000,
+            max_runs: 20_000,
+        }
+    }
+}
+
+/// The result of a CBI diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CbiDiagnosis {
+    /// Ranked predicates, best first (only those with positive Increase).
+    pub ranked: Vec<ScoredPredicate<BranchPredicate>>,
+    /// Failing runs consumed.
+    pub failing_runs: usize,
+    /// Successful runs consumed.
+    pub successful_runs: usize,
+}
+
+impl CbiDiagnosis {
+    /// 1-based rank of the first predicate involving `branch`.
+    pub fn rank_of_branch(&self, branch: BranchId) -> Option<usize> {
+        CbiModel::rank_of(&self.ranked, |r| r.predicate.branch == branch)
+    }
+
+    /// The best predicate.
+    pub fn top(&self) -> Option<&ScoredPredicate<BranchPredicate>> {
+        self.ranked.first()
+    }
+}
+
+/// Runs CBI: executes failing and passing workloads under sampling and
+/// ranks branch predicates.
+///
+/// `runner` must wrap a program instrumented with [`instrument_cbi`]; its
+/// `RunConfig::sample_mean` sets the sampling rate (100 ⇒ 1/100).
+pub fn cbi(
+    runner: &Runner,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &CbiConfig,
+) -> CbiDiagnosis {
+    let mut model = CbiModel::new();
+    let mut failing_used = 0;
+    let mut success_used = 0;
+
+    let replay = |workloads: &[Workload],
+                      want_failure: bool,
+                      needed: usize,
+                      used: &mut usize,
+                      model: &mut CbiModel<BranchPredicate>| {
+        let mut i = 0usize;
+        while *used < needed && i < config.max_runs && !workloads.is_empty() {
+            let base = &workloads[i % workloads.len()];
+            let lap = (i / workloads.len()) as u64;
+            let mut w = base.clone();
+            w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
+            // Vary the sampling stream run to run, as wall-clock skew does
+            // in a real deployment.
+            i += 1;
+            let (report, class) = runner.run_classified_with_sample_seed(&w, spec, i as u64);
+            match (class, want_failure) {
+                (RunClass::TargetFailure, true) => {
+                    model.add_run(true, run_observations(&report));
+                    *used += 1;
+                }
+                (RunClass::Success, false) => {
+                    model.add_run(false, run_observations(&report));
+                    *used += 1;
+                }
+                _ => {}
+            }
+        }
+    };
+
+    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        passing,
+        false,
+        config.successful_runs,
+        &mut success_used,
+        &mut model,
+    );
+
+    CbiDiagnosis {
+        ranked: model.rank(),
+        failing_runs: failing_used,
+        successful_runs: success_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::interp::{Machine, RunConfig};
+    use stm_machine::ir::BinOp;
+    use stm_machine::ids::LogSiteId;
+
+    fn guarded_program() -> (Program, LogSiteId, BranchId) {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let site;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let err = f.new_block();
+            let ok = f.new_block();
+            let x = f.read_input(0);
+            let neg = f.bin(BinOp::Lt, x, 0);
+            f.at(10);
+            f.br(neg, err, ok);
+            f.set_block(err);
+            site = f.log_error("negative");
+            f.exit(1);
+            f.ret(None);
+            f.set_block(ok);
+            f.output(x);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let root = p.branches[0].id;
+        (p, site, root)
+    }
+
+    #[test]
+    fn instrumentation_adds_one_probe_per_branch() {
+        let (p, _, _) = guarded_program();
+        let out = instrument_cbi(&p);
+        let probes = out
+            .functions
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.stmts)
+            .filter(|s| matches!(s.instr, Instr::Sample { .. }))
+            .count();
+        assert_eq!(probes, p.branches.len());
+    }
+
+    #[test]
+    fn cbi_finds_root_with_enough_runs_and_dense_sampling() {
+        let (p, site, root) = guarded_program();
+        let machine = Machine::new(instrument_cbi(&p));
+        // sample_mean 1 = always-on probes: isolates the statistics from
+        // the sampling-miss effect (tested separately below).
+        let runner = Runner::new(machine).with_run_config(RunConfig {
+            sample_mean: 1,
+            ..RunConfig::default()
+        });
+        let failing: Vec<Workload> = (0..4).map(|i| Workload::new(vec![-1 - i])).collect();
+        let passing: Vec<Workload> = (0..4).map(|i| Workload::new(vec![1 + i])).collect();
+        let cfg = CbiConfig {
+            failing_runs: 40,
+            successful_runs: 40,
+            max_runs: 200,
+        };
+        let d = cbi(&runner, &failing, &passing, &FailureSpec::ErrorLogAt(site), &cfg);
+        assert_eq!(d.failing_runs, 40);
+        let top = d.top().expect("a ranked predicate");
+        assert_eq!(top.predicate.branch, root);
+        assert!(top.predicate.taken);
+    }
+
+    #[test]
+    fn sparse_sampling_misses_rare_predicates_with_few_runs() {
+        let (p, site, root) = guarded_program();
+        let machine = Machine::new(instrument_cbi(&p));
+        // 1/100 sampling and the branch executes once per run: with only a
+        // handful of runs the probe almost surely never fires.
+        let runner = Runner::new(machine).with_run_config(RunConfig {
+            sample_mean: 100,
+            ..RunConfig::default()
+        });
+        let failing = vec![Workload::new(vec![-5])];
+        let passing = vec![Workload::new(vec![5])];
+        let cfg = CbiConfig {
+            failing_runs: 5,
+            successful_runs: 5,
+            max_runs: 50,
+        };
+        let d = cbi(&runner, &failing, &passing, &FailureSpec::ErrorLogAt(site), &cfg);
+        assert_eq!(d.rank_of_branch(root), None, "{:?}", d.ranked);
+    }
+}

@@ -1,0 +1,280 @@
+//! The CCI baseline: Cooperative Concurrency-bug Isolation (Jin et al.,
+//! OOPSLA'10), using software-sampled *communication* predicates.
+//!
+//! CCI-Prev asks, at every memory access: "was the previous access to this
+//! location performed by a different thread?" — evaluated under sampling
+//! because the bookkeeping is expensive (the original system costs up to
+//! ~10× at full rate, §5.3/§7.3). We model the bookkeeping with a
+//! [`Hardware`]-side tracker so the predicate stream is exact, and apply
+//! the sampling at collection time.
+
+use crate::scoring::{CbiModel, ScoredPredicate};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use stm_core::runner::{classify, FailureSpec, RunClass, Workload};
+use stm_machine::events::{AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp};
+use stm_machine::ids::{CoreId, ThreadId};
+use stm_machine::interp::{Machine, RunConfig};
+use stm_machine::ir::SourceLoc;
+use stm_machine::rng::SplitMix64;
+use stm_machine::sched::SchedPolicy;
+
+/// A CCI-Prev predicate: "at `loc`, the previous access to the same
+/// location was by a different thread" (`remote = true`) or by the same
+/// thread (`remote = false`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PrevPredicate {
+    /// Source location of the access.
+    pub loc: SourceLoc,
+    /// Whether the previous access came from another thread.
+    pub remote: bool,
+}
+
+/// The CCI bookkeeping: last accessor per address, with sampled predicate
+/// collection.
+#[derive(Debug)]
+struct CciTracker {
+    last_accessor: HashMap<u64, ThreadId>,
+    rng: SplitMix64,
+    rate: u32,
+    samples: Vec<(u64, bool)>, // (pc, remote)
+}
+
+impl CciTracker {
+    fn new(rate: u32, seed: u64) -> Self {
+        CciTracker {
+            last_accessor: HashMap::new(),
+            rng: SplitMix64::new(seed),
+            rate: rate.max(1),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Hardware for CciTracker {
+    fn on_branch(&mut self, _core: CoreId, _ev: BranchEvent) {}
+
+    fn on_access(&mut self, _core: CoreId, thread: ThreadId, ev: AccessEvent) {
+        let prev = self.last_accessor.insert(ev.addr, thread);
+        if self.rng.next_below(self.rate as u64) == 0 {
+            if let Some(prev) = prev {
+                self.samples.push((ev.pc, prev != thread));
+            }
+        }
+    }
+
+    fn ctl(&mut self, _core: CoreId, _thread: ThreadId, _op: HwCtlOp) -> CtlResponse {
+        CtlResponse::Done
+    }
+}
+
+/// CCI collection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CciConfig {
+    /// Failing runs to collect.
+    pub failing_runs: usize,
+    /// Successful runs to collect.
+    pub successful_runs: usize,
+    /// Hard cap on runs per phase.
+    pub max_runs: usize,
+    /// Sampling rate denominator (100 ⇒ 1/100).
+    pub sampling_rate: u32,
+}
+
+impl Default for CciConfig {
+    fn default() -> Self {
+        CciConfig {
+            failing_runs: 1000,
+            successful_runs: 1000,
+            max_runs: 20_000,
+            sampling_rate: 100,
+        }
+    }
+}
+
+/// The result of a CCI diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CciDiagnosis {
+    /// Ranked predicates, best first.
+    pub ranked: Vec<ScoredPredicate<PrevPredicate>>,
+    /// Failing runs consumed.
+    pub failing_runs: usize,
+    /// Successful runs consumed.
+    pub successful_runs: usize,
+}
+
+impl CciDiagnosis {
+    /// 1-based rank of the first remote-communication predicate at `loc`.
+    pub fn rank_of_remote(&self, loc: SourceLoc) -> Option<usize> {
+        CbiModel::rank_of(&self.ranked, |r| r.predicate.loc == loc && r.predicate.remote)
+    }
+
+    /// The best predicate.
+    pub fn top(&self) -> Option<&ScoredPredicate<PrevPredicate>> {
+        self.ranked.first()
+    }
+}
+
+/// Runs CCI on an uninstrumented machine.
+pub fn cci(
+    machine: &Machine,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &CciConfig,
+) -> CciDiagnosis {
+    let mut model = CbiModel::new();
+    let mut failing_used = 0;
+    let mut success_used = 0;
+    let layout = machine.layout();
+
+    let replay = |workloads: &[Workload],
+                      want_failure: bool,
+                      needed: usize,
+                      used: &mut usize,
+                      model: &mut CbiModel<PrevPredicate>| {
+        let mut i = 0usize;
+        while *used < needed && i < config.max_runs && !workloads.is_empty() {
+            let base = &workloads[i % workloads.len()];
+            let lap = (i / workloads.len()) as u64;
+            let mut w = base.clone();
+            w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
+            let mut hw = CciTracker::new(config.sampling_rate, 0xCC1 + i as u64);
+            i += 1;
+            let run_cfg = RunConfig {
+                scheduler: SchedPolicy::Random { seed: w.seed },
+                ..RunConfig::default()
+            };
+            let report = machine.run(&w.inputs, &run_cfg, &mut hw);
+            let class = classify(machine.program(), &report, &w, spec);
+            let wanted = matches!(
+                (class, want_failure),
+                (RunClass::TargetFailure, true) | (RunClass::Success, false)
+            );
+            if !wanted {
+                continue;
+            }
+            let mut obs: BTreeMap<PrevPredicate, bool> = BTreeMap::new();
+            for (pc, remote) in hw.samples.drain(..) {
+                let loc = layout
+                    .decode_stmt(pc)
+                    .map(|s| s.loc)
+                    .unwrap_or(SourceLoc::UNKNOWN);
+                for value in [true, false] {
+                    let pred = PrevPredicate { loc, remote: value };
+                    let held = remote == value;
+                    obs.entry(pred).and_modify(|t| *t |= held).or_insert(held);
+                }
+            }
+            model.add_run(want_failure, obs);
+            *used += 1;
+        }
+    };
+
+    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        passing,
+        false,
+        config.successful_runs,
+        &mut success_used,
+        &mut model,
+    );
+
+    CciDiagnosis {
+        ranked: model.rank(),
+        failing_runs: failing_used,
+        successful_runs: success_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ir::BinOp;
+
+    /// Same racy check-after-init pattern as the PBI test: in failing
+    /// interleavings, the check read communicates with the killer thread.
+    fn racy_machine() -> (Machine, stm_machine::ids::LogSiteId, SourceLoc) {
+        let mut pb = ProgramBuilder::new("racy");
+        let table = pb.global("table", 1);
+        let main = pb.declare_function("main");
+        let killer = pb.declare_function("killer");
+        {
+            let mut f = pb.build_function(killer, "k.c");
+            f.yield_now();
+            f.store(table as i64, 0, 0);
+            f.ret(None);
+            f.finish();
+        }
+        let site;
+        let check_loc: u32;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let err = f.new_block();
+            let ok = f.new_block();
+            f.at(3);
+            f.store(table as i64, 0, 777);
+            let t = f.spawn(killer, &[]);
+            f.yield_now();
+            f.at(10);
+            let v = f.load(table as i64, 0);
+            // Resolved against the real file table below.
+            check_loc = 10;
+            let bad = f.bin(BinOp::Eq, v, 0);
+            f.br(bad, err, ok);
+            f.set_block(err);
+            site = f.log_error("out of memory");
+            f.join(t);
+            f.exit(1);
+            f.ret(None);
+            f.set_block(ok);
+            f.join(t);
+            f.output(1);
+            f.ret(None);
+            f.finish();
+        }
+        let program = pb.finish(main);
+        let file = program.function(main).file;
+        let loc = SourceLoc::new(file, check_loc);
+        (Machine::new(program), site, loc)
+    }
+
+    #[test]
+    fn cci_dense_sampling_finds_remote_communication() {
+        let (machine, site, check_loc) = racy_machine();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let workloads: Vec<Workload> = (0..50)
+            .map(|s| Workload::new(vec![]).with_seed(s))
+            .collect();
+        let cfg = CciConfig {
+            failing_runs: 30,
+            successful_runs: 30,
+            max_runs: 3000,
+            sampling_rate: 1,
+        };
+        let d = cci(&machine, &workloads, &workloads, &spec, &cfg);
+        assert!(d.failing_runs > 0);
+        let rank = d.rank_of_remote(check_loc).expect("predicate ranked");
+        assert!(rank <= 2, "rank {rank}: {:?}", &d.ranked[..d.ranked.len().min(4)]);
+    }
+
+    #[test]
+    fn cci_sparse_sampling_misses_with_few_runs() {
+        let (machine, site, check_loc) = racy_machine();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let workloads: Vec<Workload> = (0..20)
+            .map(|s| Workload::new(vec![]).with_seed(s))
+            .collect();
+        let cfg = CciConfig {
+            failing_runs: 4,
+            successful_runs: 4,
+            max_runs: 400,
+            sampling_rate: 10_000,
+        };
+        let d = cci(&machine, &workloads, &workloads, &spec, &cfg);
+        assert_eq!(d.rank_of_remote(check_loc), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The PBI baseline: production-run bug isolation via hardware
+//! performance-counter sampling of cache-coherence events (Arulraj et al.,
+//! ASPLOS'13) — the concurrency-bug comparison point of §7.3.
+//!
+//! PBI needs **no program instrumentation**: the hardware sampler latches
+//! the `(pc, observed MESI state)` of every N-th coherence event; per run,
+//! PBI reports which `(location, state)` predicates were observed/true and
+//! scores them with the CBI model. Like CBI, its diagnosis latency is set
+//! by the sampling rate: rare one-shot predicates need hundreds to
+//! thousands of failing runs.
+
+use crate::scoring::{CbiModel, ScoredPredicate};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use stm_core::runner::{classify, FailureSpec, RunClass, Workload};
+use stm_hardware::{HardwareCtx, HwConfig};
+use stm_machine::events::{AccessKind, CoherenceState};
+use stm_machine::interp::{Machine, RunConfig};
+use stm_machine::ir::SourceLoc;
+use stm_machine::sched::SchedPolicy;
+
+/// A PBI predicate: "the access at `loc` observed `state`".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CoherencePredicate {
+    /// Source location of the access instruction.
+    pub loc: SourceLoc,
+    /// Load or store.
+    pub access: AccessKind,
+    /// The observed MESI state the predicate asserts.
+    pub state: CoherenceState,
+}
+
+/// PBI collection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbiConfig {
+    /// Failing runs to collect.
+    pub failing_runs: usize,
+    /// Successful runs to collect.
+    pub successful_runs: usize,
+    /// Hard cap on runs per phase.
+    pub max_runs: usize,
+    /// Sampling period of the counter interrupt.
+    pub sampling_period: u64,
+}
+
+impl Default for PbiConfig {
+    fn default() -> Self {
+        PbiConfig {
+            failing_runs: 1000,
+            successful_runs: 1000,
+            max_runs: 20_000,
+            sampling_period: 100,
+        }
+    }
+}
+
+/// The result of a PBI diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PbiDiagnosis {
+    /// Ranked predicates, best first.
+    pub ranked: Vec<ScoredPredicate<CoherencePredicate>>,
+    /// Failing runs consumed.
+    pub failing_runs: usize,
+    /// Successful runs consumed.
+    pub successful_runs: usize,
+}
+
+impl PbiDiagnosis {
+    /// 1-based rank of the first predicate at `loc` observing `state`.
+    pub fn rank_of_event(&self, loc: SourceLoc, state: CoherenceState) -> Option<usize> {
+        CbiModel::rank_of(&self.ranked, |r| {
+            r.predicate.loc == loc && r.predicate.state == state
+        })
+    }
+
+    /// The best predicate.
+    pub fn top(&self) -> Option<&ScoredPredicate<CoherencePredicate>> {
+        self.ranked.first()
+    }
+}
+
+/// Runs PBI on an **uninstrumented** machine.
+pub fn pbi(
+    machine: &Machine,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &PbiConfig,
+) -> PbiDiagnosis {
+    let mut model = CbiModel::new();
+    let mut failing_used = 0;
+    let mut success_used = 0;
+    let layout = machine.layout();
+
+    let replay = |workloads: &[Workload],
+                      want_failure: bool,
+                      needed: usize,
+                      used: &mut usize,
+                      model: &mut CbiModel<CoherencePredicate>| {
+        let mut i = 0usize;
+        while *used < needed && i < config.max_runs && !workloads.is_empty() {
+            let base = &workloads[i % workloads.len()];
+            let lap = (i / workloads.len()) as u64;
+            let mut w = base.clone();
+            w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
+            let mut hw = HardwareCtx::new(HwConfig {
+                sampler_period: Some(config.sampling_period),
+                ..HwConfig::default()
+            });
+            // Vary the interrupt phase run to run, as timing skew does on
+            // real machines.
+            if let Some(s) = hw.sampler_mut() {
+                s.set_countdown((i as u64 % config.sampling_period) + 1);
+            }
+            i += 1;
+            let run_cfg = RunConfig {
+                scheduler: SchedPolicy::Random { seed: w.seed },
+                ..RunConfig::default()
+            };
+            let report = machine.run(&w.inputs, &run_cfg, &mut hw);
+            let class = classify(machine.program(), &report, &w, spec);
+            let wanted = matches!(
+                (class, want_failure),
+                (RunClass::TargetFailure, true) | (RunClass::Success, false)
+            );
+            if !wanted {
+                continue;
+            }
+            let mut obs: BTreeMap<CoherencePredicate, bool> = BTreeMap::new();
+            for rec in hw.take_coherence_samples() {
+                let loc = layout
+                    .decode_stmt(rec.pc)
+                    .map(|s| s.loc)
+                    .unwrap_or(SourceLoc::UNKNOWN);
+                for state in [
+                    CoherenceState::Invalid,
+                    CoherenceState::Shared,
+                    CoherenceState::Exclusive,
+                    CoherenceState::Modified,
+                ] {
+                    let pred = CoherencePredicate {
+                        loc,
+                        access: rec.access,
+                        state,
+                    };
+                    let held = rec.state == state;
+                    obs.entry(pred).and_modify(|t| *t |= held).or_insert(held);
+                }
+            }
+            model.add_run(want_failure, obs);
+            *used += 1;
+        }
+    };
+
+    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        passing,
+        false,
+        config.successful_runs,
+        &mut success_used,
+        &mut model,
+    );
+
+    PbiDiagnosis {
+        ranked: model.rank(),
+        failing_runs: failing_used,
+        successful_runs: success_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ir::BinOp;
+
+    /// Thread 2 may null st->table between init and check (the WWR pattern
+    /// of Fig. 4); input 0 high ⇒ more yields ⇒ more interleavings fail.
+    fn racy_machine() -> (Machine, stm_machine::ids::LogSiteId, SourceLoc) {
+        let mut pb = ProgramBuilder::new("racy");
+        let table = pb.global("table", 1);
+        let main = pb.declare_function("main");
+        let killer = pb.declare_function("killer");
+        {
+            let mut f = pb.build_function(killer, "k.c");
+            f.yield_now();
+            f.store(table as i64, 0, 0);
+            f.ret(None);
+            f.finish();
+        }
+        let site;
+        let check_loc: u32;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let err = f.new_block();
+            let ok = f.new_block();
+            f.at(3);
+            f.store(table as i64, 0, 777); // init
+            let t = f.spawn(killer, &[]);
+            f.yield_now();
+            f.at(10);
+            let v = f.load(table as i64, 0); // the racy check read
+            // Resolved against the real file table below.
+            check_loc = 10;
+            let bad = f.bin(BinOp::Eq, v, 0);
+            f.br(bad, err, ok);
+            f.set_block(err);
+            site = f.log_error("out of memory");
+            f.join(t);
+            f.exit(1);
+            f.ret(None);
+            f.set_block(ok);
+            f.join(t);
+            f.output(1);
+            f.ret(None);
+            f.finish();
+        }
+        let program = pb.finish(main);
+        let file = program.function(main).file;
+        let loc = SourceLoc::new(file, check_loc);
+        (Machine::new(program), site, loc)
+    }
+
+    #[test]
+    fn pbi_with_dense_sampling_finds_the_invalid_read() {
+        let (machine, site, check_loc) = racy_machine();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let failing: Vec<Workload> = (0..50)
+            .map(|s| Workload::new(vec![]).with_seed(s))
+            .collect();
+        let passing = failing.clone();
+        let cfg = PbiConfig {
+            failing_runs: 30,
+            successful_runs: 30,
+            max_runs: 3000,
+            sampling_period: 1, // dense: capability test, not latency test
+        };
+        let d = pbi(&machine, &failing, &passing, &spec, &cfg);
+        assert!(d.failing_runs > 0, "no failing interleaving found");
+        let rank = d.rank_of_event(check_loc, CoherenceState::Invalid);
+        assert_eq!(rank, Some(1), "{:?}", &d.ranked[..d.ranked.len().min(4)]);
+    }
+
+    #[test]
+    fn pbi_with_sparse_sampling_needs_more_runs() {
+        let (machine, site, check_loc) = racy_machine();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let failing: Vec<Workload> = (0..20)
+            .map(|s| Workload::new(vec![]).with_seed(s))
+            .collect();
+        let passing = failing.clone();
+        let cfg = PbiConfig {
+            failing_runs: 5,
+            successful_runs: 5,
+            max_runs: 500,
+            sampling_period: 1000, // sparse: the racy read is almost never latched
+        };
+        let d = pbi(&machine, &failing, &passing, &spec, &cfg);
+        assert_eq!(d.rank_of_event(check_loc, CoherenceState::Invalid), None);
+    }
+}

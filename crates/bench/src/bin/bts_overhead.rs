@@ -1,0 +1,19 @@
+//! Experiment E8 — LBR vs. BTS (§2.1): the Branch Trace Store keeps the
+//! whole branch history in memory and costs 20-100% at run time, which is
+//! why the system uses the fixed-size LBR instead.
+
+use stm_bench::bts_comparison;
+
+fn main() {
+    println!("Whole-execution branch tracing (BTS) vs. LBR-only:");
+    println!("{:<10} {:>12} {:>12} {:>10}", "App.", "LBR (s)", "BTS (s)", "overhead");
+    for b in stm_suite::sequential() {
+        let (base, bts) = bts_comparison(&b, 60);
+        let pct = (bts - base) / base * 100.0;
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>9.1}%",
+            b.info.id, base, bts, pct
+        );
+    }
+    println!("\npaper: BTS costs 20-100% and is unsuitable for production runs (S2.1).");
+}

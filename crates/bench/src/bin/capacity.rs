@@ -1,0 +1,40 @@
+//! Experiment E7 — LBR capacity sensitivity (§2.1, §7.1.2): LBR grew from
+//! 4 entries (Pentium 4) to 8 (Pentium M) to 16 (Nehalem). Most root
+//! causes sit in the top 8 entries, so even small LBRs are useful.
+
+use stm_bench::mark;
+use stm_suite::eval::lbrlog_position_with_entries;
+
+fn main() {
+    let sizes = [4usize, 8, 16, 32];
+    println!("LBRLOG root-cause position vs. LBR capacity");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "App.", "4", "8", "16", "32"
+    );
+    let mut found = [0usize; 4];
+    let mut total = 0usize;
+    for b in stm_suite::sequential() {
+        total += 1;
+        let cells: Vec<String> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let p = lbrlog_position_with_entries(&b, *s);
+                if p.is_some() {
+                    found[i] += 1;
+                }
+                mark(p)
+            })
+            .collect();
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
+            b.info.id, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("\ncaptured with k entries (of {total}):");
+    for (i, s) in sizes.iter().enumerate() {
+        println!("  {s:>2} entries: {}/{total}", found[i]);
+    }
+    println!("\npaper: most root-cause branches are located within the top 8 LBR entries.");
+}

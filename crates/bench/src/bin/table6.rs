@@ -1,0 +1,69 @@
+//! Regenerates Table 6: LBRLOG/LBRA/CBI results and patch distances for
+//! the 20 sequential-bug failures. Pass `--timed` to also measure the
+//! overhead columns (slower), and `--cbi-runs N` to change the CBI run
+//! budget (default 1000, the paper's setting).
+
+use stm_bench::{cbi_rank, dist, mark, measure_overheads};
+use stm_suite::eval::evaluate_sequential;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let timed = args.iter().any(|a| a == "--timed");
+    let cbi_runs = args
+        .iter()
+        .position(|a| a == "--cbi-runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000usize);
+
+    println!("Table 6: Results of LBRLOG and LBRA (paper values in parentheses)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "App.", "LBRLOG w/tog", "LBRLOG w/o", "LBRA", "CBI", "dist(fail)", "dist(LBR)"
+    );
+    for b in stm_suite::sequential() {
+        let row = evaluate_sequential(&b);
+        let cbi = cbi_rank(&b, cbi_runs, cbi_runs);
+        let p = &b.info.paper;
+        println!(
+            "{:<10} {:>7}{:>5} {:>7}{:>5} {:>5}{:>5} {:>5}{:>5} {:>6}{:>4} {:>5}{:>4}",
+            row.id,
+            mark(row.lbrlog_tog),
+            format!("({})", p.lbrlog_tog.map(|m| m.to_string()).unwrap_or_default()),
+            mark(row.lbrlog_no_tog),
+            format!("({})", p.lbrlog_no_tog.map(|m| m.to_string()).unwrap_or_default()),
+            mark(row.lbra),
+            format!("({})", p.lbra.map(|m| m.to_string()).unwrap_or_default()),
+            mark(cbi),
+            format!(
+                "({})",
+                p.cbi.map(|m| m.to_string()).unwrap_or_else(|| "N/A".into())
+            ),
+            dist(row.dist_failure),
+            format!("({})", p.patch_dist_failure.map(|d| d.to_string()).unwrap_or_else(|| "inf".into())),
+            dist(row.dist_lbr),
+            format!("({})", p.patch_dist_lbr.map(|d| d.to_string()).unwrap_or_else(|| "inf".into())),
+        );
+    }
+
+    if timed {
+        println!("\nOverheads (% over uninstrumented; paper: LBRLOG<3%, LBRA reactive<3%,");
+        println!("LBRA proactive 2.1-6.3%, CBI avg 15.2%):");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "App.", "LOG w/tog", "LOG w/o", "LBRA-re", "LBRA-pro", "CBI"
+        );
+        for b in stm_suite::sequential() {
+            let o = measure_overheads(&b, 60);
+            println!(
+                "{:<10} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}% {:>10}",
+                b.info.id,
+                o.lbrlog_tog,
+                o.lbrlog_no_tog,
+                o.lbra_reactive,
+                o.lbra_proactive,
+                o.cbi.map(|c| format!("{c:.2}%")).unwrap_or_else(|| "N/A".into()),
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 7: failure-diagnosis capability of LCR over the 11
+//! concurrency-bug failures (LCRLOG under both configurations, LCRA under
+//! the space-consuming Conf2).
+
+use stm_bench::mark;
+use stm_suite::eval::evaluate_concurrency;
+
+fn main() {
+    println!("Table 7: Failure diagnosis capability of LCR (paper values in parentheses)");
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "ID", "LCRLOG (Conf1)", "LCRLOG (Conf2)", "LCRA"
+    );
+    for b in stm_suite::concurrency() {
+        let row = evaluate_concurrency(&b);
+        let p = &b.info.paper;
+        println!(
+            "{:<12} {:>9}{:>7} {:>9}{:>7} {:>6}{:>6}",
+            row.id,
+            mark(row.lcrlog_conf1),
+            format!("({})", p.lcrlog_conf1.map(|m| m.to_string()).unwrap_or_default()),
+            mark(row.lcrlog_conf2),
+            format!("({})", p.lcrlog_conf2.map(|m| m.to_string()).unwrap_or_default()),
+            mark(row.lcra),
+            format!("({})", p.lcra.map(|m| m.to_string()).unwrap_or_default()),
+        );
+    }
+    println!("\nConf1 = space-saving (invalid loads/stores + shared loads);");
+    println!("Conf2 = space-consuming (invalid loads/stores + exclusive loads); LCRA uses Conf2.");
+}

@@ -1,0 +1,448 @@
+//! LBRA and LCRA: automatic failure diagnosis from LBR/LCR profiles (§5.2).
+//!
+//! Both drivers follow the same loop: replay failing workloads until
+//! `failure_profiles` failure-run profiles are collected, replay passing
+//! workloads until `success_profiles` success-run profiles are collected,
+//! feed both sets to the [`RankingModel`] and rank events by the harmonic
+//! mean of prediction precision and recall. Runs that neither reproduce the
+//! target failure nor reach the success logging site are naturally excluded
+//! (§5.2: "LBR/LCR will not be profiled during runs that do not execute the
+//! code around the failure site").
+//!
+//! The number of *failing* runs a diagnosis consumes is its **diagnosis
+//! latency** — the headline advantage over sampling-based CBI (§7.2: 10
+//! vs. 1000 failure occurrences).
+
+use crate::profile::{lbr_events, lcr_events, BranchOutcome, CoherenceEvent};
+use crate::ranking::{Polarity, RankedEvent, RankingModel};
+use crate::runner::{FailureSpec, RunClass, Runner, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use stm_machine::ids::BranchId;
+use stm_machine::ir::{ProfileRole, SourceLoc};
+use stm_machine::report::{ProfileData, ProfileEvent, RunReport};
+
+/// How many profiles of each class a diagnosis collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiagnosisConfig {
+    /// Failure-run profiles to collect (the paper uses 10).
+    pub failure_profiles: usize,
+    /// Success-run profiles to collect (the paper uses 10).
+    pub success_profiles: usize,
+    /// Hard cap on runs *per collection phase* (failure and success each),
+    /// to bound non-reproducing workload sets.
+    pub max_runs: usize,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            failure_profiles: 10,
+            success_profiles: 10,
+            max_runs: 2000,
+        }
+    }
+}
+
+/// Statistics of one diagnosis: how many runs of each class were consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DiagnosisStats {
+    /// Runs that reproduced the target failure and yielded a profile.
+    pub failure_runs_used: usize,
+    /// Successful runs that yielded a success-site profile.
+    pub success_runs_used: usize,
+    /// Total runs executed, including excluded ones.
+    pub total_runs: usize,
+}
+
+/// Selects the failure-run profile matching the spec: the profile taken at
+/// the target logging site, or the fault-handler profile for crashes.
+pub fn failure_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r ProfileEvent> {
+    let want_site = match spec {
+        FailureSpec::ErrorLogAt(site) => Some(*site),
+        _ => None,
+    };
+    report
+        .profiles
+        .iter().rfind(|p| p.role == ProfileRole::FailureSite && p.site == want_site)
+}
+
+/// Selects the success-run profile matching the spec: the last snapshot
+/// taken at the corresponding success logging site.
+fn success_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r ProfileEvent> {
+    let want_site = match spec {
+        FailureSpec::ErrorLogAt(site) => Some(*site),
+        _ => None,
+    };
+    report
+        .profiles
+        .iter().rfind(|p| p.role == ProfileRole::SuccessSite && p.site == want_site)
+}
+
+/// Generic profile collection shared by LBRA and LCRA.
+fn collect<E: Ord + Clone>(
+    runner: &Runner,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &DiagnosisConfig,
+    mut extract: impl FnMut(&ProfileEvent) -> Option<BTreeSet<E>>,
+) -> (RankingModel<E>, DiagnosisStats) {
+    let mut model = RankingModel::new();
+    let mut stats = DiagnosisStats::default();
+
+    let mut replay = |workloads: &[Workload],
+                      want_failure: bool,
+                      needed: usize,
+                      model: &mut RankingModel<E>,
+                      stats: &mut DiagnosisStats| {
+        let mut collected = 0;
+        let mut i = 0;
+        while collected < needed && i < config.max_runs && !workloads.is_empty() {
+            // Cycle workloads; perturb the seed on later laps so repeated
+            // replays explore fresh interleavings.
+            let base = &workloads[i % workloads.len()];
+            let lap = (i / workloads.len()) as u64;
+            let mut w = base.clone();
+            w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
+            i += 1;
+            let (report, class) = runner.run_classified(&w, spec);
+            stats.total_runs += 1;
+            match (class, want_failure) {
+                (RunClass::TargetFailure, true) => {
+                    if let Some(events) = failure_profile(&report, spec).and_then(&mut extract) {
+                        model.add_profile(true, events);
+                        stats.failure_runs_used += 1;
+                        collected += 1;
+                    }
+                }
+                (RunClass::Success, false) => {
+                    if let Some(events) = success_profile(&report, spec).and_then(&mut extract) {
+                        model.add_profile(false, events);
+                        stats.success_runs_used += 1;
+                        collected += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+
+    replay(failing, true, config.failure_profiles, &mut model, &mut stats);
+    replay(passing, false, config.success_profiles, &mut model, &mut stats);
+    (model, stats)
+}
+
+/// The result of an LBRA diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LbraDiagnosis {
+    /// Scored branch-outcome predictors, best first.
+    pub ranked: Vec<RankedEvent<BranchOutcome>>,
+    /// Run accounting.
+    pub stats: DiagnosisStats,
+}
+
+impl LbraDiagnosis {
+    /// 1-based rank of the first predictor involving `branch`.
+    pub fn rank_of_branch(&self, branch: BranchId) -> Option<usize> {
+        RankingModel::rank_of(&self.ranked, |r| r.event.branch == branch)
+    }
+
+    /// Drops the predictors formed by the branch edges that jump directly
+    /// into the failure site's block. That branch is the failure *site*
+    /// (LBRLOG reports it as the location); keeping it would let it
+    /// trivially outrank every actual cause, since by construction it
+    /// fires in exactly the failing runs.
+    pub fn exclude_site_guards(
+        &mut self,
+        program: &stm_machine::ir::Program,
+        spec: &FailureSpec,
+    ) {
+        if let Some((func, block)) = crate::analysis::failure_site_block(program, spec) {
+            let guards = crate::analysis::site_guard_outcomes(program, func, block);
+            self.ranked
+                .retain(|r| !guards.contains(&(r.event.branch, r.event.outcome)));
+        }
+    }
+
+    /// The best predictor, if any event was observed at all.
+    pub fn top(&self) -> Option<&RankedEvent<BranchOutcome>> {
+        self.ranked.first()
+    }
+}
+
+/// Runs LBRA: collects LBR profiles from failing and passing workloads and
+/// ranks branch outcomes.
+///
+/// `runner` must wrap a program instrumented with success-site profiling
+/// ([`InstrumentOptions::lbra_reactive`](crate::transform::InstrumentOptions::lbra_reactive)
+/// or `lbra_proactive`).
+pub fn lbra(
+    runner: &Runner,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &DiagnosisConfig,
+) -> LbraDiagnosis {
+    let layout = runner.machine().layout();
+    let mut positions: HashMap<BranchOutcome, (u64, u64)> = HashMap::new();
+    let (model, stats) = collect(runner, failing, passing, spec, config, |p| match &p.data {
+        ProfileData::Lbr(records) => {
+            if p.role == ProfileRole::FailureSite {
+                for e in crate::profile::decode_lbr(layout, records) {
+                    if let Some(bo) = e.branch_outcome() {
+                        let slot = positions.entry(bo).or_insert((0, 0));
+                        slot.0 += e.position as u64;
+                        slot.1 += 1;
+                    }
+                }
+            }
+            Some(lbr_events(layout, records))
+        }
+        ProfileData::Lcr(_) => None,
+    });
+    let mut ranked = model.rank();
+    proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
+    LbraDiagnosis { ranked, stats }
+}
+
+/// Stable-reorders equal-scored predictors by their average ring position
+/// in the failure profiles (closest to the failure first). This follows
+/// the paper's locality observation (§1.2): information recorded closer to
+/// the failure is more likely to be its cause, so among statistically
+/// indistinguishable predictors the nearest one is reported first.
+fn proximity_tiebreak<E: Ord + Clone>(
+    ranked: &mut [RankedEvent<E>],
+    position_of: impl Fn(&E) -> Option<(u64, u64)>,
+) {
+    let avg = |e: &E| -> f64 {
+        match position_of(e) {
+            Some((sum, n)) if n > 0 => sum as f64 / n as f64,
+            _ => f64::INFINITY,
+        }
+    };
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                avg(&a.event)
+                    .partial_cmp(&avg(&b.event))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.event.cmp(&b.event))
+    });
+}
+
+/// The result of an LCRA diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcraDiagnosis {
+    /// Scored coherence-event predictors (presence and absence), best
+    /// first.
+    pub ranked: Vec<RankedEvent<CoherenceEvent>>,
+    /// Run accounting.
+    pub stats: DiagnosisStats,
+}
+
+impl LcraDiagnosis {
+    /// 1-based rank of the first predictor at the given source location
+    /// (any state, either polarity).
+    pub fn rank_of_loc(&self, loc: SourceLoc) -> Option<usize> {
+        RankingModel::rank_of(&self.ranked, |r| r.event.loc == loc)
+    }
+
+    /// 1-based rank of a specific (location, state) predictor.
+    pub fn rank_of_event(
+        &self,
+        loc: SourceLoc,
+        state: stm_machine::events::CoherenceState,
+    ) -> Option<usize> {
+        RankingModel::rank_of(&self.ranked, |r| r.event.loc == loc && r.event.state == state)
+    }
+
+    /// The best predictor.
+    pub fn top(&self) -> Option<&RankedEvent<CoherenceEvent>> {
+        self.ranked.first()
+    }
+
+    /// `true` when the top predictor is an absence predictor — the
+    /// space-saving-configuration signature of read-too-early order
+    /// violations (§4.2.2).
+    pub fn top_is_absence(&self) -> bool {
+        self.top().map(|t| t.polarity == Polarity::Absent).unwrap_or(false)
+    }
+}
+
+/// Runs LCRA: collects LCR profiles and ranks coherence events, including
+/// absence predictors.
+pub fn lcra(
+    runner: &Runner,
+    failing: &[Workload],
+    passing: &[Workload],
+    spec: &FailureSpec,
+    config: &DiagnosisConfig,
+) -> LcraDiagnosis {
+    let layout = runner.machine().layout();
+    let mut positions: HashMap<CoherenceEvent, (u64, u64)> = HashMap::new();
+    let (model, stats) = collect(runner, failing, passing, spec, config, |p| match &p.data {
+        ProfileData::Lcr(records) => {
+            if p.role == ProfileRole::FailureSite {
+                for e in crate::profile::decode_lcr(layout, records) {
+                    let slot = positions.entry(e.event).or_insert((0, 0));
+                    slot.0 += e.position as u64;
+                    slot.1 += 1;
+                }
+            }
+            Some(lcr_events(layout, records))
+        }
+        ProfileData::Lbr(_) => None,
+    });
+    let mut ranked = model.rank_with_absence();
+    proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
+    LcraDiagnosis { ranked, stats }
+}
+
+/// Scans scheduler seeds for workloads reproducing (or avoiding) the target
+/// failure — how the suite pins down failing/passing interleavings for
+/// concurrency bugs.
+pub fn find_workloads(
+    runner: &Runner,
+    base: &Workload,
+    spec: &FailureSpec,
+    class: RunClass,
+    count: usize,
+    seed_range: std::ops::Range<u64>,
+) -> Vec<Workload> {
+    let mut found = Vec::new();
+    for seed in seed_range {
+        if found.len() >= count {
+            break;
+        }
+        let w = base.clone().with_seed(seed);
+        let (_, c) = runner.run_classified(&w, spec);
+        if c == class {
+            found.push(w);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::InstrumentOptions;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ir::{BinOp, Program};
+    use stm_machine::ids::LogSiteId;
+
+    /// A sanity-check program: the error fires iff input 0 is negative,
+    /// after passing through a couple of unrelated branches.
+    fn guarded_program() -> (Program, LogSiteId, BranchId) {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let site;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let mid_t = f.new_block();
+            let mid_j = f.new_block();
+            let err = f.new_block();
+            let ok = f.new_block();
+            // Unrelated branch on input 1.
+            let y = f.read_input(1);
+            let cy = f.bin(BinOp::Gt, y, 50);
+            f.at(5);
+            f.br(cy, mid_t, mid_j);
+            f.set_block(mid_t);
+            f.nop();
+            f.jmp(mid_j);
+            f.set_block(mid_j);
+            // Root-cause branch on input 0.
+            let x = f.read_input(0);
+            let neg = f.bin(BinOp::Lt, x, 0);
+            f.at(10);
+            f.br(neg, err, ok);
+            f.set_block(err);
+            f.at(11);
+            site = f.log_error("x must be non-negative");
+            f.exit(1);
+            f.ret(None);
+            f.set_block(ok);
+            f.output(x);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        // The root-cause branch is the one at m.c:10 (the second branch).
+        let root = p
+            .branches
+            .iter()
+            .find(|b| b.loc.line == 10)
+            .map(|b| b.id)
+            .unwrap();
+        (p, site, root)
+    }
+
+    #[test]
+    fn lbra_ranks_root_cause_branch_first() {
+        let (p, site, root) = guarded_program();
+        let runner = Runner::instrumented(
+            &p,
+            &InstrumentOptions::lbra_reactive(vec![site], vec![]),
+        );
+        let failing: Vec<Workload> = (0..10)
+            .map(|i| Workload::new(vec![-1 - i as i64, (i as i64 * 13) % 100]))
+            .collect();
+        let passing: Vec<Workload> = (0..10)
+            .map(|i| Workload::new(vec![1 + i as i64, (i as i64 * 29) % 100]))
+            .collect();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let d = lbra(&runner, &failing, &passing, &spec, &DiagnosisConfig::default());
+        assert_eq!(d.stats.failure_runs_used, 10);
+        assert_eq!(d.stats.success_runs_used, 10);
+        // The top predictor is (root branch, true-edge): precision and
+        // recall are both 1.
+        let top = d.top().unwrap();
+        assert_eq!(top.event.branch, root);
+        assert!(top.event.outcome);
+        assert_eq!(top.score, 1.0);
+        assert_eq!(d.rank_of_branch(root), Some(1));
+    }
+
+    #[test]
+    fn lbra_excludes_runs_that_miss_the_site() {
+        let (p, site, _) = guarded_program();
+        let runner = Runner::instrumented(
+            &p,
+            &InstrumentOptions::lbra_reactive(vec![site], vec![]),
+        );
+        // Every "failing" workload actually succeeds: no failure profiles.
+        let failing = vec![Workload::new(vec![5, 5])];
+        let passing = vec![Workload::new(vec![6, 6])];
+        let spec = FailureSpec::ErrorLogAt(site);
+        let cfg = DiagnosisConfig {
+            failure_profiles: 3,
+            success_profiles: 3,
+            max_runs: 20,
+        };
+        let d = lbra(&runner, &failing, &passing, &spec, &cfg);
+        assert_eq!(d.stats.failure_runs_used, 0);
+        assert_eq!(d.stats.success_runs_used, 3);
+    }
+
+    #[test]
+    fn find_workloads_scans_seeds() {
+        let (p, site, _) = guarded_program();
+        let runner = Runner::instrumented(&p, &InstrumentOptions::lbrlog());
+        let spec = FailureSpec::ErrorLogAt(site);
+        let found = find_workloads(
+            &runner,
+            &Workload::new(vec![-1, 0]),
+            &spec,
+            RunClass::TargetFailure,
+            3,
+            0..10,
+        );
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].seed, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The statistical failure-predictor ranking model of §5.2.
+//!
+//! Each run contributes one *profile*: the set of events recorded in
+//! LBR/LCR at (or near) the failure site. For an event `e`:
+//!
+//! * **prediction precision** = `|F ∧ e| / |e|` — of the runs whose profile
+//!   contains `e`, how many failed;
+//! * **prediction recall** = `|F ∧ e| / |F|` — of the failing runs, how
+//!   many contain `e`.
+//!
+//! Events are ranked by the harmonic mean of the two. The model optionally
+//! also scores *absence* predictors (`¬e`), which §4.2.2 needs for
+//! read-too-early order violations under the space-saving LCR
+//! configuration ("failures are highly correlated with B2 *not*
+//! encountering a shared state").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Whether a predictor fires on the presence or the absence of its event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The event's presence in a profile predicts failure.
+    Present,
+    /// The event's absence from a profile predicts failure.
+    Absent,
+}
+
+/// A scored failure predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedEvent<E> {
+    /// The event.
+    pub event: E,
+    /// Presence or absence predictor.
+    pub polarity: Polarity,
+    /// Prediction precision `|F∧e| / |e|`.
+    pub precision: f64,
+    /// Prediction recall `|F∧e| / |F|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall — the ranking key.
+    pub score: f64,
+    /// Number of failure runs matching the predictor.
+    pub failure_matches: usize,
+    /// Number of success runs matching the predictor.
+    pub success_matches: usize,
+}
+
+/// Accumulates profiles and ranks events.
+#[derive(Debug, Clone)]
+pub struct RankingModel<E> {
+    failure_profiles: Vec<BTreeSet<E>>,
+    success_profiles: Vec<BTreeSet<E>>,
+}
+
+impl<E: Ord + Clone> RankingModel<E> {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        RankingModel {
+            failure_profiles: Vec::new(),
+            success_profiles: Vec::new(),
+        }
+    }
+
+    /// Adds one run's profile.
+    pub fn add_profile(&mut self, is_failure: bool, events: BTreeSet<E>) {
+        if is_failure {
+            self.failure_profiles.push(events);
+        } else {
+            self.success_profiles.push(events);
+        }
+    }
+
+    /// Number of failure profiles collected so far.
+    pub fn failure_count(&self) -> usize {
+        self.failure_profiles.len()
+    }
+
+    /// Number of success profiles collected so far.
+    pub fn success_count(&self) -> usize {
+        self.success_profiles.len()
+    }
+
+    fn universe(&self) -> BTreeSet<E> {
+        let mut u = BTreeSet::new();
+        for p in self.failure_profiles.iter().chain(&self.success_profiles) {
+            u.extend(p.iter().cloned());
+        }
+        u
+    }
+
+    fn score_one(&self, event: &E, polarity: Polarity) -> RankedEvent<E> {
+        let matches = |p: &BTreeSet<E>| match polarity {
+            Polarity::Present => p.contains(event),
+            Polarity::Absent => !p.contains(event),
+        };
+        let f = self.failure_profiles.iter().filter(|p| matches(p)).count();
+        let s = self.success_profiles.iter().filter(|p| matches(p)).count();
+        let total_f = self.failure_profiles.len();
+        let precision = if f + s > 0 {
+            f as f64 / (f + s) as f64
+        } else {
+            0.0
+        };
+        let recall = if total_f > 0 {
+            f as f64 / total_f as f64
+        } else {
+            0.0
+        };
+        let score = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        RankedEvent {
+            event: event.clone(),
+            polarity,
+            precision,
+            recall,
+            score,
+            failure_matches: f,
+            success_matches: s,
+        }
+    }
+
+    /// Ranks all presence predictors, best first. Ties are broken
+    /// deterministically by event order.
+    pub fn rank(&self) -> Vec<RankedEvent<E>> {
+        let mut ranked: Vec<RankedEvent<E>> = self
+            .universe()
+            .iter()
+            .map(|e| self.score_one(e, Polarity::Present))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.event.cmp(&b.event))
+        });
+        ranked
+    }
+
+    /// Ranks presence *and* absence predictors, best first.
+    pub fn rank_with_absence(&self) -> Vec<RankedEvent<E>> {
+        let mut ranked: Vec<RankedEvent<E>> = Vec::new();
+        for e in self.universe().iter() {
+            ranked.push(self.score_one(e, Polarity::Present));
+            ranked.push(self.score_one(e, Polarity::Absent));
+        }
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    a.event
+                        .cmp(&b.event)
+                        .then_with(|| a.polarity.cmp(&b.polarity))
+                })
+        });
+        ranked
+    }
+
+    /// 1-based rank of the first predictor satisfying `pred` in the given
+    /// ranking.
+    pub fn rank_of(ranked: &[RankedEvent<E>], pred: impl FnMut(&RankedEvent<E>) -> bool) -> Option<usize> {
+        ranked.iter().position(pred).map(|i| i + 1)
+    }
+}
+
+impl<E: Ord + Clone> Default for RankingModel<E> {
+    fn default() -> Self {
+        RankingModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_predictor_ranks_first() {
+        let mut m = RankingModel::new();
+        for _ in 0..10 {
+            m.add_profile(true, set(&["root", "noise"]));
+            m.add_profile(false, set(&["noise"]));
+        }
+        let ranked = m.rank();
+        assert_eq!(ranked[0].event, "root");
+        assert_eq!(ranked[0].precision, 1.0);
+        assert_eq!(ranked[0].recall, 1.0);
+        assert_eq!(ranked[0].score, 1.0);
+        // Noise appears everywhere: precision 0.5, recall 1.0.
+        let noise = ranked.iter().find(|r| r.event == "noise").unwrap();
+        assert!((noise.score - (2.0 * 0.5 / 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn success_only_event_scores_zero() {
+        let mut m = RankingModel::new();
+        m.add_profile(true, set(&["a"]));
+        m.add_profile(false, set(&["b"]));
+        let ranked = m.rank();
+        let b = ranked.iter().find(|r| r.event == "b").unwrap();
+        assert_eq!(b.score, 0.0);
+    }
+
+    #[test]
+    fn imperfect_recall_lowers_score() {
+        // Event appears in 5 of 10 failure runs, never in success runs.
+        let mut m = RankingModel::new();
+        for i in 0..10 {
+            let p = if i < 5 { set(&["e"]) } else { set(&[]) };
+            m.add_profile(true, p);
+            m.add_profile(false, set(&[]));
+        }
+        let ranked = m.rank();
+        let e = &ranked[0];
+        assert_eq!(e.event, "e");
+        assert_eq!(e.precision, 1.0);
+        assert_eq!(e.recall, 0.5);
+        assert!((e.score - (2.0 * 0.5 / 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absence_predictor_wins_when_event_vanishes_in_failures() {
+        // "B2 observed Shared" appears in every success run and no failure
+        // run: its absence is the perfect predictor.
+        let mut m = RankingModel::new();
+        for _ in 0..10 {
+            m.add_profile(true, set(&["noise"]));
+            m.add_profile(false, set(&["b2-shared", "noise"]));
+        }
+        let ranked = m.rank_with_absence();
+        assert_eq!(ranked[0].event, "b2-shared");
+        assert_eq!(ranked[0].polarity, Polarity::Absent);
+        assert_eq!(ranked[0].score, 1.0);
+    }
+
+    #[test]
+    fn rank_of_is_one_based() {
+        let mut m = RankingModel::new();
+        m.add_profile(true, set(&["x"]));
+        m.add_profile(false, set(&["y"]));
+        let ranked = m.rank();
+        assert_eq!(
+            RankingModel::rank_of(&ranked, |r| r.event == "x"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn multiple_failure_sites_do_not_break_relative_ranking() {
+        // §5.3 "multiple failures": even when the best predictor misses
+        // some failure runs (two root causes at one site), it still beats
+        // noise.
+        let mut m = RankingModel::new();
+        for i in 0..10 {
+            let p = if i % 2 == 0 {
+                set(&["rootA", "noise"])
+            } else {
+                set(&["rootB", "noise"])
+            };
+            m.add_profile(true, p);
+            m.add_profile(false, set(&["noise"]));
+        }
+        let ranked = m.rank();
+        let score_of = |name: &str| ranked.iter().find(|r| r.event == name).unwrap().score;
+        // Each root's perfect precision compensates for its halved recall:
+        // neither falls below the omnipresent noise event.
+        assert!(score_of("rootA") >= score_of("noise"));
+        assert!(score_of("rootB") >= score_of("noise"));
+        assert!(score_of("rootA") > 0.5);
+    }
+
+    #[test]
+    fn empty_model_ranks_nothing() {
+        let m: RankingModel<String> = RankingModel::new();
+        assert!(m.rank().is_empty());
+        assert_eq!(m.failure_count(), 0);
+        assert_eq!(m.success_count(), 0);
+    }
+}

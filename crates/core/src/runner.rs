@@ -1,0 +1,356 @@
+//! Run orchestration: workloads, failure specifications and run
+//! classification.
+//!
+//! The diagnosis drivers (LBRA/LCRA) and the harness binaries all execute
+//! programs the same way: a [`Workload`] names the inputs and scheduler
+//! seed, a [`FailureSpec`] describes the failure being diagnosed, and
+//! [`classify`] decides whether a given run reproduced that failure,
+//! succeeded, or did something else (and should be discarded, as the
+//! paper's per-failure-site grouping does).
+
+use crate::transform::{instrument, InstrumentOptions};
+use serde::{Deserialize, Serialize};
+use stm_hardware::{HardwareCtx, HwConfig};
+use stm_machine::ids::LogSiteId;
+use stm_machine::interp::{Machine, RunConfig};
+use stm_machine::ir::Program;
+use stm_machine::report::{RunOutcome, RunReport};
+use stm_machine::sched::SchedPolicy;
+
+/// One run's inputs: data inputs, scheduler seed and the expected output
+/// (for wrong-output symptom checking).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// Data inputs, read by `ReadInput`.
+    pub inputs: Vec<i64>,
+    /// Scheduler seed (interleaving selector).
+    pub seed: u64,
+    /// Expected program output, when the symptom is wrong output.
+    pub expected: Option<Vec<i64>>,
+}
+
+impl Workload {
+    /// A workload with the given inputs and seed 0.
+    pub fn new(inputs: Vec<i64>) -> Self {
+        Workload {
+            inputs,
+            seed: 0,
+            expected: None,
+        }
+    }
+
+    /// Sets the scheduler seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the expected output.
+    pub fn with_expected(mut self, expected: Vec<i64>) -> Self {
+        self.expected = Some(expected);
+        self
+    }
+}
+
+/// Describes the failure being diagnosed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureSpec {
+    /// The failure manifests as an error message from this logging site.
+    ErrorLogAt(LogSiteId),
+    /// The failure is a crash (segfault/invalid free/assert/…) in the
+    /// named function at the given line.
+    CrashAt {
+        /// Function name.
+        func: String,
+        /// Source line of the faulting statement.
+        line: u32,
+    },
+    /// Any fail-stop crash.
+    AnyCrash,
+    /// The program completes but its output differs from the workload's
+    /// expectation.
+    WrongOutput,
+    /// The program hangs (watchdog) or deadlocks.
+    Hang,
+}
+
+/// How a run relates to the failure under diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunClass {
+    /// The run reproduced the target failure.
+    TargetFailure,
+    /// The run completed successfully (with the expected output, when one
+    /// is specified).
+    Success,
+    /// The run did something else — a different failure, or completed when
+    /// a wrong output was expected; excluded from the profile sets.
+    Other,
+}
+
+/// Classifies a run report against a failure specification.
+pub fn classify(
+    program: &Program,
+    report: &RunReport,
+    workload: &Workload,
+    spec: &FailureSpec,
+) -> RunClass {
+    let output_ok = workload
+        .expected
+        .as_ref()
+        .map(|e| e == &report.outputs)
+        .unwrap_or(true);
+    match spec {
+        FailureSpec::ErrorLogAt(site) => {
+            if report.logged_site(*site) {
+                RunClass::TargetFailure
+            } else if report.outcome.is_completed() && output_ok {
+                RunClass::Success
+            } else {
+                RunClass::Other
+            }
+        }
+        FailureSpec::CrashAt { func, line } => match report.outcome.failure() {
+            Some(f) => {
+                let fname = &program.function(f.func).name;
+                if fname == func && f.loc.line == *line {
+                    RunClass::TargetFailure
+                } else {
+                    RunClass::Other
+                }
+            }
+            None => {
+                if output_ok {
+                    RunClass::Success
+                } else {
+                    RunClass::Other
+                }
+            }
+        },
+        FailureSpec::AnyCrash => match &report.outcome {
+            RunOutcome::Failed(_) => RunClass::TargetFailure,
+            RunOutcome::Completed { .. } if output_ok => RunClass::Success,
+            RunOutcome::Completed { .. } => RunClass::Other,
+        },
+        FailureSpec::WrongOutput => match &report.outcome {
+            RunOutcome::Completed { .. } if !output_ok => RunClass::TargetFailure,
+            RunOutcome::Completed { .. } => RunClass::Success,
+            RunOutcome::Failed(_) => RunClass::Other,
+        },
+        FailureSpec::Hang => match report.outcome.failure() {
+            Some(f)
+                if matches!(
+                    f.kind,
+                    stm_machine::report::FailureKind::Hang
+                        | stm_machine::report::FailureKind::Deadlock
+                ) =>
+            {
+                RunClass::TargetFailure
+            }
+            Some(_) => RunClass::Other,
+            None => {
+                if output_ok {
+                    RunClass::Success
+                } else {
+                    RunClass::Other
+                }
+            }
+        },
+    }
+}
+
+/// Executes runs of one (instrumented) machine with a fresh
+/// [`HardwareCtx`] per run.
+#[derive(Debug)]
+pub struct Runner {
+    machine: Machine,
+    run_config: RunConfig,
+    hw_config: HwConfig,
+}
+
+impl Runner {
+    /// Instruments `program` with `opts` and prepares a runner for it.
+    pub fn instrumented(program: &Program, opts: &InstrumentOptions) -> Self {
+        Runner::new(Machine::new(instrument(program, opts)))
+    }
+
+    /// Wraps an already-built machine.
+    pub fn new(machine: Machine) -> Self {
+        Runner {
+            machine,
+            run_config: RunConfig::default(),
+            hw_config: HwConfig::default(),
+        }
+    }
+
+    /// Overrides the run configuration (step budget, cores...).
+    pub fn with_run_config(mut self, config: RunConfig) -> Self {
+        self.run_config = config;
+        self
+    }
+
+    /// Overrides the hardware configuration (LBR size, cache geometry...).
+    pub fn with_hw_config(mut self, config: HwConfig) -> Self {
+        self.hw_config = config;
+        self
+    }
+
+    /// The machine being run.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The hardware configuration used for each run.
+    pub fn hw_config(&self) -> &HwConfig {
+        &self.hw_config
+    }
+
+    /// Runs one workload on fresh hardware; returns the report.
+    pub fn run(&self, workload: &Workload) -> RunReport {
+        self.run_with_hw(workload).0
+    }
+
+    /// Runs one workload and also returns the final hardware state.
+    pub fn run_with_hw(&self, workload: &Workload) -> (RunReport, HardwareCtx) {
+        let mut hw = HardwareCtx::new(self.hw_config);
+        let mut cfg = self.run_config.clone();
+        cfg.scheduler = SchedPolicy::Random {
+            seed: workload.seed,
+        };
+        let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
+        (report, hw)
+    }
+
+    /// Runs one workload and classifies it.
+    pub fn run_classified(&self, workload: &Workload, spec: &FailureSpec) -> (RunReport, RunClass) {
+        let report = self.run(workload);
+        let class = classify(self.machine.program(), &report, workload, spec);
+        (report, class)
+    }
+
+    /// Like [`Runner::run_classified`], but with an explicit sampling-seed
+    /// override so probe-based baselines (CBI/CCI) draw fresh sampling
+    /// streams across repeated replays of the same workload.
+    pub fn run_classified_with_sample_seed(
+        &self,
+        workload: &Workload,
+        spec: &FailureSpec,
+        sample_seed: u64,
+    ) -> (RunReport, RunClass) {
+        let mut hw = HardwareCtx::new(self.hw_config);
+        let mut cfg = self.run_config.clone();
+        cfg.scheduler = SchedPolicy::Random {
+            seed: workload.seed,
+        };
+        cfg.sample_seed = sample_seed;
+        let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
+        let class = classify(self.machine.program(), &report, workload, spec);
+        (report, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ir::BinOp;
+
+    /// input < 0 → error log; input == 0 → segfault; else outputs input.
+    fn sample() -> (Program, LogSiteId) {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let site;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let err = f.new_block();
+            let rest = f.new_block();
+            let crash = f.new_block();
+            let ok = f.new_block();
+            let x = f.read_input(0);
+            let neg = f.bin(BinOp::Lt, x, 0);
+            f.br(neg, err, rest);
+            f.set_block(err);
+            f.at(10);
+            site = f.log_error("negative");
+            f.exit(1);
+            f.ret(None);
+            f.set_block(rest);
+            let zero = f.bin(BinOp::Eq, x, 0);
+            f.br(zero, crash, ok);
+            f.set_block(crash);
+            f.at(20);
+            let _ = f.load(0i64, 0);
+            f.ret(None);
+            f.set_block(ok);
+            f.output(x);
+            f.ret(None);
+            f.finish();
+        }
+        (pb.finish(main), site)
+    }
+
+    #[test]
+    fn classify_error_log_spec() {
+        let (p, site) = sample();
+        let runner = Runner::new(Machine::new(p));
+        let spec = FailureSpec::ErrorLogAt(site);
+        let (_, c) = runner.run_classified(&Workload::new(vec![-1]), &spec);
+        assert_eq!(c, RunClass::TargetFailure);
+        let (_, c) = runner.run_classified(&Workload::new(vec![5]), &spec);
+        assert_eq!(c, RunClass::Success);
+        let (_, c) = runner.run_classified(&Workload::new(vec![0]), &spec);
+        assert_eq!(c, RunClass::Other);
+    }
+
+    #[test]
+    fn classify_crash_spec() {
+        let (p, _) = sample();
+        let runner = Runner::new(Machine::new(p));
+        let spec = FailureSpec::CrashAt {
+            func: "main".into(),
+            line: 20,
+        };
+        let (_, c) = runner.run_classified(&Workload::new(vec![0]), &spec);
+        assert_eq!(c, RunClass::TargetFailure);
+        let (_, c) = runner.run_classified(&Workload::new(vec![7]), &spec);
+        assert_eq!(c, RunClass::Success);
+        let (_, c) = runner.run_classified(&Workload::new(vec![-3]), &spec);
+        // A clean exit(1) with an error message is not the crash.
+        assert_eq!(c, RunClass::Success);
+    }
+
+    #[test]
+    fn classify_wrong_output_spec() {
+        let (p, _) = sample();
+        let runner = Runner::new(Machine::new(p));
+        let spec = FailureSpec::WrongOutput;
+        let w_bad = Workload::new(vec![5]).with_expected(vec![999]);
+        let (_, c) = runner.run_classified(&w_bad, &spec);
+        assert_eq!(c, RunClass::TargetFailure);
+        let w_good = Workload::new(vec![5]).with_expected(vec![5]);
+        let (_, c) = runner.run_classified(&w_good, &spec);
+        assert_eq!(c, RunClass::Success);
+    }
+
+    #[test]
+    fn instrumented_runner_profiles_failure_logs() {
+        let (p, site) = sample();
+        let runner = Runner::instrumented(&p, &InstrumentOptions::lbrlog());
+        let report = runner.run(&Workload::new(vec![-4]));
+        let prof = report.failure_profile().expect("failure profile");
+        assert_eq!(prof.site, Some(site));
+        match &prof.data {
+            stm_machine::report::ProfileData::Lbr(records) => assert!(!records.is_empty()),
+            other => panic!("expected LBR data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_handler_profiles_on_segfault() {
+        let (p, _) = sample();
+        let runner = Runner::instrumented(&p, &InstrumentOptions::lbrlog());
+        let report = runner.run(&Workload::new(vec![0]));
+        assert!(report.outcome.failure().is_some());
+        let prof = report.failure_profile().expect("fault-handler profile");
+        assert_eq!(prof.site, None);
+    }
+}

@@ -1,0 +1,143 @@
+//! The Branch Trace Store (BTS) facility.
+//!
+//! Unlike LBR's fixed ring of registers, BTS streams *every* admitted
+//! branch record into a memory-resident buffer (§2.1). It can hold far more
+//! history, but on real hardware the memory traffic costs 20–100% run-time
+//! overhead, which is why the paper rejects it for production runs. The
+//! `bts_overhead` harness (experiment E8) reproduces that contrast: the
+//! per-branch buffer append is the overhead the paper talks about.
+
+use std::collections::VecDeque;
+use stm_machine::events::{lbr_select_admits, BranchEvent, BranchRecord};
+
+/// A whole-execution branch trace buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bts {
+    buffer: VecDeque<BranchRecord>,
+    enabled: bool,
+    select: u32,
+    limit: Option<usize>,
+}
+
+impl Bts {
+    /// Creates a disabled BTS with no class filtering and no size limit.
+    pub fn new() -> Self {
+        Bts::default()
+    }
+
+    /// Creates a BTS that keeps at most `limit` records (an OS-provided
+    /// ring buffer, as used by the Intel GDB branch tracing).
+    pub fn with_limit(limit: usize) -> Self {
+        Bts {
+            limit: Some(limit.max(1)),
+            ..Bts::default()
+        }
+    }
+
+    /// Programs the class filter (same semantics as `LBR_SELECT`).
+    pub fn config(&mut self, select: u32) {
+        self.select = select;
+    }
+
+    /// Starts tracing.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops tracing.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Clears the buffer.
+    pub fn clean(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Offers a retired branch to the trace.
+    pub fn record(&mut self, ev: BranchEvent) {
+        if !self.enabled || !lbr_select_admits(self.select, &ev) {
+            return;
+        }
+        if let Some(limit) = self.limit {
+            if self.buffer.len() == limit {
+                self.buffer.pop_front();
+            }
+        }
+        self.buffer.push_back(ev.into());
+    }
+
+    /// The trace, oldest branch first.
+    pub fn trace(&self) -> Vec<BranchRecord> {
+        self.buffer.iter().copied().collect()
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::events::{BranchKind, Ring};
+
+    fn ev(from: u64) -> BranchEvent {
+        BranchEvent {
+            from,
+            to: from + 4,
+            kind: BranchKind::CondJump,
+            ring: Ring::User,
+        }
+    }
+
+    #[test]
+    fn bts_keeps_whole_history() {
+        let mut bts = Bts::new();
+        bts.enable();
+        for i in 0..1000 {
+            bts.record(ev(i));
+        }
+        assert_eq!(bts.len(), 1000);
+        assert_eq!(bts.trace()[0].from, 0);
+        assert_eq!(bts.trace()[999].from, 999);
+    }
+
+    #[test]
+    fn limited_bts_drops_oldest() {
+        let mut bts = Bts::with_limit(3);
+        bts.enable();
+        for i in 0..5 {
+            bts.record(ev(i));
+        }
+        let froms: Vec<u64> = bts.trace().iter().map(|r| r.from).collect();
+        assert_eq!(froms, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_bts_records_nothing() {
+        let mut bts = Bts::new();
+        bts.record(ev(1));
+        assert!(bts.is_empty());
+    }
+
+    #[test]
+    fn filter_applies() {
+        let mut bts = Bts::new();
+        bts.config(stm_machine::events::lbr_select::JCC);
+        bts.enable();
+        bts.record(ev(1));
+        assert!(bts.is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! The assembled performance-monitoring unit: per-core LBRs, the coherent
+//! cache system feeding per-thread LCRs, performance counters, an optional
+//! BTS and an optional PBI-style sampler — all behind the machine's
+//! [`Hardware`] trait.
+
+use crate::bts::Bts;
+use crate::cache::{CacheConfig, CacheSystem};
+use crate::counters::{CoherenceSampler, PerfCounters};
+use crate::lbr::{Lbr, NEHALEM_ENTRIES};
+use crate::lcr::{Lcr, DEFAULT_ENTRIES};
+use stm_machine::events::{
+    AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp, LcrConfig, Ring,
+};
+use stm_machine::ids::{CoreId, ThreadId};
+
+/// Static configuration of the monitoring unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwConfig {
+    /// Number of cores (and LBRs).
+    pub num_cores: u32,
+    /// LBR entries per core.
+    pub lbr_entries: usize,
+    /// LCR entries per thread.
+    pub lcr_entries: usize,
+    /// Initial LCR event selection.
+    pub lcr_config: LcrConfig,
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Attach a whole-execution BTS buffer.
+    pub enable_bts: bool,
+    /// Attach a PBI-style coherence sampler with this period.
+    pub sampler_period: Option<u64>,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig {
+            num_cores: 4,
+            lbr_entries: NEHALEM_ENTRIES,
+            lcr_entries: DEFAULT_ENTRIES,
+            lcr_config: LcrConfig::default(),
+            cache: CacheConfig::PAPER,
+            enable_bts: false,
+            sampler_period: None,
+        }
+    }
+}
+
+/// The full simulated performance-monitoring unit.
+#[derive(Debug, Clone)]
+pub struct HardwareCtx {
+    lbrs: Vec<Lbr>,
+    cache: CacheSystem,
+    lcr: Lcr,
+    counters: PerfCounters,
+    bts: Option<Bts>,
+    sampler: Option<CoherenceSampler>,
+}
+
+impl HardwareCtx {
+    /// Creates a monitoring unit from a configuration.
+    pub fn new(config: HwConfig) -> Self {
+        let mut lcr = Lcr::new(config.lcr_entries);
+        lcr.configure(config.lcr_config);
+        HardwareCtx {
+            lbrs: (0..config.num_cores.max(1))
+                .map(|_| Lbr::new(config.lbr_entries))
+                .collect(),
+            cache: CacheSystem::new(config.num_cores, config.cache),
+            lcr,
+            counters: PerfCounters::new(),
+            bts: if config.enable_bts {
+                let mut b = Bts::new();
+                b.enable();
+                Some(b)
+            } else {
+                None
+            },
+            sampler: config.sampler_period.map(|p| {
+                let mut s = CoherenceSampler::new(p);
+                s.enable();
+                s
+            }),
+        }
+    }
+
+    /// A unit with paper-default settings (4 cores, 16-entry LBR/LCR).
+    pub fn with_defaults() -> Self {
+        HardwareCtx::new(HwConfig::default())
+    }
+
+    /// Direct access to one core's LBR (tests and harnesses).
+    pub fn lbr(&self, core: CoreId) -> &Lbr {
+        &self.lbrs[core.index()]
+    }
+
+    /// Direct access to the LCR facility.
+    pub fn lcr(&self) -> &Lcr {
+        &self.lcr
+    }
+
+    /// Direct access to the cache system.
+    pub fn cache(&self) -> &CacheSystem {
+        &self.cache
+    }
+
+    /// The coherence-event counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// The BTS trace, when attached.
+    pub fn bts(&self) -> Option<&Bts> {
+        self.bts.as_ref()
+    }
+
+    /// The PBI sampler, when attached.
+    pub fn sampler(&self) -> Option<&CoherenceSampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Mutable access to the PBI sampler, when attached.
+    pub fn sampler_mut(&mut self) -> Option<&mut CoherenceSampler> {
+        self.sampler.as_mut()
+    }
+
+    /// Drains the PBI sampler's latched records.
+    pub fn take_coherence_samples(&mut self) -> Vec<stm_machine::events::CoherenceRecord> {
+        self.sampler
+            .as_mut()
+            .map(|s| s.take_samples())
+            .unwrap_or_default()
+    }
+}
+
+impl Default for HardwareCtx {
+    fn default() -> Self {
+        HardwareCtx::with_defaults()
+    }
+}
+
+impl Hardware for HardwareCtx {
+    fn on_branch(&mut self, core: CoreId, ev: BranchEvent) {
+        self.lbrs[core.index()].record(ev);
+        if let Some(bts) = &mut self.bts {
+            bts.record(ev);
+        }
+    }
+
+    fn on_access(&mut self, core: CoreId, thread: ThreadId, ev: AccessEvent) {
+        let observed = self.cache.access(core, ev.addr, ev.kind);
+        self.counters.observe(ev.kind, observed);
+        self.lcr.record(thread, ev.pc, observed, ev.kind, ev.ring);
+        if let Some(s) = &mut self.sampler {
+            if ev.ring == Ring::User {
+                s.observe(ev.pc, observed, ev.kind);
+            }
+        }
+    }
+
+    fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse {
+        match op {
+            // LBR control applies to every core (the kernel module writes
+            // the MSRs on all cores); profiling reads only the calling
+            // core's stack, matching the constraint of §4.2.1.
+            HwCtlOp::CleanLbr => {
+                for lbr in &mut self.lbrs {
+                    lbr.clean();
+                }
+                CtlResponse::Done
+            }
+            HwCtlOp::ConfigLbr(mask) => {
+                for lbr in &mut self.lbrs {
+                    lbr.config(mask);
+                }
+                CtlResponse::Done
+            }
+            HwCtlOp::EnableLbr => {
+                for lbr in &mut self.lbrs {
+                    lbr.enable();
+                }
+                CtlResponse::Done
+            }
+            HwCtlOp::DisableLbr => {
+                for lbr in &mut self.lbrs {
+                    lbr.disable();
+                }
+                CtlResponse::Done
+            }
+            HwCtlOp::ProfileLbr => CtlResponse::Lbr(self.lbrs[core.index()].snapshot()),
+            HwCtlOp::CleanLcr => {
+                self.lcr.clean(thread);
+                CtlResponse::Done
+            }
+            HwCtlOp::ConfigLcr(cfg) => {
+                self.lcr.configure(cfg);
+                CtlResponse::Done
+            }
+            HwCtlOp::EnableLcr => {
+                self.lcr.enable(thread);
+                CtlResponse::Done
+            }
+            HwCtlOp::DisableLcr => {
+                self.lcr.disable(thread);
+                CtlResponse::Done
+            }
+            HwCtlOp::ProfileLcr => CtlResponse::Lcr(self.lcr.snapshot(thread)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::events::{AccessKind, BranchKind, CoherenceState};
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn branch(from: u64) -> BranchEvent {
+        BranchEvent {
+            from,
+            to: from + 4,
+            kind: BranchKind::CondJump,
+            ring: Ring::User,
+        }
+    }
+
+    fn load(pc: u64, addr: u64) -> AccessEvent {
+        AccessEvent {
+            pc,
+            addr,
+            kind: AccessKind::Load,
+            ring: Ring::User,
+        }
+    }
+
+    #[test]
+    fn lbrs_are_per_core() {
+        let mut hw = HardwareCtx::with_defaults();
+        hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+        hw.on_branch(C0, branch(0x100));
+        hw.on_branch(C1, branch(0x200));
+        match hw.ctl(C0, T0, HwCtlOp::ProfileLbr) {
+            CtlResponse::Lbr(snap) => {
+                assert_eq!(snap.len(), 1);
+                assert_eq!(snap[0].from, 0x100);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lcr_records_cache_observed_states() {
+        let mut hw = HardwareCtx::with_defaults();
+        hw.ctl(C0, T0, HwCtlOp::EnableLcr);
+        hw.on_access(C0, T0, load(0x400100, 0x1000)); // cold: Invalid
+        hw.on_access(C0, T0, load(0x400104, 0x1000)); // hit: Exclusive
+        match hw.ctl(C0, T0, HwCtlOp::ProfileLcr) {
+            CtlResponse::Lcr(snap) => {
+                // Most recent first: exclusive hit, then the cold invalid,
+                // then the two enable-pollution entries.
+                assert_eq!(snap.len(), 4);
+                assert_eq!(snap[0].pc, 0x400104);
+                assert_eq!(snap[0].state, CoherenceState::Exclusive);
+                assert_eq!(snap[1].pc, 0x400100);
+                assert_eq!(snap[1].state, CoherenceState::Invalid);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_see_all_coherence_events() {
+        let mut hw = HardwareCtx::with_defaults();
+        hw.on_access(C0, T0, load(1, 0x1000));
+        hw.on_access(C0, T0, load(2, 0x1000));
+        assert_eq!(
+            hw.counters().count(AccessKind::Load, CoherenceState::Invalid),
+            1
+        );
+        assert_eq!(
+            hw.counters()
+                .count(AccessKind::Load, CoherenceState::Exclusive),
+            1
+        );
+    }
+
+    #[test]
+    fn cross_thread_invalidation_reaches_lcr() {
+        let mut hw = HardwareCtx::with_defaults();
+        hw.ctl(C0, T0, HwCtlOp::EnableLcr);
+        // T1 (core 1) writes the line, invalidating T0's copy.
+        hw.on_access(C0, T0, load(0x10, 0x2000));
+        hw.on_access(
+            C1,
+            T1,
+            AccessEvent {
+                pc: 0x20,
+                addr: 0x2000,
+                kind: AccessKind::Store,
+                ring: Ring::User,
+            },
+        );
+        hw.on_access(C0, T0, load(0x30, 0x2000)); // observes Invalid
+        let snap = match hw.ctl(C0, T0, HwCtlOp::ProfileLcr) {
+            CtlResponse::Lcr(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(snap[0].pc, 0x30);
+        assert_eq!(snap[0].state, CoherenceState::Invalid);
+    }
+
+    #[test]
+    fn bts_captures_whole_history() {
+        let mut hw = HardwareCtx::new(HwConfig {
+            enable_bts: true,
+            ..HwConfig::default()
+        });
+        hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+        for i in 0..100 {
+            hw.on_branch(C0, branch(i));
+        }
+        assert_eq!(hw.bts().unwrap().len(), 100);
+        // LBR kept only the last 16.
+        assert_eq!(hw.lbr(C0).len(), 16);
+    }
+
+    #[test]
+    fn sampler_latches_periodically() {
+        let mut hw = HardwareCtx::new(HwConfig {
+            sampler_period: Some(2),
+            ..HwConfig::default()
+        });
+        for i in 0..6 {
+            hw.on_access(C0, T0, load(i, 0x1000 + i * 64));
+        }
+        assert_eq!(hw.sampler().unwrap().samples().len(), 3);
+        assert_eq!(hw.take_coherence_samples().len(), 3);
+        assert_eq!(hw.take_coherence_samples().len(), 0);
+    }
+}

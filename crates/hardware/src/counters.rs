@@ -1,0 +1,152 @@
+//! Hardware performance counters for L1-D coherence events (§2.2) and the
+//! interrupt-driven sampling on top of them that the PBI baseline uses.
+//!
+//! A counter register counts accesses matching one `(event code, unit
+//! mask)` pair — e.g. "loads observing Invalid". [`CoherenceSampler`]
+//! models reading the counters through periodic interrupts: every `period`
+//! matching events it latches the `(pc, state, kind)` of the triggering
+//! access, which is exactly the per-instruction coherence predicate stream
+//! PBI feeds its statistical model.
+
+use std::collections::HashMap;
+use stm_machine::events::{AccessKind, CoherenceRecord, CoherenceState};
+
+/// Per-(access kind, state) event counts — one logical counter register
+/// per pair.
+#[derive(Debug, Clone, Default)]
+pub struct PerfCounters {
+    counts: HashMap<(AccessKind, CoherenceState), u64>,
+}
+
+impl PerfCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        PerfCounters::default()
+    }
+
+    /// Counts one retired access.
+    pub fn observe(&mut self, kind: AccessKind, state: CoherenceState) {
+        *self.counts.entry((kind, state)).or_insert(0) += 1;
+    }
+
+    /// Reads one counter.
+    pub fn count(&self, kind: AccessKind, state: CoherenceState) -> u64 {
+        self.counts.get(&(kind, state)).copied().unwrap_or(0)
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// Interrupt-driven sampling of coherence events (the PBI mechanism).
+#[derive(Debug, Clone)]
+pub struct CoherenceSampler {
+    period: u64,
+    countdown: u64,
+    samples: Vec<CoherenceRecord>,
+    enabled: bool,
+}
+
+impl CoherenceSampler {
+    /// Creates a sampler firing every `period` matching events.
+    pub fn new(period: u64) -> Self {
+        let period = period.max(1);
+        CoherenceSampler {
+            period,
+            countdown: period,
+            samples: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Starts sampling.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops sampling.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Overrides the current countdown (phase), so repeated runs can latch
+    /// different events — the wall-clock skew of a real deployment.
+    pub fn set_countdown(&mut self, n: u64) {
+        self.countdown = n.clamp(1, self.period.max(1));
+    }
+
+    /// Offers a matching event; latches it when the countdown fires.
+    pub fn observe(&mut self, pc: u64, state: CoherenceState, access: AccessKind) {
+        if !self.enabled {
+            return;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.samples.push(CoherenceRecord { pc, state, access });
+        }
+    }
+
+    /// The latched samples, in order.
+    pub fn samples(&self) -> &[CoherenceRecord] {
+        &self.samples
+    }
+
+    /// Drains the latched samples.
+    pub fn take_samples(&mut self) -> Vec<CoherenceRecord> {
+        std::mem::take(&mut self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_per_pair() {
+        let mut c = PerfCounters::new();
+        c.observe(AccessKind::Load, CoherenceState::Invalid);
+        c.observe(AccessKind::Load, CoherenceState::Invalid);
+        c.observe(AccessKind::Store, CoherenceState::Modified);
+        assert_eq!(c.count(AccessKind::Load, CoherenceState::Invalid), 2);
+        assert_eq!(c.count(AccessKind::Store, CoherenceState::Modified), 1);
+        assert_eq!(c.count(AccessKind::Store, CoherenceState::Invalid), 0);
+        assert_eq!(c.total(), 3);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn sampler_latches_every_period() {
+        let mut s = CoherenceSampler::new(3);
+        s.enable();
+        for pc in 0..10 {
+            s.observe(pc, CoherenceState::Invalid, AccessKind::Load);
+        }
+        let pcs: Vec<u64> = s.samples().iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn disabled_sampler_is_silent() {
+        let mut s = CoherenceSampler::new(1);
+        s.observe(1, CoherenceState::Invalid, AccessKind::Load);
+        assert!(s.samples().is_empty());
+    }
+
+    #[test]
+    fn take_samples_drains() {
+        let mut s = CoherenceSampler::new(1);
+        s.enable();
+        s.observe(7, CoherenceState::Shared, AccessKind::Load);
+        assert_eq!(s.take_samples().len(), 1);
+        assert!(s.samples().is_empty());
+    }
+}

@@ -1,0 +1,462 @@
+//! The hardware event vocabulary shared between the machine and the
+//! simulated performance-monitoring hardware.
+//!
+//! The interpreter (this crate) *produces* events — retired branches, L1
+//! data-cache accesses, control operations on the monitoring unit — and the
+//! `stm-hardware` crate *consumes* them through the [`Hardware`] trait to
+//! maintain LBR rings, MESI caches, LCR rings and performance counters.
+//!
+//! The constants mirror the paper's Tables 1 and 2 (the Intel Nehalem
+//! `LBR_SELECT` filter masks and the L1-D cache-coherence event masks).
+
+use crate::ids::{CoreId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Privilege level at which a branch retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ring {
+    /// Kernel mode (ring 0): branches executed inside the simulated kernel,
+    /// e.g. by `ioctl` calls into the LBR driver or by syscalls.
+    Kernel,
+    /// User mode: ordinary application and library branches.
+    User,
+}
+
+/// The machine-level taxonomy of branch instructions, following the classes
+/// that `LBR_SELECT` can filter (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// A taken conditional jump (`jcc`). Under the Fig. 2 lowering this is
+    /// the *false* edge of a source conditional branch.
+    CondJump,
+    /// A near unconditional relative jump (`jmp rel`). The Fig. 2 lowering
+    /// inserts one of these on every fall-through edge, so the *true* edge
+    /// of a source branch is also recorded.
+    UncondRelative,
+    /// A near relative call.
+    NearRelCall,
+    /// A near indirect call (through a register or table).
+    NearIndCall,
+    /// A near return.
+    NearReturn,
+    /// A near unconditional indirect jump.
+    UncondIndirect,
+    /// A far branch (privilege transitions and the like).
+    Far,
+}
+
+/// Filter masks for the LBR selection register, mirroring the paper's
+/// Table 1: a **set** bit *filters out* (excludes) the corresponding branch
+/// class from recording.
+pub mod lbr_select {
+    /// Filter branches occurring in ring 0.
+    pub const CPL_EQ_0: u32 = 0x1;
+    /// Filter branches occurring in other (user) privilege levels.
+    pub const CPL_NEQ_0: u32 = 0x2;
+    /// Filter conditional branches.
+    pub const JCC: u32 = 0x4;
+    /// Filter near relative calls.
+    pub const NEAR_REL_CALL: u32 = 0x8;
+    /// Filter near indirect calls.
+    pub const NEAR_IND_CALL: u32 = 0x10;
+    /// Filter near returns.
+    pub const NEAR_RET: u32 = 0x20;
+    /// Filter near unconditional indirect jumps.
+    pub const NEAR_IND_JMP: u32 = 0x40;
+    /// Filter near unconditional relative branches.
+    pub const NEAR_REL_JMP: u32 = 0x80;
+    /// Filter far branches.
+    pub const FAR_BRANCH: u32 = 0x100;
+
+    /// The mask used by the diagnosis system (the starred rows of Table 1):
+    /// keep user-level conditional branches and near relative unconditional
+    /// jumps; filter everything else.
+    pub const DIAGNOSIS: u32 =
+        CPL_EQ_0 | NEAR_REL_CALL | NEAR_IND_CALL | NEAR_RET | NEAR_IND_JMP | FAR_BRANCH;
+}
+
+/// A branch retirement event, as produced by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// Linear address of the branch instruction.
+    pub from: u64,
+    /// Linear address of the branch target.
+    pub to: u64,
+    /// Machine-level branch class.
+    pub kind: BranchKind,
+    /// Privilege level at which the branch retired.
+    pub ring: Ring,
+}
+
+/// One entry of an LBR snapshot: the source and target addresses of a
+/// recorded branch (`BRANCH_n_FROM_IP` / `BRANCH_n_TO_IP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Linear address of the recorded branch instruction.
+    pub from: u64,
+    /// Linear address of the branch target.
+    pub to: u64,
+    /// Machine-level branch class (carried for decoding convenience; real
+    /// hardware encodes enough to recover this).
+    pub kind: BranchKind,
+}
+
+impl From<BranchEvent> for BranchRecord {
+    fn from(ev: BranchEvent) -> Self {
+        BranchRecord {
+            from: ev.from,
+            to: ev.to,
+            kind: ev.kind,
+        }
+    }
+}
+
+/// Whether a data-cache access was a load or a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (event code 0x40 in Table 2).
+    Load,
+    /// A store (event code 0x41 in Table 2).
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// MESI coherence state of a cache line *as observed by an access, right
+/// before the access updates the cache* (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CoherenceState {
+    /// The line was absent or invalidated (unit mask 0x01).
+    Invalid,
+    /// The line was present and shared with other cores (unit mask 0x02).
+    Shared,
+    /// The line was present, clean and exclusive to this core (0x04).
+    Exclusive,
+    /// The line was present and locally modified (unit mask 0x08).
+    Modified,
+}
+
+impl CoherenceState {
+    /// The Table 2 unit mask bit for this state.
+    pub const fn unit_mask(self) -> u8 {
+        match self {
+            CoherenceState::Invalid => 0x01,
+            CoherenceState::Shared => 0x02,
+            CoherenceState::Exclusive => 0x04,
+            CoherenceState::Modified => 0x08,
+        }
+    }
+
+    /// Short single-letter MESI name.
+    pub const fn letter(self) -> char {
+        match self {
+            CoherenceState::Invalid => 'I',
+            CoherenceState::Shared => 'S',
+            CoherenceState::Exclusive => 'E',
+            CoherenceState::Modified => 'M',
+        }
+    }
+}
+
+impl fmt::Display for CoherenceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One entry of an LCR snapshot: the program counter of a retired L1-D
+/// access and the coherence state it observed.
+///
+/// Memory addresses are deliberately **not** recorded (paper §4.2.1,
+/// footnote 2) — this is part of the privacy story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoherenceRecord {
+    /// Program counter of the access instruction.
+    pub pc: u64,
+    /// The coherence state the access observed.
+    pub state: CoherenceState,
+    /// Whether the access was a load or a store.
+    pub access: AccessKind,
+}
+
+/// A retired L1 data-cache access, as produced by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Program counter of the access instruction.
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Privilege level of the access.
+    pub ring: Ring,
+}
+
+/// Configuration for the LCR facility: which (access kind, observed state)
+/// pairs to record, mirroring the event-code/unit-mask scheme of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LcrConfig {
+    /// Unit-mask of coherence states recorded for loads (bitwise OR of
+    /// [`CoherenceState::unit_mask`] values).
+    pub load_mask: u8,
+    /// Unit-mask of coherence states recorded for stores.
+    pub store_mask: u8,
+    /// Exclude kernel-level accesses from recording.
+    pub exclude_kernel: bool,
+    /// Exclude user-level accesses from recording.
+    pub exclude_user: bool,
+}
+
+impl LcrConfig {
+    /// The space-saving configuration of §4.2.2 (called *Conf1* in
+    /// Table 7): invalid loads, invalid stores and **shared** loads.
+    pub const SPACE_SAVING: LcrConfig = LcrConfig {
+        load_mask: 0x01 | 0x02,
+        store_mask: 0x01,
+        exclude_kernel: true,
+        exclude_user: false,
+    };
+
+    /// The space-consuming configuration of §4.2.2 (called *Conf2* in
+    /// Table 7): invalid loads, invalid stores and **exclusive** loads.
+    pub const SPACE_CONSUMING: LcrConfig = LcrConfig {
+        load_mask: 0x01 | 0x04,
+        store_mask: 0x01,
+        exclude_kernel: true,
+        exclude_user: false,
+    };
+
+    /// Returns `true` if an access with the given properties should be
+    /// recorded under this configuration.
+    pub fn admits(&self, kind: AccessKind, state: CoherenceState, ring: Ring) -> bool {
+        if self.exclude_kernel && ring == Ring::Kernel {
+            return false;
+        }
+        if self.exclude_user && ring == Ring::User {
+            return false;
+        }
+        let mask = match kind {
+            AccessKind::Load => self.load_mask,
+            AccessKind::Store => self.store_mask,
+        };
+        mask & state.unit_mask() != 0
+    }
+}
+
+impl Default for LcrConfig {
+    fn default() -> Self {
+        LcrConfig::SPACE_CONSUMING
+    }
+}
+
+/// Control operations on the monitoring hardware, mirroring the `ioctl`
+/// interface of the paper's kernel module (Fig. 7) plus its LCR analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HwCtlOp {
+    /// `DRIVER_CLEAN_LBR`: reset all LBR entries.
+    CleanLbr,
+    /// `DRIVER_CONFIG_LBR`: program the `LBR_SELECT` filter mask.
+    ConfigLbr(u32),
+    /// `DRIVER_ENABLE_LBR`: start branch recording.
+    EnableLbr,
+    /// `DRIVER_DISABLE_LBR`: stop branch recording.
+    DisableLbr,
+    /// `DRIVER_PROFILE_LBR`: read the LBR stack (most recent first).
+    ProfileLbr,
+    /// Reset all LCR entries of the calling thread.
+    CleanLcr,
+    /// Program the LCR event selection.
+    ConfigLcr(LcrConfig),
+    /// Start coherence-event recording.
+    EnableLcr,
+    /// Stop coherence-event recording.
+    DisableLcr,
+    /// Read the calling thread's LCR ring (most recent first).
+    ProfileLcr,
+}
+
+/// The response of the hardware to a control operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CtlResponse {
+    /// The operation completed and produced no data.
+    #[default]
+    Done,
+    /// An LBR snapshot, most recent branch first.
+    Lbr(Vec<BranchRecord>),
+    /// An LCR snapshot, most recent access first.
+    Lcr(Vec<CoherenceRecord>),
+}
+
+/// The interface through which the interpreter drives the simulated
+/// performance-monitoring hardware.
+///
+/// `stm-hardware` provides the full implementation (LBR rings, MESI caches,
+/// LCR rings, counters); [`NullHardware`] is a no-op implementation for runs
+/// that need no monitoring (e.g. baseline overhead measurements).
+pub trait Hardware {
+    /// Called for every retired branch.
+    fn on_branch(&mut self, core: CoreId, ev: BranchEvent);
+
+    /// Called for every retired data access.
+    fn on_access(&mut self, core: CoreId, thread: ThreadId, ev: AccessEvent);
+
+    /// Called when a thread executes a hardware control operation.
+    fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse;
+}
+
+/// A [`Hardware`] implementation that ignores all events — the moral
+/// equivalent of running with the performance-monitoring unit disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHardware;
+
+impl Hardware for NullHardware {
+    fn on_branch(&mut self, _core: CoreId, _ev: BranchEvent) {}
+
+    fn on_access(&mut self, _core: CoreId, _thread: ThreadId, _ev: AccessEvent) {}
+
+    fn ctl(&mut self, _core: CoreId, _thread: ThreadId, _op: HwCtlOp) -> CtlResponse {
+        CtlResponse::Done
+    }
+}
+
+impl<H: Hardware + ?Sized> Hardware for &mut H {
+    fn on_branch(&mut self, core: CoreId, ev: BranchEvent) {
+        (**self).on_branch(core, ev);
+    }
+
+    fn on_access(&mut self, core: CoreId, thread: ThreadId, ev: AccessEvent) {
+        (**self).on_access(core, thread, ev);
+    }
+
+    fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse {
+        (**self).ctl(core, thread, op)
+    }
+}
+
+/// Returns `true` if a branch event passes (is **not** filtered by) the
+/// given `LBR_SELECT` mask.
+pub fn lbr_select_admits(mask: u32, ev: &BranchEvent) -> bool {
+    use lbr_select as sel;
+    let class_bit = match ev.kind {
+        BranchKind::CondJump => sel::JCC,
+        BranchKind::UncondRelative => sel::NEAR_REL_JMP,
+        BranchKind::NearRelCall => sel::NEAR_REL_CALL,
+        BranchKind::NearIndCall => sel::NEAR_IND_CALL,
+        BranchKind::NearReturn => sel::NEAR_RET,
+        BranchKind::UncondIndirect => sel::NEAR_IND_JMP,
+        BranchKind::Far => sel::FAR_BRANCH,
+    };
+    if mask & class_bit != 0 {
+        return false;
+    }
+    let ring_bit = match ev.ring {
+        Ring::Kernel => sel::CPL_EQ_0,
+        Ring::User => sel::CPL_NEQ_0,
+    };
+    mask & ring_bit == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: BranchKind, ring: Ring) -> BranchEvent {
+        BranchEvent {
+            from: 0x400000,
+            to: 0x400010,
+            kind,
+            ring,
+        }
+    }
+
+    #[test]
+    fn diagnosis_mask_keeps_user_conditionals_and_rel_jumps() {
+        let m = lbr_select::DIAGNOSIS;
+        assert!(lbr_select_admits(m, &ev(BranchKind::CondJump, Ring::User)));
+        assert!(lbr_select_admits(
+            m,
+            &ev(BranchKind::UncondRelative, Ring::User)
+        ));
+    }
+
+    #[test]
+    fn diagnosis_mask_filters_kernel_calls_returns_indirects_far() {
+        let m = lbr_select::DIAGNOSIS;
+        assert!(!lbr_select_admits(m, &ev(BranchKind::CondJump, Ring::Kernel)));
+        assert!(!lbr_select_admits(m, &ev(BranchKind::NearRelCall, Ring::User)));
+        assert!(!lbr_select_admits(m, &ev(BranchKind::NearIndCall, Ring::User)));
+        assert!(!lbr_select_admits(m, &ev(BranchKind::NearReturn, Ring::User)));
+        assert!(!lbr_select_admits(m, &ev(BranchKind::UncondIndirect, Ring::User)));
+        assert!(!lbr_select_admits(m, &ev(BranchKind::Far, Ring::User)));
+    }
+
+    #[test]
+    fn zero_mask_admits_everything() {
+        for kind in [
+            BranchKind::CondJump,
+            BranchKind::UncondRelative,
+            BranchKind::NearRelCall,
+            BranchKind::NearIndCall,
+            BranchKind::NearReturn,
+            BranchKind::UncondIndirect,
+            BranchKind::Far,
+        ] {
+            assert!(lbr_select_admits(0, &ev(kind, Ring::User)));
+            assert!(lbr_select_admits(0, &ev(kind, Ring::Kernel)));
+        }
+    }
+
+    #[test]
+    fn lcr_space_consuming_records_exclusive_loads_not_shared() {
+        let c = LcrConfig::SPACE_CONSUMING;
+        assert!(c.admits(AccessKind::Load, CoherenceState::Invalid, Ring::User));
+        assert!(c.admits(AccessKind::Load, CoherenceState::Exclusive, Ring::User));
+        assert!(!c.admits(AccessKind::Load, CoherenceState::Shared, Ring::User));
+        assert!(c.admits(AccessKind::Store, CoherenceState::Invalid, Ring::User));
+        assert!(!c.admits(AccessKind::Store, CoherenceState::Modified, Ring::User));
+    }
+
+    #[test]
+    fn lcr_space_saving_swaps_exclusive_for_shared_loads() {
+        let c = LcrConfig::SPACE_SAVING;
+        assert!(c.admits(AccessKind::Load, CoherenceState::Shared, Ring::User));
+        assert!(!c.admits(AccessKind::Load, CoherenceState::Exclusive, Ring::User));
+    }
+
+    #[test]
+    fn lcr_kernel_filtering() {
+        let c = LcrConfig::SPACE_CONSUMING;
+        assert!(!c.admits(AccessKind::Load, CoherenceState::Invalid, Ring::Kernel));
+        let open = LcrConfig {
+            exclude_kernel: false,
+            ..c
+        };
+        assert!(open.admits(AccessKind::Load, CoherenceState::Invalid, Ring::Kernel));
+    }
+
+    #[test]
+    fn unit_masks_match_table2() {
+        assert_eq!(CoherenceState::Invalid.unit_mask(), 0x01);
+        assert_eq!(CoherenceState::Shared.unit_mask(), 0x02);
+        assert_eq!(CoherenceState::Exclusive.unit_mask(), 0x04);
+        assert_eq!(CoherenceState::Modified.unit_mask(), 0x08);
+    }
+
+    #[test]
+    fn null_hardware_is_inert() {
+        let mut hw = NullHardware;
+        hw.on_branch(CoreId(0), ev(BranchKind::CondJump, Ring::User));
+        assert_eq!(
+            hw.ctl(CoreId(0), ThreadId::MAIN, HwCtlOp::ProfileLbr),
+            CtlResponse::Done
+        );
+    }
+}

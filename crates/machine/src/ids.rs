@@ -1,0 +1,167 @@
+//! Strongly-typed identifiers used across the IR, the interpreter and the
+//! hardware event vocabulary.
+//!
+//! Every identifier is a newtype over a small integer ([C-NEWTYPE]): a
+//! `FuncId` can never be confused with a `BlockId`, and all of them are
+//! `Copy`, ordered and hashable so they can key maps and sort tables.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` backing this identifier.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`Program`](crate::ir::Program).
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a basic block within a function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies a local variable (virtual register) within a function.
+    VarId,
+    "v"
+);
+id_type!(
+    /// Identifies a source-level conditional branch, program wide.
+    ///
+    /// Branch identifiers are assigned by
+    /// [`Program::finalize`](crate::ir::Program) in a deterministic order
+    /// (function id, then block id), so they are stable across runs.
+    BranchId,
+    "br"
+);
+id_type!(
+    /// Identifies a logging site (a call to a failure-logging function such
+    /// as `error()` or `ap_log_error()`), program wide.
+    LogSiteId,
+    "log"
+);
+id_type!(
+    /// Identifies a global variable.
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// Identifies a source file referenced by [`SourceLoc`](crate::ir::SourceLoc).
+    FileId,
+    "file"
+);
+id_type!(
+    /// Identifies an instrumentation sampling probe (used by the CBI/CCI/PBI
+    /// baselines).
+    SampleId,
+    "probe"
+);
+
+/// Identifies a simulated thread. Thread 0 is always the main thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread, which executes the program entry function.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the raw index backing this identifier.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a simulated core. Threads are mapped onto cores round-robin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Returns the raw index backing this identifier.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_index() {
+        let f = FuncId::new(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(f.raw(), 7);
+        assert_eq!(FuncId::from(7u32), f);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(FuncId::new(3).to_string(), "fn3");
+        assert_eq!(BlockId::new(0).to_string(), "bb0");
+        assert_eq!(BranchId::new(12).to_string(), "br12");
+        assert_eq!(ThreadId(2).to_string(), "t2");
+        assert_eq!(CoreId(1).to_string(), "core1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert!(ThreadId(0) < ThreadId(1));
+    }
+
+    #[test]
+    fn main_thread_is_zero() {
+        assert_eq!(ThreadId::MAIN.index(), 0);
+    }
+}

@@ -1,0 +1,1283 @@
+//! The deterministic multithreaded interpreter.
+//!
+//! [`Machine`] owns a validated [`Program`] plus its address [`Layout`] and
+//! executes workloads under a [`RunConfig`], driving a [`Hardware`]
+//! implementation with branch-retirement and cache-access events — exactly
+//! the event streams LBR and LCR consume.
+//!
+//! Determinism: given the same `(program, inputs, config)` triple, a run
+//! replays identically — the scheduler and the sampling countdowns use the
+//! seeded [`SplitMix64`].
+
+use crate::events::{
+    AccessEvent, AccessKind, BranchEvent, BranchKind, CtlResponse, Hardware, HwCtlOp, Ring,
+};
+use crate::ids::{BlockId, CoreId, FuncId, ThreadId, VarId};
+use crate::ir::{
+    BinOp, Callee, Instr, Operand, Program, Rvalue, SourceLoc, Terminator, UnOp, STACK_BASE,
+    STACK_STRIDE,
+};
+use crate::layout::{Layout, SLOT};
+use crate::memory::{MemFault, Memory, RegionKind};
+use crate::report::{
+    Failure, FailureKind, LogEvent, ProfileData, ProfileEvent, RunOutcome, RunReport, SampleEvent,
+};
+use crate::rng::SplitMix64;
+use crate::sched::{SchedPolicy, Scheduler};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Watchdog step budget; exceeding it reports a [`FailureKind::Hang`].
+    pub max_steps: u64,
+    /// Scheduling policy.
+    pub scheduler: SchedPolicy,
+    /// Number of simulated cores; threads map to cores round-robin.
+    pub num_cores: u32,
+    /// Mean period of the [`Instr::Sample`] countdown (the CBI `1/rate`).
+    pub sample_mean: u32,
+    /// Seed of the sampling countdown PRNG.
+    pub sample_seed: u64,
+    /// Maximum call depth before a stack-overflow failure.
+    pub max_call_depth: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_steps: 2_000_000,
+            scheduler: SchedPolicy::default(),
+            num_cores: 4,
+            sample_mean: 100,
+            sample_seed: 0,
+            max_call_depth: 128,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Convenience: a config with a random scheduler seeded by `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        RunConfig {
+            scheduler: SchedPolicy::Random { seed },
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// A loaded program ready to execute workloads.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    layout: Layout,
+}
+
+impl Machine {
+    /// Loads a program, computing its address layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation — construct programs through
+    /// [`ProgramBuilder`](crate::builder::ProgramBuilder) to avoid this.
+    pub fn new(program: Program) -> Self {
+        program
+            .validate()
+            .expect("program failed validation; build with ProgramBuilder");
+        let layout = Layout::build(&program);
+        Machine { program, layout }
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The program's address layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Executes one run.
+    pub fn run<H: Hardware>(&self, inputs: &[i64], config: &RunConfig, hw: &mut H) -> RunReport {
+        Exec::new(self, inputs, config, hw).run()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedLock(u64),
+    BlockedJoin(ThreadId),
+    Done,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    vars: Vec<i64>,
+    stack_base: u64,
+    ret_dst: Option<VarId>,
+    ret_pc: u64,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    frames: Vec<Frame>,
+    sp: u64,
+    countdown: u32,
+}
+
+enum Flow {
+    /// Advance to the next statement.
+    Next,
+    /// Control transferred (branch/call/ret handled positioning itself).
+    Jumped,
+    /// Re-execute the same statement later (blocked).
+    Blocked,
+    /// The whole program exits.
+    Exit(i64),
+    /// The run fails.
+    Fault(FailureKind),
+}
+
+struct Exec<'m, 'h, H> {
+    m: &'m Machine,
+    cfg: &'m RunConfig,
+    hw: &'h mut H,
+    inputs: Vec<i64>,
+    mem: Memory,
+    threads: Vec<ThreadState>,
+    sched: Scheduler,
+    sample_rng: SplitMix64,
+    report: RunReport,
+    steps: u64,
+}
+
+impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
+    fn new(m: &'m Machine, inputs: &[i64], cfg: &'m RunConfig, hw: &'h mut H) -> Self {
+        let mut mem = Memory::new();
+        for g in &m.program.globals {
+            mem.map_fixed(g.addr, g.words * 8, RegionKind::Global);
+            for (i, v) in g.init.iter().enumerate() {
+                mem.poke(g.addr + i as u64 * 8, *v);
+            }
+        }
+        let report = RunReport {
+            outcome: RunOutcome::Completed { exit_code: 0 },
+            outputs: Vec::new(),
+            logs: Vec::new(),
+            profiles: Vec::new(),
+            samples: Vec::new(),
+            steps: 0,
+            branches_retired: 0,
+            accesses_retired: 0,
+            threads_spawned: 0,
+        };
+        let mut exec = Exec {
+            m,
+            cfg,
+            hw,
+            inputs: inputs.to_vec(),
+            mem,
+            threads: Vec::new(),
+            sched: Scheduler::new(cfg.scheduler),
+            sample_rng: SplitMix64::new(cfg.sample_seed),
+            report,
+            steps: 0,
+        };
+        exec.spawn_thread(m.program.entry, &[]);
+        exec
+    }
+
+    fn core_of(&self, tid: ThreadId) -> CoreId {
+        CoreId(tid.0 % self.cfg.num_cores.max(1))
+    }
+
+    fn spawn_thread(&mut self, func: FuncId, args: &[i64]) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        let stack_region = STACK_BASE + tid.0 as u64 * STACK_STRIDE;
+        self.mem
+            .map_fixed(stack_region, STACK_STRIDE / 2, RegionKind::Stack);
+        let f = self.m.program.function(func);
+        let mut vars = vec![0i64; f.num_vars as usize];
+        for (i, a) in args.iter().enumerate().take(f.params as usize) {
+            vars[i] = *a;
+        }
+        let frame = Frame {
+            func,
+            block: BlockId::new(0),
+            ip: 0,
+            vars,
+            stack_base: stack_region,
+            ret_dst: None,
+            ret_pc: 0,
+        };
+        let sp = f.frame_slots as u64 * 8;
+        self.threads.push(ThreadState {
+            status: Status::Runnable,
+            frames: vec![frame],
+            sp,
+            countdown: self.sample_rng.next_countdown(self.cfg.sample_mean),
+        });
+        self.report.threads_spawned += 1;
+        tid
+    }
+
+    fn is_runnable(&self, tid: ThreadId) -> bool {
+        match self.threads[tid.index()].status {
+            Status::Runnable => true,
+            Status::BlockedLock(addr) => matches!(self.mem.read(addr), Ok(0) | Err(_)),
+            Status::BlockedJoin(t) => {
+                self.threads.get(t.index()).map(|t| t.status) == Some(Status::Done)
+            }
+            Status::Done => false,
+        }
+    }
+
+    fn run(mut self) -> RunReport {
+        loop {
+            if self.threads[0].status == Status::Done {
+                break;
+            }
+            let runnable: Vec<ThreadId> = (0..self.threads.len() as u32)
+                .map(ThreadId)
+                .filter(|t| self.is_runnable(*t))
+                .collect();
+            if runnable.is_empty() {
+                let victim = (0..self.threads.len() as u32)
+                    .map(ThreadId)
+                    .find(|t| self.threads[t.index()].status != Status::Done)
+                    .unwrap_or(ThreadId::MAIN);
+                self.fail(victim, FailureKind::Deadlock);
+                break;
+            }
+            let tid = self.sched.pick(&runnable);
+            self.steps += 1;
+            if self.steps > self.cfg.max_steps {
+                self.fail(tid, FailureKind::Hang);
+                break;
+            }
+            // Unblock the thread; blocked statements re-execute.
+            self.threads[tid.index()].status = Status::Runnable;
+            match self.step(tid) {
+                Flow::Next => {
+                    self.threads[tid.index()]
+                        .frames
+                        .last_mut()
+                        .expect("running thread has a frame")
+                        .ip += 1;
+                }
+                Flow::Jumped | Flow::Blocked => {}
+                Flow::Exit(code) => {
+                    self.report.outcome = RunOutcome::Completed { exit_code: code };
+                    break;
+                }
+                Flow::Fault(kind) => {
+                    self.fail(tid, kind);
+                    break;
+                }
+            }
+        }
+        self.report.steps = self.steps;
+        self.report
+    }
+
+    /// Records the failure and lets the registered fault handler profile
+    /// the hardware short-term memory (transformer step 4 of §5.1).
+    fn fail(&mut self, tid: ThreadId, kind: FailureKind) {
+        let (func, loc, pc) = self.position(tid);
+        self.report.outcome = RunOutcome::Failed(Failure {
+            kind,
+            thread: tid,
+            func,
+            loc,
+            pc,
+        });
+        let core = self.core_of(tid);
+        let fp = self.m.program.fault_profile;
+        if fp.lbr {
+            self.hw.ctl(core, tid, HwCtlOp::DisableLbr);
+            if let CtlResponse::Lbr(records) = self.hw.ctl(core, tid, HwCtlOp::ProfileLbr) {
+                self.report.profiles.push(ProfileEvent {
+                    site: None,
+                    role: crate::ir::ProfileRole::FailureSite,
+                    thread: tid,
+                    step: self.steps,
+                    data: ProfileData::Lbr(records),
+                });
+            }
+        }
+        if fp.lcr {
+            self.hw.ctl(core, tid, HwCtlOp::DisableLcr);
+            if let CtlResponse::Lcr(records) = self.hw.ctl(core, tid, HwCtlOp::ProfileLcr) {
+                self.report.profiles.push(ProfileEvent {
+                    site: None,
+                    role: crate::ir::ProfileRole::FailureSite,
+                    thread: tid,
+                    step: self.steps,
+                    data: ProfileData::Lcr(records),
+                });
+            }
+        }
+    }
+
+    /// Current (function, location, pc) of a thread.
+    fn position(&self, tid: ThreadId) -> (FuncId, SourceLoc, u64) {
+        let Some(frame) = self.threads[tid.index()].frames.last() else {
+            return (self.m.program.entry, SourceLoc::UNKNOWN, 0);
+        };
+        let block = self.m.program.function(frame.func).block(frame.block);
+        if frame.ip < block.stmts.len() {
+            (
+                frame.func,
+                block.stmts[frame.ip].loc,
+                self.m.layout.stmt_addr(frame.func, frame.block, frame.ip as u32),
+            )
+        } else {
+            (
+                frame.func,
+                block.term_loc,
+                self.m.layout.term_addr(frame.func, frame.block),
+            )
+        }
+    }
+
+    fn eval(&self, tid: ThreadId, op: Operand) -> i64 {
+        match op {
+            Operand::Const(c) => c,
+            Operand::Var(v) => {
+                let frame = self.threads[tid.index()]
+                    .frames
+                    .last()
+                    .expect("running thread has a frame");
+                frame.vars[v.index()]
+            }
+        }
+    }
+
+    fn set_var(&mut self, tid: ThreadId, v: VarId, value: i64) {
+        let frame = self.threads[tid.index()]
+            .frames
+            .last_mut()
+            .expect("running thread has a frame");
+        frame.vars[v.index()] = value;
+    }
+
+    fn emit_branch(&mut self, tid: ThreadId, from: u64, to: u64, kind: BranchKind, ring: Ring) {
+        let core = self.core_of(tid);
+        self.hw.on_branch(core, BranchEvent { from, to, kind, ring });
+        self.report.branches_retired += 1;
+    }
+
+    /// Emits the kernel-side branches of a syscall/ioctl.
+    fn emit_kernel_branches(&mut self, tid: ThreadId, conds: u8) {
+        let (_, _, pc) = self.position(tid);
+        const KERNEL_BASE: u64 = 0xffff_8000_0000_0000;
+        self.emit_branch(tid, pc, KERNEL_BASE, BranchKind::Far, Ring::Kernel);
+        for i in 0..conds {
+            self.emit_branch(
+                tid,
+                KERNEL_BASE + 8 * i as u64,
+                KERNEL_BASE + 0x100 + 8 * i as u64,
+                BranchKind::CondJump,
+                Ring::Kernel,
+            );
+        }
+        self.emit_branch(tid, KERNEL_BASE + 0x200, pc + SLOT, BranchKind::Far, Ring::Kernel);
+    }
+
+    /// Performs a checked data access: fault check first (a faulting access
+    /// never retires), then the cache/hardware notification, then the
+    /// actual memory operation.
+    fn access(
+        &mut self,
+        tid: ThreadId,
+        pc: u64,
+        addr: u64,
+        kind: AccessKind,
+        write_value: Option<i64>,
+    ) -> Result<i64, FailureKind> {
+        if !self.mem.is_mapped(addr) {
+            return Err(FailureKind::Segfault { addr });
+        }
+        let core = self.core_of(tid);
+        self.hw.on_access(
+            core,
+            tid,
+            AccessEvent {
+                pc,
+                addr,
+                kind,
+                ring: Ring::User,
+            },
+        );
+        self.report.accesses_retired += 1;
+        match write_value {
+            Some(v) => {
+                self.mem.write(addr, v).map_err(fault_to_failure)?;
+                Ok(v)
+            }
+            None => self.mem.read(addr).map_err(fault_to_failure),
+        }
+    }
+
+    fn step(&mut self, tid: ThreadId) -> Flow {
+        let frame = self.threads[tid.index()]
+            .frames
+            .last()
+            .expect("running thread has a frame");
+        let (func, block, ip) = (frame.func, frame.block, frame.ip);
+        // Borrow the program through the machine's own lifetime so the
+        // instruction stays readable while execution state is mutated.
+        let m: &'m Machine = self.m;
+        let blk = m.program.function(func).block(block);
+        if ip < blk.stmts.len() {
+            let instr = &blk.stmts[ip].instr;
+            let pc = m.layout.stmt_addr(func, block, ip as u32);
+            self.exec_instr(tid, pc, instr)
+        } else {
+            let term = blk.term;
+            self.exec_term(tid, func, block, term)
+        }
+    }
+
+    fn exec_instr(&mut self, tid: ThreadId, pc: u64, instr: &Instr) -> Flow {
+        match instr {
+            Instr::Assign { dst, rv } => {
+                let value = match rv {
+                    Rvalue::Use(op) => self.eval(tid, *op),
+                    Rvalue::Binary { op, lhs, rhs } => {
+                        let l = self.eval(tid, *lhs);
+                        let r = self.eval(tid, *rhs);
+                        match eval_bin(*op, l, r) {
+                            Some(v) => v,
+                            None => return Flow::Fault(FailureKind::DivByZero),
+                        }
+                    }
+                    Rvalue::Unary { op, operand } => {
+                        let v = self.eval(tid, *operand);
+                        match op {
+                            UnOp::Neg => v.wrapping_neg(),
+                            UnOp::Not => i64::from(v == 0),
+                            UnOp::BitNot => !v,
+                        }
+                    }
+                    Rvalue::ReadInput { index } => {
+                        let i = self.eval(tid, *index);
+                        usize::try_from(i)
+                            .ok()
+                            .and_then(|i| self.inputs.get(i).copied())
+                            .unwrap_or(0)
+                    }
+                };
+                self.set_var(tid, *dst, value);
+                Flow::Next
+            }
+            Instr::Load { dst, addr, disp } => {
+                let a = (self.eval(tid, *addr)).wrapping_add(*disp) as u64;
+                match self.access(tid, pc, a, AccessKind::Load, None) {
+                    Ok(v) => {
+                        self.set_var(tid, *dst, v);
+                        Flow::Next
+                    }
+                    Err(k) => Flow::Fault(k),
+                }
+            }
+            Instr::Store { addr, disp, value } => {
+                let a = (self.eval(tid, *addr)).wrapping_add(*disp) as u64;
+                let v = self.eval(tid, *value);
+                match self.access(tid, pc, a, AccessKind::Store, Some(v)) {
+                    Ok(_) => Flow::Next,
+                    Err(k) => Flow::Fault(k),
+                }
+            }
+            Instr::StackLoad { dst, slot } => {
+                let base = self.threads[tid.index()]
+                    .frames
+                    .last()
+                    .expect("running thread has a frame")
+                    .stack_base;
+                let a = base + *slot as u64 * 8;
+                match self.access(tid, pc, a, AccessKind::Load, None) {
+                    Ok(v) => {
+                        self.set_var(tid, *dst, v);
+                        Flow::Next
+                    }
+                    Err(k) => Flow::Fault(k),
+                }
+            }
+            Instr::StackStore { slot, value } => {
+                let base = self.threads[tid.index()]
+                    .frames
+                    .last()
+                    .expect("running thread has a frame")
+                    .stack_base;
+                let a = base + *slot as u64 * 8;
+                let v = self.eval(tid, *value);
+                match self.access(tid, pc, a, AccessKind::Store, Some(v)) {
+                    Ok(_) => Flow::Next,
+                    Err(k) => Flow::Fault(k),
+                }
+            }
+            Instr::Alloc { dst, words } => {
+                let w = self.eval(tid, *words).max(0) as u64;
+                let base = self.mem.alloc(w);
+                self.set_var(tid, *dst, base as i64);
+                Flow::Next
+            }
+            Instr::Free { addr } => {
+                let a = self.eval(tid, *addr) as u64;
+                match self.mem.free(a) {
+                    Ok(()) => Flow::Next,
+                    Err(MemFault::InvalidFree { addr }) => {
+                        Flow::Fault(FailureKind::InvalidFree { addr })
+                    }
+                    Err(MemFault::Unmapped { addr }) => {
+                        Flow::Fault(FailureKind::Segfault { addr })
+                    }
+                }
+            }
+            Instr::Call { dst, callee, args } => {
+                let (target, kind) = match callee {
+                    Callee::Direct(f) => (*f, BranchKind::NearRelCall),
+                    Callee::Indirect { targets, selector } => {
+                        let s = self.eval(tid, *selector);
+                        let idx = (s.rem_euclid(targets.len() as i64)) as usize;
+                        (targets[idx], BranchKind::NearIndCall)
+                    }
+                };
+                if self.threads[tid.index()].frames.len() >= self.cfg.max_call_depth {
+                    return Flow::Fault(FailureKind::StackOverflow);
+                }
+                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
+                let entry = self.m.layout.func_entry(target);
+                self.emit_branch(tid, pc, entry, kind, Ring::User);
+                let f = self.m.program.function(target);
+                let mut vars = vec![0i64; f.num_vars as usize];
+                for (i, v) in arg_vals.iter().enumerate().take(f.params as usize) {
+                    vars[i] = *v;
+                }
+                let t = &mut self.threads[tid.index()];
+                let stack_base = STACK_BASE + tid.0 as u64 * STACK_STRIDE + t.sp;
+                t.sp += f.frame_slots as u64 * 8;
+                if t.sp >= STACK_STRIDE / 2 {
+                    return Flow::Fault(FailureKind::StackOverflow);
+                }
+                t.frames.push(Frame {
+                    func: target,
+                    block: BlockId::new(0),
+                    ip: 0,
+                    vars,
+                    stack_base,
+                    ret_dst: *dst,
+                    ret_pc: pc + SLOT,
+                });
+                Flow::Jumped
+            }
+            Instr::Spawn { dst, func, args } => {
+                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
+                let new_tid = self.spawn_thread(*func, &arg_vals);
+                self.set_var(tid, *dst, new_tid.0 as i64);
+                Flow::Next
+            }
+            Instr::Join { thread } => {
+                let t = self.eval(tid, *thread);
+                let target = ThreadId(t.max(0) as u32);
+                if target.index() >= self.threads.len() {
+                    return Flow::Next; // joining a never-spawned thread is a no-op
+                }
+                if self.threads[target.index()].status == Status::Done {
+                    Flow::Next
+                } else {
+                    self.threads[tid.index()].status = Status::BlockedJoin(target);
+                    Flow::Blocked
+                }
+            }
+            Instr::Lock { addr } => {
+                let a = self.eval(tid, *addr) as u64;
+                if !self.mem.is_mapped(a) {
+                    return Flow::Fault(FailureKind::Segfault { addr: a });
+                }
+                let held = self.mem.read(a).unwrap_or(0);
+                if held == 0 {
+                    match self.access(tid, pc, a, AccessKind::Store, Some(tid.0 as i64 + 1)) {
+                        Ok(_) => Flow::Next,
+                        Err(k) => Flow::Fault(k),
+                    }
+                } else {
+                    // Failed acquisition: observe the lock word, then sleep.
+                    if let Err(k) = self.access(tid, pc, a, AccessKind::Load, None) {
+                        return Flow::Fault(k);
+                    }
+                    self.threads[tid.index()].status = Status::BlockedLock(a);
+                    Flow::Blocked
+                }
+            }
+            Instr::Unlock { addr } => {
+                let a = self.eval(tid, *addr) as u64;
+                match self.access(tid, pc, a, AccessKind::Store, Some(0)) {
+                    Ok(_) => Flow::Next,
+                    Err(k) => Flow::Fault(k),
+                }
+            }
+            Instr::Output { value } => {
+                let v = self.eval(tid, *value);
+                self.report.outputs.push(v);
+                Flow::Next
+            }
+            Instr::Log { site, kind, .. } => {
+                self.report.logs.push(LogEvent {
+                    site: *site,
+                    kind: *kind,
+                    thread: tid,
+                    step: self.steps,
+                });
+                self.emit_kernel_branches(tid, 2);
+                Flow::Next
+            }
+            Instr::HwCtl { op, site, role } => {
+                let core = self.core_of(tid);
+                match op {
+                    HwCtlOp::ProfileLbr => {
+                        // The access path executes no user-level branches;
+                        // the ioctl's kernel branches happen after the read.
+                        let resp = self.hw.ctl(core, tid, *op);
+                        if let CtlResponse::Lbr(records) = resp {
+                            self.report.profiles.push(ProfileEvent {
+                                site: *site,
+                                role: *role,
+                                thread: tid,
+                                step: self.steps,
+                                data: ProfileData::Lbr(records),
+                            });
+                        }
+                        self.emit_kernel_branches(tid, 1);
+                    }
+                    HwCtlOp::ProfileLcr => {
+                        let resp = self.hw.ctl(core, tid, *op);
+                        if let CtlResponse::Lcr(records) = resp {
+                            self.report.profiles.push(ProfileEvent {
+                                site: *site,
+                                role: *role,
+                                thread: tid,
+                                step: self.steps,
+                                data: ProfileData::Lcr(records),
+                            });
+                        }
+                        self.emit_kernel_branches(tid, 1);
+                    }
+                    HwCtlOp::DisableLbr | HwCtlOp::DisableLcr => {
+                        // Kernel entry happens first, then the facility is
+                        // disabled inside the driver.
+                        self.emit_kernel_branches(tid, 1);
+                        self.hw.ctl(core, tid, *op);
+                    }
+                    _ => {
+                        // Enable/clean/config: the facility switches state
+                        // inside the driver; the return path branches are
+                        // visible to an unfiltered LBR.
+                        self.hw.ctl(core, tid, *op);
+                        self.emit_kernel_branches(tid, 1);
+                    }
+                }
+                Flow::Next
+            }
+            Instr::Sample { id, value } => {
+                let t = &mut self.threads[tid.index()];
+                t.countdown = t.countdown.saturating_sub(1);
+                if t.countdown == 0 {
+                    t.countdown = self.sample_rng.next_countdown(self.cfg.sample_mean);
+                    let v = self.eval(tid, *value);
+                    self.report.samples.push(SampleEvent {
+                        id: *id,
+                        value: v,
+                        thread: tid,
+                        step: self.steps,
+                    });
+                }
+                Flow::Next
+            }
+            Instr::Assert { cond, message } => {
+                if self.eval(tid, *cond) == 0 {
+                    Flow::Fault(FailureKind::AssertFailed {
+                        message: message.clone(),
+                    })
+                } else {
+                    Flow::Next
+                }
+            }
+            Instr::Syscall { kernel_branches } => {
+                self.emit_kernel_branches(tid, *kernel_branches);
+                Flow::Next
+            }
+            Instr::Exit { code } => Flow::Exit(self.eval(tid, *code)),
+            Instr::Yield | Instr::Nop => Flow::Next,
+        }
+    }
+
+    fn exec_term(&mut self, tid: ThreadId, func: FuncId, block: BlockId, term: Terminator) -> Flow {
+        let taddr = self.m.layout.term_addr(func, block);
+        match term {
+            Terminator::Br {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let taken_then = self.eval(tid, cond) != 0;
+                let (target, from, kind) = if taken_then {
+                    // Fall-through unconditional jump on the true edge.
+                    (then_blk, taddr + SLOT, BranchKind::UncondRelative)
+                } else {
+                    // Taken conditional jump on the false edge.
+                    (else_blk, taddr, BranchKind::CondJump)
+                };
+                let to = self.m.layout.block_addr(func, target);
+                self.emit_branch(tid, from, to, kind, Ring::User);
+                self.goto(tid, target);
+                Flow::Jumped
+            }
+            Terminator::Jmp(target) => {
+                if !self.m.layout.jmp_is_fallthrough(func, block) {
+                    let to = self.m.layout.block_addr(func, target);
+                    self.emit_branch(tid, taddr, to, BranchKind::UncondRelative, Ring::User);
+                }
+                self.goto(tid, target);
+                Flow::Jumped
+            }
+            Terminator::Ret(value) => {
+                let v = value.map(|op| self.eval(tid, op)).unwrap_or(0);
+                let t = &mut self.threads[tid.index()];
+                let done_frame = t.frames.pop().expect("running thread has a frame");
+                let slots = self.m.program.function(done_frame.func).frame_slots;
+                t.sp = t.sp.saturating_sub(slots as u64 * 8);
+                let ret_pc = done_frame.ret_pc;
+                self.emit_branch(tid, taddr, ret_pc, BranchKind::NearReturn, Ring::User);
+                let t = &mut self.threads[tid.index()];
+                if let Some(caller) = t.frames.last_mut() {
+                    if let Some(dst) = done_frame.ret_dst {
+                        caller.vars[dst.index()] = v;
+                    }
+                    caller.ip += 1; // move past the call
+                    Flow::Jumped
+                } else {
+                    t.status = Status::Done;
+                    Flow::Jumped
+                }
+            }
+        }
+    }
+
+    fn goto(&mut self, tid: ThreadId, target: BlockId) {
+        let frame = self.threads[tid.index()]
+            .frames
+            .last_mut()
+            .expect("running thread has a frame");
+        frame.block = target;
+        frame.ip = 0;
+    }
+}
+
+fn eval_bin(op: BinOp, l: i64, r: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => l.wrapping_add(r),
+        BinOp::Sub => l.wrapping_sub(r),
+        BinOp::Mul => l.wrapping_mul(r),
+        BinOp::Div => {
+            if r == 0 {
+                return None;
+            }
+            l.wrapping_div(r)
+        }
+        BinOp::Rem => {
+            if r == 0 {
+                return None;
+            }
+            l.wrapping_rem(r)
+        }
+        BinOp::And => l & r,
+        BinOp::Or => l | r,
+        BinOp::Xor => l ^ r,
+        BinOp::Shl => l.wrapping_shl(r as u32),
+        BinOp::Shr => l.wrapping_shr(r as u32),
+        BinOp::Eq => i64::from(l == r),
+        BinOp::Ne => i64::from(l != r),
+        BinOp::Lt => i64::from(l < r),
+        BinOp::Le => i64::from(l <= r),
+        BinOp::Gt => i64::from(l > r),
+        BinOp::Ge => i64::from(l >= r),
+    })
+}
+
+fn fault_to_failure(f: MemFault) -> FailureKind {
+    match f {
+        MemFault::Unmapped { addr } => FailureKind::Segfault { addr },
+        MemFault::InvalidFree { addr } => FailureKind::InvalidFree { addr },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::events::NullHardware;
+    use crate::ir::LogKind;
+
+    fn run(p: Program, inputs: &[i64]) -> RunReport {
+        let m = Machine::new(p);
+        m.run(inputs, &RunConfig::default(), &mut NullHardware)
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let x = f.read_input(0);
+        let y = f.bin(BinOp::Mul, x, 3);
+        let z = f.bin(BinOp::Add, y, 1);
+        f.output(z);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[7]);
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.outputs, vec![22]);
+    }
+
+    #[test]
+    fn branching_selects_the_right_path() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let t = f.new_block();
+        let e = f.new_block();
+        let x = f.read_input(0);
+        f.br(x, t, e);
+        f.set_block(t);
+        f.output(1);
+        f.ret(None);
+        f.set_block(e);
+        f.output(2);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let cfg = RunConfig::default();
+        let r1 = m.run(&[5], &cfg, &mut NullHardware);
+        assert_eq!(r1.outputs, vec![1]);
+        let r0 = m.run(&[0], &cfg, &mut NullHardware);
+        assert_eq!(r0.outputs, vec![2]);
+    }
+
+    #[test]
+    fn loop_sums_inputs() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let n = f.read_input(0);
+        let i = f.var();
+        let sum = f.var();
+        f.assign(i, 0);
+        f.assign(sum, 0);
+        f.jmp(header);
+        f.set_block(header);
+        let c = f.bin(BinOp::Lt, i, n);
+        f.br(c, body, exit);
+        f.set_block(body);
+        let i1 = f.bin(BinOp::Add, i, 1);
+        let v = f.read_input(i1);
+        f.assign_bin(sum, BinOp::Add, sum, v);
+        f.assign(i, i1);
+        f.jmp(header);
+        f.set_block(exit);
+        f.output(sum);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[3, 10, 20, 30]);
+        assert_eq!(r.outputs, vec![60]);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let add = pb.declare_function("add");
+        {
+            let mut f = pb.build_function(add, "lib.c");
+            let ps = f.params(2);
+            let s = f.bin(BinOp::Add, ps[0], ps[1]);
+            f.ret(Some(s.into()));
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let r = f.call(add, &[Operand::Const(4), Operand::Const(5)]);
+            f.output(r);
+            f.ret(None);
+            f.finish();
+        }
+        let r = run(pb.finish(main), &[]);
+        assert_eq!(r.outputs, vec![9]);
+    }
+
+    #[test]
+    fn recursion_works_and_overflow_is_detected() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let rec = pb.declare_function("rec");
+        {
+            let mut f = pb.build_function(rec, "lib.c");
+            let ps = f.params(1);
+            let base = f.new_block();
+            let step = f.new_block();
+            let c = f.bin(BinOp::Le, ps[0], 0);
+            f.br(c, base, step);
+            f.set_block(base);
+            f.ret(Some(Operand::Const(0)));
+            f.set_block(step);
+            let n1 = f.bin(BinOp::Sub, ps[0], 1);
+            let sub = f.call(rec, &[n1.into()]);
+            let s = f.bin(BinOp::Add, sub, ps[0]);
+            f.ret(Some(s.into()));
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let n = f.read_input(0);
+            let r = f.call(rec, &[n.into()]);
+            f.output(r);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let cfg = RunConfig::default();
+        let ok = m.run(&[10], &cfg, &mut NullHardware);
+        assert_eq!(ok.outputs, vec![55]);
+        let deep = m.run(&[100_000], &cfg, &mut NullHardware);
+        assert_eq!(
+            deep.outcome.failure().map(|f| &f.kind),
+            Some(&FailureKind::StackOverflow)
+        );
+    }
+
+    #[test]
+    fn globals_heap_and_segfault() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global_init("g", 2, vec![11, 22]);
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let v = f.load(g as i64, 8);
+        f.output(v);
+        let buf = f.alloc(4);
+        f.store(buf, 0, 99);
+        let w = f.load(buf, 0);
+        f.output(w);
+        let _crash = f.load(0i64, 0);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[]);
+        assert_eq!(r.outputs, vec![22, 99]);
+        match r.outcome.failure() {
+            Some(Failure {
+                kind: FailureKind::Segfault { addr: 0 },
+                ..
+            }) => {}
+            other => panic!("expected segfault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let x = f.read_input(0);
+        let _ = f.bin(BinOp::Div, 10, x);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[0]);
+        assert_eq!(
+            r.outcome.failure().map(|f| &f.kind),
+            Some(&FailureKind::DivByZero)
+        );
+    }
+
+    #[test]
+    fn assert_failure_reports_message() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let x = f.read_input(0);
+        f.assert(x, "input must be non-zero");
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[0]);
+        match r.outcome.failure() {
+            Some(Failure {
+                kind: FailureKind::AssertFailed { message },
+                ..
+            }) => assert_eq!(message, "input must be non-zero"),
+            other => panic!("expected assert failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spawn_join_and_shared_memory() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("shared", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            let ps = f.params(1);
+            f.store(g as i64, 0, ps[0]);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let t = f.spawn(worker, &[Operand::Const(77)]);
+            f.join(t);
+            let v = f.load(g as i64, 0);
+            f.output(v);
+            f.ret(None);
+            f.finish();
+        }
+        let r = run(pb.finish(main), &[]);
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.outputs, vec![77]);
+        assert_eq!(r.threads_spawned, 2);
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion() {
+        // Two threads increment a shared counter 100 times each under a
+        // lock; with mutual exclusion the result is exactly 200.
+        let mut pb = ProgramBuilder::new("p");
+        let mutex = pb.global("mutex", 1);
+        let counter = pb.global("counter", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            let header = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            let i = f.var();
+            f.assign(i, 0);
+            f.jmp(header);
+            f.set_block(header);
+            let c = f.bin(BinOp::Lt, i, 100);
+            f.br(c, body, done);
+            f.set_block(body);
+            f.lock(mutex as i64);
+            let v = f.load(counter as i64, 0);
+            let v1 = f.bin(BinOp::Add, v, 1);
+            f.store(counter as i64, 0, v1);
+            f.unlock(mutex as i64);
+            f.assign_bin(i, BinOp::Add, i, 1);
+            f.jmp(header);
+            f.set_block(done);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let t1 = f.spawn(worker, &[]);
+            let t2 = f.spawn(worker, &[]);
+            f.join(t1);
+            f.join(t2);
+            let v = f.load(counter as i64, 0);
+            f.output(v);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        for seed in 0..5 {
+            let r = m.run(&[], &RunConfig::with_seed(seed), &mut NullHardware);
+            assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
+            assert_eq!(r.outputs, vec![200], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut pb = ProgramBuilder::new("p");
+        let m1 = pb.global("m1", 1);
+        let m2 = pb.global("m2", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            f.lock(m2 as i64);
+            f.yield_now();
+            f.lock(m1 as i64);
+            f.unlock(m1 as i64);
+            f.unlock(m2 as i64);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            f.lock(m1 as i64);
+            let t = f.spawn(worker, &[]);
+            // Give the worker a chance to grab m2 before we try it.
+            for _ in 0..32 {
+                f.yield_now();
+            }
+            f.lock(m2 as i64);
+            f.unlock(m2 as i64);
+            f.unlock(m1 as i64);
+            f.join(t);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let deadlocked = (0..20).any(|seed| {
+            let r = m.run(&[], &RunConfig::with_seed(seed), &mut NullHardware);
+            matches!(
+                r.outcome.failure().map(|f| &f.kind),
+                Some(FailureKind::Deadlock)
+            )
+        });
+        assert!(deadlocked, "no seed produced the deadlock");
+    }
+
+    #[test]
+    fn hang_watchdog_fires() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let spin = f.new_block();
+        f.jmp(spin);
+        f.set_block(spin);
+        f.jmp(spin);
+        f.finish();
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let cfg = RunConfig {
+            max_steps: 1000,
+            ..RunConfig::default()
+        };
+        let r = m.run(&[], &cfg, &mut NullHardware);
+        assert_eq!(
+            r.outcome.failure().map(|f| &f.kind),
+            Some(&FailureKind::Hang)
+        );
+    }
+
+    #[test]
+    fn exit_stops_everything() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        f.exit(3);
+        f.output(9); // never reached
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[]);
+        assert_eq!(r.outcome, RunOutcome::Completed { exit_code: 3 });
+        assert!(r.outputs.is_empty());
+    }
+
+    #[test]
+    fn logs_are_recorded_with_sites() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let s = f.log_error("bad config");
+        f.ret(None);
+        f.finish();
+        let p = pb.finish(main);
+        let site = s;
+        let r = run(p, &[]);
+        assert!(r.logged_error());
+        assert!(r.logged_site(site));
+        assert_eq!(r.logs[0].kind, LogKind::Error);
+    }
+
+    #[test]
+    fn use_after_free_segfaults() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let a = f.alloc(2);
+        f.store(a, 0, 5);
+        f.free(a);
+        let _ = f.load(a, 0);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[]);
+        assert!(matches!(
+            r.outcome.failure().map(|f| &f.kind),
+            Some(FailureKind::Segfault { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_fixed_seed() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("g", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            let ps = f.params(1);
+            f.store(g as i64, 0, ps[0]);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let t1 = f.spawn(worker, &[Operand::Const(1)]);
+            let t2 = f.spawn(worker, &[Operand::Const(2)]);
+            f.join(t1);
+            f.join(t2);
+            let v = f.load(g as i64, 0);
+            f.output(v);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let r1 = m.run(&[], &RunConfig::with_seed(9), &mut NullHardware);
+        let r2 = m.run(&[], &RunConfig::with_seed(9), &mut NullHardware);
+        assert_eq!(r1.outputs, r2.outputs);
+        assert_eq!(r1.steps, r2.steps);
+    }
+
+    #[test]
+    fn indirect_calls_dispatch_by_selector() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let f1 = pb.declare_function("one");
+        let f2 = pb.declare_function("two");
+        for (fid, v) in [(f1, 1i64), (f2, 2)] {
+            let mut f = pb.build_function(fid, "lib.c");
+            f.ret(Some(Operand::Const(v)));
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let sel = f.read_input(0);
+            let r = f.call_indirect(vec![f1, f2], sel, &[]);
+            f.output(r);
+            f.ret(None);
+            f.finish();
+        }
+        let p = pb.finish(main);
+        let m = Machine::new(p);
+        let cfg = RunConfig::default();
+        assert_eq!(m.run(&[0], &cfg, &mut NullHardware).outputs, vec![1]);
+        assert_eq!(m.run(&[1], &cfg, &mut NullHardware).outputs, vec![2]);
+    }
+}

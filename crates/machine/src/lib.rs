@@ -1,0 +1,76 @@
+//! # stm-machine — the execution substrate
+//!
+//! A deterministic, multithreaded, compiler-style IR machine that stands in
+//! for the real x86 binaries the ASPLOS'14 paper *"Leveraging the
+//! Short-Term Memory of Hardware to Diagnose Production-Run Software
+//! Failures"* evaluates on. The machine produces exactly the event streams
+//! the paper's hardware facilities consume:
+//!
+//! * **branch retirement events** for every taken conditional jump,
+//!   fall-through unconditional jump (the Fig. 2 lowering), call, return
+//!   and kernel branch — feeding the LBR model of `stm-hardware`;
+//! * **L1 data-cache access events** for every load/store, including stack
+//!   traffic — feeding the MESI cache + LCR model;
+//! * **control operations** mirroring the paper's `ioctl` kernel-module
+//!   interface (Fig. 7).
+//!
+//! ## Layering
+//!
+//! This crate defines the *vocabulary* ([`events`]) and the *machine*; the
+//! `stm-hardware` crate implements the monitoring hardware behind the
+//! [`events::Hardware`] trait; `stm-core` builds the diagnosis system on
+//! both.
+//!
+//! ## Example
+//!
+//! ```
+//! use stm_machine::builder::ProgramBuilder;
+//! use stm_machine::events::NullHardware;
+//! use stm_machine::interp::{Machine, RunConfig};
+//! use stm_machine::ir::BinOp;
+//!
+//! let mut pb = ProgramBuilder::new("square");
+//! let main = pb.declare_function("main");
+//! let mut f = pb.build_function(main, "square.c");
+//! let x = f.read_input(0);
+//! let sq = f.bin(BinOp::Mul, x, x);
+//! f.output(sq);
+//! f.ret(None);
+//! f.finish();
+//!
+//! let machine = Machine::new(pb.finish(main));
+//! let report = machine.run(&[12], &RunConfig::default(), &mut NullHardware);
+//! assert_eq!(report.outputs, vec![144]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod events;
+pub mod ids;
+pub mod interp;
+pub mod ir;
+pub mod layout;
+pub mod memory;
+pub mod report;
+pub mod rng;
+pub mod sched;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use events::{
+    AccessEvent, AccessKind, BranchEvent, BranchKind, BranchRecord, CoherenceRecord,
+    CoherenceState, CtlResponse, Hardware, HwCtlOp, LcrConfig, NullHardware, Ring,
+};
+pub use ids::{
+    BlockId, BranchId, CoreId, FileId, FuncId, GlobalId, LogSiteId, SampleId, ThreadId, VarId,
+};
+pub use interp::{Machine, RunConfig};
+pub use ir::{
+    BinOp, Instr, LogKind, Operand, ProfileRole, Program, Rvalue, SourceLoc, Terminator, UnOp,
+};
+pub use layout::{Decoded, Layout, StmtRef};
+pub use report::{
+    Failure, FailureKind, LogEvent, ProfileData, ProfileEvent, RunOutcome, RunReport, SampleEvent,
+};
+pub use sched::SchedPolicy;

@@ -1,0 +1,275 @@
+//! Run outcomes and reports.
+//!
+//! A [`RunReport`] is everything one execution of a program produced:
+//! outcome, outputs, log events, hardware profiles (LBR/LCR snapshots
+//! collected by instrumentation or the fault handler), sampling events of
+//! the baselines and step statistics.
+
+use crate::events::{BranchRecord, CoherenceRecord};
+use crate::ids::{FuncId, LogSiteId, SampleId, ThreadId};
+use crate::ir::{LogKind, ProfileRole, SourceLoc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a fail-stop failure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Invalid memory access.
+    Segfault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// `free` of a non-allocation (double free / wild free).
+    InvalidFree {
+        /// The address passed to free.
+        addr: u64,
+    },
+    /// An [`Instr::Assert`](crate::ir::Instr::Assert) failed.
+    AssertFailed {
+        /// The assertion message.
+        message: String,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// All live threads were blocked.
+    Deadlock,
+    /// The step budget was exhausted (the watchdog fired).
+    Hang,
+    /// Call depth exceeded the configured maximum.
+    StackOverflow,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Segfault { addr } => write!(f, "segmentation fault at {addr:#x}"),
+            FailureKind::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            FailureKind::AssertFailed { message } => write!(f, "assertion failed: {message}"),
+            FailureKind::DivByZero => write!(f, "division by zero"),
+            FailureKind::Deadlock => write!(f, "deadlock"),
+            FailureKind::Hang => write!(f, "hang (step budget exhausted)"),
+            FailureKind::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+/// A fail-stop failure, attributed to the thread where it first occurred
+/// (the *failure thread* of §4.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Failure {
+    /// What happened.
+    pub kind: FailureKind,
+    /// The failure thread.
+    pub thread: ThreadId,
+    /// Function executing when the failure occurred.
+    pub func: FuncId,
+    /// Source location of the failing statement.
+    pub loc: SourceLoc,
+    /// Program counter of the failing statement.
+    pub pc: u64,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The program ran to completion (main returned or `exit` executed).
+    Completed {
+        /// Exit code.
+        exit_code: i64,
+    },
+    /// The program failed fail-stop.
+    Failed(Failure),
+}
+
+impl RunOutcome {
+    /// Returns the failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            RunOutcome::Failed(f) => Some(f),
+            RunOutcome::Completed { .. } => None,
+        }
+    }
+
+    /// `true` if the run completed without a fail-stop failure.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+}
+
+/// One executed logging call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEvent {
+    /// The static logging site.
+    pub site: LogSiteId,
+    /// Severity.
+    pub kind: LogKind,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Global step at which the call retired.
+    pub step: u64,
+}
+
+/// The payload of a profile event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileData {
+    /// An LBR snapshot, most recent branch first.
+    Lbr(Vec<BranchRecord>),
+    /// An LCR snapshot, most recent access first.
+    Lcr(Vec<CoherenceRecord>),
+}
+
+/// One LBR/LCR profile collected during the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEvent {
+    /// The logging site the profile belongs to (`None` when it was
+    /// collected by the fault handler).
+    pub site: Option<LogSiteId>,
+    /// Failure- or success-site profile.
+    pub role: ProfileRole,
+    /// The profiling thread.
+    pub thread: ThreadId,
+    /// Global step of collection.
+    pub step: u64,
+    /// The snapshot.
+    pub data: ProfileData,
+}
+
+/// One fired sampling probe (CBI/CCI/PBI baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleEvent {
+    /// The probe.
+    pub id: SampleId,
+    /// The sampled value.
+    pub value: i64,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Global step.
+    pub step: u64,
+}
+
+/// Everything one execution produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Values the program emitted via `Output`.
+    pub outputs: Vec<i64>,
+    /// Executed logging calls, in order.
+    pub logs: Vec<LogEvent>,
+    /// Collected hardware profiles, in order.
+    pub profiles: Vec<ProfileEvent>,
+    /// Fired sampling probes, in order.
+    pub samples: Vec<SampleEvent>,
+    /// Total interpreter steps retired.
+    pub steps: u64,
+    /// Total branch events retired (all classes, user and kernel).
+    pub branches_retired: u64,
+    /// Total data accesses retired.
+    pub accesses_retired: u64,
+    /// Number of threads ever spawned (including main).
+    pub threads_spawned: u32,
+}
+
+impl RunReport {
+    /// `true` if any `Error`-severity log executed.
+    pub fn logged_error(&self) -> bool {
+        self.logs.iter().any(|l| l.kind == LogKind::Error)
+    }
+
+    /// `true` if the given site logged during the run.
+    pub fn logged_site(&self, site: LogSiteId) -> bool {
+        self.logs.iter().any(|l| l.site == site)
+    }
+
+    /// Iterates over profiles with the given role.
+    pub fn profiles_with_role(&self, role: ProfileRole) -> impl Iterator<Item = &ProfileEvent> {
+        self.profiles.iter().filter(move |p| p.role == role)
+    }
+
+    /// The last failure-site profile of the run, if any — the profile the
+    /// diagnosis system ships home.
+    pub fn failure_profile(&self) -> Option<&ProfileEvent> {
+        self.profiles_with_role(ProfileRole::FailureSite).last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(outcome: RunOutcome) -> RunReport {
+        RunReport {
+            outcome,
+            outputs: vec![],
+            logs: vec![],
+            profiles: vec![],
+            samples: vec![],
+            steps: 0,
+            branches_retired: 0,
+            accesses_retired: 0,
+            threads_spawned: 1,
+        }
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let ok = RunOutcome::Completed { exit_code: 0 };
+        assert!(ok.is_completed());
+        assert!(ok.failure().is_none());
+        let failed = RunOutcome::Failed(Failure {
+            kind: FailureKind::DivByZero,
+            thread: ThreadId::MAIN,
+            func: FuncId::new(0),
+            loc: SourceLoc::UNKNOWN,
+            pc: 0,
+        });
+        assert!(!failed.is_completed());
+        assert!(failed.failure().is_some());
+    }
+
+    #[test]
+    fn failure_kind_display() {
+        assert_eq!(
+            FailureKind::Segfault { addr: 0 }.to_string(),
+            "segmentation fault at 0x0"
+        );
+        assert_eq!(FailureKind::Hang.to_string(), "hang (step budget exhausted)");
+    }
+
+    #[test]
+    fn report_log_queries() {
+        let mut r = blank(RunOutcome::Completed { exit_code: 0 });
+        assert!(!r.logged_error());
+        r.logs.push(LogEvent {
+            site: LogSiteId::new(3),
+            kind: LogKind::Error,
+            thread: ThreadId::MAIN,
+            step: 10,
+        });
+        assert!(r.logged_error());
+        assert!(r.logged_site(LogSiteId::new(3)));
+        assert!(!r.logged_site(LogSiteId::new(4)));
+    }
+
+    #[test]
+    fn failure_profile_returns_last_failure_site_profile() {
+        let mut r = blank(RunOutcome::Completed { exit_code: 0 });
+        assert!(r.failure_profile().is_none());
+        r.profiles.push(ProfileEvent {
+            site: None,
+            role: ProfileRole::SuccessSite,
+            thread: ThreadId::MAIN,
+            step: 1,
+            data: ProfileData::Lbr(vec![]),
+        });
+        r.profiles.push(ProfileEvent {
+            site: Some(LogSiteId::new(0)),
+            role: ProfileRole::FailureSite,
+            thread: ThreadId::MAIN,
+            step: 2,
+            data: ProfileData::Lbr(vec![]),
+        });
+        let p = r.failure_profile().unwrap();
+        assert_eq!(p.step, 2);
+    }
+}

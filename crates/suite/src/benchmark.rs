@@ -1,0 +1,269 @@
+//! The benchmark vocabulary: one [`Benchmark`] per real-world failure of
+//! the paper's Table 4, carrying the IR program, ground truth and
+//! workloads, plus the numbers the paper reports for that failure (so the
+//! harness can print paper-vs-measured side by side).
+
+use serde::{Deserialize, Serialize};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::events::CoherenceState;
+use stm_machine::ids::{BranchId, FuncId};
+use stm_machine::ir::{Program, SourceLoc};
+
+/// Implementation language of the original application (CBI supports only
+/// C programs — the `N/A` rows of Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Language {
+    /// C.
+    C,
+    /// C++.
+    Cpp,
+}
+
+/// Root-cause classification (Table 4's "Root Cause" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootCauseKind {
+    /// Configuration error.
+    Config,
+    /// Semantic bug.
+    Semantic,
+    /// Memory bug.
+    Memory,
+    /// Single-variable atomicity violation.
+    AtomicityViolation,
+    /// Order violation.
+    OrderViolation,
+}
+
+impl RootCauseKind {
+    /// Table 4's abbreviation.
+    pub fn short(&self) -> &'static str {
+        match self {
+            RootCauseKind::Config => "config.",
+            RootCauseKind::Semantic => "semantic",
+            RootCauseKind::Memory => "memory",
+            RootCauseKind::AtomicityViolation => "A.V.",
+            RootCauseKind::OrderViolation => "O.V.",
+        }
+    }
+}
+
+/// Failure symptom (Table 4's "Failure Symptom" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Symptom {
+    /// An error message is emitted.
+    ErrorMessage,
+    /// The program crashes.
+    Crash,
+    /// The program hangs.
+    Hang,
+    /// The program produces wrong output.
+    WrongOutput,
+    /// The program corrupts its log silently.
+    CorruptedLog,
+}
+
+impl Symptom {
+    /// Table 4's wording.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Symptom::ErrorMessage => "error message",
+            Symptom::Crash => "crash",
+            Symptom::Hang => "hang",
+            Symptom::WrongOutput => "wrong output",
+            Symptom::CorruptedLog => "corrupted log",
+        }
+    }
+}
+
+/// Sequential vs. concurrency benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugClass {
+    /// A sequential-bug failure (Table 6).
+    Sequential,
+    /// A concurrency-bug failure (Table 7).
+    Concurrency,
+}
+
+/// A `✓ n` / `✓ n*` / `-` cell from the paper's result tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaperMark {
+    /// `✓ n`: the root cause itself at entry/rank `n`.
+    Found(u32),
+    /// `✓ n*`: the root cause was missed but a related branch is at `n`.
+    Related(u32),
+    /// `-`: nothing related found.
+    Miss,
+}
+
+impl std::fmt::Display for PaperMark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaperMark::Found(n) => write!(f, "Y {n}"),
+            PaperMark::Related(n) => write!(f, "Y {n}*"),
+            PaperMark::Miss => write!(f, "-"),
+        }
+    }
+}
+
+/// The numbers the paper reports for one benchmark (for paper-vs-measured
+/// tables). `None` in a CBI field means CBI is inapplicable (`N/A`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PaperExpectations {
+    /// Table 6 "LBRLOG w/ tog".
+    pub lbrlog_tog: Option<PaperMark>,
+    /// Table 6 "LBRLOG w/o tog".
+    pub lbrlog_no_tog: Option<PaperMark>,
+    /// Table 6 "LBRA" rank.
+    pub lbra: Option<PaperMark>,
+    /// Table 6 "CBI" rank; `None` = N/A.
+    pub cbi: Option<PaperMark>,
+    /// Table 6 patch distance from the failure site; `None` = ∞
+    /// (different file). Only meaningful when `has_patch_distance`.
+    pub patch_dist_failure: Option<u32>,
+    /// Table 6 patch distance from the nearest LBR branch; `None` = ∞.
+    pub patch_dist_lbr: Option<u32>,
+    /// Marks the two patch-distance fields as meaningful (Table 6 rows).
+    pub has_patch_distance: bool,
+    /// Table 7 LCRLOG entry under the space-saving Conf1.
+    pub lcrlog_conf1: Option<PaperMark>,
+    /// Table 7 LCRLOG entry under the space-consuming Conf2.
+    pub lcrlog_conf2: Option<PaperMark>,
+    /// Table 7 LCRA rank (under Conf2).
+    pub lcra: Option<PaperMark>,
+    /// Table 4 KLOC of the real application.
+    pub kloc: f64,
+    /// Table 4 "#Log Points" of the real application.
+    pub log_points: u32,
+}
+
+/// The failure-predicting event of a concurrency benchmark (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpeSpec {
+    /// Source location of the access (the `a2`/`B2`/`B3` instruction).
+    pub loc: SourceLoc,
+    /// Observed state under the space-consuming Conf2, if capturable.
+    pub conf2_state: Option<CoherenceState>,
+    /// Observed state involved under the space-saving Conf1, if capturable.
+    pub conf1_state: Option<CoherenceState>,
+    /// Under Conf1 the signal is the event's *absence* from failure runs
+    /// (read-too-early order violations, §4.2.2).
+    pub conf1_is_absence: bool,
+}
+
+/// Ground truth for evaluating diagnosis results against the benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// How the target failure manifests.
+    pub spec: FailureSpec,
+    /// The root-cause branch (sequential bugs): the branch the patch
+    /// changes.
+    pub root_cause_branch: Option<BranchId>,
+    /// A branch related to the root cause (the `*` rows of Table 6).
+    pub related_branch: Option<BranchId>,
+    /// Source lines the real patch touches (mapped into our programs).
+    pub patch_locs: Vec<SourceLoc>,
+    /// Where the failure manifests.
+    pub failure_site_loc: SourceLoc,
+    /// The failure-predicting coherence event (concurrency bugs).
+    pub fpe: Option<FpeSpec>,
+    /// Fault locations for reactive success-site instrumentation of
+    /// crash-type failures.
+    pub fault_locs: Vec<(FuncId, SourceLoc)>,
+}
+
+impl GroundTruth {
+    /// The branch LBRLOG/LBRA are evaluated against: the root cause when
+    /// capturable, otherwise the related branch.
+    pub fn target_branch(&self) -> Option<BranchId> {
+        self.root_cause_branch.or(self.related_branch)
+    }
+}
+
+/// The workload sets of a benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Workloads {
+    /// Workloads that (deterministically or under their seed) reproduce
+    /// the failure.
+    pub failing: Vec<Workload>,
+    /// Workloads that complete successfully while exercising nearby code.
+    pub passing: Vec<Workload>,
+    /// A developer-designed common-scenario workload for overhead
+    /// measurement (never fails).
+    pub perf: Workload,
+}
+
+/// Descriptive metadata (one row of Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkInfo {
+    /// Short unique id (`"sort"`, `"apache1"`, ...).
+    pub id: &'static str,
+    /// Application name.
+    pub app: &'static str,
+    /// Application version the bug lives in.
+    pub version: &'static str,
+    /// Implementation language of the original.
+    pub language: Language,
+    /// Root-cause class.
+    pub root_cause: RootCauseKind,
+    /// Failure symptom.
+    pub symptom: Symptom,
+    /// Sequential or concurrency.
+    pub bug_class: BugClass,
+    /// One-line description of the real bug.
+    pub description: &'static str,
+    /// The paper's reported numbers.
+    pub paper: PaperExpectations,
+}
+
+/// One benchmark: a real-world failure modeled as an IR program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Metadata.
+    pub info: BenchmarkInfo,
+    /// The buggy program.
+    pub program: Program,
+    /// Ground truth for evaluation.
+    pub truth: GroundTruth,
+    /// Workloads.
+    pub workloads: Workloads,
+}
+
+impl Benchmark {
+    /// Number of `Error` logging sites in the program (our analogue of
+    /// Table 4's "#Log Points").
+    pub fn log_points(&self) -> usize {
+        self.program.error_log_sites().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mark_display() {
+        assert_eq!(PaperMark::Found(3).to_string(), "Y 3");
+        assert_eq!(PaperMark::Related(13).to_string(), "Y 13*");
+        assert_eq!(PaperMark::Miss.to_string(), "-");
+    }
+
+    #[test]
+    fn root_cause_short_names() {
+        assert_eq!(RootCauseKind::AtomicityViolation.short(), "A.V.");
+        assert_eq!(RootCauseKind::Config.short(), "config.");
+    }
+
+    #[test]
+    fn ground_truth_prefers_root_cause_branch() {
+        let t = GroundTruth {
+            spec: FailureSpec::AnyCrash,
+            root_cause_branch: Some(BranchId::new(4)),
+            related_branch: Some(BranchId::new(9)),
+            patch_locs: vec![],
+            failure_site_loc: SourceLoc::UNKNOWN,
+            fpe: None,
+            fault_locs: vec![],
+        };
+        assert_eq!(t.target_branch(), Some(BranchId::new(4)));
+    }
+}

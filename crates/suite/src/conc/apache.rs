@@ -1,0 +1,241 @@
+//! Concurrency-bug benchmarks from Apache httpd (Table 4: Apache 4–5).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+use crate::conc::NoiseGlobals;
+use crate::util::pad_checks;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::CoherenceState;
+use stm_machine::ir::SourceLoc;
+
+/// Apache 4 (httpd 2.0.50): an RWR atomicity violation — the connection
+/// object is checked, then a cleanup thread nulls it, then the worker's
+/// use-read observes the invalid state and the worker crashes.
+/// Table 7 row `✓3 / ✓5 / ✓1`.
+pub fn apache4() -> Benchmark {
+    let mut pb = ProgramBuilder::new("apache4");
+    let noise = NoiseGlobals::install(&mut pb);
+    let conn = pb.global("current_conn", 1);
+    let main = pb.declare_function("main");
+    let cleaner = pb.declare_function("ap_cleanup_thread");
+
+    let a1_line = 430;
+    let a2_line = 434;
+    let fault_line = 440;
+    {
+        let mut f = pb.build_function(cleaner, "server/connection.c");
+        noise.warm_interloper(&mut f);
+        f.yield_now();
+        f.at(118);
+        f.store(conn as i64, 0, 0); // a3: pool cleanup nulls the connection
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "modules/generators/mod_status.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let use_blk = f.new_block();
+        let idle_blk = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        let c = f.alloc(4);
+        f.store(c, 0, 80);
+        f.at(426);
+        f.store(conn as i64, 0, c);
+        let t = f.spawn(cleaner, &[]);
+        f.yield_now();
+        f.at(a1_line);
+        let v1 = f.load(conn as i64, 0); // a1: if (conn)
+        f.at(a1_line + 1);
+        f.br(v1, use_blk, idle_blk);
+        f.set_block(use_blk);
+        f.at(a2_line);
+        let v2 = f.load(conn as i64, 0); // a2: report conn->port — the FPE
+        f.at(a2_line + 1);
+        noise.emit(&mut f, 1, 2);
+        f.at(fault_line);
+        let port = f.load(v2, 0); // F: NULL dereference
+        f.join(t);
+        f.output(port);
+        f.ret(None);
+        f.set_block(idle_blk);
+        f.join(t);
+        f.output(0);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let status_c = program.function(main).file;
+    let a2_loc = SourceLoc::new(status_c, a2_line);
+    let fault_loc = SourceLoc::new(status_c, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "apache4",
+            app: "Apache",
+            version: "2.0.50",
+            language: Language::C,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Concurrency,
+            description: "connection object nulled by pool cleanup between mod_status's \
+                          check and use",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(3)),
+                lcrlog_conf2: Some(PaperMark::Found(5)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc: 263.0,
+                log_points: 2412,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "main".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(status_c, a1_line)],
+            failure_site_loc: fault_loc,
+            fpe: Some(FpeSpec {
+                loc: a2_loc,
+                conf2_state: Some(CoherenceState::Invalid),
+                conf1_state: Some(CoherenceState::Invalid),
+                conf1_is_absence: false,
+            }),
+            fault_locs: vec![(main, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![])],
+            passing: vec![Workload::new(vec![])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// Apache 5 (httpd 2.2.9): an atomicity violation on the error-log write
+/// index — two threads interleave their reserve/write/advance sequences
+/// and entries overwrite each other. The corruption is silent (the log
+/// itself is the victim), so LCRLOG/LCRA have nothing to profile: the
+/// `-` row of Table 7.
+pub fn apache5() -> Benchmark {
+    let mut pb = ProgramBuilder::new("apache5");
+    let noise = NoiseGlobals::install(&mut pb);
+    let log_len = pb.global("log_len", 1);
+    let log_buf = pb.global("log_buf", 8);
+    let main = pb.declare_function("main");
+    let worker = pb.declare_function("worker_log");
+
+    {
+        let mut f = pb.build_function(worker, "server/log.c");
+        noise.warm_interloper(&mut f);
+        f.at(640);
+        let idx = f.load(log_len as i64, 0); // reserve
+        f.yield_now();
+        let off = f.bin(stm_machine::ir::BinOp::Mul, idx, 8);
+        let slot = f.bin(stm_machine::ir::BinOp::Add, off, log_buf as i64);
+        f.at(642);
+        f.store(slot, 0, 2); // write entry
+        let idx1 = f.bin(stm_machine::ir::BinOp::Add, idx, 1);
+        f.at(643);
+        f.store(log_len as i64, 0, idx1); // advance
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "server/log.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        noise.warm_failure_thread(&mut f);
+        let t = f.spawn(worker, &[]);
+        f.at(620);
+        let idx = f.load(log_len as i64, 0);
+        f.yield_now();
+        let off = f.bin(stm_machine::ir::BinOp::Mul, idx, 8);
+        let slot = f.bin(stm_machine::ir::BinOp::Add, off, log_buf as i64);
+        f.at(622);
+        f.store(slot, 0, 1);
+        let idx1 = f.bin(stm_machine::ir::BinOp::Add, idx, 1);
+        f.at(623);
+        f.store(log_len as i64, 0, idx1);
+        f.join(t);
+        // The log content is the program's observable output.
+        let e0 = f.load(log_buf as i64, 0);
+        let e1 = f.load(log_buf as i64, 8);
+        let sum = f.bin(stm_machine::ir::BinOp::Add, e0, e1);
+        f.output(sum);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let log_c = program.function(main).file;
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "apache5",
+            app: "Apache",
+            version: "2.2.9",
+            language: Language::C,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::CorruptedLog,
+            bug_class: BugClass::Concurrency,
+            description: "racy reserve/write/advance on the error log index silently \
+                          overwrites entries",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Miss),
+                lcrlog_conf2: Some(PaperMark::Miss),
+                lcra: Some(PaperMark::Miss),
+                kloc: 333.0,
+                log_points: 2515,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::WrongOutput,
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(log_c, 620)],
+            failure_site_loc: SourceLoc::UNKNOWN,
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            // Both entries present ⇒ 1 + 2 = 3.
+            failing: vec![Workload::new(vec![]).with_expected(vec![3])],
+            passing: vec![Workload::new(vec![]).with_expected(vec![3])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn apache4_matches_table7_row() {
+        let b = apache4();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(3));
+        assert_eq!(lcrlog_position(&b, false), Some(5));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+
+    #[test]
+    fn apache5_is_a_miss_row() {
+        let b = apache5();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), None);
+        assert_eq!(lcrlog_position(&b, false), None);
+        assert_eq!(lcra_rank(&b), None);
+    }
+}

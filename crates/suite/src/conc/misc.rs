@@ -1,0 +1,241 @@
+//! Concurrency-bug benchmarks from Cherokee and PBZIP2 (Table 4).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+use crate::conc::NoiseGlobals;
+use crate::util::pad_checks;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::CoherenceState;
+use stm_machine::ir::{BinOp, SourceLoc};
+
+/// Cherokee 0.98.0: an atomicity violation on the access-log buffer swap —
+/// two threads swap and flush concurrently, and entries vanish from the
+/// log. Silent corruption with no logging near the root cause: the `-`
+/// row shape of Table 7.
+pub fn cherokee() -> Benchmark {
+    let mut pb = ProgramBuilder::new("cherokee");
+    let noise = NoiseGlobals::install(&mut pb);
+    let active_buf = pb.global("active_buf", 1);
+    let buf_a = pb.global("buf_a", 2);
+    let buf_b = pb.global("buf_b", 2);
+    let main = pb.declare_function("main");
+    let flusher = pb.declare_function("flush_thread");
+
+    {
+        let mut f = pb.build_function(flusher, "cherokee/logger.c");
+        noise.warm_interloper(&mut f);
+        f.at(210);
+        // Swap the active buffer (non-atomically vs. the writer).
+        let cur = f.load(active_buf as i64, 0);
+        f.yield_now();
+        let other = f.bin(BinOp::Xor, cur, 1);
+        f.at(212);
+        f.store(active_buf as i64, 0, other);
+        // "Flush" (clear) the buffer that was active.
+        let base = f.var();
+        let sel = f.bin(BinOp::Mul, cur, (buf_b - buf_a) as i64);
+        f.assign_bin(base, BinOp::Add, sel, buf_a as i64);
+        f.at(215);
+        f.store(base, 0, 0);
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "cherokee/logger.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        noise.warm_failure_thread(&mut f);
+        f.store(active_buf as i64, 0, 0);
+        f.store(buf_a as i64, 0, 0);
+        f.store(buf_b as i64, 0, 0);
+        let t = f.spawn(flusher, &[]);
+        // Append an entry to whichever buffer is active — racing with the
+        // swap-and-flush.
+        f.at(190);
+        let cur = f.load(active_buf as i64, 0);
+        f.yield_now();
+        let sel = f.bin(BinOp::Mul, cur, (buf_b - buf_a) as i64);
+        let base = f.bin(BinOp::Add, sel, buf_a as i64);
+        f.at(192);
+        f.store(base, 0, 41);
+        f.join(t);
+        // The surviving log content is the observable output.
+        let a = f.load(buf_a as i64, 0);
+        let b = f.load(buf_b as i64, 0);
+        let sum = f.bin(BinOp::Add, a, b);
+        f.output(sum);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let logger_c = program.function(main).file;
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "cherokee",
+            app: "Cherokee",
+            version: "0.98.0",
+            language: Language::C,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::CorruptedLog,
+            bug_class: BugClass::Concurrency,
+            description: "access-log buffer swapped and flushed mid-append; entries vanish \
+                          silently",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Miss),
+                lcrlog_conf2: Some(PaperMark::Miss),
+                lcra: Some(PaperMark::Miss),
+                kloc: 85.0,
+                log_points: 184,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::WrongOutput,
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(logger_c, 190)],
+            failure_site_loc: SourceLoc::UNKNOWN,
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            // The entry survives ⇒ the buffers sum to 41.
+            failing: vec![Workload::new(vec![]).with_expected(vec![41])],
+            passing: vec![Workload::new(vec![]).with_expected(vec![41])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// PBZIP2 0.9.4 (the paper's Fig. 6): a read-too-late order violation —
+/// the main thread destroys the FIFO mutex while a consumer still needs
+/// it; the consumer's pointer read observes the invalid state, gets NULL
+/// and crashes inside `pthread_mutex_lock`. Table 7 row `✓3 / ✓7 / ✓1`.
+pub fn pbzip3() -> Benchmark {
+    let mut pb = ProgramBuilder::new("pbzip3");
+    let noise = NoiseGlobals::install(&mut pb);
+    let mutex_ptr = pb.global("fifo_mutex", 1);
+    let main = pb.declare_function("main");
+    let consumer = pb.declare_function("consumer");
+
+    let b1_line = 898;
+    let b3_line = 904;
+    let fault_line = 910;
+    {
+        let mut f = pb.build_function(consumer, "pbzip2.cpp");
+        noise.warm_failure_thread(&mut f); // the consumer is the failure thread
+        f.at(b1_line);
+        let m1 = f.load(mutex_ptr as i64, 0); // B1
+        f.lock(m1);
+        f.at(b1_line + 2);
+        f.unlock(m1); // B2
+        f.yield_now();
+        f.at(b3_line);
+        let m3 = f.load(mutex_ptr as i64, 0); // B3 — the FPE read
+        f.at(b3_line + 1);
+        noise.emit(&mut f, 1, 4);
+        f.at(fault_line);
+        f.lock(m3); // F: crashes when the mutex was destroyed
+        f.unlock(m3);
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "pbzip2.cpp");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        noise.warm_interloper(&mut f);
+        let m = f.alloc(1);
+        f.store(mutex_ptr as i64, 0, m);
+        let t = f.spawn(consumer, &[]);
+        f.yield_now();
+        f.yield_now();
+        f.at(1043);
+        // A: main "destroys" the mutex without waiting for the consumer.
+        f.store(mutex_ptr as i64, 0, 0);
+        f.join(t);
+        f.output(1);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let cpp = program.function(consumer).file;
+    let b3_loc = SourceLoc::new(cpp, b3_line);
+    let fault_loc = SourceLoc::new(cpp, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "pbzip3",
+            app: "PBZIP",
+            version: "0.9.4",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::OrderViolation,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Concurrency,
+            description: "Fig. 6: main destroys the FIFO mutex before the consumer's last \
+                          lock; the consumer crashes",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(3)),
+                lcrlog_conf2: Some(PaperMark::Found(7)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc: 2.1,
+                log_points: 163,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "consumer".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(cpp, b3_line)],
+            failure_site_loc: fault_loc,
+            fpe: Some(FpeSpec {
+                loc: b3_loc,
+                conf2_state: Some(CoherenceState::Invalid),
+                conf1_state: Some(CoherenceState::Invalid),
+                conf1_is_absence: false,
+            }),
+            fault_locs: vec![(consumer, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![])],
+            passing: vec![Workload::new(vec![])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn cherokee_is_a_miss_row() {
+        let b = cherokee();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), None);
+        assert_eq!(lcrlog_position(&b, false), None);
+        assert_eq!(lcra_rank(&b), None);
+    }
+
+    #[test]
+    fn pbzip3_matches_table7_row() {
+        let b = pbzip3();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(3));
+        assert_eq!(lcrlog_position(&b, false), Some(7));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+}

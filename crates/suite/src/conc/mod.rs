@@ -1,0 +1,83 @@
+//! The 11 concurrency-bug failures of Table 4 (Table 7 rows).
+//!
+//! ## How LCR ring positions are engineered
+//!
+//! Each benchmark's failure-predicting event (FPE) must land at the exact
+//! ring position Table 7 reports, under both LCR configurations. The knobs
+//! are the *noise accesses* the failure thread performs between the FPE
+//! and the profile point:
+//!
+//! * loads of a thread-private global (warmed at thread start) observe
+//!   `Exclusive` — visible only under the space-consuming Conf2;
+//! * loads of a global that both threads read at startup observe `Shared`
+//!   — visible only under the space-saving Conf1;
+//! * the LCR driver's own disable-path pollution contributes two exclusive
+//!   reads (Conf2) or one shared read (Conf1) at the top of every snapshot
+//!   (§4.3).
+//!
+//! So with `s` shared-noise and `e` exclusive-noise loads after the FPE,
+//! the FPE sits at position `s + 2` under Conf1 and `e + 3` under Conf2.
+
+pub mod apache;
+pub mod misc;
+pub mod mozilla;
+pub mod mysql;
+pub mod splash;
+
+use stm_machine::builder::{FunctionBuilder, ProgramBuilder};
+
+/// The two noise globals of a concurrency benchmark.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NoiseGlobals {
+    /// Loaded only by the failure thread: observes `Exclusive` once warm.
+    pub private: u64,
+    /// Loaded by both threads at startup: observes `Shared` thereafter.
+    pub shared: u64,
+}
+
+impl NoiseGlobals {
+    /// Allocates the two globals.
+    pub fn install(pb: &mut ProgramBuilder) -> Self {
+        NoiseGlobals {
+            private: pb.global_init("stats_private", 1, vec![7]),
+            shared: pb.global_init("config_shared", 1, vec![9]),
+        }
+    }
+
+    /// Warm-up for the failure thread: touch both globals so later loads
+    /// observe stable states.
+    pub fn warm_failure_thread(&self, f: &mut FunctionBuilder<'_>) {
+        let _ = f.load(self.private as i64, 0);
+        let _ = f.load(self.shared as i64, 0);
+    }
+
+    /// Warm-up for the interloper thread: share the shared global.
+    pub fn warm_interloper(&self, f: &mut FunctionBuilder<'_>) {
+        let _ = f.load(self.shared as i64, 0);
+    }
+
+    /// Declares and builds a helper thread function that touches the
+    /// shared global and exits. Benchmarks whose interloper may not have
+    /// run before the failure region spawn-and-join this warmer first, so
+    /// the shared global is deterministically in the `Shared` state.
+    pub fn build_warmer(&self, pb: &mut ProgramBuilder) -> stm_machine::ids::FuncId {
+        let warmer = pb.declare_function("__config_warmer");
+        let mut f = pb.build_function(warmer, "warm.c");
+        let _ = f.load(self.shared as i64, 0);
+        f.ret(None);
+        f.finish();
+        warmer
+    }
+
+    /// Emits `s` shared-observing loads then `e` exclusive-observing loads
+    /// (so the exclusive ones are the most recent). Call right after the
+    /// FPE access.
+    pub fn emit(&self, f: &mut FunctionBuilder<'_>, s: u32, e: u32) {
+        for _ in 0..s {
+            let _ = f.load(self.shared as i64, 0);
+        }
+        for _ in 0..e {
+            let _ = f.load(self.private as i64, 0);
+        }
+    }
+}

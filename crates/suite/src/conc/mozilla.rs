@@ -1,0 +1,344 @@
+//! Concurrency-bug benchmarks from the Mozilla JavaScript engine
+//! (Table 4: Mozilla-JS 1–3). Mozilla-JS3 is the paper's Fig. 4.
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+use crate::conc::NoiseGlobals;
+use crate::util::pad_checks;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::CoherenceState;
+use stm_machine::ir::{BinOp, SourceLoc};
+
+/// Mozilla-JS3 (the paper's Fig. 4): a WWR atomicity violation on
+/// `st->table`. `InitState` allocates the table (`a1`) and checks it
+/// (`a2`); `FreeState` occasionally nulls it in between (`a3`), and the
+/// check path reports "out of memory". The FPE is the invalid state the
+/// check read observes.
+pub fn mozilla_js3() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mozilla-js3");
+    let noise = NoiseGlobals::install(&mut pb);
+    let st_table = pb.global("st_table", 1);
+    let main = pb.declare_function("main");
+    let free_state = pb.declare_function("FreeState");
+
+    let a1_line = 1500;
+    let a2_line = 1503;
+    let fail_line = 1505;
+    {
+        let mut f = pb.build_function(free_state, "js/src/jsgc.c");
+        noise.warm_interloper(&mut f);
+        f.yield_now();
+        f.at(2300);
+        // a3: Destroy(st->table); st->table = NULL;
+        f.store(st_table as i64, 0, 0);
+        f.ret(None);
+        f.finish();
+    }
+    let site;
+    {
+        let mut f = pb.build_function(main, "js/src/jsapi.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let err = f.new_block();
+        let ok = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        let table = f.alloc(4);
+        f.store(table, 0, 1);
+        f.at(a1_line);
+        f.store(st_table as i64, 0, table); // a1: st->table = New(st)
+        let t = f.spawn(free_state, &[]);
+        f.yield_now();
+        f.yield_now();
+        f.at(a2_line);
+        let v = f.load(st_table as i64, 0); // a2: if (!st->table) — the FPE
+        f.at(a2_line + 1);
+        noise.emit(&mut f, 1, 8);
+        let bad = f.bin(BinOp::Eq, v, 0);
+        f.at(a2_line + 2);
+        f.br(bad, err, ok);
+        f.set_block(err);
+        f.at(fail_line);
+        site = f.log_error("out of memory");
+        f.join(t);
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.join(t);
+        f.output(1);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let jsapi_c = program.function(main).file;
+    let a2_loc = SourceLoc::new(jsapi_c, a2_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mozilla-js3",
+            app: "Mozilla-JS",
+            version: "1.5",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Concurrency,
+            description: "Fig. 4: st->table nulled by FreeState between InitState's \
+                          assignment and check; the check reports out-of-memory",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(3)),
+                lcrlog_conf2: Some(PaperMark::Found(11)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc: 107.0,
+                log_points: 343,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(jsapi_c, a1_line)],
+            failure_site_loc: SourceLoc::new(jsapi_c, fail_line),
+            fpe: Some(FpeSpec {
+                loc: a2_loc,
+                conf2_state: Some(CoherenceState::Invalid),
+                conf1_state: Some(CoherenceState::Invalid),
+                conf1_is_absence: false,
+            }),
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![])],
+            passing: vec![Workload::new(vec![])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// Mozilla-JS1: an RWR atomicity violation on a GC thing pointer — the
+/// classic `if (ptr) use(ptr)` race of Table 3. The use-read observes the
+/// invalid state and the engine crashes dereferencing NULL.
+pub fn mozilla_js1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mozilla-js1");
+    let noise = NoiseGlobals::install(&mut pb);
+    let gcthing = pb.global("gcthing", 1);
+    let main = pb.declare_function("main");
+    let collector = pb.declare_function("js_GC");
+
+    let a1_line = 2203;
+    let a2_line = 2207;
+    let fault_line = 2212;
+    {
+        let mut f = pb.build_function(collector, "js/src/jsgc.c");
+        noise.warm_interloper(&mut f);
+        f.yield_now();
+        f.at(900);
+        f.store(gcthing as i64, 0, 0); // a3: the collector frees the thing
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "js/src/jsinterp.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let use_blk = f.new_block();
+        let skip_blk = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        let obj = f.alloc(4);
+        f.store(obj, 0, 11);
+        f.at(2198);
+        f.store(gcthing as i64, 0, obj);
+        let t = f.spawn(collector, &[]);
+        f.yield_now();
+        f.at(a1_line);
+        let v1 = f.load(gcthing as i64, 0); // a1: if (ptr)
+        f.at(a1_line + 1);
+        f.br(v1, use_blk, skip_blk);
+        f.set_block(use_blk);
+        f.at(a2_line);
+        let v2 = f.load(gcthing as i64, 0); // a2: puts(ptr) — the FPE
+        f.at(a2_line + 1);
+        noise.emit(&mut f, 1, 5);
+        f.at(fault_line);
+        let field = f.load(v2, 0); // F: crashes when v2 is NULL
+        f.join(t);
+        f.output(field);
+        f.ret(None);
+        f.set_block(skip_blk);
+        f.join(t);
+        f.output(0);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let interp_c = program.function(main).file;
+    let a2_loc = SourceLoc::new(interp_c, a2_line);
+    let fault_loc = SourceLoc::new(interp_c, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mozilla-js1",
+            app: "Mozilla-JS",
+            version: "1.5",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Concurrency,
+            description: "GC nulls a thing pointer between the check and the use; the use \
+                          dereferences NULL",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(3)),
+                lcrlog_conf2: Some(PaperMark::Found(8)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc: 107.0,
+                log_points: 343,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "main".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(interp_c, a1_line)],
+            failure_site_loc: fault_loc,
+            fpe: Some(FpeSpec {
+                loc: a2_loc,
+                conf2_state: Some(CoherenceState::Invalid),
+                conf1_state: Some(CoherenceState::Invalid),
+                conf1_is_absence: false,
+            }),
+            fault_locs: vec![(main, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![])],
+            passing: vec![Workload::new(vec![])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// Mozilla-JS2: an atomicity violation that silently corrupts a counter —
+/// the program completes with wrong output and never logs near the root
+/// cause, so LCRLOG and LCRA have nothing to profile (the `-` row).
+pub fn mozilla_js2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mozilla-js2");
+    let noise = NoiseGlobals::install(&mut pb);
+    let prop_count = pb.global("prop_count", 1);
+    let main = pb.declare_function("main");
+    let worker = pb.declare_function("js_worker");
+
+    const N: i64 = 4;
+    {
+        let mut f = pb.build_function(worker, "js/src/jsobj.c");
+        noise.warm_interloper(&mut f);
+        // One unsynchronized read-modify-write racing against main's loop.
+        f.at(310);
+        let v = f.load(prop_count as i64, 0);
+        let v1 = f.bin(BinOp::Add, v, 1);
+        f.at(312);
+        f.store(prop_count as i64, 0, v1);
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "js/src/jsobj.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        noise.warm_failure_thread(&mut f);
+        let t = f.spawn(worker, &[]);
+        for _ in 0..N {
+            f.at(290);
+            let v = f.load(prop_count as i64, 0);
+            let v1 = f.bin(BinOp::Add, v, 1);
+            f.at(292);
+            f.store(prop_count as i64, 0, v1);
+        }
+        f.join(t);
+        let total = f.load(prop_count as i64, 0);
+        f.output(total);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let jsobj_c = program.function(main).file;
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mozilla-js2",
+            app: "Mozilla-JS",
+            version: "1.5",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::WrongOutput,
+            bug_class: BugClass::Concurrency,
+            description: "lost property-count updates; silent corruption with no logging \
+                          near the root cause",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Miss),
+                lcrlog_conf2: Some(PaperMark::Miss),
+                lcra: Some(PaperMark::Miss),
+                kloc: 107.0,
+                log_points: 343,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::WrongOutput,
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(jsobj_c, 290)],
+            failure_site_loc: SourceLoc::UNKNOWN,
+            fpe: None, // no failure-predicting event is ever profiled
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![]).with_expected(vec![N + 1])],
+            passing: vec![Workload::new(vec![]).with_expected(vec![N + 1])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn mozilla_js3_matches_table7_row() {
+        let b = mozilla_js3();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(3)); // Conf1
+        assert_eq!(lcrlog_position(&b, false), Some(11)); // Conf2
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+
+    #[test]
+    fn mozilla_js1_matches_table7_row() {
+        let b = mozilla_js1();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(3));
+        assert_eq!(lcrlog_position(&b, false), Some(8));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+
+    #[test]
+    fn mozilla_js2_is_a_miss_row() {
+        let b = mozilla_js2();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), None);
+        assert_eq!(lcrlog_position(&b, false), None);
+        assert_eq!(lcra_rank(&b), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Concurrency-bug benchmarks from MySQL (Table 4: MySQL 1–2).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+use crate::conc::NoiseGlobals;
+use crate::util::pad_checks;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::CoherenceState;
+use stm_machine::ir::{BinOp, SourceLoc};
+
+/// MySQL 1 (4.0.18): a WRW atomicity violation on the binlog state flag —
+/// the rotation thread writes CLOSED then OPEN (`a1`/`a2`); a query thread
+/// reading between the two (`a3`) sees CLOSED and crashes on the torn-down
+/// handle. Per Table 3, the failure-predicting event lives in the *other*
+/// thread, so the failure thread's LCR never contains it: the `-` row.
+pub fn mysql1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mysql1");
+    let noise = NoiseGlobals::install(&mut pb);
+    let log_state = pb.global("binlog_open", 1);
+    let binlog = pb.global("binlog_handle", 1);
+    let main = pb.declare_function("main");
+    let rotate = pb.declare_function("rotate_binlog");
+
+    let a3_line = 3111;
+    let fault_line = 3115;
+    {
+        let mut f = pb.build_function(rotate, "sql/log.cc");
+        noise.warm_interloper(&mut f);
+        f.yield_now();
+        f.at(280);
+        f.store(log_state as i64, 0, 0); // a1: log = CLOSED
+        f.yield_now();
+        f.yield_now();
+        f.at(284);
+        f.store(log_state as i64, 0, 1); // a2: log = OPEN
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "sql/sql_parse.cc");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let write_blk = f.new_block();
+        let closed_blk = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        let h = f.alloc(4);
+        f.store(h, 0, 55);
+        f.store(binlog as i64, 0, h);
+        f.store(log_state as i64, 0, 1);
+        let t = f.spawn(rotate, &[]);
+        f.yield_now();
+        f.at(a3_line);
+        let open = f.load(log_state as i64, 0); // a3: if (log != OPEN)
+        f.at(a3_line + 1);
+        f.br(open, write_blk, closed_blk);
+        f.set_block(closed_blk);
+        // The query path takes the "log closed" branch and touches the
+        // torn-down handle.
+        f.at(fault_line);
+        let _bad = f.load(0i64, 0); // F: crash on the stale handle
+        f.join(t);
+        f.ret(None);
+        f.set_block(write_blk);
+        let hh = f.load(binlog as i64, 0);
+        let v = f.load(hh, 0);
+        f.join(t);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let parse_cc = program.function(main).file;
+    let fault_loc = SourceLoc::new(parse_cc, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mysql1",
+            app: "MySQL",
+            version: "4.0.18",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Concurrency,
+            description: "WRW: binlog flag read between CLOSED and OPEN writes; the \
+                          failure-predicting event is in the rotation thread, not the \
+                          crashing thread",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Miss),
+                lcrlog_conf2: Some(PaperMark::Miss),
+                lcra: Some(PaperMark::Miss),
+                kloc: 658.0,
+                log_points: 1585,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "main".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(parse_cc, a3_line)],
+            failure_site_loc: fault_loc,
+            // The a3 read observes Invalid in success runs too (the
+            // rotation thread's writes always invalidate the line), so no
+            // recordable event in the failure thread predicts the failure.
+            fpe: None,
+            fault_locs: vec![(main, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![])],
+            passing: vec![Workload::new(vec![])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// MySQL 2 (4.0.12): an RWW atomicity violation on the binlog byte
+/// counter — two sessions interleave `tmp = cnt + n; cnt = tmp`, one
+/// update is lost, and the accounting check reports the mismatch. The FPE
+/// is the invalid state the clobbering *write* observes (Table 3, RWW).
+/// Table 7 row `✓3 / ✓9 / ✓1`.
+pub fn mysql2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mysql2");
+    let noise = NoiseGlobals::install(&mut pb);
+    let cnt = pb.global("binlog_bytes", 1);
+    let main = pb.declare_function("main");
+    let session = pb.declare_function("session_commit");
+
+    let a1_line = 1210;
+    let a2_line = 1213;
+    let fail_line = 1220;
+    {
+        let mut f = pb.build_function(session, "sql/log.cc");
+        noise.warm_interloper(&mut f);
+        f.at(905);
+        let v = f.load(cnt as i64, 0);
+        let v1 = f.bin(BinOp::Add, v, 200);
+        f.at(907);
+        f.store(cnt as i64, 0, v1); // the interleaving RMW
+        f.ret(None);
+        f.finish();
+    }
+    let site;
+    {
+        let mut f = pb.build_function(main, "sql/log.cc");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let err = f.new_block();
+        let ok = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        f.store(cnt as i64, 0, 0);
+        let t = f.spawn(session, &[]);
+        f.yield_now();
+        f.at(a1_line);
+        let v = f.load(cnt as i64, 0); // a1: tmp = cnt + deposit1
+        f.yield_now();
+        let v1 = f.bin(BinOp::Add, v, 100);
+        f.at(a2_line);
+        f.store(cnt as i64, 0, v1); // a2: cnt = tmp — the FPE (invalid write)
+        f.at(a2_line + 1);
+        noise.emit(&mut f, 1, 6);
+        f.join(t);
+        f.at(fail_line - 3);
+        let total = f.load(cnt as i64, 0);
+        // The check fires when the *session's* confirmed deposit is
+        // missing — i.e. when this thread's write clobbered it (the RWW
+        // interleaving of Table 3, whose FPE is this thread's a2 write).
+        let bad = f.bin(BinOp::Eq, total, 100);
+        f.at(fail_line - 1);
+        f.br(bad, err, ok);
+        f.set_block(err);
+        f.at(fail_line);
+        site = f.log_error("binlog accounting mismatch");
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.output(total);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let log_cc = program.function(main).file;
+    let a2_loc = SourceLoc::new(log_cc, a2_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mysql2",
+            app: "MySQL",
+            version: "4.0.12",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::AtomicityViolation,
+            symptom: Symptom::WrongOutput,
+            bug_class: BugClass::Concurrency,
+            description: "RWW: concurrent binlog byte-count updates lose a deposit; the \
+                          accounting check reports it",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(3)),
+                lcrlog_conf2: Some(PaperMark::Found(9)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc: 639.0,
+                log_points: 1523,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(log_cc, a1_line)],
+            failure_site_loc: SourceLoc::new(log_cc, fail_line),
+            fpe: Some(FpeSpec {
+                loc: a2_loc,
+                conf2_state: Some(CoherenceState::Invalid),
+                conf1_state: Some(CoherenceState::Invalid),
+                conf1_is_absence: false,
+            }),
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![]).with_expected(vec![300])],
+            passing: vec![Workload::new(vec![]).with_expected(vec![300])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn mysql1_is_a_miss_row() {
+        let b = mysql1();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), None);
+        assert_eq!(lcrlog_position(&b, false), None);
+        assert_eq!(lcra_rank(&b), None);
+    }
+
+    #[test]
+    fn mysql2_matches_table7_row() {
+        let b = mysql2();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(3));
+        assert_eq!(lcrlog_position(&b, false), Some(9));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+}

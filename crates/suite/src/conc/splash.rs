@@ -1,0 +1,191 @@
+//! Concurrency-bug benchmarks from SPLASH-2: FFT (the paper's Fig. 5) and
+//! LU — read-too-early order violations with wrong-output symptoms caught
+//! by the kernels' verification phase.
+//!
+//! Under the space-consuming Conf2 the FPE is the *exclusive* state the
+//! too-early read observes; under the space-saving Conf1 the signal is the
+//! **absence** of the shared-state read that every success run records
+//! (§4.2.2) — Table 7 reports the position of that success-run entry.
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+use crate::conc::NoiseGlobals;
+use crate::util::pad_checks;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::CoherenceState;
+use stm_machine::ir::{BinOp, SourceLoc};
+
+#[allow(clippy::too_many_arguments)]
+fn splash_kernel(
+    id: &'static str,
+    app: &'static str,
+    file: &'static str,
+    kloc: f64,
+    log_points: u32,
+    b1_line: u32,
+    b2_line: u32,
+    fail_line: u32,
+    timer_line: u32,
+) -> Benchmark {
+    let mut pb = ProgramBuilder::new(id);
+    let noise = NoiseGlobals::install(&mut pb);
+    let warmer = noise.build_warmer(&mut pb);
+    let gend = pb.global("Gend", 1);
+    let main = pb.declare_function("main");
+    let timer = pb.declare_function("timer_thread");
+
+    {
+        let mut f = pb.build_function(timer, file);
+        noise.warm_interloper(&mut f);
+        f.yield_now();
+        f.at(timer_line);
+        f.store(gend as i64, 0, 123); // A: Gend = time()
+        f.ret(None);
+        f.finish();
+    }
+    let site;
+    {
+        let mut f = pb.build_function(main, file);
+        // Startup preamble, as in every real main.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let err = f.new_block();
+        let ok = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        // Deterministically share the config line before racing.
+        let w = f.spawn(warmer, &[]);
+        f.join(w);
+        let t = f.spawn(timer, &[]);
+        f.yield_now();
+        // The missing-barrier bug: Gend is read without waiting for the
+        // timer thread.
+        f.at(b1_line);
+        let v1 = f.load(gend as i64, 0); // B1: printf("End at %f", Gend)
+        f.at(b2_line);
+        let v2 = f.load(gend as i64, 0); // B2: the FPE read
+        f.at(b2_line + 1);
+        noise.emit(&mut f, 2, 3);
+        let elapsed = f.bin(BinOp::Sub, v2, v1);
+        let _ = elapsed;
+        let bad = f.bin(BinOp::Eq, v2, 0);
+        f.at(fail_line - 1);
+        f.br(bad, err, ok);
+        f.set_block(err);
+        f.at(fail_line);
+        site = f.log_error("verification failed: uninitialized timing value");
+        f.join(t);
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.join(t);
+        // Both timing reads are observable: a run where the timer fired
+        // *between* them prints a garbage elapsed time and is neither a
+        // clean success nor the diagnosed failure.
+        f.output(v1);
+        f.output(v2);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let file_id = program.function(main).file;
+    let b2_loc = SourceLoc::new(file_id, b2_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id,
+            app,
+            version: "2.0",
+            language: Language::C,
+            root_cause: RootCauseKind::OrderViolation,
+            symptom: Symptom::WrongOutput,
+            bug_class: BugClass::Concurrency,
+            description: "Fig. 5: the timing value is read before the timer thread \
+                          initializes it (missing barrier)",
+            paper: PaperExpectations {
+                lcrlog_conf1: Some(PaperMark::Found(4)),
+                lcrlog_conf2: Some(PaperMark::Found(6)),
+                lcra: Some(PaperMark::Found(1)),
+                kloc,
+                log_points,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: None,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(file_id, b1_line)],
+            failure_site_loc: SourceLoc::new(file_id, fail_line),
+            fpe: Some(FpeSpec {
+                loc: b2_loc,
+                conf2_state: Some(CoherenceState::Exclusive),
+                conf1_state: Some(CoherenceState::Shared),
+                conf1_is_absence: true,
+            }),
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![]).with_expected(vec![123, 123])],
+            passing: vec![Workload::new(vec![]).with_expected(vec![123, 123])],
+            perf: Workload::new(vec![]),
+        },
+        program,
+    }
+}
+
+/// FFT (SPLASH-2): Table 7 row `✓4 / ✓6 / ✓1`.
+pub fn fft() -> Benchmark {
+    splash_kernel("fft", "FFT", "fft.c", 1.3, 59, 770, 772, 780, 50)
+}
+
+/// LU (SPLASH-2): Table 7 row `✓4 / ✓6 / ✓1`.
+pub fn lu() -> Benchmark {
+    splash_kernel("lu", "LU", "lu.c", 1.2, 45, 612, 614, 630, 44)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn fft_matches_table7_row() {
+        let b = fft();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(4)); // absence entry, success run
+        assert_eq!(lcrlog_position(&b, false), Some(6));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+
+    #[test]
+    fn fft_conf1_top_predictor_is_an_absence() {
+        // §4.2.2: under the space-saving configuration, failures correlate
+        // with B2 *not* observing the shared state.
+        use stm_core::diagnose::{lcra, DiagnosisConfig};
+        use stm_core::runner::Runner;
+        use stm_core::transform::instrument;
+        use stm_machine::events::LcrConfig;
+        use stm_machine::interp::Machine;
+
+        let b = fft();
+        let opts = crate::eval::reactive_options(&b, false, Some(LcrConfig::SPACE_SAVING));
+        let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+        let (failing, passing) = crate::eval::expand_workloads(&b, &runner);
+        let d = lcra(&runner, &failing, &passing, &b.truth.spec, &DiagnosisConfig::default());
+        let fpe = b.truth.fpe.unwrap();
+        let top = d.top().expect("a predictor");
+        assert_eq!(top.event.loc, fpe.loc);
+        assert_eq!(top.event.state, CoherenceState::Shared);
+        assert_eq!(top.polarity, stm_core::ranking::Polarity::Absent);
+    }
+
+    #[test]
+    fn lu_matches_table7_row() {
+        let b = lu();
+        assert_workloads_classify(&b);
+        assert_eq!(lcrlog_position(&b, true), Some(4));
+        assert_eq!(lcrlog_position(&b, false), Some(6));
+        assert_eq!(lcra_rank(&b), Some(1));
+    }
+}

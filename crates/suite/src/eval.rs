@@ -1,0 +1,318 @@
+//! Shared evaluation drivers: run one benchmark through LBRLOG / LBRA /
+//! LCRLOG / LCRA exactly as the paper's experiments do, and report the
+//! measured positions/ranks that Tables 6 and 7 tabulate.
+
+use crate::benchmark::{Benchmark, BugClass};
+use serde::{Deserialize, Serialize};
+use stm_core::diagnose::{find_workloads, lbra, lcra, DiagnosisConfig, LbraDiagnosis, LcraDiagnosis};
+use stm_core::logging::failure_log_for;
+use stm_core::runner::{FailureSpec, RunClass, Runner, Workload};
+use stm_core::transform::{instrument, InstrumentOptions};
+use stm_machine::events::LcrConfig;
+use stm_machine::interp::Machine;
+use stm_machine::ir::SourceLoc;
+
+/// How many seeds to scan when expanding concurrency workloads.
+const SEED_SCAN: u64 = 400;
+
+/// Builds the reactive-scheme instrumentation options implied by a
+/// benchmark's ground truth (the failure has been observed once; §5.2).
+pub fn reactive_options(b: &Benchmark, lbr: bool, lcr_config: Option<LcrConfig>) -> InstrumentOptions {
+    let log_sites = match &b.truth.spec {
+        FailureSpec::ErrorLogAt(site) => vec![*site],
+        _ => Vec::new(),
+    };
+    let fault_locs = b.truth.fault_locs.clone();
+    let mut opts = match lcr_config {
+        Some(cfg) => InstrumentOptions::lcra_reactive(cfg, log_sites, fault_locs),
+        None => InstrumentOptions::lbra_reactive(log_sites, fault_locs),
+    };
+    opts.lbr = lbr || lcr_config.is_none();
+    opts
+}
+
+/// An LBRLOG deployment of the benchmark.
+pub fn lbrlog_runner(b: &Benchmark, toggling: bool) -> Runner {
+    let opts = if toggling {
+        InstrumentOptions::lbrlog()
+    } else {
+        InstrumentOptions::lbrlog_without_toggling()
+    };
+    Runner::new(Machine::new(instrument(&b.program, &opts)))
+}
+
+/// An LCRLOG deployment of the benchmark.
+pub fn lcrlog_runner(b: &Benchmark, config: LcrConfig) -> Runner {
+    Runner::new(Machine::new(instrument(
+        &b.program,
+        &InstrumentOptions::lcrlog(config),
+    )))
+}
+
+/// Expands the benchmark's workloads into concrete failing/passing sets.
+/// Sequential benchmarks fail deterministically; concurrency benchmarks
+/// scan scheduler seeds for reproducing/avoiding interleavings.
+pub fn expand_workloads(b: &Benchmark, runner: &Runner) -> (Vec<Workload>, Vec<Workload>) {
+    match b.info.bug_class {
+        BugClass::Sequential => (b.workloads.failing.clone(), b.workloads.passing.clone()),
+        BugClass::Concurrency => {
+            let mut failing = Vec::new();
+            for base in &b.workloads.failing {
+                failing.extend(find_workloads(
+                    runner,
+                    base,
+                    &b.truth.spec,
+                    RunClass::TargetFailure,
+                    12,
+                    base.seed..base.seed + SEED_SCAN,
+                ));
+            }
+            let mut passing = Vec::new();
+            for base in &b.workloads.passing {
+                passing.extend(find_workloads(
+                    runner,
+                    base,
+                    &b.truth.spec,
+                    RunClass::Success,
+                    12,
+                    base.seed..base.seed + SEED_SCAN,
+                ));
+            }
+            (failing, passing)
+        }
+    }
+}
+
+/// Runs the benchmark under LBRLOG and returns the ring position of the
+/// target (root-cause or related) branch in the first reproduced failure —
+/// a Table 6 "LBRLOG" cell.
+pub fn lbrlog_position(b: &Benchmark, toggling: bool) -> Option<usize> {
+    let runner = lbrlog_runner(b, toggling);
+    let (failing, _) = expand_workloads(b, &runner);
+    let target = b.truth.target_branch()?;
+    for w in &failing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        if class != RunClass::TargetFailure {
+            continue;
+        }
+        let log = failure_log_for(&runner, &report, &b.truth.spec)?;
+        return log.lbr_position_of_branch(target);
+    }
+    None
+}
+
+/// Like [`lbrlog_position`], but with a custom LBR capacity — the E7
+/// capacity-sensitivity experiment (4 entries on Pentium 4, 8 on
+/// Pentium M, 16 on Nehalem, §2.1).
+pub fn lbrlog_position_with_entries(b: &Benchmark, entries: usize) -> Option<usize> {
+    let runner = lbrlog_runner(b, true).with_hw_config(stm_hardware::HwConfig {
+        lbr_entries: entries,
+        ..stm_hardware::HwConfig::default()
+    });
+    let (failing, _) = expand_workloads(b, &runner);
+    let target = b.truth.target_branch()?;
+    for w in &failing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        if class != RunClass::TargetFailure {
+            continue;
+        }
+        let log = failure_log_for(&runner, &report, &b.truth.spec)?;
+        return log.lbr_position_of_branch(target);
+    }
+    None
+}
+
+/// Measured patch distances (Table 6's "Patch distance" columns):
+/// `(failure_site_to_patch, nearest_lbr_branch_to_patch)`; `None` = ∞
+/// (different file, or branch not captured).
+pub fn patch_distances(b: &Benchmark) -> (Option<u32>, Option<u32>) {
+    let dist = |a: SourceLoc, p: SourceLoc| -> Option<u32> {
+        (a.file == p.file).then(|| a.line.abs_diff(p.line))
+    };
+    let fail_dist = b
+        .truth
+        .patch_locs
+        .iter()
+        .filter_map(|p| dist(b.truth.failure_site_loc, *p))
+        .min();
+
+    let runner = lbrlog_runner(b, true);
+    let (failing, _) = expand_workloads(b, &runner);
+    let mut lbr_dist: Option<u32> = None;
+    for w in &failing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        if class != RunClass::TargetFailure {
+            continue;
+        }
+        if let Some(log) = failure_log_for(&runner, &report, &b.truth.spec) {
+            for e in &log.lbr {
+                if let Some(stm_machine::layout::Decoded::SourceBranch { loc, .. }) = e.decoded {
+                    for p in &b.truth.patch_locs {
+                        if let Some(d) = dist(loc, *p) {
+                            lbr_dist = Some(lbr_dist.map_or(d, |x| x.min(d)));
+                        }
+                    }
+                }
+            }
+        }
+        break;
+    }
+    (fail_dist, lbr_dist)
+}
+
+/// Runs LBRA (reactive scheme, 10 + 10 runs) and returns the diagnosis.
+pub fn run_lbra(b: &Benchmark) -> LbraDiagnosis {
+    let opts = reactive_options(b, true, None);
+    let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+    let (failing, passing) = expand_workloads(b, &runner);
+    let mut d = lbra(
+        &runner,
+        &failing,
+        &passing,
+        &b.truth.spec,
+        &DiagnosisConfig::default(),
+    );
+    d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
+    d
+}
+
+/// The LBRA rank of the benchmark's target branch — a Table 6 "LBRA" cell.
+pub fn lbra_rank(b: &Benchmark) -> Option<usize> {
+    let target = b.truth.target_branch()?;
+    run_lbra(b).rank_of_branch(target)
+}
+
+/// Runs the benchmark under LCRLOG with the given configuration and
+/// returns the ring position of the failure-predicting event — a Table 7
+/// "LCRLOG" cell.
+///
+/// For FPEs whose space-saving signal is an *absence* (read-too-early
+/// order violations), the reported position is that of the corresponding
+/// record in a success-run profile — the entry whose disappearance the
+/// developer keys on (§4.2.2).
+pub fn lcrlog_position(b: &Benchmark, space_saving: bool) -> Option<usize> {
+    let fpe = b.truth.fpe?;
+    let config = if space_saving {
+        LcrConfig::SPACE_SAVING
+    } else {
+        LcrConfig::SPACE_CONSUMING
+    };
+    let state = if space_saving {
+        fpe.conf1_state?
+    } else {
+        fpe.conf2_state?
+    };
+    if space_saving && fpe.conf1_is_absence {
+        // Collect a success-site profile instead.
+        let opts = reactive_options(b, false, Some(config));
+        let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+        let (_, passing) = expand_workloads(b, &runner);
+        for w in &passing {
+            let (report, class) = runner.run_classified(w, &b.truth.spec);
+            if class != RunClass::Success {
+                continue;
+            }
+            let Some(prof) = report
+                .profiles_with_role(stm_machine::ir::ProfileRole::SuccessSite)
+                .last()
+            else {
+                continue; // this run never reached the success site
+            };
+            if let stm_machine::report::ProfileData::Lcr(records) = &prof.data {
+                return stm_core::profile::lcr_position_of_event(
+                    runner.machine().layout(),
+                    records,
+                    fpe.loc,
+                    state,
+                );
+            }
+        }
+        return None;
+    }
+    let runner = lcrlog_runner(b, config);
+    let (failing, _) = expand_workloads(b, &runner);
+    for w in &failing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        if class != RunClass::TargetFailure {
+            continue;
+        }
+        let log = failure_log_for(&runner, &report, &b.truth.spec)?;
+        return log.lcr_position_of_event(fpe.loc, state);
+    }
+    None
+}
+
+/// Runs LCRA (reactive, Conf2, 10 + 10 runs) and returns the diagnosis.
+pub fn run_lcra(b: &Benchmark) -> LcraDiagnosis {
+    let opts = reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING));
+    let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+    let (failing, passing) = expand_workloads(b, &runner);
+    lcra(
+        &runner,
+        &failing,
+        &passing,
+        &b.truth.spec,
+        &DiagnosisConfig::default(),
+    )
+}
+
+/// The LCRA rank of the benchmark's FPE — a Table 7 "LCRA" cell.
+pub fn lcra_rank(b: &Benchmark) -> Option<usize> {
+    let fpe = b.truth.fpe?;
+    let state = fpe.conf2_state?;
+    run_lcra(b).rank_of_event(fpe.loc, state)
+}
+
+/// One measured Table 6 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeqRow {
+    /// Benchmark id.
+    pub id: String,
+    /// LBRLOG position with toggling.
+    pub lbrlog_tog: Option<usize>,
+    /// LBRLOG position without toggling.
+    pub lbrlog_no_tog: Option<usize>,
+    /// LBRA rank of the target branch.
+    pub lbra: Option<usize>,
+    /// Measured failure-site→patch distance (None = ∞).
+    pub dist_failure: Option<u32>,
+    /// Measured nearest-LBR-branch→patch distance (None = ∞).
+    pub dist_lbr: Option<u32>,
+}
+
+/// Evaluates a sequential benchmark end to end (one Table 6 row, minus the
+/// CBI and overhead columns, which have their own harnesses).
+pub fn evaluate_sequential(b: &Benchmark) -> SeqRow {
+    let (dist_failure, dist_lbr) = patch_distances(b);
+    SeqRow {
+        id: b.info.id.to_string(),
+        lbrlog_tog: lbrlog_position(b, true),
+        lbrlog_no_tog: lbrlog_position(b, false),
+        lbra: lbra_rank(b),
+        dist_failure,
+        dist_lbr,
+    }
+}
+
+/// One measured Table 7 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcRow {
+    /// Benchmark id.
+    pub id: String,
+    /// LCRLOG position under the space-saving Conf1.
+    pub lcrlog_conf1: Option<usize>,
+    /// LCRLOG position under the space-consuming Conf2.
+    pub lcrlog_conf2: Option<usize>,
+    /// LCRA rank of the FPE.
+    pub lcra: Option<usize>,
+}
+
+/// Evaluates a concurrency benchmark end to end (one Table 7 row).
+pub fn evaluate_concurrency(b: &Benchmark) -> ConcRow {
+    ConcRow {
+        id: b.info.id.to_string(),
+        lcrlog_conf1: lcrlog_position(b, true),
+        lcrlog_conf2: lcrlog_position(b, false),
+        lcra: lcra_rank(b),
+    }
+}

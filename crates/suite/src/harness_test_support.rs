@@ -1,0 +1,36 @@
+//! Assertions shared by the benchmark unit tests.
+
+pub use crate::eval::{lbra_rank, lbrlog_position, lcra_rank, lcrlog_position, patch_distances};
+use crate::benchmark::Benchmark;
+use crate::eval::{expand_workloads, lbrlog_runner};
+use stm_core::runner::RunClass;
+
+/// Asserts that every failing workload reproduces the target failure and
+/// every passing workload completes successfully under an LBRLOG
+/// deployment.
+pub fn assert_workloads_classify(b: &Benchmark) {
+    let runner = lbrlog_runner(b, true);
+    let (failing, passing) = expand_workloads(b, &runner);
+    assert!(!failing.is_empty(), "{}: no failing workloads", b.info.id);
+    assert!(!passing.is_empty(), "{}: no passing workloads", b.info.id);
+    for w in &failing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        assert_eq!(
+            class,
+            RunClass::TargetFailure,
+            "{}: workload {w:?} did not reproduce the failure: {:?}",
+            b.info.id,
+            report.outcome
+        );
+    }
+    for w in &passing {
+        let (report, class) = runner.run_classified(w, &b.truth.spec);
+        assert_eq!(
+            class,
+            RunClass::Success,
+            "{}: workload {w:?} did not pass: {:?}",
+            b.info.id,
+            report.outcome
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # stm-suite — the 31 real-world failures of the evaluation
+//!
+//! Each benchmark models one failure of the paper's Table 4 as an IR
+//! program that structurally mirrors the real bug: same bug class, same
+//! root-cause→failure propagation in branches, same symptom, same logging
+//! topology (see DESIGN.md for the substitution argument). Ground truth
+//! (root-cause branch, patch lines, failure-predicting event) rides along
+//! so the harnesses can score diagnoses automatically.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmark;
+pub mod conc;
+pub mod eval;
+pub mod libc;
+pub mod patterns;
+pub mod seq;
+pub mod util;
+
+#[cfg(test)]
+pub(crate) mod harness_test_support;
+
+pub use benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, FpeSpec, GroundTruth, Language, PaperExpectations,
+    PaperMark, RootCauseKind, Symptom, Workloads,
+};
+
+/// All sequential benchmarks (Table 6 rows, in table order).
+pub fn sequential() -> Vec<Benchmark> {
+    vec![
+        seq::apache::apache1(),
+        seq::apache::apache2(),
+        seq::apache::apache3(),
+        seq::coreutils::cp(),
+        seq::cppcheck::cppcheck1(),
+        seq::cppcheck::cppcheck2(),
+        seq::cppcheck::cppcheck3(),
+        seq::servers::lighttpd(),
+        seq::coreutils::ln(),
+        seq::coreutils::mv(),
+        seq::coreutils::paste(),
+        seq::archives::pbzip1(),
+        seq::archives::pbzip2(),
+        seq::coreutils::rm(),
+        seq::coreutils::sort(),
+        seq::servers::squid1(),
+        seq::servers::squid2(),
+        seq::coreutils::tac(),
+        seq::archives::tar1(),
+        seq::archives::tar2(),
+    ]
+}
+
+/// All concurrency benchmarks (Table 7 rows, in table order).
+pub fn concurrency() -> Vec<Benchmark> {
+    vec![
+        conc::apache::apache4(),
+        conc::apache::apache5(),
+        conc::misc::cherokee(),
+        conc::splash::fft(),
+        conc::splash::lu(),
+        conc::mozilla::mozilla_js1(),
+        conc::mozilla::mozilla_js2(),
+        conc::mozilla::mozilla_js3(),
+        conc::mysql::mysql1(),
+        conc::mysql::mysql2(),
+        conc::misc::pbzip3(),
+    ]
+}
+
+/// All 31 benchmarks.
+pub fn all() -> Vec<Benchmark> {
+    let mut v = sequential();
+    v.extend(concurrency());
+    v
+}
+
+/// Looks up a benchmark by its short id.
+pub fn by_id(id: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.info.id == id)
+}

@@ -1,0 +1,332 @@
+//! A small shared C library, modeled in IR.
+//!
+//! Library functions matter to the evaluation for one reason: their
+//! internal branches pollute LBR (and their accesses pollute LCR) unless
+//! the transformer's toggling wrappers are active (§4.3). Every benchmark
+//! links against this libc, so switching toggling off shifts — or evicts —
+//! root-cause records exactly as Table 6's "w/ tog" vs "w/o tog" columns
+//! show.
+//!
+//! Record cost per call, when recording is *not* toggled off (each loop
+//! iteration retires the header conditional plus the back-edge jump, and
+//! leaving retires the header conditional once more):
+//!
+//! | function          | recorded branches per call            |
+//! |-------------------|---------------------------------------|
+//! | `memmove(d,s,n)`  | `2n + 1`                              |
+//! | `memset(d,v,n)`   | `2n + 1`                              |
+//! | `strcmp(a,b,n)`   | `≤ 3n + 1` (early exit on mismatch)   |
+//! | `format(n)`       | `3n + 1` (inner digit/char branch)    |
+//! | `hash(k)`         | `3` (two mixing checks + loop exit)   |
+
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ids::FuncId;
+use stm_machine::ir::{BinOp, Operand};
+
+/// Function ids of the installed library.
+#[derive(Debug, Clone, Copy)]
+pub struct Libc {
+    /// `memmove(dst, src, words)`: overlapping-safe word copy.
+    pub memmove: FuncId,
+    /// `memset(dst, value, words)`.
+    pub memset: FuncId,
+    /// `strcmp(a, b, words)`: returns 0 when equal.
+    pub strcmp: FuncId,
+    /// `format(n)`: a printf-style formatting loop over `n` characters;
+    /// the standard heavy polluter on error paths.
+    pub format: FuncId,
+    /// `hash(key)`: a short mixing function.
+    pub hash: FuncId,
+}
+
+/// Emits `n` statements of record-free arithmetic — the address
+/// computation, bounds math and byte shuffling that dominates real library
+/// bodies. Keeps the per-call *branch-record* counts in the table above
+/// unchanged while giving calls realistic instruction weight.
+fn ballast(f: &mut stm_machine::builder::FunctionBuilder<'_>, seed: stm_machine::ids::VarId, n: u32) {
+    let mut v = seed;
+    for i in 0..n {
+        v = f.bin(BinOp::Add, v, 0x9E37 + i as i64);
+    }
+    let _ = v;
+}
+
+/// Installs the library into a program under construction.
+pub fn install(pb: &mut ProgramBuilder) -> Libc {
+    let memmove = pb.declare_function("memmove");
+    let memset = pb.declare_function("memset");
+    let strcmp = pb.declare_function("strcmp");
+    let format = pb.declare_function("format");
+    let hash = pb.declare_function("hash");
+
+    {
+        // memmove(dst, src, words): copy backwards (safe for our uses).
+        let mut f = pb.build_function(memmove, "libc/string.c");
+        f.set_library();
+        let ps = f.params(3);
+        let (dst, src, words) = (ps[0], ps[1], ps[2]);
+        ballast(&mut f, dst, 40);
+        let header = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        let i = f.var();
+        f.at(10);
+        f.assign(i, 0);
+        f.jmp(header);
+        f.set_block(header);
+        let c = f.bin(BinOp::Lt, i, words);
+        f.br(c, body, done);
+        f.set_block(body);
+        let off = f.bin(BinOp::Mul, i, 8);
+        let sa = f.bin(BinOp::Add, src, off);
+        let v = f.load(sa, 0);
+        let da = f.bin(BinOp::Add, dst, off);
+        f.store(da, 0, v);
+        f.assign_bin(i, BinOp::Add, i, 1);
+        f.jmp(header);
+        f.set_block(done);
+        f.ret(Some(Operand::Var(dst)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(memset, "libc/string.c");
+        f.set_library();
+        let ps = f.params(3);
+        let (dst, value, words) = (ps[0], ps[1], ps[2]);
+        ballast(&mut f, dst, 40);
+        let header = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        let i = f.var();
+        f.at(40);
+        f.assign(i, 0);
+        f.jmp(header);
+        f.set_block(header);
+        let c = f.bin(BinOp::Lt, i, words);
+        f.br(c, body, done);
+        f.set_block(body);
+        let off = f.bin(BinOp::Mul, i, 8);
+        let da = f.bin(BinOp::Add, dst, off);
+        f.store(da, 0, value);
+        f.assign_bin(i, BinOp::Add, i, 1);
+        f.jmp(header);
+        f.set_block(done);
+        f.ret(Some(Operand::Var(dst)));
+        f.finish();
+    }
+    {
+        // strcmp(a, b, words): 0 iff the first `words` words are equal.
+        let mut f = pb.build_function(strcmp, "libc/string.c");
+        f.set_library();
+        let ps = f.params(3);
+        let (a, b, words) = (ps[0], ps[1], ps[2]);
+        ballast(&mut f, a, 40);
+        let header = f.new_block();
+        let body = f.new_block();
+        let diff = f.new_block();
+        let next = f.new_block();
+        let equal = f.new_block();
+        let i = f.var();
+        f.at(70);
+        f.assign(i, 0);
+        f.jmp(header);
+        f.set_block(header);
+        let c = f.bin(BinOp::Lt, i, words);
+        f.br(c, body, equal);
+        f.set_block(body);
+        let off = f.bin(BinOp::Mul, i, 8);
+        let aa = f.bin(BinOp::Add, a, off);
+        let va = f.load(aa, 0);
+        let ba = f.bin(BinOp::Add, b, off);
+        let vb = f.load(ba, 0);
+        let ne = f.bin(BinOp::Ne, va, vb);
+        f.br(ne, diff, next);
+        f.set_block(diff);
+        let d = f.bin(BinOp::Sub, va, vb);
+        f.ret(Some(Operand::Var(d)));
+        f.set_block(next);
+        f.assign_bin(i, BinOp::Add, i, 1);
+        f.jmp(header);
+        f.set_block(equal);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        // format(n): the per-character branch structure of a printf.
+        let mut f = pb.build_function(format, "libc/stdio.c");
+        f.set_library();
+        let ps = f.params(1);
+        let n = ps[0];
+        ballast(&mut f, n, 40);
+        let header = f.new_block();
+        let body = f.new_block();
+        let digit = f.new_block();
+        let join = f.new_block();
+        let done = f.new_block();
+        let i = f.var();
+        let acc = f.var();
+        f.at(100);
+        f.assign(i, 0);
+        f.assign(acc, 0);
+        f.jmp(header);
+        f.set_block(header);
+        let c = f.bin(BinOp::Lt, i, n);
+        f.br(c, body, done);
+        f.set_block(body);
+        let is_digit = f.bin(BinOp::Rem, i, 2);
+        f.br(is_digit, digit, join);
+        f.set_block(digit);
+        f.assign_bin(acc, BinOp::Add, acc, 10);
+        f.jmp(join);
+        f.set_block(join);
+        f.assign_bin(acc, BinOp::Add, acc, 1);
+        f.assign_bin(i, BinOp::Add, i, 1);
+        f.jmp(header);
+        f.set_block(done);
+        f.ret(Some(Operand::Var(acc)));
+        f.finish();
+    }
+    {
+        // hash(key): two mixing rounds with a parity check each.
+        let mut f = pb.build_function(hash, "libc/hash.c");
+        f.set_library();
+        let ps = f.params(1);
+        let k = ps[0];
+        ballast(&mut f, k, 40);
+        let odd1 = f.new_block();
+        let j1 = f.new_block();
+        let odd2 = f.new_block();
+        let j2 = f.new_block();
+        let h = f.var();
+        f.at(130);
+        f.assign_bin(h, BinOp::Mul, k, 2654435761i64);
+        let p1 = f.bin(BinOp::And, h, 1);
+        f.br(p1, odd1, j1);
+        f.set_block(odd1);
+        f.assign_bin(h, BinOp::Xor, h, 0x9E37);
+        f.jmp(j1);
+        f.set_block(j1);
+        f.assign_bin(h, BinOp::Shr, h, 3);
+        let p2 = f.bin(BinOp::And, h, 1);
+        f.br(p2, odd2, j2);
+        f.set_block(odd2);
+        f.assign_bin(h, BinOp::Xor, h, 0x79B9);
+        f.jmp(j2);
+        f.set_block(j2);
+        let masked = f.bin(BinOp::And, h, 0x7FFF_FFFF);
+        f.ret(Some(Operand::Var(masked)));
+        f.finish();
+    }
+
+    Libc {
+        memmove,
+        memset,
+        strcmp,
+        format,
+        hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::events::NullHardware;
+    use stm_machine::interp::{Machine, RunConfig};
+
+    fn run_libcall(build: impl FnOnce(&mut ProgramBuilder, &Libc, FuncId)) -> Vec<i64> {
+        let mut pb = ProgramBuilder::new("t");
+        let libc = install(&mut pb);
+        let main = pb.declare_function("main");
+        build(&mut pb, &libc, main);
+        let m = Machine::new(pb.finish(main));
+        m.run(&[], &RunConfig::default(), &mut NullHardware).outputs
+    }
+
+    #[test]
+    fn memmove_copies_words() {
+        let out = run_libcall(|pb, libc, main| {
+            let mut f = pb.build_function(main, "m.c");
+            let src = f.alloc(3);
+            let dst = f.alloc(3);
+            for i in 0..3 {
+                f.store(src, i * 8, 100 + i);
+            }
+            f.call_void(libc.memmove, &[dst.into(), src.into(), Operand::Const(3)]);
+            for i in 0..3 {
+                let v = f.load(dst, i * 8);
+                f.output(v);
+            }
+            f.ret(None);
+            f.finish();
+        });
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn memset_fills() {
+        let out = run_libcall(|pb, libc, main| {
+            let mut f = pb.build_function(main, "m.c");
+            let dst = f.alloc(2);
+            f.call_void(libc.memset, &[dst.into(), Operand::Const(7), Operand::Const(2)]);
+            let a = f.load(dst, 0);
+            let b = f.load(dst, 8);
+            f.output(a);
+            f.output(b);
+            f.ret(None);
+            f.finish();
+        });
+        assert_eq!(out, vec![7, 7]);
+    }
+
+    #[test]
+    fn strcmp_discriminates() {
+        let out = run_libcall(|pb, libc, main| {
+            let mut f = pb.build_function(main, "m.c");
+            let a = f.alloc(2);
+            let b = f.alloc(2);
+            for (buf, v) in [(a, 5), (b, 5)] {
+                f.store(buf, 0, v);
+                f.store(buf, 8, v + 1);
+            }
+            let eq = f.call(libc.strcmp, &[a.into(), b.into(), Operand::Const(2)]);
+            f.output(eq);
+            f.store(b, 8, 99);
+            let ne = f.call(libc.strcmp, &[a.into(), b.into(), Operand::Const(2)]);
+            f.output(ne);
+            f.ret(None);
+            f.finish();
+        });
+        assert_eq!(out[0], 0);
+        assert_ne!(out[1], 0);
+    }
+
+    #[test]
+    fn format_and_hash_return_deterministic_values() {
+        let out = run_libcall(|pb, libc, main| {
+            let mut f = pb.build_function(main, "m.c");
+            let x = f.call(libc.format, &[Operand::Const(4)]);
+            f.output(x);
+            let h1 = f.call(libc.hash, &[Operand::Const(42)]);
+            let h2 = f.call(libc.hash, &[Operand::Const(42)]);
+            let same = f.bin(BinOp::Eq, h1, h2);
+            f.output(same);
+            f.ret(None);
+            f.finish();
+        });
+        assert_eq!(out[0], 24); // 4 chars: 2 digits (+10 each) + 4 (+1 each)
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn all_libc_functions_are_library_flagged() {
+        let mut pb = ProgramBuilder::new("t");
+        let _ = install(&mut pb);
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        f.ret(None);
+        f.finish();
+        let p = pb.finish(main);
+        let libs = p.functions.iter().filter(|f| f.is_library).count();
+        assert_eq!(libs, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! The six concurrency-bug interleaving patterns of the paper's Table 3,
+//! as minimal runnable programs with their failure-predicting events
+//! (FPEs). These are the didactic core of §4.2.2: for every common bug
+//! class, which coherence state does the failure thread's access observe,
+//! and does the FPE live in the failure thread at all?
+
+use crate::conc::NoiseGlobals;
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, Program, SourceLoc};
+
+/// One Table 3 row: the pattern's program plus its FPE expectation.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Row name (`RWR`, `RWW`, `WWR`, `WRW`, `read-too-early`,
+    /// `read-too-late`).
+    pub name: &'static str,
+    /// Bug class per Table 3.
+    pub bug_type: &'static str,
+    /// The FPE the table predicts (state letter at the `a2`/`B` access),
+    /// or `None` for WRW, where the event is not in the failure thread.
+    pub fpe: Option<(&'static str, SourceLoc)>,
+    /// Does the FPE (almost) always exist in the failure thread?
+    pub fpe_in_failure_thread: &'static str,
+    /// The program.
+    pub program: Program,
+    /// The failure specification.
+    pub spec: FailureSpec,
+    /// A base workload (scan seeds for failing/passing interleavings).
+    pub base: Workload,
+}
+
+fn two_thread(
+    name: &'static str,
+    build_interloper: impl FnOnce(&mut ProgramBuilder, u64) -> stm_machine::ids::FuncId,
+    a2_is_store: bool,
+) -> (Program, SourceLoc, stm_machine::ids::LogSiteId) {
+    let mut pb = ProgramBuilder::new(name);
+    let noise = NoiseGlobals::install(&mut pb);
+    let shared = pb.global("ptr", 1);
+    let interloper = build_interloper(&mut pb, shared);
+    let main = pb.declare_function("main");
+    let site;
+    let a2_line = 50;
+    {
+        let mut f = pb.build_function(main, "pattern.c");
+        let err = f.new_block();
+        let ok = f.new_block();
+        noise.warm_failure_thread(&mut f);
+        let obj = f.alloc(2);
+        f.store(obj, 0, 5);
+        f.at(40);
+        f.store(shared as i64, 0, obj); // a1-ish setup
+        let t = f.spawn(interloper, &[]);
+        f.yield_now();
+        f.at(45);
+        let v1 = f.load(shared as i64, 0); // a1 (read patterns)
+        f.yield_now();
+        f.at(a2_line);
+        let v2 = if a2_is_store {
+            let sum = f.bin(BinOp::Add, v1, 1);
+            f.store(shared as i64, 0, sum); // a2 = write
+            sum
+        } else {
+            f.load(shared as i64, 0) // a2 = read
+        };
+        let bad = f.bin(BinOp::Eq, v2, 0);
+        f.at(52);
+        f.br(bad, err, ok);
+        f.set_block(err);
+        f.at(54);
+        site = f.log_error("pattern failure");
+        f.join(t);
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.join(t);
+        f.output(1);
+        f.ret(None);
+        f.finish();
+    }
+    let p = pb.finish(main);
+    let file = p.function(main).file;
+    (p, SourceLoc::new(file, a2_line), site)
+}
+
+/// Builds all six Table 3 patterns.
+pub fn table3_patterns() -> Vec<Pattern> {
+    let nuller = |pb: &mut ProgramBuilder, shared: u64| {
+        let f_id = pb.declare_function("interloper");
+        let mut f = pb.build_function(f_id, "interloper.c");
+        f.yield_now();
+        f.store(shared as i64, 0, 0); // a3
+        f.ret(None);
+        f.finish();
+        f_id
+    };
+    let (p_rwr, a2, site) = two_thread("rwr", nuller, false);
+    let rwr = Pattern {
+        name: "RWR",
+        bug_type: "Atomicity Violation",
+        fpe: Some(("I", a2)),
+        fpe_in_failure_thread: "almost always",
+        program: p_rwr,
+        spec: FailureSpec::ErrorLogAt(site),
+        base: Workload::new(vec![]),
+    };
+
+    // RWW is Table 3's bank-balance example — exactly the MySQL-2 shape:
+    // `tmp = cnt + deposit; cnt = tmp` clobbering the other session's
+    // deposit, with the FPE at the clobbering write.
+    let mysql2 = crate::conc::mysql::mysql2();
+    let fpe2 = mysql2.truth.fpe.unwrap();
+    let rww = Pattern {
+        name: "RWW",
+        bug_type: "Atomicity Violation",
+        fpe: Some(("I", fpe2.loc)),
+        fpe_in_failure_thread: "often",
+        program: mysql2.program,
+        spec: mysql2.truth.spec,
+        base: Workload::new(vec![]),
+    };
+
+    let (p_wwr, a2, site) = two_thread("wwr", nuller, false);
+    let wwr = Pattern {
+        name: "WWR",
+        bug_type: "Atomicity Violation",
+        fpe: Some(("I", a2)),
+        fpe_in_failure_thread: "almost always (Fig. 4)",
+        program: p_wwr,
+        spec: FailureSpec::ErrorLogAt(site),
+        base: Workload::new(vec![]),
+    };
+
+    // WRW: the failure-predicting event is in the *other* thread; reuse the
+    // mysql1 shape, where the crash thread's read observes Invalid in
+    // success runs too.
+    let mysql1 = crate::conc::mysql::mysql1();
+    let wrw = Pattern {
+        name: "WRW",
+        bug_type: "Atomicity Violation",
+        fpe: None,
+        fpe_in_failure_thread: "sometimes (not here)",
+        program: mysql1.program,
+        spec: mysql1.truth.spec,
+        base: Workload::new(vec![]),
+    };
+
+    let fft = crate::conc::splash::fft();
+    let fpe = fft.truth.fpe.unwrap();
+    let early = Pattern {
+        name: "read-too-early",
+        bug_type: "Order Violation",
+        fpe: Some(("E", fpe.loc)),
+        fpe_in_failure_thread: "often (Fig. 5)",
+        program: fft.program,
+        spec: fft.truth.spec,
+        base: fft.workloads.failing[0].clone(),
+    };
+
+    let pbzip3 = crate::conc::misc::pbzip3();
+    let fpe = pbzip3.truth.fpe.unwrap();
+    let late = Pattern {
+        name: "read-too-late",
+        bug_type: "Order Violation",
+        fpe: Some(("I", fpe.loc)),
+        fpe_in_failure_thread: "often (Fig. 6)",
+        program: pbzip3.program,
+        spec: pbzip3.truth.spec,
+        base: pbzip3.workloads.failing[0].clone(),
+    };
+
+    vec![rwr, rww, wwr, wrw, early, late]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::diagnose::find_workloads;
+    use stm_core::runner::{RunClass, Runner};
+    use stm_core::transform::{instrument, InstrumentOptions};
+    use stm_machine::events::LcrConfig;
+    use stm_machine::interp::Machine;
+
+    #[test]
+    fn all_six_patterns_exist_and_validate() {
+        let ps = table3_patterns();
+        assert_eq!(ps.len(), 6);
+        for p in &ps {
+            p.program.validate().unwrap();
+        }
+    }
+
+    /// For every pattern with an in-failure-thread FPE, the failing
+    /// interleaving's LCR contains the predicted coherence event.
+    #[test]
+    fn fpe_states_match_table3() {
+        for p in table3_patterns() {
+            let Some((state, loc)) = p.fpe else { continue };
+            let runner = Runner::new(Machine::new(instrument(
+                &p.program,
+                &InstrumentOptions::lcrlog(LcrConfig::SPACE_CONSUMING),
+            )));
+            let failing = find_workloads(
+                &runner,
+                &p.base,
+                &p.spec,
+                RunClass::TargetFailure,
+                3,
+                0..300,
+            );
+            assert!(!failing.is_empty(), "{}: no failing interleaving", p.name);
+            let (report, _) = runner.run_classified(&failing[0], &p.spec);
+            let log = stm_core::logging::failure_log_for(&runner, &report, &p.spec)
+                .unwrap_or_else(|| panic!("{}: no failure profile", p.name));
+            let want = match state {
+                "I" => stm_machine::events::CoherenceState::Invalid,
+                "E" => stm_machine::events::CoherenceState::Exclusive,
+                other => panic!("unexpected state {other}"),
+            };
+            assert!(
+                log.lcr_position_of_event(loc, want).is_some(),
+                "{}: FPE ({state} at {loc}) not in LCR:\n{}",
+                p.name,
+                stm_core::logging::render_failure_log(&runner, &log)
+            );
+        }
+    }
+}

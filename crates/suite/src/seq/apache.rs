@@ -1,0 +1,439 @@
+//! Sequential-bug benchmarks from Apache httpd (Table 4: Apache 1–3).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, GroundTruth, Language, PaperExpectations, PaperMark,
+    RootCauseKind, Symptom, Workloads,
+};
+use crate::libc;
+use crate::util::{counted_loop, guard, guard_ret, pad_checks};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, Operand, SourceLoc};
+
+/// Apache 1 (httpd 2.0.43): a configuration error — a mod_alias directive
+/// flag is mis-parsed, and the server-wide configuration check aborts
+/// startup with an error message in a different file.
+///
+/// Inputs: `[alias_flag]`.
+pub fn apache1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("apache1");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let parse_alias = pb.declare_function("parse_alias_directive");
+    let check_config = pb.declare_function("ap_check_config");
+
+    let patch_line = 139;
+    let root_line = 142;
+    let fail_line = 310;
+    let site;
+    {
+        let mut f = pb.build_function(parse_alias, "modules/mapper/mod_alias.c");
+        let ps = f.params(1); // raw flag
+        let redirect = f.new_block();
+        let plain = f.new_block();
+        f.at(patch_line);
+        // The patch fixes this flag computation (3 lines above the branch).
+        let is_redirect = f.bin(BinOp::Gt, ps[0], 0);
+        f.at(root_line);
+        f.br(is_redirect, redirect, plain); // root cause: wrong edge for "0"
+        f.set_block(redirect);
+        f.at(144);
+        f.ret(Some(Operand::Const(1))); // mis-registered as a redirect
+        f.set_block(plain);
+        f.at(146);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(check_config, "server/config.c");
+        let ps = f.params(1); // redirect-without-status marker
+        pad_checks(&mut f, 1, 305, ps[0]);
+        f.at(fail_line);
+        let ok = f.un(stm_machine::ir::UnOp::Not, ps[0]);
+        site = guard_ret(
+            &mut f,
+            ok,
+            "Syntax error: Redirect needs a status or URL",
+            -1,
+        );
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "server/main.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let flag = f.read_input(0);
+        let sane = f.bin(BinOp::Ge, flag, 0);
+        guard(&mut f, sane, "bad command line");
+        f.at(30);
+        let marker = f.call(parse_alias, &[flag.into()]);
+        f.at(32);
+        let rc = f.call(check_config, &[marker.into()]);
+        let started = f.bin(BinOp::Ge, rc, 0);
+        guard(&mut f, started, "httpd: configuration failed");
+        f.output(1);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let alias_c = program.function(parse_alias).file;
+    let config_c = program.function(check_config).file;
+    let root_loc = SourceLoc::new(alias_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == parse_alias && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "apache1",
+            app: "Apache",
+            version: "2.0.43",
+            language: Language::C,
+            root_cause: RootCauseKind::Config,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "mis-parsed mod_alias directive flag aborts startup from the \
+                          server-wide config check",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(3)),
+                lbrlog_no_tog: Some(PaperMark::Found(3)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(2)),
+                patch_dist_failure: None, // ∞
+                patch_dist_lbr: Some(3),
+                has_patch_distance: true,
+                kloc: 273.0,
+                log_points: 2534,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(alias_c, patch_line)],
+            failure_site_loc: SourceLoc::new(config_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1])],
+            passing: vec![
+                Workload::new(vec![0]),
+                Workload::new(vec![0]).with_seed(1),
+                Workload::new(vec![0]).with_seed(2),
+            ],
+            perf: Workload::new(vec![0]),
+        },
+        program,
+    }
+}
+
+/// Apache 2 (httpd 2.2.3): a semantic bug with a long propagation
+/// distance. The root-cause branch retires early in request handling and
+/// is evicted from the 16-entry window; LBR still captures a related
+/// branch in the same file, 475 lines from the patch. CBI cannot rank any
+/// related predicate: benign requests exercise the same outcomes in every
+/// run, so `Increase ≤ 0` filters them all.
+///
+/// Inputs: `[n_requests, req_0, req_1, ...]` with request kinds
+/// `0` (plain), `1` (chunked, benign) and `2` (chunked with the trailer
+/// that triggers the bug).
+pub fn apache2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("apache2");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let handle_request = pb.declare_function("ap_http_filter");
+    let commit_body = pb.declare_function("ap_commit_body");
+
+    let root_line = 80;
+    let related_line = 555;
+    let fail_line = 92;
+    let site;
+    {
+        // Committing the body happens in the core output filter — a
+        // different file from the patch.
+        let mut f = pb.build_function(commit_body, "server/protocol.c");
+        let ps = f.params(1); // stale marker
+        f.at(fail_line);
+        let ok = f.un(stm_machine::ir::UnOp::Not, ps[0]);
+        site = guard_ret(&mut f, ok, "chunked body length mismatch", -1);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(handle_request, "modules/http/http_filters.c");
+        let ps = f.params(1); // request kind
+        let kind = ps[0];
+        let chunked_blk = f.new_block();
+        let plain_blk = f.new_block();
+        let after_root = f.new_block();
+        let trailer_blk = f.new_block();
+        let no_trailer = f.new_block();
+        f.at(root_line);
+        // Root cause: the dechunking state machine forgets to reset the
+        // body counter for chunked requests (patched here).
+        let chunked = f.bin(BinOp::Ge, kind, 1);
+        f.br(chunked, chunked_blk, plain_blk);
+        f.set_block(chunked_blk);
+        f.at(82);
+        f.jmp(after_root);
+        f.set_block(plain_blk);
+        f.at(84);
+        f.jmp(after_root); // fall-through
+        f.set_block(after_root);
+        // The body of request processing: enough retired branches to evict
+        // the root-cause record from a 16-entry LBR.
+        pad_checks(&mut f, 15, 600, kind);
+        // Trailer validation only runs for the buggy request shape.
+        f.at(585);
+        let bad_trailer = f.bin(BinOp::Eq, kind, 2);
+        f.br(bad_trailer, trailer_blk, no_trailer);
+        f.set_block(trailer_blk);
+        f.at(587);
+        let stale = f.var();
+        f.assign(stale, 1); // the stale counter the root cause left behind
+        f.jmp(no_trailer);
+        f.set_block(no_trailer);
+        let stale2 = f.var();
+        f.assign_bin(stale2, BinOp::Eq, kind, 2);
+        f.at(related_line);
+        // Related branch B: committing the (stale) body counter.
+        let commit = f.bin(BinOp::Ge, kind, 1);
+        let commit_blk = f.new_block();
+        let skip_commit = f.new_block();
+        f.br(commit, commit_blk, skip_commit);
+        f.set_block(commit_blk);
+        f.at(556);
+        let rc = f.call(commit_body, &[stale2.into()]);
+        f.ret(Some(rc.into()));
+        f.set_block(skip_commit);
+        f.at(558);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "server/main.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let n = f.read_input(0);
+        let have = f.bin(BinOp::Gt, n, 0);
+        guard(&mut f, have, "no requests");
+        counted_loop(&mut f, n, |f, i| {
+            f.at(30);
+            let idx = f.bin(BinOp::Add, i, 1);
+            let kind = f.read_input(idx);
+            let rc = f.call(handle_request, &[kind.into()]);
+            f.output(rc);
+        });
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let filters_c = program.function(handle_request).file;
+    let protocol_c = program.function(commit_body).file;
+    let related_loc = SourceLoc::new(filters_c, related_line);
+    let related_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == handle_request && b.loc == related_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "apache2",
+            app: "Apache",
+            version: "2.2.3",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "stale dechunking counter set early in the request is reported only \
+                          at body commit; the root-cause branch is outside the LBR window",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Related(2)),
+                lbrlog_no_tog: Some(PaperMark::Related(2)),
+                lbra: Some(PaperMark::Related(2)),
+                cbi: Some(PaperMark::Miss),
+                patch_dist_failure: None, // ∞
+                patch_dist_lbr: Some(475),
+                has_patch_distance: true,
+                kloc: 311.0,
+                log_points: 2511,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: None, // evicted
+            related_branch,
+            patch_locs: vec![SourceLoc::new(filters_c, root_line)],
+            failure_site_loc: SourceLoc::new(protocol_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            // A benign chunked request first, then the trigger.
+            failing: vec![Workload::new(vec![3, 1, 0, 2])],
+            passing: vec![
+                Workload::new(vec![3, 1, 0, 1]),
+                Workload::new(vec![2, 1, 0]),
+                Workload::new(vec![4, 0, 1, 0, 1]),
+            ],
+            perf: Workload::new(vec![4, 1, 0, 1, 0]),
+        },
+        program,
+    }
+}
+
+/// Apache 3 (httpd 2.2.9): a semantic bug where the faulty condition sits
+/// one line from the error it triggers — the easy case for every tool.
+///
+/// Inputs: `[keepalive_timeout]`.
+pub fn apache3() -> Benchmark {
+    let mut pb = ProgramBuilder::new("apache3");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let set_timeout = pb.declare_function("ap_set_keepalive");
+
+    let patch_line = 220;
+    let root_line = 221; // `if (t <= 0) return err(...)` — one line
+    let fail_line = 221;
+    let site;
+    {
+        let mut f = pb.build_function(set_timeout, "server/core.c");
+        let ps = f.params(1);
+        let t = ps[0];
+        let reject = f.new_block();
+        let accept = f.new_block();
+        let report = f.new_block();
+        f.at(patch_line);
+        // Root cause: `>` should be `>=` — zero is rejected (patched on
+        // the line computing the bound).
+        let bad = f.bin(BinOp::Le, t, 0);
+        f.at(root_line);
+        f.br(bad, reject, accept);
+        f.set_block(reject);
+        f.at(fail_line);
+        f.jmp(report); // hop to the shared error-reporting tail
+        f.set_block(accept);
+        f.at(223);
+        f.ret(Some(t.into()));
+        f.set_block(report);
+        f.at(fail_line);
+        site = f.log_error("KeepAliveTimeout must be a positive number");
+        f.exit(1);
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "server/main.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let t = f.read_input(0);
+        let sane = f.bin(BinOp::Lt, t, 1_000_000);
+        guard(&mut f, sane, "bad command line");
+        let v = f.call(set_timeout, &[t.into()]);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let core_c = program.function(set_timeout).file;
+    let root_loc = SourceLoc::new(core_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == set_timeout && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "apache3",
+            app: "Apache",
+            version: "2.2.9",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "off-by-one comparison rejects KeepAliveTimeout 0 right next to the \
+                          error message",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(2)),
+                lbrlog_no_tog: Some(PaperMark::Found(2)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: Some(1),
+                patch_dist_lbr: Some(1),
+                has_patch_distance: true,
+                kloc: 333.0,
+                log_points: 2515,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(core_c, patch_line)],
+            failure_site_loc: SourceLoc::new(core_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![0])],
+            passing: vec![
+                Workload::new(vec![5]),
+                Workload::new(vec![15]),
+                Workload::new(vec![100]),
+            ],
+            perf: Workload::new(vec![15]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn apache1_matches_table6_row() {
+        let b = apache1();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(3));
+        assert_eq!(lbrlog_position(&b, false), Some(3));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (None, Some(3)));
+    }
+
+    #[test]
+    fn apache2_matches_table6_row() {
+        let b = apache2();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(2)); // related branch
+        assert_eq!(lbrlog_position(&b, false), Some(2));
+        assert_eq!(lbra_rank(&b), Some(2)); // the trailer check ranks 1
+        assert_eq!(patch_distances(&b), (None, Some(475)));
+    }
+
+    #[test]
+    fn apache3_matches_table6_row() {
+        let b = apache3();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(2));
+        assert_eq!(lbrlog_position(&b, false), Some(2));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(1), Some(1)));
+    }
+}

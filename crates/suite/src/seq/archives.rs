@@ -1,0 +1,518 @@
+//! Sequential-bug benchmarks from GNU tar and PBZIP2 (Table 4).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, GroundTruth, Language, PaperExpectations, PaperMark,
+    RootCauseKind, Symptom, Workloads,
+};
+use crate::libc;
+use crate::util::{guard, pad_checks};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, Operand, SourceLoc, UnOp};
+
+/// tar 1 (1.22): a semantic bug — sparse-member listing mis-computes the
+/// data offset and the integrity check in a different file reports it.
+/// Table 6 row `✓4 / ✓4 / ✓1 / ✓1 / ∞ / 2`.
+///
+/// Inputs: `[sparse, member]`.
+pub fn tar1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("tar1");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let list_member = pb.declare_function("list_archive_member");
+    let verify = pb.declare_function("verify_member");
+
+    let patch_line = 158;
+    let root_line = 160;
+    let fail_line = 92; // in src/misc.c
+    let site;
+    {
+        let mut f = pb.build_function(verify, "src/misc.c");
+        let ps = f.params(1); // offset_ok
+        f.at(fail_line);
+        let ok = ps[0];
+        site = guard(&mut f, ok, "tar: skipping to next header: offset mismatch");
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(list_member, "src/list.c");
+        let ps = f.params(2); // sparse, member
+        let (sparse, member) = (ps[0], ps[1]);
+        let dense_blk = f.new_block();
+        let sparse_blk = f.new_block();
+        let merged = f.new_block();
+        f.at(patch_line);
+        // Patched here: the sparse map length is off by one block.
+        let bad_off = f.bin(BinOp::Mul, sparse, 512);
+        f.at(root_line);
+        f.br(sparse, sparse_blk, dense_blk); // root-cause branch
+        f.set_block(dense_blk);
+        f.at(root_line + 6);
+        f.jmp(merged);
+        f.set_block(sparse_blk);
+        f.at(root_line + 2);
+        f.jmp(merged); // fall-through
+        f.set_block(merged);
+        pad_checks(&mut f, 2, root_line + 8, member);
+        let ok = f.bin(BinOp::Eq, bad_off, 0);
+        f.at(root_line + 20);
+        let rc = f.call(verify, &[ok.into()]);
+        f.ret(Some(rc.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "src/tar.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let sparse = f.read_input(0);
+        let member = f.read_input(1);
+        let have = f.bin(BinOp::Gt, member, 0);
+        guard(&mut f, have, "tar: empty archive");
+        let rc = f.call(list_member, &[sparse.into(), member.into()]);
+        f.output(rc);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let list_c = program.function(list_member).file;
+    let misc_c = program.function(verify).file;
+    let root_loc = SourceLoc::new(list_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == list_member && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "tar1",
+            app: "tar",
+            version: "1.22",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "sparse-member offset mis-computed in list.c; misc.c's integrity \
+                          check reports it",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(4)),
+                lbrlog_no_tog: Some(PaperMark::Found(4)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: None, // ∞
+                patch_dist_lbr: Some(2),
+                has_patch_distance: true,
+                kloc: 82.0,
+                log_points: 243,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(list_c, patch_line)],
+            failure_site_loc: SourceLoc::new(misc_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 3])],
+            passing: vec![
+                Workload::new(vec![0, 3]),
+                Workload::new(vec![0, 7]),
+                Workload::new(vec![0, 1]),
+            ],
+            perf: Workload::new(vec![0, 5]),
+        },
+        program,
+    }
+}
+
+/// tar 2 (1.19): a semantic bug — `--occurrence` handling decrements the
+/// member budget on the wrong edge and the extraction loop reports a
+/// missing member 24 lines later, right after rendering the member name
+/// (library work that evicts the window without toggling).
+/// Table 6 row `✓2 / - / ✓1 / ✓2 / 24 / 0`.
+///
+/// Inputs: `[occurrence_mode, member]`.
+pub fn tar2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("tar2");
+    let libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let extract = pb.declare_function("extract_archive");
+
+    let root_line = 340;
+    let fail_line = 364;
+    let site;
+    {
+        let mut f = pb.build_function(extract, "src/extract.c");
+        let ps = f.params(2); // occurrence_mode, member
+        let (occ, member) = (ps[0], ps[1]);
+        let plain_blk = f.new_block();
+        let occ_blk = f.new_block();
+        let merged = f.new_block();
+        f.at(root_line);
+        f.br(occ, occ_blk, plain_blk); // root cause (patched on this line)
+        f.set_block(plain_blk);
+        f.at(root_line + 4);
+        f.jmp(merged);
+        f.set_block(occ_blk);
+        f.at(root_line + 2);
+        f.jmp(merged); // fall-through
+        f.set_block(merged);
+        // Render the member name for the report (library; evicts the
+        // window when toggling is off).
+        f.at(root_line + 10);
+        f.call_void(libc.format, &[Operand::Const(8)]);
+        f.at(fail_line);
+        let found = f.un(UnOp::Not, occ);
+        site = guard(&mut f, found, "tar: member not found in archive");
+        f.output(member);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "src/tar.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let occ = f.read_input(0);
+        let member = f.read_input(1);
+        let have = f.bin(BinOp::Gt, member, 0);
+        guard(&mut f, have, "tar: empty archive");
+        let rc = f.call(extract, &[occ.into(), member.into()]);
+        f.output(rc);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let extract_c = program.function(extract).file;
+    let root_loc = SourceLoc::new(extract_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == extract && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "tar2",
+            app: "tar",
+            version: "1.19",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "--occurrence budget decremented on the wrong edge; extraction \
+                          reports a missing member",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(2)),
+                lbrlog_no_tog: Some(PaperMark::Miss),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(2)),
+                patch_dist_failure: Some(24),
+                patch_dist_lbr: Some(0),
+                has_patch_distance: true,
+                kloc: 76.0,
+                log_points: 188,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![root_loc],
+            failure_site_loc: SourceLoc::new(extract_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 4])],
+            passing: vec![
+                Workload::new(vec![0, 4]),
+                Workload::new(vec![0, 8]),
+                Workload::new(vec![0, 2]),
+            ],
+            perf: Workload::new(vec![0, 5]),
+        },
+        program,
+    }
+}
+
+/// PBZIP 1 (1.1.5, C++): a semantic bug — the block-size negotiation
+/// rejects a legal trailing block after staging the compression buffers
+/// (library work). Table 6 row `✓4 / - / ✓1 / N/A / 41 / 1`.
+///
+/// Inputs: `[trailing_block, nblocks]`.
+pub fn pbzip1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("pbzip1");
+    let libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let compress = pb.declare_function("queueCompressBlocks");
+
+    let patch_line = 505;
+    let root_line = 506;
+    let fail_line = 546;
+    let site;
+    {
+        let mut f = pb.build_function(compress, "pbzip2.cpp");
+        let ps = f.params(2); // trailing, nblocks
+        let (trailing, nblocks) = (ps[0], ps[1]);
+        let full_blk = f.new_block();
+        let short_blk = f.new_block();
+        let merged = f.new_block();
+        f.at(root_line);
+        // Root cause: the trailing short block is flagged as an error.
+        f.br(trailing, short_blk, full_blk);
+        f.set_block(full_blk);
+        f.at(root_line + 4);
+        f.jmp(merged);
+        f.set_block(short_blk);
+        f.at(root_line + 2);
+        f.jmp(merged); // fall-through
+        f.set_block(merged);
+        // Stage the compression buffers (library).
+        f.at(root_line + 8);
+        let src = f.alloc(8);
+        let dst = f.alloc(8);
+        f.call_void(libc.memmove, &[dst.into(), src.into(), Operand::Const(8)]);
+        pad_checks(&mut f, 2, root_line + 12, nblocks);
+        f.at(fail_line);
+        let ok = f.un(UnOp::Not, trailing);
+        site = guard(&mut f, ok, "pbzip2: *ERROR: Could not allocate memory for block");
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "pbzip2.cpp");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let trailing = f.read_input(0);
+        let n = f.read_input(1);
+        let have = f.bin(BinOp::Gt, n, 0);
+        guard(&mut f, have, "pbzip2: no input");
+        let rc = f.call(compress, &[trailing.into(), n.into()]);
+        f.output(rc);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let cpp = program.function(compress).file;
+    let root_loc = SourceLoc::new(cpp, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == compress && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "pbzip1",
+            app: "PBZIP",
+            version: "1.1.5",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "legal trailing short block rejected after staging compression buffers",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(4)),
+                lbrlog_no_tog: Some(PaperMark::Miss),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: None, // N/A: C++
+                patch_dist_failure: Some(41),
+                patch_dist_lbr: Some(1),
+                has_patch_distance: true,
+                kloc: 5.7,
+                log_points: 305,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(cpp, patch_line)],
+            failure_site_loc: SourceLoc::new(cpp, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 4])],
+            passing: vec![
+                Workload::new(vec![0, 4]),
+                Workload::new(vec![0, 2]),
+                Workload::new(vec![0, 9]),
+            ],
+            perf: Workload::new(vec![0, 6]),
+        },
+        program,
+    }
+}
+
+/// PBZIP 2 (1.1.0, C++): a memory crash — the output-queue pointer is
+/// cleared on the producer-exit edge, and the very next queue access
+/// dereferences it. Table 6 row `✓1 / ✓1 / ✓1 / N/A / 12 / 1`.
+///
+/// Inputs: `[producer_exited]`.
+pub fn pbzip2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("pbzip2");
+    let _libc = libc::install(&mut pb);
+    let queue_g = pb.global("output_queue", 1);
+    let main = pb.declare_function("main");
+    let consume = pb.declare_function("consumer_decompress");
+
+    let patch_line = 898;
+    let root_line = 899;
+    let fault_line = 910;
+    {
+        let mut f = pb.build_function(consume, "pbzip2.cpp");
+        let ps = f.params(1); // producer_exited
+        let keep_blk = f.new_block();
+        let clear_blk = f.new_block();
+        let merged = f.new_block();
+        f.at(root_line);
+        // Root cause: the exit edge clears the queue pointer too early
+        // (patched one line above, where the exit flag is computed).
+        f.br(ps[0], clear_blk, keep_blk);
+        f.set_block(keep_blk);
+        f.at(root_line + 4);
+        f.jmp(merged);
+        f.set_block(clear_blk);
+        f.at(root_line + 1);
+        f.store(queue_g as i64, 0, 0);
+        f.jmp(merged); // fall-through
+        f.set_block(merged);
+        f.at(fault_line);
+        let q = f.load(queue_g as i64, 0);
+        let head = f.load(q, 0); // F: null dereference
+        f.ret(Some(head.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "pbzip2.cpp");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let exited = f.read_input(0);
+        let q = f.alloc(4);
+        f.store(q, 0, 5);
+        f.store(queue_g as i64, 0, q);
+        let rc = f.call(consume, &[exited.into()]);
+        f.output(rc);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let cpp = program.function(consume).file;
+    let root_loc = SourceLoc::new(cpp, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == consume && b.loc == root_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(cpp, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "pbzip2",
+            app: "PBZIP",
+            version: "1.1.0",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "output queue cleared on the producer-exit edge; the next queue \
+                          access dereferences null",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(1)),
+                lbrlog_no_tog: Some(PaperMark::Found(1)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: None, // N/A: C++
+                patch_dist_failure: Some(12),
+                patch_dist_lbr: Some(1),
+                has_patch_distance: true,
+                kloc: 4.6,
+                log_points: 269,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "consumer_decompress".into(),
+                line: fault_line,
+            },
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(cpp, patch_line)],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(consume, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1])],
+            passing: vec![
+                Workload::new(vec![0]),
+                Workload::new(vec![0]).with_seed(1),
+                Workload::new(vec![0]).with_seed(2),
+            ],
+            perf: Workload::new(vec![0]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn tar1_matches_table6_row() {
+        let b = tar1();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(4));
+        assert_eq!(lbrlog_position(&b, false), Some(4));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (None, Some(2)));
+    }
+
+    #[test]
+    fn tar2_matches_table6_row() {
+        let b = tar2();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(2));
+        assert_eq!(lbrlog_position(&b, false), None);
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(24), Some(0)));
+    }
+
+    #[test]
+    fn pbzip1_matches_table6_row() {
+        let b = pbzip1();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(4));
+        assert_eq!(lbrlog_position(&b, false), None);
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(41), Some(1)));
+    }
+
+    #[test]
+    fn pbzip2_matches_table6_row() {
+        let b = pbzip2();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(1));
+        assert_eq!(lbrlog_position(&b, false), Some(1));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(12), Some(1)));
+    }
+}

@@ -1,0 +1,1167 @@
+//! Sequential-bug benchmarks from GNU Coreutils: `sort`, `cp`, `ln`, `mv`,
+//! `paste`, `rm` and `tac` (Table 4).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, GroundTruth, Language, PaperExpectations, PaperMark,
+    RootCauseKind, Symptom, Workloads,
+};
+use crate::libc;
+use crate::util::{counted_loop, guard, pad_checks};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, Operand, SourceLoc};
+
+/// The `sort -m` buffer overflow of Coreutils 7.2 (the paper's Fig. 3).
+///
+/// `avoid_trashing_input`'s while condition (`A`) fails to account for
+/// `num_merged` growing before the `memmove` (`B`), so the move copies one
+/// entry past the initialized files and silently corrupts `files[i].pid`.
+/// `open_input_files` then takes the wrong edge at `C` and calls
+/// `open_temp` → `wait_proc` → `hash_lookup` on the never-initialized
+/// process table, which segfaults at `F` (in a different file).
+///
+/// Inputs: `[merge_mode, nfiles, output_is_input, stale_word, use_temp]` —
+/// `stale_word` is the garbage value sitting past the initialized files
+/// (the overflow is silent when the adjacent memory happens to be zero),
+/// and `use_temp` models runs that spawned compression children, giving
+/// every file a valid pid and a live process table.
+pub fn sort() -> Benchmark {
+    let mut pb = ProgramBuilder::new("sort");
+    let libc = libc::install(&mut pb);
+
+    const MAX_FILES: u64 = 8;
+    // files[i] = (name, pid); one extra garbage entry past the end models
+    // the adjacent heap/global bytes the real overflow reads.
+    let files = pb.global("files", (MAX_FILES + 1) * 2);
+    let nfiles_g = pb.global("nfiles", 1);
+    let proc_table = pb.global("proc_table", 1); // stays NULL: no children spawned
+    let string_table = pb.global("string_table", 1); // valid table for normal lookups
+
+    let main = pb.declare_function("main");
+    let merge = pb.declare_function("merge");
+    let avoid_trashing_input = pb.declare_function("avoid_trashing_input");
+    let mergefiles = pb.declare_function("mergefiles");
+    let open_input_files = pb.declare_function("open_input_files");
+    let open_temp = pb.declare_function("open_temp");
+    let wait_proc = pb.declare_function("wait_proc");
+    let hash_lookup = pb.declare_function("hash_lookup");
+    let sort_files = pb.declare_function("sort_files");
+
+    // -- lib/hash.c ----------------------------------------------------
+    let fault_line = 9;
+    {
+        let mut f = pb.build_function(hash_lookup, "lib/hash.c");
+        let ps = f.params(1); // table pointer
+        f.at(fault_line);
+        let bucket = f.load(ps[0], 0); // F: table->bucket
+        let h = f.call(libc.hash, &[bucket.into()]);
+        f.ret(Some(h.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(wait_proc, "sort.c");
+        let ps = f.params(1); // pid
+        f.at(690);
+        let table = f.load(proc_table as i64, 0);
+        let r = f.call(hash_lookup, &[table.into()]);
+        let _ = ps;
+        f.ret(Some(r.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(open_temp, "sort.c");
+        let ps = f.params(2); // name, pid
+        f.at(700);
+        let r = f.call(wait_proc, &[ps[1].into()]);
+        f.ret(Some(r.into()));
+        f.finish();
+    }
+    // -- open_input_files: the C branch --------------------------------
+    {
+        let mut f = pb.build_function(open_input_files, "sort.c");
+        let ps = f.params(1); // file index
+        let temp_path = f.new_block();
+        let normal_path = f.new_block();
+        f.at(740);
+        let off = f.bin(BinOp::Mul, ps[0], 16);
+        let entry = f.bin(BinOp::Add, off, files as i64);
+        let name = f.load(entry, 0);
+        // Name canonicalization (library work on the open path).
+        let _h = f.call(libc.hash, &[name.into()]);
+        f.at(745);
+        let pid = f.load(entry, 8);
+        f.at(746);
+        f.br(pid, temp_path, normal_path); // C: if (files[i].pid != 0)
+        f.set_block(temp_path);
+        f.at(747);
+        let r = f.call(open_temp, &[name.into(), pid.into()]);
+        f.ret(Some(r.into()));
+        f.set_block(normal_path);
+        f.at(749);
+        f.ret(Some(name.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(mergefiles, "sort.c");
+        let _ = f.params(1);
+        f.at(600);
+        f.ret(Some(Operand::Const(1)));
+        f.finish();
+    }
+    // -- avoid_trashing_input: the A/B bug ------------------------------
+    let root_line = 610;
+    {
+        let mut f = pb.build_function(avoid_trashing_input, "sort.c");
+        let ps = f.params(2); // i, same (output file among inputs)
+        let (i, same) = (ps[0], ps[1]);
+        let while_hdr = f.new_block();
+        let while_body = f.new_block();
+        let after = f.new_block();
+        let skip = f.new_block();
+        let nfiles = f.load(nfiles_g as i64, 0);
+        f.at(607);
+        let num_merged = f.var();
+        f.assign(num_merged, 0);
+        f.br(same, while_hdr, skip); // if (same)
+        f.set_block(while_hdr);
+        f.at(root_line);
+        // A: while (i + num_merged < nfiles)   ← the root-cause branch
+        let sum = f.bin(BinOp::Add, i, num_merged);
+        let cond = f.bin(BinOp::Lt, sum, nfiles);
+        f.br(cond, while_body, after);
+        f.set_block(while_body);
+        f.at(611);
+        let m = f.call(mergefiles, &[i.into()]);
+        f.assign_bin(num_merged, BinOp::Add, num_merged, m);
+        f.at(612);
+        // B: memmove(&files[i], &files[i+num_merged], ...): with
+        // i + num_merged == nfiles this copies the garbage entry past the
+        // initialized files over files[i] — silent corruption.
+        let dst_off = f.bin(BinOp::Mul, i, 16);
+        let dst = f.bin(BinOp::Add, dst_off, files as i64);
+        let src_idx = f.bin(BinOp::Add, i, num_merged);
+        let src_off = f.bin(BinOp::Mul, src_idx, 16);
+        let src = f.bin(BinOp::Add, src_off, files as i64);
+        f.call_void(libc.memmove, &[dst.into(), src.into(), Operand::Const(2)]);
+        f.jmp(while_hdr);
+        f.set_block(after);
+        f.ret(Some(num_merged.into()));
+        f.set_block(skip);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    // -- merge ----------------------------------------------------------
+    {
+        let mut f = pb.build_function(merge, "sort.c");
+        let ps = f.params(1); // same
+        f.at(570);
+        f.call_void(avoid_trashing_input, &[Operand::Const(0), ps[0].into()]);
+        f.at(572);
+        // for (...) open_input_files(...): the corrupted entry is hit on
+        // the first iteration.
+        let nfiles = f.load(nfiles_g as i64, 0);
+        counted_loop(&mut f, nfiles, |f, i| {
+            f.at(574);
+            let fd = f.call(open_input_files, &[i.into()]);
+            f.output(fd);
+        });
+        f.ret(None);
+        f.finish();
+    }
+    // -- a non-merge code path so passing runs exercise hash_lookup -----
+    {
+        let mut f = pb.build_function(sort_files, "sort.c");
+        let _ = f.params(0);
+        f.at(300);
+        let table = f.load(string_table as i64, 0);
+        let r = f.call(hash_lookup, &[table.into()]);
+        f.ret(Some(r.into()));
+        f.finish();
+    }
+    // -- main ------------------------------------------------------------
+    {
+        let mut f = pb.build_function(main, "sort.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let merge_blk = f.new_block();
+        let sort_blk = f.new_block();
+        let done = f.new_block();
+        f.at(20);
+        let merge_mode = f.read_input(0);
+        let nfiles = f.read_input(1);
+        let same = f.read_input(2);
+        let stale = f.read_input(3);
+        let use_temp = f.read_input(4);
+        let le = f.bin(BinOp::Le, nfiles, MAX_FILES as i64);
+        guard(&mut f, le, "too many input files");
+        let pos = f.bin(BinOp::Gt, nfiles, 0);
+        guard(&mut f, pos, "sort: no input files");
+        f.store(nfiles_g as i64, 0, nfiles);
+        // Initialize files[0..nfiles]: valid names, pid = 0. The entry
+        // past the end holds stale garbage (a plausible stale pid).
+        counted_loop(&mut f, nfiles, |f, i| {
+            f.at(30);
+            let off = f.bin(BinOp::Mul, i, 16);
+            let entry = f.bin(BinOp::Add, off, files as i64);
+            let name = f.bin(BinOp::Add, i, 100);
+            f.store(entry, 0, name);
+            // With children spawned (use_temp), every file has a real pid.
+            let i1 = f.bin(BinOp::Add, i, 1);
+            let pid = f.bin(BinOp::Mul, use_temp, i1);
+            f.store(entry, 8, pid);
+        });
+        f.at(34);
+        let goff = f.bin(BinOp::Mul, nfiles, 16);
+        let gentry = f.bin(BinOp::Add, goff, files as i64);
+        f.store(gentry, 0, 4242); // garbage "name"
+        f.store(gentry, 8, stale); // stale memory past the array
+        // A valid table for the normal (non-merge) lookup path.
+        let tbl = f.alloc(4);
+        f.store(tbl, 0, 1);
+        f.store(string_table as i64, 0, tbl);
+        // Spawning children initializes the process table.
+        let skip_pt = f.new_block();
+        let init_pt = f.new_block();
+        f.br(use_temp, init_pt, skip_pt);
+        f.set_block(init_pt);
+        let pt = f.alloc(4);
+        f.store(pt, 0, 1);
+        f.store(proc_table as i64, 0, pt);
+        f.jmp(skip_pt);
+        f.set_block(skip_pt);
+        f.at(40);
+        f.br(merge_mode, merge_blk, sort_blk);
+        f.set_block(merge_blk);
+        f.at(42);
+        f.call_void(merge, &[same.into()]);
+        f.jmp(done);
+        f.set_block(sort_blk);
+        f.at(44);
+        let r = f.call(sort_files, &[]);
+        f.output(r);
+        f.jmp(done);
+        f.set_block(done);
+        f.ret(None);
+        f.finish();
+    }
+
+    let program = pb.finish(main);
+    let sort_c = program.function(main).file;
+    let hash_c = program.function(hash_lookup).file;
+    let root_loc = SourceLoc::new(sort_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == avoid_trashing_input && b.loc == root_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(hash_c, fault_line);
+
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "sort",
+            app: "sort",
+            version: "7.2",
+            language: Language::C,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "merge with output among inputs overflows files[] in \
+                          avoid_trashing_input and crashes later in hash_lookup",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(3)),
+                lbrlog_no_tog: Some(PaperMark::Found(5)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: None, // ∞: different files
+                patch_dist_lbr: Some(4),
+                has_patch_distance: true,
+                kloc: 3.6,
+                log_points: 36,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "hash_lookup".into(),
+                line: fault_line,
+            },
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![root_loc],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(hash_lookup, fault_loc)],
+        },
+        workloads: Workloads {
+            // merge mode, 3 files, output among inputs, stale garbage past
+            // the array, no children → overflow then crash.
+            failing: vec![Workload::new(vec![1, 3, 1, 31337, 0])],
+            passing: vec![
+                // non-merge mode exercises hash_lookup legitimately,
+                // with and without compression children.
+                Workload::new(vec![0, 3, 0, 0, 1]),
+                Workload::new(vec![0, 4, 0, 0, 0]),
+                // ordinary merges with temp children: the open_temp →
+                // hash_lookup path runs and succeeds.
+                Workload::new(vec![1, 3, 0, 0, 1]),
+                Workload::new(vec![1, 4, 0, 0, 1]),
+                // aliased merge where the adjacent memory happens to be
+                // zero: the overflow fires harmlessly (the reason this bug
+                // survived in production).
+                Workload::new(vec![1, 3, 1, 0, 1]),
+            ],
+            perf: Workload::new(vec![1, 8, 0, 0, 1]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn sort_failing_workload_segfaults_in_hash_lookup() {
+        assert_workloads_classify(&sort());
+    }
+
+    #[test]
+    fn sort_lbrlog_positions_match_paper() {
+        // Table 6: w/ toggling the root-cause branch A is the 3rd latest
+        // LBR entry; without toggling, library pollution pushes it to 5th.
+        let b = sort();
+        assert_eq!(lbrlog_position(&b, true), Some(3));
+        assert_eq!(lbrlog_position(&b, false), Some(5));
+    }
+
+    #[test]
+    fn sort_lbra_ranks_root_cause_first() {
+        let b = sort();
+        let rank = lbra_rank(&b);
+        assert_eq!(rank, Some(1));
+    }
+}
+
+/// The `cp --backup` semantic bug of Coreutils 4.5.8: backing up a
+/// destination that does not exist trips the copy engine, which reports
+/// "cannot backup" after the data copy has already been staged.
+///
+/// Inputs: `[backup_mode, dest_missing]`.
+pub fn cp() -> Benchmark {
+    let mut pb = ProgramBuilder::new("cp");
+    let libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let copy = pb.declare_function("copy");
+
+    let patch_line = 230;
+    let root_line = 245;
+    let fail_line = 247;
+    let site;
+    {
+        let mut f = pb.build_function(copy, "copy.c");
+        let ps = f.params(2); // backup_mode, dest_missing
+        let (backup, missing) = (ps[0], ps[1]);
+        let backup_blk = f.new_block();
+        let join_blk = f.new_block();
+        f.at(patch_line);
+        // The buggy compound condition: "make a numbered backup" should
+        // also require the destination to exist. The patch rewrites this
+        // computation.
+        let want_backup = f.bin(BinOp::And, backup, missing);
+        f.at(root_line);
+        f.br(want_backup, backup_blk, join_blk); // root-cause branch
+        f.set_block(backup_blk);
+        f.at(246);
+        // Stage the data copy (library work between root cause and check).
+        let src = f.alloc(8);
+        let dst = f.alloc(8);
+        f.call_void(libc.memmove, &[dst.into(), src.into(), Operand::Const(8)]);
+        f.at(fail_line);
+        let backup_ok = f.un(stm_machine::ir::UnOp::Not, missing);
+        site = guard(&mut f, backup_ok, "cp: cannot backup destination");
+        f.ret(Some(Operand::Const(0)));
+        f.set_block(join_blk);
+        f.at(260);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "cp.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let backup = f.read_input(0);
+        let missing = f.read_input(1);
+        let nonneg = f.bin(BinOp::Ge, backup, 0);
+        guard(&mut f, nonneg, "cp: bad flags");
+        f.at(30);
+        let r = f.call(copy, &[backup.into(), missing.into()]);
+        f.output(r);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let copy_c = program.function(copy).file;
+    let root_loc = SourceLoc::new(copy_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == copy && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "cp",
+            app: "cp",
+            version: "4.5.8",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "backup of a non-existent destination fails after staging the copy",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(2)),
+                lbrlog_no_tog: Some(PaperMark::Miss),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: Some(17),
+                patch_dist_lbr: Some(15),
+                has_patch_distance: true,
+                kloc: 1.2,
+                log_points: 108,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(copy_c, patch_line)],
+            failure_site_loc: SourceLoc::new(copy_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 1])],
+            passing: vec![
+                Workload::new(vec![1, 0]), // backup of an existing dest
+                Workload::new(vec![0, 1]), // plain copy
+                Workload::new(vec![0, 0]),
+            ],
+            perf: Workload::new(vec![1, 0]),
+        },
+        program,
+    }
+}
+
+/// The `ln --target-directory` semantic bug of Coreutils 4.5.1: with a
+/// single operand the early `if (n_files == 1)` branch (missing the
+/// `!target_directory_specified` conjunct) misclassifies the operand; the
+/// failure surfaces hundreds of lines later, and the LBR window only
+/// reaches the related `if (target_directory_specified)` branch.
+///
+/// Inputs: `[n_files, target_dir_specified]`.
+pub fn ln() -> Benchmark {
+    let mut pb = ProgramBuilder::new("ln");
+    let libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let do_link = pb.declare_function("do_link");
+
+    let root_line = 40;
+    let related_line = 287;
+    let fail_line = 294;
+    let site;
+    {
+        // do_link is shared by the target-directory and plain paths, as in
+        // the real program: its checks appear in success profiles too.
+        let mut f = pb.build_function(do_link, "ln.c");
+        let ps = f.params(2); // misclassified, n_files
+        let (misclassified, n_files) = (ps[0], ps[1]);
+        pad_checks(&mut f, 11, 300, n_files);
+        // Pre-render the link report: a library formatting call whose
+        // branches evict the whole window when toggling is off.
+        f.at(292);
+        f.call_void(libc.format, &[Operand::Const(8)]);
+        f.at(fail_line);
+        let ok = f.un(stm_machine::ir::UnOp::Not, misclassified);
+        site = guard(&mut f, ok, "ln: accessing target: no such file or directory");
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "ln.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let single = f.new_block();
+        let multi = f.new_block();
+        let after_mode = f.new_block();
+        let tdir_blk = f.new_block();
+        let plain_blk = f.new_block();
+        let tail = f.new_block();
+        f.at(20);
+        let n_files = f.read_input(0);
+        let tdir = f.read_input(1);
+        let pos = f.bin(BinOp::Gt, n_files, 0);
+        guard(&mut f, pos, "ln: missing file operand");
+        // The mode flag the root-cause branch mis-computes: the patch
+        // changes this condition to `!tdir && n_files == 1`.
+        let misclassified = f.var();
+        f.at(root_line);
+        let one = f.bin(BinOp::Eq, n_files, 1);
+        f.br(one, single, multi); // root-cause branch
+        f.set_block(single);
+        f.at(41);
+        f.assign(misclassified, 1); // treated as "link into cwd"
+        f.jmp(after_mode);
+        f.set_block(multi);
+        f.at(43);
+        f.assign(misclassified, 0);
+        f.jmp(after_mode);
+        f.set_block(after_mode);
+        // Early argument processing (the 70s lines): three checks whose
+        // records survive in the window.
+        pad_checks(&mut f, 3, 73, n_files);
+        // ... lots of unrelated work (no retired branches: straight-line).
+        f.at(100);
+        let names = f.alloc(4);
+        f.store(names, 0, 1001);
+        f.at(related_line);
+        f.br(tdir, tdir_blk, plain_blk); // related branch B
+        f.set_block(tdir_blk);
+        f.at(288);
+        // Linking into the target directory with the misclassified operand
+        // produces a dangling path inside do_link.
+        f.call_void(do_link, &[misclassified.into(), n_files.into()]);
+        f.jmp(tail);
+        f.set_block(plain_blk);
+        f.at(290);
+        // The plain path links through the very same code.
+        f.call_void(do_link, &[Operand::Const(0), n_files.into()]);
+        f.output(1);
+        f.jmp(tail);
+        f.set_block(tail);
+        // Formatting of the final report (library; pollutes w/o toggling
+        // *before* the failure when the error path runs: the error path
+        // calls format() while building the message).
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let ln_c = program.function(main).file;
+    let related_loc = SourceLoc::new(ln_c, related_line);
+    let related_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == main && b.loc == related_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "ln",
+            app: "ln",
+            version: "4.5.1",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "single-operand ln with --target-directory misclassifies the operand \
+                          at startup; the failure fires 254 lines later",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Related(13)),
+                lbrlog_no_tog: Some(PaperMark::Miss),
+                lbra: Some(PaperMark::Related(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: Some(254),
+                patch_dist_lbr: Some(33),
+                has_patch_distance: true,
+                kloc: 0.7,
+                log_points: 29,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: None, // evicted from the 16-entry window
+            related_branch,
+            patch_locs: vec![SourceLoc::new(ln_c, root_line)],
+            failure_site_loc: SourceLoc::new(ln_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 1])],
+            passing: vec![
+                Workload::new(vec![1, 0]), // plain two-operand form
+                Workload::new(vec![2, 0]),
+                Workload::new(vec![3, 0]),
+            ],
+            perf: Workload::new(vec![2, 0]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod cp_ln_tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn cp_matches_table6_row() {
+        let b = cp();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(2));
+        assert_eq!(lbrlog_position(&b, false), None); // evicted by memmove
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(17), Some(15)));
+    }
+
+    #[test]
+    fn ln_matches_table6_row() {
+        let b = ln();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(13)); // related branch
+        assert_eq!(lbrlog_position(&b, false), None);
+        assert_eq!(lbra_rank(&b), Some(1));
+        let (df, dl) = patch_distances(&b);
+        assert_eq!(df, Some(254));
+        assert_eq!(dl, Some(33));
+    }
+}
+
+/// The `mv` into-itself semantic bug of Coreutils 6.8: the early
+/// same-file classification at the patch line takes the wrong edge, and
+/// the rename machinery reports "cannot move" 309 lines later.
+///
+/// Inputs: `[same_file]`.
+pub fn mv() -> Benchmark {
+    let mut pb = ProgramBuilder::new("mv");
+    let libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let do_move = pb.declare_function("do_move");
+
+    let root_line = 110;
+    let fail_line = 419;
+    let site;
+    {
+        // Shared by the failing and passing paths, as in the real rename
+        // machinery.
+        let mut f = pb.build_function(do_move, "mv.c");
+        let ps = f.params(2); // into_itself, operand
+        let (into_itself, operand) = (ps[0], ps[1]);
+        f.at(402);
+        // Canonicalize the destination name (library).
+        let _h = f.call(libc.hash, &[operand.into()]);
+        pad_checks(&mut f, 10, 404, operand);
+        f.at(fail_line);
+        let ok = f.un(stm_machine::ir::UnOp::Not, into_itself);
+        site = guard(&mut f, ok, "mv: cannot move file to a subdirectory of itself");
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "mv.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let bad = f.new_block();
+        let good = f.new_block();
+        let tail = f.new_block();
+        f.at(20);
+        let same = f.read_input(0);
+        let operand = f.read_input(1);
+        let have = f.bin(BinOp::Ge, operand, 0);
+        guard(&mut f, have, "mv: missing operand");
+        f.at(root_line);
+        // Root cause: the classification misses the trailing-slash case,
+        // so `same` holds when it should not.
+        f.br(same, bad, good);
+        f.set_block(bad);
+        f.at(112);
+        f.call_void(do_move, &[Operand::Const(1), operand.into()]);
+        f.jmp(tail);
+        f.set_block(good);
+        f.at(114);
+        f.call_void(do_move, &[Operand::Const(0), operand.into()]);
+        f.output(1);
+        f.jmp(tail);
+        f.set_block(tail);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let mv_c = program.function(main).file;
+    let root_loc = SourceLoc::new(mv_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == main && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "mv",
+            app: "mv",
+            version: "6.8",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "destination misclassified as inside the source at startup; \
+                          rename reports the failure 309 lines later",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(12)),
+                lbrlog_no_tog: Some(PaperMark::Found(14)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(2)),
+                patch_dist_failure: Some(309),
+                patch_dist_lbr: Some(0),
+                has_patch_distance: true,
+                kloc: 4.1,
+                log_points: 46,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![root_loc],
+            failure_site_loc: SourceLoc::new(mv_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 7])],
+            passing: vec![
+                Workload::new(vec![0, 7]),
+                Workload::new(vec![0, 3]),
+                Workload::new(vec![0, 12]),
+            ],
+            perf: Workload::new(vec![0, 9]),
+        },
+        program,
+    }
+}
+
+/// The `rm -r` semantic bug of Coreutils 4.5.4: the directory-cycle
+/// detection takes the wrong edge and `rm` refuses a legitimate removal
+/// 31 lines later.
+///
+/// Inputs: `[is_cycle]`.
+pub fn rm() -> Benchmark {
+    let mut pb = ProgramBuilder::new("rm");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let remove_entry = pb.declare_function("remove_entry");
+
+    let root_line = 200;
+    let fail_line = 231;
+    let site;
+    {
+        let mut f = pb.build_function(remove_entry, "remove.c");
+        let ps = f.params(2); // cycle_flag, entry
+        let (cycle, entry) = (ps[0], ps[1]);
+        pad_checks(&mut f, 3, 222, entry);
+        f.at(fail_line);
+        let ok = f.un(stm_machine::ir::UnOp::Not, cycle);
+        site = guard(&mut f, ok, "rm: WARNING: Circular directory structure");
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "remove.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let cyc = f.new_block();
+        let fine = f.new_block();
+        let tail = f.new_block();
+        f.at(20);
+        let is_cycle = f.read_input(0);
+        let entry = f.read_input(1);
+        let have = f.bin(BinOp::Ge, entry, 0);
+        guard(&mut f, have, "rm: missing operand");
+        f.at(root_line);
+        // Root cause: dev/ino comparison misses the bind-mount case.
+        f.br(is_cycle, cyc, fine);
+        f.set_block(cyc);
+        f.at(202);
+        f.call_void(remove_entry, &[Operand::Const(1), entry.into()]);
+        f.jmp(tail);
+        f.set_block(fine);
+        f.at(204);
+        f.call_void(remove_entry, &[Operand::Const(0), entry.into()]);
+        f.output(1);
+        f.jmp(tail);
+        f.set_block(tail);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let remove_c = program.function(main).file;
+    let root_loc = SourceLoc::new(remove_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == main && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "rm",
+            app: "rm",
+            version: "4.5.4",
+            language: Language::C,
+            root_cause: RootCauseKind::Semantic,
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "spurious directory-cycle detection aborts a legitimate recursive removal",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(5)),
+                lbrlog_no_tog: Some(PaperMark::Found(5)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(2)),
+                patch_dist_failure: Some(31),
+                patch_dist_lbr: Some(0),
+                has_patch_distance: true,
+                kloc: 1.3,
+                log_points: 31,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![root_loc],
+            failure_site_loc: SourceLoc::new(remove_c, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 4])],
+            passing: vec![
+                Workload::new(vec![0, 4]),
+                Workload::new(vec![0, 9]),
+                Workload::new(vec![0, 2]),
+            ],
+            perf: Workload::new(vec![0, 5]),
+        },
+        program,
+    }
+}
+
+/// The `tac` separator-regex memory bug of Coreutils 6.11: the bundled
+/// regex engine returns a match offset past the read buffer when the
+/// separator is treated as a regex; `tac` dereferences it and crashes.
+/// The patch lives in the regex engine — a different file from everything
+/// LBR captures.
+///
+/// Inputs: `[separator_regex, text]`.
+pub fn tac() -> Benchmark {
+    let mut pb = ProgramBuilder::new("tac");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let re_search = pb.declare_function("re_search");
+
+    let sep_line = 120; // the related branch LBR captures
+    let match_line = 128;
+    let fault_line = 134;
+    let patch_line = 310; // in regex.c
+    {
+        // The bundled regex engine (a library: its internals are toggled
+        // like any other library's). Straight-line match computation whose
+        // *result* is wrong in separator-regex mode.
+        let mut f = pb.build_function(re_search, "regex.c");
+        f.set_library();
+        let ps = f.params(2); // buf, sep_mode
+        f.at(patch_line);
+        // Root cause (patched here): the range end is not clamped in
+        // separator mode, yielding an offset far past the buffer.
+        let bad = f.bin(BinOp::Mul, ps[1], 98);
+        let off = f.bin(BinOp::Add, bad, 1);
+        let _ = ps[0];
+        f.ret(Some(off.into()));
+        f.finish();
+    }
+    let site_decoy;
+    {
+        let mut f = pb.build_function(main, "tac.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let regex_blk = f.new_block();
+        let plain_blk = f.new_block();
+        let matched = f.new_block();
+        let nomatch = f.new_block();
+        f.at(20);
+        let sep_mode = f.read_input(0);
+        let text = f.read_input(1);
+        let have = f.bin(BinOp::Gt, text, 0);
+        site_decoy = guard(&mut f, have, "tac: no input");
+        let buf = f.alloc(4);
+        f.store(buf, 0, text);
+        f.store(buf, 8, text);
+        f.at(sep_line);
+        // Related branch: choosing the separator-regex engine mode.
+        f.br(sep_mode, regex_blk, plain_blk);
+        f.set_block(regex_blk);
+        f.at(122);
+        let off_r = f.call(re_search, &[buf.into(), Operand::Const(1)]);
+        f.jmp(matched);
+        f.set_block(plain_blk);
+        f.at(124);
+        let off_p = f.call(re_search, &[buf.into(), Operand::Const(0)]);
+        f.jmp(matched);
+        f.set_block(matched);
+        let off = f.var();
+        // Merge the two offsets (exactly one path assigned a value).
+        f.assign_bin(off, BinOp::Add, off_r, off_p);
+        f.at(match_line);
+        let found = f.bin(BinOp::Gt, off, 0);
+        f.br(found, nomatch, nomatch); // placeholder, replaced below
+        f.set_block(nomatch);
+        f.at(fault_line);
+        let addr = f.bin(BinOp::Mul, off, 8);
+        let ptr = f.bin(BinOp::Add, addr, buf);
+        let v = f.load(ptr, 0); // F: crashes when off is garbage
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let _ = site_decoy;
+    let program = pb.finish(main);
+    let tac_c = program.function(main).file;
+    let regex_c = program.function(re_search).file;
+    let sep_loc = SourceLoc::new(tac_c, sep_line);
+    let related_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == main && b.loc == sep_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(tac_c, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "tac",
+            app: "tac",
+            version: "6.11",
+            language: Language::C,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "separator-regex mode returns an out-of-buffer match offset from the \
+                          bundled regex engine; tac dereferences it",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Related(3)),
+                lbrlog_no_tog: Some(PaperMark::Related(3)),
+                lbra: Some(PaperMark::Related(1)),
+                cbi: Some(PaperMark::Related(3)),
+                patch_dist_failure: None, // ∞: patch is in regex.c
+                patch_dist_lbr: None,     // ∞: no captured branch in regex.c
+                has_patch_distance: true,
+                kloc: 0.7,
+                log_points: 21,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "main".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None, // the root cause is not a branch here
+            related_branch,
+            patch_locs: vec![SourceLoc::new(regex_c, patch_line)],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(main, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 5])],
+            passing: vec![
+                Workload::new(vec![0, 5]),
+                Workload::new(vec![0, 8]),
+                Workload::new(vec![0, 2]),
+            ],
+            perf: Workload::new(vec![0, 6]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod mv_rm_tac_tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn mv_matches_table6_row() {
+        let b = mv();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(12));
+        assert_eq!(lbrlog_position(&b, false), Some(14));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(309), Some(0)));
+    }
+
+    #[test]
+    fn rm_matches_table6_row() {
+        let b = rm();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(5));
+        assert_eq!(lbrlog_position(&b, false), Some(5));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(31), Some(0)));
+    }
+
+    #[test]
+    fn tac_matches_table6_row() {
+        let b = tac();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(3));
+        assert_eq!(lbrlog_position(&b, false), Some(3));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (None, None)); // both ∞
+    }
+}
+
+/// The `paste -d'\'` memory bug of Coreutils 6.10: the delimiter-list
+/// walk leaks a held lock on the trailing-backslash path, and the next
+/// delimiter write self-deadlocks — the process hangs.
+///
+/// Inputs: `[trailing_backslash, n]`.
+pub fn paste() -> Benchmark {
+    let mut pb = ProgramBuilder::new("paste");
+    let libc = libc::install(&mut pb);
+    let delim_lock = pb.global("delim_lock", 1);
+    let main = pb.declare_function("main");
+    let write_delim = pb.declare_function("write_delim");
+
+    let patch_line = 397;
+    let root_line = 400;
+    let hang_line = 432;
+    {
+        let mut f = pb.build_function(write_delim, "paste.c");
+        let ps = f.params(1); // n
+        f.at(428);
+        // Render the delimiter (library; evicts the window w/o toggling).
+        f.call_void(libc.format, &[Operand::Const(8)]);
+        pad_checks(&mut f, 4, 429, ps[0]);
+        f.at(hang_line);
+        f.lock(delim_lock as i64); // F: self-deadlock when the lock leaked
+        f.at(433);
+        f.unlock(delim_lock as i64);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "paste.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        let leak_blk = f.new_block();
+        let fine_blk = f.new_block();
+        let join_blk = f.new_block();
+        f.at(20);
+        let backslash = f.read_input(0);
+        let n = f.read_input(1);
+        let have = f.bin(BinOp::Gt, n, 0);
+        guard(&mut f, have, "paste: missing input");
+        f.at(395);
+        f.lock(delim_lock as i64);
+        f.at(root_line);
+        // Root cause (patched 3 lines up): the trailing-backslash case
+        // takes the early-continue edge and skips the unlock below.
+        f.br(backslash, leak_blk, fine_blk);
+        f.set_block(fine_blk);
+        f.at(403);
+        f.unlock(delim_lock as i64);
+        f.jmp(join_blk); // fall-through (adjacent)
+        f.set_block(join_blk);
+        f.at(410);
+        let r = f.call(write_delim, &[n.into()]);
+        f.output(r);
+        f.ret(None);
+        f.set_block(leak_blk);
+        f.at(402);
+        f.jmp(join_blk); // backward jump: retires a record
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let paste_c = program.function(main).file;
+    let root_loc = SourceLoc::new(paste_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == main && b.loc == root_loc)
+        .map(|b| b.id);
+    let hang_loc = SourceLoc::new(paste_c, hang_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "paste",
+            app: "paste",
+            version: "6.10",
+            language: Language::C,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Hang,
+            bug_class: BugClass::Sequential,
+            description: "trailing backslash in the delimiter list leaks a lock; the next \
+                          delimiter write hangs forever",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(6)),
+                lbrlog_no_tog: Some(PaperMark::Miss),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: Some(35),
+                patch_dist_lbr: Some(3),
+                has_patch_distance: true,
+                kloc: 0.5,
+                log_points: 23,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::Hang,
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(paste_c, patch_line)],
+            failure_site_loc: hang_loc,
+            fpe: None,
+            fault_locs: vec![(write_delim, hang_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 5])],
+            passing: vec![
+                Workload::new(vec![0, 5]),
+                Workload::new(vec![0, 2]),
+                Workload::new(vec![0, 9]),
+            ],
+            perf: Workload::new(vec![0, 6]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod paste_tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn paste_matches_table6_row() {
+        let b = paste();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(6));
+        assert_eq!(lbrlog_position(&b, false), None);
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(35), Some(3)));
+    }
+}

@@ -1,0 +1,338 @@
+//! Sequential-bug benchmarks from Cppcheck (Table 4: Cppcheck 1–3).
+//!
+//! All three are C++ crashes — the rows where CBI is `N/A` in Table 6
+//! (the CBI instrumentation framework only supports C programs).
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, GroundTruth, Language, PaperExpectations, PaperMark,
+    RootCauseKind, Symptom, Workloads,
+};
+use crate::libc;
+use crate::util::{guard, pad_checks};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, SourceLoc};
+
+/// Cppcheck 1 (1.58): the tokenizer simplification drops a scope token
+/// under a rare template pattern (the root cause is a missing case, not a
+/// branch); the symbol database later dereferences the hole. LBR captures
+/// a related branch in the checker.
+///
+/// Inputs: `[template_pattern, tokens]`.
+pub fn cppcheck1() -> Benchmark {
+    let mut pb = ProgramBuilder::new("cppcheck1");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let tokenize = pb.declare_function("simplifyTemplates");
+    let check = pb.declare_function("checkAutoVariables");
+    let symdb = pb.declare_function("SymbolDatabase_validate");
+
+    let patch_line = 2210; // in tokenize.cpp
+    let related_line = 77; // in checkautovariables.cpp
+    let fault_line = 514; // in symboldatabase.cpp
+    {
+        // The tokenizer: straight-line token-list surgery whose *result*
+        // drops the scope link under the template pattern.
+        let mut f = pb.build_function(tokenize, "lib/tokenize.cpp");
+        let ps = f.params(2); // template_pattern, tokens
+        f.at(patch_line);
+        // Patched here: the scope pointer survives only without the
+        // pattern. 0 models the dropped link.
+        let pat = f.bin(BinOp::Eq, ps[0], 1);
+        let inv = f.un(stm_machine::ir::UnOp::Not, pat);
+        let scope = f.bin(BinOp::Mul, inv, ps[1]);
+        f.ret(Some(scope.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(symdb, "lib/symboldatabase.cpp");
+        let ps = f.params(1); // scope pointer
+        f.at(fault_line);
+        let v = f.load(ps[0], 0); // F: crashes on the dropped scope
+        f.ret(Some(v.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(check, "lib/checkautovariables.cpp");
+        let ps = f.params(1); // scope pointer
+        let scoped = f.new_block();
+        let bare = f.new_block();
+        let joined = f.new_block();
+        f.at(related_line);
+        // Related branch: whether the checker walks scoped variables —
+        // false exactly when the tokenizer dropped the scope link.
+        let has_vars = f.bin(BinOp::Gt, ps[0], 0);
+        f.br(has_vars, scoped, bare);
+        f.set_block(scoped);
+        f.at(79);
+        f.jmp(joined);
+        f.set_block(bare);
+        f.at(81);
+        f.jmp(joined); // fall-through
+        f.set_block(joined);
+        pad_checks(&mut f, 4, 84, ps[0]);
+        f.at(92);
+        let v = f.call(symdb, &[ps[0].into()]);
+        f.ret(Some(v.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "cli/main.cpp");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let pattern = f.read_input(0);
+        let tokens = f.read_input(1);
+        let have = f.bin(BinOp::Gt, tokens, 0);
+        guard(&mut f, have, "cppcheck: no input files");
+        let heap = f.alloc(2);
+        f.store(heap, 0, 42);
+        let raw = f.call(tokenize, &[pattern.into(), heap.into()]);
+        // tokens parameter doubles as the token storage pointer.
+        let v = f.call(check, &[raw.into()]);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let tokenize_cpp = program.function(tokenize).file;
+    let check_cpp = program.function(check).file;
+    let symdb_cpp = program.function(symdb).file;
+    let related_loc = SourceLoc::new(check_cpp, related_line);
+    let related_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == check && b.loc == related_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(symdb_cpp, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "cppcheck1",
+            app: "Cppcheck",
+            version: "1.58",
+            language: Language::Cpp,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "template simplification drops a scope token; the symbol database \
+                          dereferences the hole",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Related(5)),
+                lbrlog_no_tog: Some(PaperMark::Related(5)),
+                lbra: Some(PaperMark::Related(1)),
+                cbi: None, // N/A: C++
+                patch_dist_failure: None,
+                patch_dist_lbr: None,
+                has_patch_distance: true,
+                kloc: 138.0,
+                log_points: 304,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "SymbolDatabase_validate".into(),
+                line: fault_line,
+            },
+            root_cause_branch: None,
+            related_branch,
+            patch_locs: vec![SourceLoc::new(tokenize_cpp, patch_line)],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(symdb, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 5])],
+            passing: vec![
+                Workload::new(vec![0, 5]),
+                Workload::new(vec![0, 9]),
+                Workload::new(vec![0, 3]),
+            ],
+            perf: Workload::new(vec![0, 7]),
+        },
+        program,
+    }
+}
+
+/// Builds Cppcheck 2 and Cppcheck 3, which share a shape: a checker-local
+/// root-cause branch followed by `pads` checks, then the crash. They
+/// differ in propagation distance and patch offset.
+fn cppcheck_crash(
+    id: &'static str,
+    version: &'static str,
+    kloc: f64,
+    log_points: u32,
+    pads: u32,
+    patch_offset: u32,
+    paper_pos: u32,
+) -> Benchmark {
+    let mut pb = ProgramBuilder::new(id);
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let checker = pb.declare_function("CheckBufferOverrun_check");
+    let deref = pb.declare_function("Token_value");
+
+    let patch_line = 900;
+    let root_line = patch_line + patch_offset;
+    let fault_line = 88; // in token.cpp — a different file from the patch
+    {
+        // The wild cursor is finally dereferenced by the token accessor.
+        let mut f = pb.build_function(deref, "lib/token.cpp");
+        let ps = f.params(1);
+        f.at(fault_line);
+        let v = f.load(ps[0], 0); // F
+        f.ret(Some(v.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(checker, "lib/checkbufferoverrun.cpp");
+        let ps = f.params(2); // negative_size, buf
+        let (neg, buf) = (ps[0], ps[1]);
+        let bad = f.new_block();
+        let fine = f.new_block();
+        let merge = f.new_block();
+        f.at(root_line);
+        // Root cause: the size sanity check misses the negative case.
+        f.br(neg, bad, fine);
+        f.set_block(bad);
+        f.at(root_line + 2);
+        f.jmp(merge);
+        f.set_block(fine);
+        f.at(root_line + 4);
+        f.jmp(merge); // fall-through
+        f.set_block(merge);
+        let ptr = f.var();
+        // A negative size turns the array cursor into a wild pointer.
+        let wild = f.bin(BinOp::Mul, neg, 0x7FFF_0000);
+        f.assign_bin(ptr, BinOp::Add, buf, wild);
+        pad_checks(&mut f, pads, root_line + 6, buf);
+        f.at(root_line + 20);
+        let v = f.call(deref, &[ptr.into()]);
+        f.ret(Some(v.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "cli/main.cpp");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let neg = f.read_input(0);
+        let n = f.read_input(1);
+        let have = f.bin(BinOp::Gt, n, 0);
+        guard(&mut f, have, "cppcheck: no input files");
+        let buf = f.alloc(4);
+        f.store(buf, 0, 7);
+        let v = f.call(checker, &[neg.into(), buf.into()]);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let checker_cpp = program.function(checker).file;
+    let token_cpp = program.function(deref).file;
+    let root_loc = SourceLoc::new(checker_cpp, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == checker && b.loc == root_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(token_cpp, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id,
+            app: "Cppcheck",
+            version,
+            language: Language::Cpp,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "missing negative-size case turns the array cursor into a wild pointer",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(paper_pos)),
+                lbrlog_no_tog: Some(PaperMark::Found(paper_pos)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: None, // N/A: C++
+                patch_dist_failure: None,
+                patch_dist_lbr: Some(patch_offset),
+                has_patch_distance: true,
+                kloc,
+                log_points,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "Token_value".into(),
+                line: fault_line,
+            },
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(checker_cpp, patch_line)],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(deref, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 5])],
+            passing: vec![
+                Workload::new(vec![0, 5]),
+                Workload::new(vec![0, 2]),
+                Workload::new(vec![0, 8]),
+            ],
+            perf: Workload::new(vec![0, 6]),
+        },
+        program,
+    }
+}
+
+/// Cppcheck 2 (1.56): Table 6 row `✓3 / ✓3 / ✓1 / N/A / ∞ / 2`.
+pub fn cppcheck2() -> Benchmark {
+    cppcheck_crash("cppcheck2", "1.56", 131.0, 284, 1, 2, 3)
+}
+
+/// Cppcheck 3 (1.52): Table 6 row `✓6 / ✓6 / ✓1 / N/A / ∞ / 10`.
+pub fn cppcheck3() -> Benchmark {
+    cppcheck_crash("cppcheck3", "1.52", 118.0, 225, 4, 10, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn cppcheck1_matches_table6_row() {
+        let b = cppcheck1();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(5));
+        assert_eq!(lbrlog_position(&b, false), Some(5));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (None, None));
+    }
+
+    #[test]
+    fn cppcheck2_matches_table6_row() {
+        let b = cppcheck2();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(3));
+        assert_eq!(lbrlog_position(&b, false), Some(3));
+        assert_eq!(lbra_rank(&b), Some(1));
+        let (_, dl) = patch_distances(&b);
+        assert_eq!(dl, Some(2));
+    }
+
+    #[test]
+    fn cppcheck3_matches_table6_row() {
+        let b = cppcheck3();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(6));
+        assert_eq!(lbrlog_position(&b, false), Some(6));
+        assert_eq!(lbra_rank(&b), Some(1));
+        let (_, dl) = patch_distances(&b);
+        assert_eq!(dl, Some(10));
+    }
+}

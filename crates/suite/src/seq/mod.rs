@@ -1,0 +1,7 @@
+//! The 20 sequential-bug failures of Table 4.
+
+pub mod apache;
+pub mod archives;
+pub mod cppcheck;
+pub mod servers;
+pub mod coreutils;

@@ -1,0 +1,376 @@
+//! Sequential-bug benchmarks from Lighttpd and Squid (Table 4).
+//!
+//! Lighttpd and Squid 1 are the CBI `-` rows of Table 6: their root-cause
+//! outcomes also occur on benign requests in *every* run, so CBI's
+//! whole-run predicates have `Increase ≤ 0` and are filtered, while LBRA's
+//! near-failure profiles still separate the runs.
+
+use crate::benchmark::{
+    Benchmark, BenchmarkInfo, BugClass, GroundTruth, Language, PaperExpectations, PaperMark,
+    RootCauseKind, Symptom, Workloads,
+};
+use crate::libc;
+use crate::util::{counted_loop, guard, pad_checks};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ir::{BinOp, Operand, SourceLoc};
+
+/// A server-shaped benchmark: a request loop where the root-cause branch
+/// fires on benign requests too, and the failure needs a specific request
+/// kind. `pads_before` retires before the root branch (same request),
+/// `pads_after` between it and the failure guard.
+#[allow(clippy::too_many_arguments)]
+fn server_benchmark(
+    id: &'static str,
+    app: &'static str,
+    version: &'static str,
+    file: &'static str,
+    log_fn_file: &'static str,
+    _kloc: f64,
+    _log_points: u32,
+    pads_before: u32,
+    pads_after: u32,
+    root_line: u32,
+    fail_line: u32,
+    patch_line: u32,
+    paper: PaperExpectations,
+    same_file_failure: bool,
+) -> Benchmark {
+    let mut pb = ProgramBuilder::new(id);
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let handle = pb.declare_function("handle_request");
+    let report = pb.declare_function("log_error_write");
+
+    let site;
+    {
+        // The shared error-reporting path lives in the log module unless
+        // the benchmark keeps everything in one file.
+        let mut f = pb.build_function(report, if same_file_failure { file } else { log_fn_file });
+        let ps = f.params(1); // condition that must hold
+        let pass = f.new_block();
+        let fail = f.new_block();
+        f.at(fail_line - 1);
+        f.br(ps[0], pass, fail); // the check, one line above the message
+        f.set_block(fail);
+        f.at(fail_line);
+        site = f.log_error("request failed: invalid state");
+        f.ret(Some(Operand::Const(-1)));
+        f.set_block(pass);
+        f.ret(Some(Operand::Const(0)));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(handle, file);
+        let ps = f.params(1); // request kind: 0 plain, 1 benign-special, 2 trigger
+        let kind = ps[0];
+        let plain_blk = f.new_block();
+        let special_blk = f.new_block();
+        let after = f.new_block();
+        // The request preamble: parsing, header checks...
+        pad_checks(&mut f, pads_before, 30, kind);
+        let special = f.bin(BinOp::Ge, kind, 1);
+        f.at(root_line);
+        // Root cause: the special-case handling (mod_fastcgi / aufs state
+        // machine) leaves stale state; benign requests take this edge too.
+        f.br(special, special_blk, plain_blk);
+        f.set_block(plain_blk);
+        f.at(root_line + 4);
+        f.jmp(after);
+        f.set_block(special_blk);
+        f.at(root_line + 2);
+        f.jmp(after); // fall-through: the hot special path
+        f.set_block(after);
+        let trigger = f.bin(BinOp::Eq, kind, 2);
+        let healthy = f.un(stm_machine::ir::UnOp::Not, trigger);
+        pad_checks(&mut f, pads_after, root_line + 6, kind);
+        f.at(fail_line - 1);
+        let rc = f.call(report, &[healthy.into()]);
+        f.ret(Some(rc.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "src/server.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let n = f.read_input(0);
+        let have = f.bin(BinOp::Gt, n, 0);
+        guard(&mut f, have, "no port configured");
+        counted_loop(&mut f, n, |f, i| {
+            f.at(40);
+            let idx = f.bin(BinOp::Add, i, 1);
+            let kind = f.read_input(idx);
+            let rc = f.call(handle, &[kind.into()]);
+            f.output(rc);
+        });
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let handler_file = program.function(handle).file;
+    let report_file = program.function(report).file;
+    let root_loc = SourceLoc::new(handler_file, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == handle && b.loc == root_loc)
+        .map(|b| b.id);
+    Benchmark {
+        info: BenchmarkInfo {
+            id,
+            app,
+            version,
+            language: Language::C,
+            root_cause: if id == "lighttpd" {
+                RootCauseKind::Config
+            } else {
+                RootCauseKind::Semantic
+            },
+            symptom: Symptom::ErrorMessage,
+            bug_class: BugClass::Sequential,
+            description: "stale special-request state reported at the shared error path; \
+                          benign requests blind CBI's whole-run predicates",
+            paper,
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::ErrorLogAt(site),
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(handler_file, patch_line)],
+            failure_site_loc: SourceLoc::new(report_file, fail_line),
+            fpe: None,
+            fault_locs: vec![],
+        },
+        workloads: Workloads {
+            // Every run sees a benign special request; failing runs end
+            // with the trigger. The passing mix matches the failing runs'
+            // special/plain request ratio, as production traffic would.
+            failing: vec![Workload::new(vec![3, 1, 0, 2])],
+            passing: vec![
+                Workload::new(vec![3, 1, 1, 0]),
+                Workload::new(vec![3, 1, 0, 0]),
+                Workload::new(vec![4, 1, 0, 1, 0]),
+            ],
+            perf: Workload::new(vec![4, 1, 0, 1, 0]),
+        },
+        program,
+    }
+}
+
+/// Lighttpd 1.4.16: Table 6 row `✓4 / ✓4 / ✓1 / - / 0 / 1`.
+pub fn lighttpd() -> Benchmark {
+    server_benchmark(
+        "lighttpd",
+        "Lighttpd",
+        "1.4.16",
+        "src/mod_fastcgi.c",
+        "src/log.c",
+        55.0,
+        857,
+        13,
+        2,
+        // patch and failure on adjacent lines, all in mod_fastcgi.c
+        1121,
+        1122,
+        1122,
+        PaperExpectations {
+            lbrlog_tog: Some(PaperMark::Found(4)),
+            lbrlog_no_tog: Some(PaperMark::Found(4)),
+            lbra: Some(PaperMark::Found(1)),
+            cbi: Some(PaperMark::Miss),
+            patch_dist_failure: Some(0),
+            patch_dist_lbr: Some(1),
+            has_patch_distance: true,
+            kloc: 55.0,
+            log_points: 857,
+            ..PaperExpectations::default()
+        },
+        true,
+    )
+}
+
+/// Squid 1 (2.5.S5): Table 6 row `✓2 / ✓2 / ✓1 / - / 123 / 2`.
+pub fn squid1() -> Benchmark {
+    server_benchmark(
+        "squid1",
+        "Squid",
+        "2.5.S5",
+        "src/store_swapout.c",
+        "src/store_swapout.c",
+        120.0,
+        2427,
+        15,
+        0,
+        300,
+        421,
+        298,
+        PaperExpectations {
+            lbrlog_tog: Some(PaperMark::Found(2)),
+            lbrlog_no_tog: Some(PaperMark::Found(2)),
+            lbra: Some(PaperMark::Found(1)),
+            cbi: Some(PaperMark::Miss),
+            patch_dist_failure: Some(123),
+            patch_dist_lbr: Some(2),
+            has_patch_distance: true,
+            kloc: 120.0,
+            log_points: 2427,
+            ..PaperExpectations::default()
+        },
+        true,
+    )
+}
+
+/// Squid 2 (2.3.S4): a memory crash — the FTP URL parser mishandles a
+/// trailing separator and walks a pointer past the token buffer.
+/// Table 6 row `✓10 / ✓10 / ✓1 / ✓1 / 59 / 1`.
+///
+/// Inputs: `[trailing_sep, url_len]`.
+pub fn squid2() -> Benchmark {
+    let mut pb = ProgramBuilder::new("squid2");
+    let _libc = libc::install(&mut pb);
+    let main = pb.declare_function("main");
+    let parse = pb.declare_function("ftpUrlParse");
+
+    let patch_line = 210;
+    let root_line = 211;
+    let fault_line = 269;
+    {
+        let mut f = pb.build_function(parse, "src/ftp.c");
+        let ps = f.params(2); // trailing_sep, buf
+        let (sep, buf) = (ps[0], ps[1]);
+        let skip = f.new_block();
+        let keep = f.new_block();
+        let merge = f.new_block();
+        f.at(root_line);
+        // Root cause: trailing separators advance the cursor once more.
+        f.br(sep, skip, keep);
+        f.set_block(skip);
+        f.at(root_line + 2);
+        f.jmp(merge);
+        f.set_block(keep);
+        f.at(root_line + 4);
+        f.jmp(merge); // fall-through
+        f.set_block(merge);
+        let cursor = f.var();
+        let over = f.bin(BinOp::Mul, sep, 4096);
+        f.assign_bin(cursor, BinOp::Add, buf, over);
+        pad_checks(&mut f, 8, root_line + 8, buf);
+        f.at(fault_line);
+        let v = f.load(cursor, 0); // F
+        f.ret(Some(v.into()));
+        f.finish();
+    }
+    {
+        let mut f = pb.build_function(main, "src/main.c");
+        // Startup preamble: argument parsing, environment and config
+        // checks — the control-flow history every real main accumulates
+        // before any interesting work.
+        pad_checks(&mut f, 12, 2, 9000i64);
+        f.at(20);
+        let sep = f.read_input(0);
+        let len = f.read_input(1);
+        let have = f.bin(BinOp::Gt, len, 0);
+        guard(&mut f, have, "squid: empty URL");
+        let buf = f.alloc(4);
+        f.store(buf, 0, 777);
+        let v = f.call(parse, &[sep.into(), buf.into()]);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+    }
+    let program = pb.finish(main);
+    let ftp_c = program.function(parse).file;
+    let root_loc = SourceLoc::new(ftp_c, root_line);
+    let root_branch = program
+        .branches
+        .iter()
+        .find(|b| b.func == parse && b.loc == root_loc)
+        .map(|b| b.id);
+    let fault_loc = SourceLoc::new(ftp_c, fault_line);
+    Benchmark {
+        info: BenchmarkInfo {
+            id: "squid2",
+            app: "Squid",
+            version: "2.3.S4",
+            language: Language::C,
+            root_cause: RootCauseKind::Memory,
+            symptom: Symptom::Crash,
+            bug_class: BugClass::Sequential,
+            description: "FTP URL parser walks the token cursor past the buffer on a \
+                          trailing separator",
+            paper: PaperExpectations {
+                lbrlog_tog: Some(PaperMark::Found(10)),
+                lbrlog_no_tog: Some(PaperMark::Found(10)),
+                lbra: Some(PaperMark::Found(1)),
+                cbi: Some(PaperMark::Found(1)),
+                patch_dist_failure: Some(59),
+                patch_dist_lbr: Some(1),
+                has_patch_distance: true,
+                kloc: 102.0,
+                log_points: 2096,
+                ..PaperExpectations::default()
+            },
+        },
+        truth: GroundTruth {
+            spec: FailureSpec::CrashAt {
+                func: "ftpUrlParse".into(),
+                line: fault_line,
+            },
+            root_cause_branch: root_branch,
+            related_branch: None,
+            patch_locs: vec![SourceLoc::new(ftp_c, patch_line)],
+            failure_site_loc: fault_loc,
+            fpe: None,
+            fault_locs: vec![(parse, fault_loc)],
+        },
+        workloads: Workloads {
+            failing: vec![Workload::new(vec![1, 5])],
+            passing: vec![
+                Workload::new(vec![0, 5]),
+                Workload::new(vec![0, 9]),
+                Workload::new(vec![0, 2]),
+            ],
+            perf: Workload::new(vec![0, 7]),
+        },
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_test_support::*;
+
+    #[test]
+    fn lighttpd_matches_table6_row() {
+        let b = lighttpd();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(4));
+        assert_eq!(lbrlog_position(&b, false), Some(4));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn squid1_matches_table6_row() {
+        let b = squid1();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(2));
+        assert_eq!(lbrlog_position(&b, false), Some(2));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(123), Some(2)));
+    }
+
+    #[test]
+    fn squid2_matches_table6_row() {
+        let b = squid2();
+        assert_workloads_classify(&b);
+        assert_eq!(lbrlog_position(&b, true), Some(10));
+        assert_eq!(lbrlog_position(&b, false), Some(10));
+        assert_eq!(lbra_rank(&b), Some(1));
+        assert_eq!(patch_distances(&b), (Some(59), Some(1)));
+    }
+}

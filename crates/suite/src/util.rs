@@ -1,0 +1,199 @@
+//! Builder utilities shared by the benchmark programs.
+
+use stm_machine::builder::FunctionBuilder;
+use stm_machine::ids::LogSiteId;
+use stm_machine::ir::{BinOp, Operand};
+
+/// Emits the ubiquitous C error-handling idiom
+///
+/// ```c
+/// if (!cond) { error("msg"); exit(code); }
+/// ```
+///
+/// and leaves the cursor on the fall-through (passing) path. Each executed
+/// guard whose condition holds retires exactly **one** LBR record (the
+/// true-edge jump of its conditional), which is how the benchmarks place
+/// root-cause branches at specific ring positions. Each guard is also a
+/// genuine failure-logging site, feeding Table 4's log-point counts and
+/// Table 5's useful-branch analysis.
+pub fn guard(f: &mut FunctionBuilder<'_>, cond: impl Into<Operand>, msg: &str) -> LogSiteId {
+    let pass = f.new_block();
+    let fail = f.new_block();
+    f.br(cond, pass, fail);
+    f.set_block(fail);
+    let site = f.log_error(msg);
+    f.exit(1);
+    f.jmp(pass);
+    f.set_block(pass);
+    site
+}
+
+/// Like [`guard`], but the failing path *returns* `ret` instead of exiting
+/// the process — the library-style error propagation idiom.
+pub fn guard_ret(
+    f: &mut FunctionBuilder<'_>,
+    cond: impl Into<Operand>,
+    msg: &str,
+    ret: i64,
+) -> LogSiteId {
+    let pass = f.new_block();
+    let fail = f.new_block();
+    f.br(cond, pass, fail);
+    f.set_block(fail);
+    let site = f.log_error(msg);
+    f.ret(Some(Operand::Const(ret)));
+    f.set_block(pass);
+    site
+}
+
+/// Emits a data-dependent if/then diamond whose arms rejoin: the shape
+/// that dominates real pre-failure control flow. Exactly one LBR record
+/// retires per traversal (the conditional's taken edge; the work arm falls
+/// through to the join), and — unlike a guard — *both* edges reach
+/// downstream code, so the record is "useful" to the Table 5 analysis.
+pub fn diamond(f: &mut FunctionBuilder<'_>, value: impl Into<Operand> + Copy) {
+    let work = f.new_block();
+    let join = f.new_block();
+    // The straight-line computation the check guards (record-free work).
+    let a = f.bin(BinOp::Mul, value, 31);
+    let b = f.bin(BinOp::Add, a, 17);
+    let c2 = f.bin(BinOp::Xor, b, a);
+    let c = f.bin(BinOp::Gt, c2, i64::MIN / 2);
+    f.br(c, join, work);
+    f.set_block(work);
+    f.nop();
+    f.jmp(join); // adjacent: pure fall-through, no record
+    f.set_block(join);
+}
+
+/// Emits `n` checks on `value`, one source line apart starting at
+/// `start_line`, mixing rejoining [`diamond`]s with guarded error-log
+/// sites in the ~7:1 proportion real request-processing code shows. Every
+/// check retires exactly one LBR record under the benchmark workloads, so
+/// chains of these place root-cause branches at the ring positions
+/// Table 6 reports while keeping the static useful-branch profile
+/// (Table 5) realistic.
+pub fn pad_checks(
+    f: &mut FunctionBuilder<'_>,
+    n: u32,
+    start_line: u32,
+    value: impl Into<Operand> + Copy,
+) {
+    for k in 0..n {
+        f.at(start_line + 2 * k);
+        if k % 8 == 7 {
+            let c = f.bin(BinOp::Gt, value, i64::MIN / 2);
+            guard(f, c, "internal consistency check failed");
+        } else {
+            diamond(f, value);
+        }
+    }
+}
+
+/// Emits a counted loop `for i in 0..n { body(i) }`; the body closure runs
+/// with the cursor inside the loop body. Returns the loop-counter variable.
+pub fn counted_loop(
+    f: &mut FunctionBuilder<'_>,
+    n: impl Into<Operand>,
+    body: impl FnOnce(&mut FunctionBuilder<'_>, stm_machine::ids::VarId),
+) -> stm_machine::ids::VarId {
+    let n = n.into();
+    let header = f.new_block();
+    let body_blk = f.new_block();
+    let done = f.new_block();
+    let i = f.var();
+    f.assign(i, 0);
+    f.jmp(header);
+    f.set_block(header);
+    let c = f.bin(BinOp::Lt, i, n);
+    f.br(c, body_blk, done);
+    f.set_block(body_blk);
+    body(f, i);
+    f.assign_bin(i, BinOp::Add, i, 1);
+    f.jmp(header);
+    f.set_block(done);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::events::NullHardware;
+    use stm_machine::interp::{Machine, RunConfig};
+
+    #[test]
+    fn guard_passes_and_fails() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare_function("main");
+        let site;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let x = f.read_input(0);
+            site = guard(&mut f, x, "x must be non-zero");
+            f.output(x);
+            f.ret(None);
+            f.finish();
+        }
+        let m = Machine::new(pb.finish(main));
+        let cfg = RunConfig::default();
+        let ok = m.run(&[5], &cfg, &mut NullHardware);
+        assert_eq!(ok.outputs, vec![5]);
+        assert!(!ok.logged_error());
+        let bad = m.run(&[0], &cfg, &mut NullHardware);
+        assert!(bad.logged_site(site));
+        assert_eq!(
+            bad.outcome,
+            stm_machine::report::RunOutcome::Completed { exit_code: 1 }
+        );
+    }
+
+    #[test]
+    fn guard_ret_returns_instead_of_exiting() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare_function("main");
+        let helper = pb.declare_function("helper");
+        {
+            let mut f = pb.build_function(helper, "h.c");
+            let ps = f.params(1);
+            guard_ret(&mut f, ps[0], "bad arg", -1);
+            f.ret(Some(Operand::Const(1)));
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let x = f.read_input(0);
+            let r = f.call(helper, &[x.into()]);
+            f.output(r);
+            f.ret(None);
+            f.finish();
+        }
+        let m = Machine::new(pb.finish(main));
+        let cfg = RunConfig::default();
+        assert_eq!(m.run(&[3], &cfg, &mut NullHardware).outputs, vec![1]);
+        let bad = m.run(&[0], &cfg, &mut NullHardware);
+        assert_eq!(bad.outputs, vec![-1]);
+        assert!(bad.logged_error());
+    }
+
+    #[test]
+    fn counted_loop_iterates_n_times() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare_function("main");
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let n = f.read_input(0);
+            let total = f.var();
+            f.assign(total, 0);
+            counted_loop(&mut f, n, |f, _i| {
+                f.assign_bin(total, BinOp::Add, total, 1);
+            });
+            f.output(total);
+            f.ret(None);
+            f.finish();
+        }
+        let m = Machine::new(pb.finish(main));
+        let r = m.run(&[7], &RunConfig::default(), &mut NullHardware);
+        assert_eq!(r.outputs, vec![7]);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's Fig. 4 walkthrough: the Mozilla JavaScript atomicity
+//! violation, diagnosed with the proposed LCR hardware — LCRLOG's
+//! coherence-event log, then LCRA's automatic ranking.
+//!
+//! Run with: `cargo run --example mozilla_race`
+
+use stm::core::logging::{failure_log_for, render_failure_log};
+use stm::suite::eval::{expand_workloads, lcrlog_runner, run_lcra};
+use stm::machine::events::LcrConfig;
+
+fn main() {
+    let b = stm::suite::by_id("mozilla-js3").expect("mozilla-js3 benchmark");
+    println!("benchmark: {} — {}\n", b.info.id, b.info.description);
+
+    // 1. LCRLOG under the space-saving configuration: the failing
+    //    interleaving's last coherence events.
+    let runner = lcrlog_runner(&b, LcrConfig::SPACE_SAVING);
+    let (failing, _) = expand_workloads(&b, &runner);
+    println!(
+        "found {} failing interleavings by seed search",
+        failing.len()
+    );
+    let (report, _) = runner.run_classified(&failing[0], &b.truth.spec);
+    let log = failure_log_for(&runner, &report, &b.truth.spec).expect("failure profile");
+    print!("{}", render_failure_log(&runner, &log));
+    let fpe = b.truth.fpe.unwrap();
+    println!(
+        "\nthe invalid read at {} — st->table was nulled by FreeState between\nInitState's assignment and check — sits at entry {} (paper: 3)\n",
+        runner.machine().program().render_loc(fpe.loc),
+        log.lcr_position_of_event(fpe.loc, fpe.conf1_state.unwrap())
+            .unwrap()
+    );
+
+    // 2. LCRA: automatic localization from 10 + 10 runs.
+    let d = run_lcra(&b);
+    println!("LCRA top predictors:");
+    for (i, r) in d.ranked.iter().take(3).enumerate() {
+        println!(
+            "  #{} {} [{:?}] (precision {:.2}, recall {:.2})",
+            i + 1,
+            r.event,
+            r.polarity,
+            r.precision,
+            r.recall
+        );
+    }
+    println!(
+        "\nrank of the failure-predicting event: {} (paper: 1)",
+        d.rank_of_event(fpe.loc, fpe.conf2_state.unwrap()).unwrap()
+    );
+}

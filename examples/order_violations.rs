@@ -1,0 +1,27 @@
+//! The read-too-early / read-too-late order violations of Figs. 5 and 6
+//! (FFT and PBZIP2), including the §4.2.2 subtlety: under the space-saving
+//! LCR configuration, a read-too-early failure is predicted by the
+//! *absence* of the shared-state read that every success run records.
+//!
+//! Run with: `cargo run --example order_violations`
+
+use stm::suite::eval::{evaluate_concurrency, run_lcra};
+
+fn main() {
+    for id in ["fft", "pbzip3"] {
+        let b = stm::suite::by_id(id).unwrap();
+        println!("== {} — {}", b.info.id, b.info.description);
+        let row = evaluate_concurrency(&b);
+        println!(
+            "   LCRLOG Conf1 entry: {:?}   Conf2 entry: {:?}   LCRA rank: {:?}",
+            row.lcrlog_conf1, row.lcrlog_conf2, row.lcra
+        );
+        let d = run_lcra(&b);
+        if let Some(top) = d.top() {
+            println!(
+                "   top predictor: {} [{:?}] score {:.2}\n",
+                top.event, top.polarity, top.score
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a tiny buggy program, deploy it with LBRLOG, crash
+//! it, and read the enhanced failure log a developer would receive.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stm::core::prelude::*;
+use stm::machine::builder::ProgramBuilder;
+
+fn main() {
+    // A program that dereferences a null pointer when its input is zero.
+    let mut pb = ProgramBuilder::new("quickstart");
+    let table = pb.global("table", 1);
+    let main_fn = pb.declare_function("main");
+    let mut f = pb.build_function(main_fn, "quickstart.c");
+    let init = f.new_block();
+    let lookup = f.new_block();
+    let x = f.read_input(0);
+    f.at(10);
+    f.br(x, init, lookup); // root cause: skips initialization when x == 0
+    f.set_block(init);
+    f.at(12);
+    let buf = f.alloc(4);
+    f.store(buf, 0, 42);
+    f.store(table as i64, 0, buf);
+    f.jmp(lookup);
+    f.set_block(lookup);
+    f.at(20);
+    let t = f.load(table as i64, 0);
+    let v = f.load(t, 0); // crashes when table was never initialized
+    f.output(v);
+    f.ret(None);
+    f.finish();
+    let program = pb.finish(main_fn);
+
+    // Deploy with LBRLOG: the fault handler profiles the LBR.
+    let runner = Runner::instrumented(&program, &InstrumentOptions::lbrlog());
+
+    println!("== healthy run (input 7) ==");
+    let ok = runner.run(&Workload::new(vec![7]));
+    println!("outputs: {:?}\n", ok.outputs);
+
+    println!("== failing run (input 0) ==");
+    let report = runner.run(&Workload::new(vec![0]));
+    let log = failure_log(&runner, &report).expect("the run crashed");
+    print!("{}", render_failure_log(&runner, &log));
+    println!("\nThe most recent conditional branch is the root cause: the");
+    println!("guard at quickstart.c:10 took its FALSE edge and skipped init.");
+}

@@ -1,0 +1,46 @@
+//! The paper's Fig. 3 walkthrough: the Coreutils `sort -m` buffer overflow,
+//! diagnosed end to end — LBRLOG's enhanced crash log first, then LBRA's
+//! automatic root-cause ranking from 10 failing + 10 passing runs.
+//!
+//! Run with: `cargo run --example sort_diagnosis`
+
+use stm::core::logging::{failure_log_for, render_failure_log};
+use stm::suite::eval::{expand_workloads, lbrlog_runner, run_lbra};
+
+fn main() {
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    println!("benchmark: {} — {}\n", b.info.id, b.info.description);
+
+    // 1. LBRLOG: what the developer sees attached to the crash report.
+    let runner = lbrlog_runner(&b, true);
+    let (failing, _) = expand_workloads(&b, &runner);
+    let (report, _) = runner.run_classified(&failing[0], &b.truth.spec);
+    let log = failure_log_for(&runner, &report, &b.truth.spec).expect("crash profile");
+    print!("{}", render_failure_log(&runner, &log));
+    let root = b.truth.target_branch().unwrap();
+    println!(
+        "\nroot-cause branch {} is the {}-th latest LBR entry (paper: 3rd)\n",
+        root,
+        log.lbr_position_of_branch(root).unwrap()
+    );
+
+    // 2. LBRA: automatic localization.
+    let d = run_lbra(&b);
+    println!(
+        "LBRA used {} failing + {} passing runs; top predictors:",
+        d.stats.failure_runs_used, d.stats.success_runs_used
+    );
+    for (i, r) in d.ranked.iter().take(3).enumerate() {
+        println!(
+            "  #{} {} (precision {:.2}, recall {:.2})",
+            i + 1,
+            r.event,
+            r.precision,
+            r.recall
+        );
+    }
+    println!(
+        "\nrank of the root-cause branch: {} (paper: 1)",
+        d.rank_of_branch(root).unwrap()
+    );
+}

@@ -1,0 +1,131 @@
+//! Workspace-level integration tests: drive the whole stack — builder →
+//! machine → hardware → transformer → diagnosis — through the public
+//! facade, the way a downstream user would.
+
+use stm::core::prelude::*;
+use stm::machine::builder::ProgramBuilder;
+use stm::machine::ir::BinOp;
+use stm::suite::eval;
+
+#[test]
+fn sort_pipeline_reproduces_its_table6_row() {
+    let b = stm::suite::by_id("sort").unwrap();
+    assert_eq!(eval::lbrlog_position(&b, true), Some(3));
+    assert_eq!(eval::lbrlog_position(&b, false), Some(5));
+    assert_eq!(eval::lbra_rank(&b), Some(1));
+}
+
+#[test]
+fn mozilla_pipeline_reproduces_its_table7_row() {
+    let b = stm::suite::by_id("mozilla-js3").unwrap();
+    assert_eq!(eval::lcrlog_position(&b, true), Some(3));
+    assert_eq!(eval::lcrlog_position(&b, false), Some(11));
+    assert_eq!(eval::lcra_rank(&b), Some(1));
+}
+
+#[test]
+fn all_31_benchmarks_are_registered_with_consistent_metadata() {
+    let all = stm::suite::all();
+    assert_eq!(all.len(), 31);
+    assert_eq!(stm::suite::sequential().len(), 20);
+    assert_eq!(stm::suite::concurrency().len(), 11);
+    let mut ids: Vec<&str> = all.iter().map(|b| b.info.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 31, "benchmark ids must be unique");
+    for b in &all {
+        assert!(b.program.validate().is_ok(), "{} invalid", b.info.id);
+        assert!(!b.workloads.failing.is_empty(), "{}", b.info.id);
+        assert!(!b.workloads.passing.is_empty(), "{}", b.info.id);
+        assert!(b.log_points() > 0 || b.info.id == "pbzip2", "{}", b.info.id);
+    }
+}
+
+#[test]
+fn every_sequential_benchmark_keeps_its_root_cause_within_a_16_entry_lbr() {
+    // The paper's headline: with just 16 entries, LBRLOG captures a
+    // root-cause or related branch for all 20 sequential failures.
+    for b in stm::suite::sequential() {
+        let pos = eval::lbrlog_position(&b, true);
+        assert!(
+            matches!(pos, Some(p) if p <= 16),
+            "{}: position {pos:?}",
+            b.info.id
+        );
+    }
+}
+
+#[test]
+fn instrumentation_preserves_program_semantics() {
+    // The transformer must never change what a program computes — only
+    // observe it. Outputs must match between deployments.
+    for b in stm::suite::sequential() {
+        let plain = Runner::new(stm::machine::interp::Machine::new(b.program.clone()));
+        let logd = Runner::instrumented(&b.program, &InstrumentOptions::lbrlog());
+        let proa = Runner::instrumented(&b.program, &InstrumentOptions::lbra_proactive());
+        for w in b.workloads.passing.iter().chain([&b.workloads.perf]) {
+            let a = plain.run(w);
+            let c = logd.run(w);
+            let d = proa.run(w);
+            assert_eq!(a.outputs, c.outputs, "{} lbrlog diverged", b.info.id);
+            assert_eq!(a.outputs, d.outputs, "{} proactive diverged", b.info.id);
+            assert_eq!(a.outcome, c.outcome, "{}", b.info.id);
+        }
+    }
+}
+
+#[test]
+fn facade_quickstart_diagnoses_a_fresh_bug() {
+    // The lib.rs doc example, in test form, built through the facade.
+    let mut pb = ProgramBuilder::new("demo");
+    let main = pb.declare_function("main");
+    let mut f = pb.build_function(main, "demo.c");
+    let err = f.new_block();
+    let ok = f.new_block();
+    let t = f.read_input(0);
+    let bad = f.bin(BinOp::Le, t, 0);
+    f.br(bad, err, ok);
+    f.set_block(err);
+    let site = f.log_error("timeout must be positive");
+    f.exit(1);
+    f.ret(None);
+    f.set_block(ok);
+    f.output(t);
+    f.ret(None);
+    f.finish();
+    let program = pb.finish(main);
+
+    let runner = Runner::instrumented(
+        &program,
+        &InstrumentOptions::lbra_reactive(vec![site], vec![]),
+    );
+    let d = lbra(
+        &runner,
+        &[Workload::new(vec![0]), Workload::new(vec![-4])],
+        &[Workload::new(vec![5]), Workload::new(vec![60])],
+        &FailureSpec::ErrorLogAt(site),
+        &DiagnosisConfig::default(),
+    );
+    let top = d.top().expect("a predictor");
+    assert_eq!(top.score, 1.0);
+    assert_eq!(top.event.branch, program.branches[0].id);
+}
+
+#[test]
+fn proactive_and_reactive_schemes_agree_on_the_diagnosis() {
+    let b = stm::suite::by_id("rm").unwrap();
+    let root = b.truth.target_branch().unwrap();
+    let reactive = eval::run_lbra(&b);
+    let proactive_runner = Runner::instrumented(&b.program, &InstrumentOptions::lbra_proactive());
+    let (failing, passing) = eval::expand_workloads(&b, &proactive_runner);
+    let mut proactive = lbra(
+        &proactive_runner,
+        &failing,
+        &passing,
+        &b.truth.spec,
+        &DiagnosisConfig::default(),
+    );
+    proactive.exclude_site_guards(proactive_runner.machine().program(), &b.truth.spec);
+    assert_eq!(reactive.rank_of_branch(root), Some(1));
+    assert_eq!(proactive.rank_of_branch(root), Some(1));
+}
