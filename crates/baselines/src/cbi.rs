@@ -10,7 +10,6 @@
 //! diagnosis latency, versus LBRA's 10.
 
 use crate::scoring::{CbiModel, ScoredPredicate};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use stm_core::runner::{FailureSpec, RunClass, Runner, Workload};
 use stm_machine::ids::{BranchId, SampleId};
@@ -18,9 +17,7 @@ use stm_machine::ir::{Instr, Program, Stmt, Terminator};
 use stm_machine::report::RunReport;
 
 /// A CBI branch predicate: "branch `branch` evaluated `taken`".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BranchPredicate {
     /// The source branch.
     pub branch: BranchId,
@@ -70,16 +67,14 @@ fn run_observations(report: &RunReport) -> BTreeMap<BranchPredicate, bool> {
                 taken: outcome,
             };
             let held = taken == outcome;
-            obs.entry(pred)
-                .and_modify(|w| *w |= held)
-                .or_insert(held);
+            obs.entry(pred).and_modify(|w| *w |= held).or_insert(held);
         }
     }
     obs
 }
 
 /// CBI collection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CbiConfig {
     /// Failing runs to collect (the CBI default workload is 1000).
     pub failing_runs: usize,
@@ -100,7 +95,7 @@ impl Default for CbiConfig {
 }
 
 /// The result of a CBI diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CbiDiagnosis {
     /// Ranked predicates, best first (only those with positive Increase).
     pub ranked: Vec<ScoredPredicate<BranchPredicate>>,
@@ -139,10 +134,10 @@ pub fn cbi(
     let mut success_used = 0;
 
     let replay = |workloads: &[Workload],
-                      want_failure: bool,
-                      needed: usize,
-                      used: &mut usize,
-                      model: &mut CbiModel<BranchPredicate>| {
+                  want_failure: bool,
+                  needed: usize,
+                  used: &mut usize,
+                  model: &mut CbiModel<BranchPredicate>| {
         let mut i = 0usize;
         while *used < needed && i < config.max_runs && !workloads.is_empty() {
             let base = &workloads[i % workloads.len()];
@@ -167,7 +162,13 @@ pub fn cbi(
         }
     };
 
-    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        failing,
+        true,
+        config.failing_runs,
+        &mut failing_used,
+        &mut model,
+    );
     replay(
         passing,
         false,
@@ -187,9 +188,9 @@ pub fn cbi(
 mod tests {
     use super::*;
     use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ids::LogSiteId;
     use stm_machine::interp::{Machine, RunConfig};
     use stm_machine::ir::BinOp;
-    use stm_machine::ids::LogSiteId;
 
     fn guarded_program() -> (Program, LogSiteId, BranchId) {
         let mut pb = ProgramBuilder::new("p");
@@ -248,7 +249,13 @@ mod tests {
             successful_runs: 40,
             max_runs: 200,
         };
-        let d = cbi(&runner, &failing, &passing, &FailureSpec::ErrorLogAt(site), &cfg);
+        let d = cbi(
+            &runner,
+            &failing,
+            &passing,
+            &FailureSpec::ErrorLogAt(site),
+            &cfg,
+        );
         assert_eq!(d.failing_runs, 40);
         let top = d.top().expect("a ranked predicate");
         assert_eq!(top.predicate.branch, root);
@@ -272,7 +279,13 @@ mod tests {
             successful_runs: 5,
             max_runs: 50,
         };
-        let d = cbi(&runner, &failing, &passing, &FailureSpec::ErrorLogAt(site), &cfg);
+        let d = cbi(
+            &runner,
+            &failing,
+            &passing,
+            &FailureSpec::ErrorLogAt(site),
+            &cfg,
+        );
         assert_eq!(d.rank_of_branch(root), None, "{:?}", d.ranked);
     }
 }

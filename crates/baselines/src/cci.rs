@@ -9,7 +9,6 @@
 //! the sampling at collection time.
 
 use crate::scoring::{CbiModel, ScoredPredicate};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use stm_core::runner::{classify, FailureSpec, RunClass, Workload};
 use stm_machine::events::{AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp};
@@ -22,9 +21,7 @@ use stm_machine::sched::SchedPolicy;
 /// A CCI-Prev predicate: "at `loc`, the previous access to the same
 /// location was by a different thread" (`remote = true`) or by the same
 /// thread (`remote = false`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PrevPredicate {
     /// Source location of the access.
     pub loc: SourceLoc,
@@ -71,7 +68,7 @@ impl Hardware for CciTracker {
 }
 
 /// CCI collection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CciConfig {
     /// Failing runs to collect.
     pub failing_runs: usize,
@@ -95,7 +92,7 @@ impl Default for CciConfig {
 }
 
 /// The result of a CCI diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CciDiagnosis {
     /// Ranked predicates, best first.
     pub ranked: Vec<ScoredPredicate<PrevPredicate>>,
@@ -108,7 +105,9 @@ pub struct CciDiagnosis {
 impl CciDiagnosis {
     /// 1-based rank of the first remote-communication predicate at `loc`.
     pub fn rank_of_remote(&self, loc: SourceLoc) -> Option<usize> {
-        CbiModel::rank_of(&self.ranked, |r| r.predicate.loc == loc && r.predicate.remote)
+        CbiModel::rank_of(&self.ranked, |r| {
+            r.predicate.loc == loc && r.predicate.remote
+        })
     }
 
     /// The best predicate.
@@ -131,10 +130,10 @@ pub fn cci(
     let layout = machine.layout();
 
     let replay = |workloads: &[Workload],
-                      want_failure: bool,
-                      needed: usize,
-                      used: &mut usize,
-                      model: &mut CbiModel<PrevPredicate>| {
+                  want_failure: bool,
+                  needed: usize,
+                  used: &mut usize,
+                  model: &mut CbiModel<PrevPredicate>| {
         let mut i = 0usize;
         while *used < needed && i < config.max_runs && !workloads.is_empty() {
             let base = &workloads[i % workloads.len()];
@@ -173,7 +172,13 @@ pub fn cci(
         }
     };
 
-    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        failing,
+        true,
+        config.failing_runs,
+        &mut failing_used,
+        &mut model,
+    );
     replay(
         passing,
         false,
@@ -258,7 +263,11 @@ mod tests {
         let d = cci(&machine, &workloads, &workloads, &spec, &cfg);
         assert!(d.failing_runs > 0);
         let rank = d.rank_of_remote(check_loc).expect("predicate ranked");
-        assert!(rank <= 2, "rank {rank}: {:?}", &d.ranked[..d.ranked.len().min(4)]);
+        assert!(
+            rank <= 2,
+            "rank {rank}: {:?}",
+            &d.ranked[..d.ranked.len().min(4)]
+        );
     }
 
     #[test]

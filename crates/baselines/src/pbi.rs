@@ -10,7 +10,6 @@
 //! thousands of failing runs.
 
 use crate::scoring::{CbiModel, ScoredPredicate};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use stm_core::runner::{classify, FailureSpec, RunClass, Workload};
 use stm_hardware::{HardwareCtx, HwConfig};
@@ -20,9 +19,7 @@ use stm_machine::ir::SourceLoc;
 use stm_machine::sched::SchedPolicy;
 
 /// A PBI predicate: "the access at `loc` observed `state`".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoherencePredicate {
     /// Source location of the access instruction.
     pub loc: SourceLoc,
@@ -33,7 +30,7 @@ pub struct CoherencePredicate {
 }
 
 /// PBI collection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PbiConfig {
     /// Failing runs to collect.
     pub failing_runs: usize,
@@ -57,7 +54,7 @@ impl Default for PbiConfig {
 }
 
 /// The result of a PBI diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PbiDiagnosis {
     /// Ranked predicates, best first.
     pub ranked: Vec<ScoredPredicate<CoherencePredicate>>,
@@ -95,10 +92,10 @@ pub fn pbi(
     let layout = machine.layout();
 
     let replay = |workloads: &[Workload],
-                      want_failure: bool,
-                      needed: usize,
-                      used: &mut usize,
-                      model: &mut CbiModel<CoherencePredicate>| {
+                  want_failure: bool,
+                  needed: usize,
+                  used: &mut usize,
+                  model: &mut CbiModel<CoherencePredicate>| {
         let mut i = 0usize;
         while *used < needed && i < config.max_runs && !workloads.is_empty() {
             let base = &workloads[i % workloads.len()];
@@ -154,7 +151,13 @@ pub fn pbi(
         }
     };
 
-    replay(failing, true, config.failing_runs, &mut failing_used, &mut model);
+    replay(
+        failing,
+        true,
+        config.failing_runs,
+        &mut failing_used,
+        &mut model,
+    );
     replay(
         passing,
         false,
@@ -202,7 +205,7 @@ mod tests {
             f.yield_now();
             f.at(10);
             let v = f.load(table as i64, 0); // the racy check read
-            // Resolved against the real file table below.
+                                             // Resolved against the real file table below.
             check_loc = 10;
             let bad = f.bin(BinOp::Eq, v, 0);
             f.br(bad, err, ok);

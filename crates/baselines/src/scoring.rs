@@ -14,11 +14,10 @@
 //! * `Importance(P)` — harmonic mean of `Increase(P)` and a normalized
 //!   log-recall term `log(F(P)) / log(NumF)`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-predicate observation counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Counts {
     observed_f: usize,
     observed_s: usize,
@@ -27,7 +26,7 @@ struct Counts {
 }
 
 /// A scored predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredPredicate<P> {
     /// The predicate.
     pub predicate: P,
@@ -110,8 +109,7 @@ impl<P: Ord + Clone> CbiModel<P> {
                     return None;
                 }
                 let failure = c.true_f as f64 / (c.true_f + c.true_s).max(1) as f64;
-                let context =
-                    c.observed_f as f64 / (c.observed_f + c.observed_s).max(1) as f64;
+                let context = c.observed_f as f64 / (c.observed_f + c.observed_s).max(1) as f64;
                 let increase = failure - context;
                 if increase <= 0.0 {
                     return None;
@@ -121,8 +119,7 @@ impl<P: Ord + Clone> CbiModel<P> {
                 // per-run truth of an uninformative predicate fluctuates,
                 // and without this test noise survives the filter.
                 let var_f = failure * (1.0 - failure) / (c.true_f + c.true_s).max(1) as f64;
-                let var_c =
-                    context * (1.0 - context) / (c.observed_f + c.observed_s).max(1) as f64;
+                let var_c = context * (1.0 - context) / (c.observed_f + c.observed_s).max(1) as f64;
                 let se = (var_f + var_c).sqrt();
                 if increase <= 1.96 * se {
                     return None;
@@ -219,10 +216,7 @@ mod tests {
     fn partial_predictor_ranks_below_deterministic_one() {
         let mut m = CbiModel::new();
         for i in 0..100 {
-            m.add_run(
-                true,
-                obs(&[("perfect", true), ("partial", i % 2 == 0)]),
-            );
+            m.add_run(true, obs(&[("perfect", true), ("partial", i % 2 == 0)]));
             m.add_run(false, obs(&[("perfect", false), ("partial", false)]));
         }
         let ranked = m.rank();

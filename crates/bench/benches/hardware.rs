@@ -3,7 +3,7 @@
 //! real design — a ring push — versus BTS's unbounded buffer append,
 //! plus the MESI cache access and LCR record paths.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stm_bench::microbench::{bench, black_box};
 use stm_hardware::{Bts, CacheConfig, CacheSystem, HardwareCtx, Lbr, Lcr};
 use stm_machine::events::{
     AccessEvent, AccessKind, BranchEvent, BranchKind, CoherenceState, Hardware, LcrConfig, Ring,
@@ -19,108 +19,101 @@ fn branch(i: u64) -> BranchEvent {
     }
 }
 
-fn bench_lbr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lbr");
-    g.bench_function("record", |b| {
-        let mut lbr = Lbr::new(16);
-        lbr.enable();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            lbr.record(black_box(branch(i)));
-        });
+fn bench_lbr() {
+    let mut lbr = Lbr::new(16);
+    lbr.enable();
+    let mut i = 0u64;
+    bench("lbr/record", || {
+        i += 1;
+        lbr.record(black_box(branch(i)));
     });
-    g.bench_function("record_filtered_out", |b| {
-        let mut lbr = Lbr::new(16);
-        lbr.enable();
-        let ev = BranchEvent {
-            kind: BranchKind::NearRelCall,
-            ..branch(1)
-        };
-        b.iter(|| lbr.record(black_box(ev)));
-    });
-    g.bench_function("snapshot", |b| {
-        let mut lbr = Lbr::new(16);
-        lbr.enable();
-        for i in 0..40 {
-            lbr.record(branch(i));
-        }
-        b.iter(|| black_box(lbr.snapshot()));
-    });
-    g.finish();
+
+    let mut lbr = Lbr::new(16);
+    lbr.enable();
+    let ev = BranchEvent {
+        kind: BranchKind::NearRelCall,
+        ..branch(1)
+    };
+    bench("lbr/record_filtered_out", || lbr.record(black_box(ev)));
+
+    let mut lbr = Lbr::new(16);
+    lbr.enable();
+    for i in 0..40 {
+        lbr.record(branch(i));
+    }
+    bench("lbr/snapshot", || lbr.snapshot());
 }
 
-fn bench_bts(c: &mut Criterion) {
-    c.bench_function("bts/record", |b| {
-        let mut bts = Bts::with_limit(1 << 20);
-        bts.enable();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            bts.record(black_box(branch(i)));
-        });
+fn bench_bts() {
+    let mut bts = Bts::with_limit(1 << 20);
+    bts.enable();
+    let mut i = 0u64;
+    bench("bts/record", || {
+        i += 1;
+        bts.record(black_box(branch(i)));
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("load_hit", |b| {
-        let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
-        sys.access(CoreId(0), 0x1000, AccessKind::Load);
-        b.iter(|| sys.access(CoreId(0), black_box(0x1000), AccessKind::Load));
+fn bench_cache() {
+    let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
+    sys.access(CoreId(0), 0x1000, AccessKind::Load);
+    bench("cache/load_hit", || {
+        sys.access(CoreId(0), black_box(0x1000), AccessKind::Load)
     });
-    g.bench_function("load_streaming_misses", |b| {
-        let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr += 64;
-            sys.access(CoreId(0), black_box(addr), AccessKind::Load)
-        });
-    });
-    g.bench_function("store_with_invalidation", |b| {
-        let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
-        b.iter(|| {
-            sys.access(CoreId(0), 0x2000, AccessKind::Load);
-            sys.access(CoreId(1), black_box(0x2000), AccessKind::Store)
-        });
-    });
-    g.finish();
-}
 
-fn bench_lcr_and_context(c: &mut Criterion) {
-    c.bench_function("lcr/record", |b| {
-        let mut lcr = Lcr::new(16);
-        lcr.configure(LcrConfig::SPACE_CONSUMING);
-        lcr.enable(ThreadId::MAIN);
-        b.iter(|| {
-            lcr.record(
-                ThreadId::MAIN,
-                black_box(0x400010),
-                CoherenceState::Invalid,
-                AccessKind::Load,
-                Ring::User,
-            )
-        });
+    let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
+    let mut addr = 0u64;
+    bench("cache/load_streaming_misses", || {
+        addr += 64;
+        sys.access(CoreId(0), black_box(addr), AccessKind::Load)
     });
-    c.bench_function("context/on_access_full_path", |b| {
-        let mut hw = HardwareCtx::with_defaults();
-        hw.ctl(CoreId(0), ThreadId::MAIN, stm_machine::events::HwCtlOp::EnableLcr);
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = (addr + 8) % (1 << 16);
-            hw.on_access(
-                CoreId(0),
-                ThreadId::MAIN,
-                AccessEvent {
-                    pc: 0x400010,
-                    addr: black_box(addr),
-                    kind: AccessKind::Load,
-                    ring: Ring::User,
-                },
-            )
-        });
+
+    let mut sys = CacheSystem::new(4, CacheConfig::PAPER);
+    bench("cache/store_with_invalidation", || {
+        sys.access(CoreId(0), 0x2000, AccessKind::Load);
+        sys.access(CoreId(1), black_box(0x2000), AccessKind::Store)
     });
 }
 
-criterion_group!(benches, bench_lbr, bench_bts, bench_cache, bench_lcr_and_context);
-criterion_main!(benches);
+fn bench_lcr_and_context() {
+    let mut lcr = Lcr::new(16);
+    lcr.configure(LcrConfig::SPACE_CONSUMING);
+    lcr.enable(ThreadId::MAIN);
+    bench("lcr/record", || {
+        lcr.record(
+            ThreadId::MAIN,
+            black_box(0x400010),
+            CoherenceState::Invalid,
+            AccessKind::Load,
+            Ring::User,
+        )
+    });
+
+    let mut hw = HardwareCtx::with_defaults();
+    hw.ctl(
+        CoreId(0),
+        ThreadId::MAIN,
+        stm_machine::events::HwCtlOp::EnableLcr,
+    );
+    let mut addr = 0u64;
+    bench("context/on_access_full_path", || {
+        addr = (addr + 8) % (1 << 16);
+        hw.on_access(
+            CoreId(0),
+            ThreadId::MAIN,
+            AccessEvent {
+                pc: 0x400010,
+                addr: black_box(addr),
+                kind: AccessKind::Load,
+                ring: Ring::User,
+            },
+        )
+    });
+}
+
+fn main() {
+    bench_lbr();
+    bench_bts();
+    bench_cache();
+    bench_lcr_and_context();
+}

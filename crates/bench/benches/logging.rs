@@ -1,28 +1,18 @@
 //! The logging-latency contrast of §5.3: serializing a 16-entry LBR ring
 //! versus a call-stack walk versus a full coredump.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stm_bench::microbench::bench;
 use stm_core::logging::LogPayload;
 
-fn bench_logging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("failure_logging");
-    g.bench_function("lbr_16_entries", |b| {
-        let p = LogPayload::ShortTermMemory { entries: 16 };
-        b.iter(|| black_box(p.materialize()));
-    });
-    g.bench_function("call_stack_40_frames", |b| {
-        let p = LogPayload::CallStack { frames: 40 };
-        b.iter(|| black_box(p.materialize()));
-    });
-    g.sample_size(10);
-    g.bench_function("coredump_16MiB", |b| {
-        let p = LogPayload::Coredump {
-            bytes: 16 * 1024 * 1024,
-        };
-        b.iter(|| black_box(p.materialize()));
-    });
-    g.finish();
-}
+fn main() {
+    let p = LogPayload::ShortTermMemory { entries: 16 };
+    bench("failure_logging/lbr_16_entries", || p.materialize());
 
-criterion_group!(benches, bench_logging);
-criterion_main!(benches);
+    let p = LogPayload::CallStack { frames: 40 };
+    bench("failure_logging/call_stack_40_frames", || p.materialize());
+
+    let p = LogPayload::Coredump {
+        bytes: 16 * 1024 * 1024,
+    };
+    bench("failure_logging/coredump_16MiB", || p.materialize());
+}

@@ -1,35 +1,32 @@
-//! The run-time overhead contrast of Table 6, as a Criterion comparison:
+//! The run-time overhead contrast of Table 6, as a wall-clock comparison:
 //! one `sort` performance-workload run under (a) no instrumentation,
 //! (b) LBRLOG with toggling, (c) LBRLOG without toggling, and (d) CBI's
 //! sampled probes. The ordering (a ≈ c ≤ b ≪ d) is the paper's story.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use stm_baselines::cbi::instrument_cbi;
+use stm_bench::microbench::bench;
 use stm_core::runner::Runner;
 use stm_machine::interp::{Machine, RunConfig};
 use stm_suite::eval::lbrlog_runner;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let b = stm_suite::by_id("sort").expect("sort benchmark");
     let w = b.workloads.perf.clone();
-    let mut g = c.benchmark_group("sort_perf_workload");
 
     let baseline = Runner::new(Machine::new(b.program.clone()));
-    g.bench_function("baseline", |bch| bch.iter(|| baseline.run(&w)));
+    bench("sort_perf_workload/baseline", || baseline.run(&w));
 
     let lbrlog = lbrlog_runner(&b, true);
-    g.bench_function("lbrlog_toggling", |bch| bch.iter(|| lbrlog.run(&w)));
+    bench("sort_perf_workload/lbrlog_toggling", || lbrlog.run(&w));
 
     let lbrlog_raw = lbrlog_runner(&b, false);
-    g.bench_function("lbrlog_no_toggling", |bch| bch.iter(|| lbrlog_raw.run(&w)));
+    bench("sort_perf_workload/lbrlog_no_toggling", || {
+        lbrlog_raw.run(&w)
+    });
 
     let cbi = Runner::new(Machine::new(instrument_cbi(&b.program))).with_run_config(RunConfig {
         sample_mean: 100,
         ..RunConfig::default()
     });
-    g.bench_function("cbi_sampled", |bch| bch.iter(|| cbi.run(&w)));
-    g.finish();
+    bench("sort_perf_workload/cbi_sampled", || cbi.run(&w));
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! model and the CBI Importance model as the profile count grows — the
 //! analysis-side of the diagnosis-latency story.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use stm_baselines::scoring::CbiModel;
+use stm_bench::microbench::bench;
 use stm_core::ranking::RankingModel;
 use stm_machine::rng::SplitMix64;
 
@@ -13,31 +13,23 @@ fn profile(rng: &mut SplitMix64, events: u64) -> BTreeSet<u64> {
     (0..16).map(|_| rng.next_below(events)).collect()
 }
 
-fn bench_ranking(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rank");
+fn main() {
     for &runs in &[10usize, 100, 1000] {
-        g.bench_with_input(BenchmarkId::new("harmonic_mean", runs), &runs, |b, &runs| {
-            let mut rng = SplitMix64::new(7);
-            let mut m = RankingModel::new();
-            for i in 0..runs {
-                m.add_profile(i % 2 == 0, profile(&mut rng, 400));
-            }
-            b.iter(|| black_box(m.rank()));
-        });
-        g.bench_with_input(BenchmarkId::new("cbi_importance", runs), &runs, |b, &runs| {
-            let mut rng = SplitMix64::new(7);
-            let mut m = CbiModel::new();
-            for i in 0..runs {
-                let obs: BTreeMap<u64, bool> = (0..16)
-                    .map(|_| (rng.next_below(400), rng.next_below(2) == 0))
-                    .collect();
-                m.add_run(i % 2 == 0, obs);
-            }
-            b.iter(|| black_box(m.rank()));
-        });
-    }
-    g.finish();
-}
+        let mut rng = SplitMix64::new(7);
+        let mut m = RankingModel::new();
+        for i in 0..runs {
+            m.add_profile(i % 2 == 0, profile(&mut rng, 400));
+        }
+        bench(&format!("rank/harmonic_mean/{runs}"), || m.rank());
 
-criterion_group!(benches, bench_ranking);
-criterion_main!(benches);
+        let mut rng = SplitMix64::new(7);
+        let mut m = CbiModel::new();
+        for i in 0..runs {
+            let obs: BTreeMap<u64, bool> = (0..16)
+                .map(|_| (rng.next_below(400), rng.next_below(2) == 0))
+                .collect();
+            m.add_run(i % 2 == 0, obs);
+        }
+        bench(&format!("rank/cbi_importance/{runs}"), || m.rank());
+    }
+}

@@ -6,7 +6,10 @@ use stm_bench::bts_comparison;
 
 fn main() {
     println!("Whole-execution branch tracing (BTS) vs. LBR-only:");
-    println!("{:<10} {:>12} {:>12} {:>10}", "App.", "LBR (s)", "BTS (s)", "overhead");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "App.", "LBR (s)", "BTS (s)", "overhead"
+    );
     for b in stm_suite::sequential() {
         let (base, bts) = bts_comparison(&b, 60);
         let pct = (bts - base) / base * 100.0;

@@ -16,8 +16,16 @@ fn time_payload(p: LogPayload, iters: u32) -> f64 {
 
 fn main() {
     let schemes = [
-        ("LBR/LCR (16 entries)", LogPayload::ShortTermMemory { entries: 16 }, 10_000),
-        ("call stack (40 frames)", LogPayload::CallStack { frames: 40 }, 10_000),
+        (
+            "LBR/LCR (16 entries)",
+            LogPayload::ShortTermMemory { entries: 16 },
+            10_000,
+        ),
+        (
+            "call stack (40 frames)",
+            LogPayload::CallStack { frames: 40 },
+            10_000,
+        ),
         (
             "coredump (64 MiB image)",
             LogPayload::Coredump {

@@ -1,13 +1,25 @@
 //! Regenerates Table 4: features of the real-world failures evaluated.
 //!
 //! Paper columns (KLOC, log points) describe the original applications;
-//! the "model" columns describe our IR reproductions.
+//! the "model" columns describe our IR reproductions. Also writes
+//! `results/BENCH_table4.json` with the per-benchmark model sizes.
+
+use stm_bench::MetricsEmitter;
+use stm_telemetry::json::Json;
 
 fn main() {
+    let mut metrics = MetricsEmitter::new("table4");
     println!("Table 4: Features of real-world failures evaluated");
     println!(
         "{:<12} {:>8} {:>10} {:>14} {:>8} {:>10} {:>11} {:>11}",
-        "Program", "Version", "KLOC(pap)", "RootCause", "Symptom", "LogPts(pap)", "LogPts(our)", "Stmts(our)"
+        "Program",
+        "Version",
+        "KLOC(pap)",
+        "RootCause",
+        "Symptom",
+        "LogPts(pap)",
+        "LogPts(our)",
+        "Stmts(our)"
     );
     for b in stm_suite::all() {
         println!(
@@ -21,5 +33,16 @@ fn main() {
             b.log_points(),
             b.program.stmt_count(),
         );
+        metrics.checkpoint(
+            b.info.id,
+            vec![
+                ("log_points", Json::from(b.log_points() as u64)),
+                ("stmts", Json::from(b.program.stmt_count() as u64)),
+            ],
+        );
+    }
+    match metrics.finish() {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write metrics: {e}"),
     }
 }

@@ -1,8 +1,11 @@
 //! Regenerates Table 5: resolution of control-flow uncertainties by
 //! LBRLOG — the useful-branch ratio of every application's logging sites,
-//! computed by the static backward path analysis of §7.1.1.
+//! computed by the static backward path analysis of §7.1.1. Also writes
+//! `results/BENCH_table5.json` with the per-benchmark ratios.
 
+use stm_bench::MetricsEmitter;
 use stm_core::analysis::useful_branch_ratio;
+use stm_telemetry::json::Json;
 
 /// Paper values for the 13 LBR applications.
 const PAPER: &[(&str, f64)] = &[
@@ -29,6 +32,7 @@ const PAPER: &[(&str, f64)] = &[
 ];
 
 fn main() {
+    let mut metrics = MetricsEmitter::new("table5");
     println!("Table 5: Resolution of control-flow uncertainties by LBRLOG");
     println!(
         "{:<12} {:>10} {:>12} {:>12}",
@@ -47,8 +51,20 @@ fn main() {
             b.info.id, r.sites, r.average, paper
         );
         ours.push(r.average);
+        metrics.checkpoint(
+            b.info.id,
+            vec![
+                ("log_sites", Json::from(r.sites as u64)),
+                ("useful_branch_ratio", Json::from(r.average)),
+                ("paper_ratio", Json::from(paper)),
+            ],
+        );
     }
     let avg = ours.iter().sum::<f64>() / ours.len() as f64;
     println!("\naverage useful-branch ratio (our programs): {avg:.2}");
     println!("paper range: 0.74 - 0.98 across 6945 logging sites of 13 applications");
+    match metrics.finish() {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
 }

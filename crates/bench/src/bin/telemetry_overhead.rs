@@ -1,0 +1,82 @@
+//! Measures the cost of the telemetry layer itself on three suite
+//! benchmarks: perf-workload throughput with collection disabled (the
+//! hooks gate on one relaxed atomic load) versus enabled (counter
+//! batches, ring-push counters and spans). Writes
+//! `results/BENCH_telemetry_overhead.json`.
+//!
+//! Usage: `telemetry_overhead [--iters N]` (default 60 runs per sample).
+
+use std::time::Instant;
+use stm_core::runner::Runner;
+use stm_machine::interp::Machine;
+use stm_suite::Benchmark;
+use stm_telemetry::json::Json;
+
+const BENCHMARKS: &[&str] = &["sort", "rm", "apache3"];
+const SAMPLES: u32 = 5;
+
+/// Wall-clock ns/run for `iters` perf-workload runs, best of [`SAMPLES`].
+fn ns_per_run(runner: &Runner, b: &Benchmark, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for i in 0..iters {
+            let mut w = b.workloads.perf.clone();
+            w.seed = i as u64;
+            let _ = runner.run(&w);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: u32 = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    println!("Telemetry collection overhead ({iters} runs/sample, best of {SAMPLES}):");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "Benchmark", "off ns/run", "on ns/run", "overhead"
+    );
+    let mut rows = std::collections::BTreeMap::new();
+    for id in BENCHMARKS {
+        let b = stm_suite::by_id(id).expect("suite benchmark");
+        let runner = Runner::new(Machine::new(b.program.clone()));
+        // Warm up caches and the allocator before either mode is timed.
+        let _ = ns_per_run(&runner, &b, iters.min(10));
+
+        stm_telemetry::set_enabled(false);
+        let off = ns_per_run(&runner, &b, iters);
+        stm_telemetry::set_enabled(true);
+        let on = ns_per_run(&runner, &b, iters);
+        stm_telemetry::set_enabled(false);
+
+        let overhead_pct = ((on - off) / off * 100.0).max(0.0);
+        println!("{id:<12} {off:>14.0} {on:>14.0} {overhead_pct:>9.2}%");
+        rows.insert(
+            id.to_string(),
+            Json::obj([
+                ("disabled_ns_per_run", Json::from(off)),
+                ("enabled_ns_per_run", Json::from(on)),
+                ("overhead_pct", Json::from(overhead_pct)),
+            ]),
+        );
+    }
+
+    let doc = Json::obj([
+        ("harness", Json::from("telemetry_overhead")),
+        ("iters_per_sample", Json::from(iters as u64)),
+        ("samples", Json::from(SAMPLES as u64)),
+        ("benchmarks", Json::Obj(rows)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/BENCH_telemetry_overhead.json";
+    std::fs::write(path, doc.encode() + "\n").expect("write metrics file");
+    println!("\nwrote {path}");
+}

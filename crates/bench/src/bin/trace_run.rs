@@ -1,0 +1,79 @@
+//! Runs one suite benchmark's full diagnosis under telemetry and exports
+//! a Chrome `trace_event` JSON — load it at chrome://tracing or
+//! https://ui.perfetto.dev to see the interpreter runs, ring snapshots
+//! and diagnosis phases on a timeline.
+//!
+//! Usage: `trace_run <benchmark-id> [--out FILE]`
+//! (default output: `results/TRACE_<id>.json`)
+
+use stm_suite::BugClass;
+use stm_telemetry::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(id) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_run <benchmark-id> [--out FILE]");
+        eprintln!("benchmarks:");
+        for b in stm_suite::all() {
+            eprintln!("  {:<12} ({:?})", b.info.id, b.info.bug_class);
+        }
+        std::process::exit(2);
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("results/TRACE_{id}.json"));
+
+    let Some(b) = stm_suite::by_id(id) else {
+        eprintln!("unknown benchmark {id:?}; run with no arguments for the list");
+        std::process::exit(2);
+    };
+
+    stm_telemetry::set_enabled(true);
+    {
+        let _run = stm_telemetry::span_cat("trace_run", "harness");
+        match b.info.bug_class {
+            BugClass::Sequential => {
+                let d = stm_suite::eval::run_lbra(&b);
+                println!(
+                    "{id}: LBRA used {} failing + {} successful of {} runs, {} predictors",
+                    d.stats.failure_runs_used,
+                    d.stats.success_runs_used,
+                    d.stats.total_runs,
+                    d.ranked.len()
+                );
+            }
+            BugClass::Concurrency => {
+                let d = stm_suite::eval::run_lcra(&b);
+                println!(
+                    "{id}: LCRA used {} failing + {} successful of {} runs, {} predictors",
+                    d.stats.failure_runs_used,
+                    d.stats.success_runs_used,
+                    d.stats.total_runs,
+                    d.ranked.len()
+                );
+            }
+        }
+    }
+
+    let spans = stm_telemetry::take_spans();
+    let trace = stm_telemetry::export::chrome_trace(&spans);
+    // Round-trip through the parser: never ship a malformed trace.
+    if let Err(e) = Json::parse(&trace) {
+        eprintln!("internal error: generated trace is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &trace).expect("write trace file");
+    println!("wrote {out} ({} events)", spans.len());
+
+    println!();
+    print!(
+        "{}",
+        stm_telemetry::export::summary(&stm_telemetry::metrics_snapshot())
+    );
+}

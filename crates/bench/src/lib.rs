@@ -33,6 +33,14 @@ pub fn dist(v: Option<u32>) -> String {
     }
 }
 
+/// Renders an optional rank/distance as JSON (`null` when absent).
+pub fn json_rank(v: Option<usize>) -> stm_telemetry::json::Json {
+    match v {
+        Some(n) => stm_telemetry::json::Json::from(n),
+        None => stm_telemetry::json::Json::Null,
+    }
+}
+
 /// Runs CBI on a benchmark (its default 1/100 sampling) with the given run
 /// budgets and returns the rank of the target branch. `None` when CBI is
 /// inapplicable (C++ applications) or no related predicate survives.
@@ -128,12 +136,10 @@ pub fn measure_overheads(b: &Benchmark, iters: u32) -> OverheadRow {
     let cbi = if b.info.language == Language::Cpp {
         None
     } else {
-        let r = Runner::new(Machine::new(instrument_cbi(&b.program))).with_run_config(
-            RunConfig {
-                sample_mean: 100,
-                ..RunConfig::default()
-            },
-        );
+        let r = Runner::new(Machine::new(instrument_cbi(&b.program))).with_run_config(RunConfig {
+            sample_mean: 100,
+            ..RunConfig::default()
+        });
         Some(run_variant(&r))
     };
     OverheadRow {
@@ -160,6 +166,122 @@ pub fn bts_comparison(b: &Benchmark, iters: u32) -> (f64, f64) {
         bts = bts.min(time_runs(&with_bts, b, iters));
     }
     (base, bts)
+}
+
+/// Collects per-benchmark telemetry counter deltas for a harness binary
+/// and writes them as one `results/BENCH_<harness>.json` document next to
+/// the harness's human-readable table.
+#[derive(Debug)]
+pub struct MetricsEmitter {
+    harness: &'static str,
+    last: stm_telemetry::MetricsSnapshot,
+    benchmarks: Vec<(String, stm_telemetry::json::Json)>,
+}
+
+impl MetricsEmitter {
+    /// Enables telemetry collection and starts a fresh emitter.
+    pub fn new(harness: &'static str) -> Self {
+        stm_telemetry::set_enabled(true);
+        MetricsEmitter {
+            harness,
+            last: stm_telemetry::metrics_snapshot(),
+            benchmarks: Vec::new(),
+        }
+    }
+
+    /// Records the counter deltas accumulated since the previous
+    /// checkpoint under `id`, merged with harness-specific `extra` fields
+    /// (ranks, ratios...).
+    pub fn checkpoint(&mut self, id: &str, extra: Vec<(&'static str, stm_telemetry::json::Json)>) {
+        use stm_telemetry::json::Json;
+        let now = stm_telemetry::metrics_snapshot();
+        let counters: std::collections::BTreeMap<String, Json> = now
+            .delta_since(&self.last)
+            .into_iter()
+            .map(|(name, v)| (name, Json::from(v)))
+            .collect();
+        self.last = now;
+        let mut obj = std::collections::BTreeMap::new();
+        for (k, v) in extra {
+            obj.insert(k.to_string(), v);
+        }
+        obj.insert("counters".to_string(), Json::Obj(counters));
+        self.benchmarks.push((id.to_string(), Json::Obj(obj)));
+    }
+
+    /// Writes `results/BENCH_<harness>.json` and returns its path.
+    pub fn finish(self) -> std::io::Result<String> {
+        use stm_telemetry::json::Json;
+        // A harness may checkpoint the same benchmark twice (ranks, then
+        // overheads); merge the objects, first checkpoint winning ties.
+        let mut merged: std::collections::BTreeMap<String, Json> =
+            std::collections::BTreeMap::new();
+        for (id, obj) in self.benchmarks {
+            match merged.entry(id) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(obj);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if let (Json::Obj(dst), Json::Obj(src)) = (e.get_mut(), obj) {
+                        for (k, v) in src {
+                            dst.entry(k).or_insert(v);
+                        }
+                    }
+                }
+            }
+        }
+        let doc = Json::obj([
+            ("harness", Json::from(self.harness)),
+            ("benchmarks", Json::Obj(merged)),
+            (
+                "totals",
+                stm_telemetry::export::metrics_json(&stm_telemetry::metrics_snapshot()),
+            ),
+        ]);
+        std::fs::create_dir_all("results")?;
+        let path = format!("results/BENCH_{}.json", self.harness);
+        std::fs::write(&path, doc.encode() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// A dependency-free micro-benchmark harness for the `benches/` targets
+/// (`harness = false`): calibrates the iteration count until a sample
+/// takes long enough to time reliably, then reports the best of several
+/// samples as ns/iter.
+pub mod microbench {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    const TARGET: Duration = Duration::from_millis(20);
+    const SAMPLES: usize = 5;
+
+    /// Times one closure and prints `name  ns/iter`; returns the ns/iter.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
+        // Grow the per-sample iteration count until one sample reaches the
+        // timing target (or the loop is clearly slow enough already).
+        let mut iters: u64 = 1;
+        loop {
+            let t = sample(iters, &mut f);
+            if t >= TARGET || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let best = (0..SAMPLES)
+            .map(|_| sample(iters, &mut f).as_nanos() as f64 / iters as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!("{name:<44} {best:>14.1} ns/iter  ({iters} iters/sample)");
+        best
+    }
+
+    fn sample<T>(iters: u64, f: &mut impl FnMut() -> T) -> Duration {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        start.elapsed()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! Golden-file test for the `trace_run` export path: a full LBRA
+//! diagnosis must yield a valid Chrome `trace_event` JSON document whose
+//! spans cover the interpreter, the ring snapshots and all three
+//! diagnosis phases.
+
+use stm_telemetry::json::Json;
+
+/// Span names that every sequential-benchmark trace must contain.
+const EXPECTED_SPANS: &[&str] = &[
+    "machine.run",
+    "runner.run",
+    "hw.lbr.snapshot",
+    "lbra.run_collection",
+    "lbra.profile_extraction",
+    "lbra.ranking",
+];
+
+#[test]
+fn trace_run_export_is_valid_chrome_trace() {
+    stm_telemetry::set_enabled(true);
+    let b = stm_suite::by_id("sort").expect("sort benchmark");
+    {
+        let _run = stm_telemetry::span_cat("trace_run", "harness");
+        let d = stm_suite::eval::run_lbra(&b);
+        assert!(d.stats.failure_runs_used > 0, "no failing runs collected");
+    }
+    let spans = stm_telemetry::take_spans();
+    stm_telemetry::set_enabled(false);
+
+    let text = stm_telemetry::export::chrome_trace(&spans);
+    let doc = Json::parse(&text).expect("trace parses as JSON");
+
+    // Top-level Chrome trace shape.
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+
+    // Every event is a well-formed complete ("X") or instant ("i") event.
+    let mut names = std::collections::BTreeSet::new();
+    for ev in events {
+        let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+        names.insert(name.to_string());
+        assert!(ev.get("cat").and_then(|v| v.as_str()).is_some());
+        assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+        assert!(ev.get("pid").and_then(|v| v.as_f64()).is_some());
+        assert!(ev.get("tid").and_then(|v| v.as_f64()).is_some());
+        match ev.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("dur");
+                assert!(dur >= 0.0);
+            }
+            Some("i") => {
+                assert_eq!(ev.get("s").and_then(|v| v.as_str()), Some("t"));
+            }
+            other => panic!("unexpected ph {other:?} on {name}"),
+        }
+    }
+
+    for want in EXPECTED_SPANS {
+        assert!(names.contains(*want), "missing span {want:?} in {names:?}");
+    }
+
+    // Phase nesting: extraction happens inside collection's time range.
+    let range = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| (s.start_us, s.start_us + s.dur_us.unwrap_or(0)))
+            .expect(name)
+    };
+    let (c0, c1) = range("lbra.run_collection");
+    let (e0, e1) = range("lbra.profile_extraction");
+    assert!(c0 <= e0 && e1 <= c1, "extraction outside collection");
+}

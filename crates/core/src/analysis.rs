@@ -18,13 +18,12 @@
 //! unrolling) and a global path budget per site, which keeps the analysis
 //! linear in practice while covering every acyclic path shape.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use stm_machine::ids::{BlockId, FuncId, LogSiteId};
 use stm_machine::ir::{Instr, LogKind, Program, Terminator};
 
 /// Result of the analysis for one logging site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiteRatio {
     /// The logging site.
     pub site: LogSiteId,
@@ -37,7 +36,7 @@ pub struct SiteRatio {
 }
 
 /// Result of the analysis for a whole program (one Table 5 row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UsefulBranchReport {
     /// Per-site ratios.
     pub per_site: Vec<SiteRatio>,
@@ -59,11 +58,7 @@ enum PredEdge {
 }
 
 /// Per-function predecessor edges, specialised for a reach-set.
-fn pred_edges(
-    program: &Program,
-    func: FuncId,
-    reaches: &HashSet<BlockId>,
-) -> Vec<Vec<PredEdge>> {
+fn pred_edges(program: &Program, func: FuncId, reaches: &HashSet<BlockId>) -> Vec<Vec<PredEdge>> {
     let f = program.function(func);
     let mut preds: Vec<Vec<PredEdge>> = vec![Vec::new(); f.blocks.len()];
     for (bi, block) in f.blocks.iter().enumerate() {
@@ -345,9 +340,9 @@ pub fn failure_site_block(
             let info = program.log_site_info(*site);
             let func = program.function(info.func);
             let holder = func.blocks.iter().position(|b| {
-                b.stmts.iter().any(
-                    |s| matches!(&s.instr, Instr::Log { site: s2, .. } if s2 == site),
-                )
+                b.stmts
+                    .iter()
+                    .any(|s| matches!(&s.instr, Instr::Log { site: s2, .. } if s2 == site))
             })?;
             Some((info.func, BlockId::new(holder as u32)))
         }
@@ -369,15 +364,19 @@ pub fn failure_site_block(
 /// application (non-library) functions, with an LBR of `depth` entries.
 pub fn useful_branch_ratio(program: &Program, depth: usize) -> UsefulBranchReport {
     let mut per_site = Vec::new();
-    for info in program.log_sites.iter().filter(|s| s.kind == LogKind::Error) {
+    for info in program
+        .log_sites
+        .iter()
+        .filter(|s| s.kind == LogKind::Error)
+    {
         let func = program.function(info.func);
         if func.is_library {
             continue;
         }
         let holder = func.blocks.iter().position(|b| {
-            b.stmts.iter().any(
-                |s| matches!(&s.instr, Instr::Log { site, .. } if *site == info.site),
-            )
+            b.stmts
+                .iter()
+                .any(|s| matches!(&s.instr, Instr::Log { site, .. } if *site == info.site))
         });
         let Some(holder) = holder else { continue };
         let (useful, total, paths) =

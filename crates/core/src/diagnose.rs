@@ -16,14 +16,13 @@
 use crate::profile::{lbr_events, lcr_events, BranchOutcome, CoherenceEvent};
 use crate::ranking::{Polarity, RankedEvent, RankingModel};
 use crate::runner::{FailureSpec, RunClass, Runner, Workload};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use stm_machine::ids::BranchId;
 use stm_machine::ir::{ProfileRole, SourceLoc};
 use stm_machine::report::{ProfileData, ProfileEvent, RunReport};
 
 /// How many profiles of each class a diagnosis collects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiagnosisConfig {
     /// Failure-run profiles to collect (the paper uses 10).
     pub failure_profiles: usize,
@@ -45,7 +44,7 @@ impl Default for DiagnosisConfig {
 }
 
 /// Statistics of one diagnosis: how many runs of each class were consumed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiagnosisStats {
     /// Runs that reproduced the target failure and yielded a profile.
     pub failure_runs_used: usize,
@@ -64,7 +63,8 @@ pub fn failure_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<
     };
     report
         .profiles
-        .iter().rfind(|p| p.role == ProfileRole::FailureSite && p.site == want_site)
+        .iter()
+        .rfind(|p| p.role == ProfileRole::FailureSite && p.site == want_site)
 }
 
 /// Selects the success-run profile matching the spec: the last snapshot
@@ -76,7 +76,17 @@ fn success_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r 
     };
     report
         .profiles
-        .iter().rfind(|p| p.role == ProfileRole::SuccessSite && p.site == want_site)
+        .iter()
+        .rfind(|p| p.role == ProfileRole::SuccessSite && p.site == want_site)
+}
+
+/// Telemetry span names for the two collection-side diagnosis phases;
+/// the ranking phase is timed by the driver itself.
+struct PhaseSpans {
+    /// Wraps the whole failing+passing replay loop.
+    run_collection: &'static str,
+    /// Wraps each ring-snapshot decode inside it.
+    profile_extraction: &'static str,
 }
 
 /// Generic profile collection shared by LBRA and LCRA.
@@ -86,8 +96,14 @@ fn collect<E: Ord + Clone>(
     passing: &[Workload],
     spec: &FailureSpec,
     config: &DiagnosisConfig,
+    phases: PhaseSpans,
     mut extract: impl FnMut(&ProfileEvent) -> Option<BTreeSet<E>>,
 ) -> (RankingModel<E>, DiagnosisStats) {
+    let _span = stm_telemetry::span_cat(phases.run_collection, "diagnosis");
+    let mut extract = |p: &ProfileEvent| {
+        let _span = stm_telemetry::span_cat(phases.profile_extraction, "diagnosis");
+        extract(p)
+    };
     let mut model = RankingModel::new();
     let mut stats = DiagnosisStats::default();
 
@@ -128,13 +144,25 @@ fn collect<E: Ord + Clone>(
         }
     };
 
-    replay(failing, true, config.failure_profiles, &mut model, &mut stats);
-    replay(passing, false, config.success_profiles, &mut model, &mut stats);
+    replay(
+        failing,
+        true,
+        config.failure_profiles,
+        &mut model,
+        &mut stats,
+    );
+    replay(
+        passing,
+        false,
+        config.success_profiles,
+        &mut model,
+        &mut stats,
+    );
     (model, stats)
 }
 
 /// The result of an LBRA diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LbraDiagnosis {
     /// Scored branch-outcome predictors, best first.
     pub ranked: Vec<RankedEvent<BranchOutcome>>,
@@ -153,11 +181,7 @@ impl LbraDiagnosis {
     /// (LBRLOG reports it as the location); keeping it would let it
     /// trivially outrank every actual cause, since by construction it
     /// fires in exactly the failing runs.
-    pub fn exclude_site_guards(
-        &mut self,
-        program: &stm_machine::ir::Program,
-        spec: &FailureSpec,
-    ) {
+    pub fn exclude_site_guards(&mut self, program: &stm_machine::ir::Program, spec: &FailureSpec) {
         if let Some((func, block)) = crate::analysis::failure_site_block(program, spec) {
             let guards = crate::analysis::site_guard_outcomes(program, func, block);
             self.ranked
@@ -186,21 +210,34 @@ pub fn lbra(
 ) -> LbraDiagnosis {
     let layout = runner.machine().layout();
     let mut positions: HashMap<BranchOutcome, (u64, u64)> = HashMap::new();
-    let (model, stats) = collect(runner, failing, passing, spec, config, |p| match &p.data {
-        ProfileData::Lbr(records) => {
-            if p.role == ProfileRole::FailureSite {
-                for e in crate::profile::decode_lbr(layout, records) {
-                    if let Some(bo) = e.branch_outcome() {
-                        let slot = positions.entry(bo).or_insert((0, 0));
-                        slot.0 += e.position as u64;
-                        slot.1 += 1;
+    let phases = PhaseSpans {
+        run_collection: "lbra.run_collection",
+        profile_extraction: "lbra.profile_extraction",
+    };
+    let (model, stats) = collect(
+        runner,
+        failing,
+        passing,
+        spec,
+        config,
+        phases,
+        |p| match &p.data {
+            ProfileData::Lbr(records) => {
+                if p.role == ProfileRole::FailureSite {
+                    for e in crate::profile::decode_lbr(layout, records) {
+                        if let Some(bo) = e.branch_outcome() {
+                            let slot = positions.entry(bo).or_insert((0, 0));
+                            slot.0 += e.position as u64;
+                            slot.1 += 1;
+                        }
                     }
                 }
+                Some(lbr_events(layout, records))
             }
-            Some(lbr_events(layout, records))
-        }
-        ProfileData::Lcr(_) => None,
-    });
+            ProfileData::Lcr(_) => None,
+        },
+    );
+    let _rank_span = stm_telemetry::span_cat("lbra.ranking", "diagnosis");
     let mut ranked = model.rank();
     proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
     LbraDiagnosis { ranked, stats }
@@ -235,7 +272,7 @@ fn proximity_tiebreak<E: Ord + Clone>(
 }
 
 /// The result of an LCRA diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LcraDiagnosis {
     /// Scored coherence-event predictors (presence and absence), best
     /// first.
@@ -257,7 +294,9 @@ impl LcraDiagnosis {
         loc: SourceLoc,
         state: stm_machine::events::CoherenceState,
     ) -> Option<usize> {
-        RankingModel::rank_of(&self.ranked, |r| r.event.loc == loc && r.event.state == state)
+        RankingModel::rank_of(&self.ranked, |r| {
+            r.event.loc == loc && r.event.state == state
+        })
     }
 
     /// The best predictor.
@@ -269,7 +308,9 @@ impl LcraDiagnosis {
     /// space-saving-configuration signature of read-too-early order
     /// violations (§4.2.2).
     pub fn top_is_absence(&self) -> bool {
-        self.top().map(|t| t.polarity == Polarity::Absent).unwrap_or(false)
+        self.top()
+            .map(|t| t.polarity == Polarity::Absent)
+            .unwrap_or(false)
     }
 }
 
@@ -284,19 +325,32 @@ pub fn lcra(
 ) -> LcraDiagnosis {
     let layout = runner.machine().layout();
     let mut positions: HashMap<CoherenceEvent, (u64, u64)> = HashMap::new();
-    let (model, stats) = collect(runner, failing, passing, spec, config, |p| match &p.data {
-        ProfileData::Lcr(records) => {
-            if p.role == ProfileRole::FailureSite {
-                for e in crate::profile::decode_lcr(layout, records) {
-                    let slot = positions.entry(e.event).or_insert((0, 0));
-                    slot.0 += e.position as u64;
-                    slot.1 += 1;
+    let phases = PhaseSpans {
+        run_collection: "lcra.run_collection",
+        profile_extraction: "lcra.profile_extraction",
+    };
+    let (model, stats) = collect(
+        runner,
+        failing,
+        passing,
+        spec,
+        config,
+        phases,
+        |p| match &p.data {
+            ProfileData::Lcr(records) => {
+                if p.role == ProfileRole::FailureSite {
+                    for e in crate::profile::decode_lcr(layout, records) {
+                        let slot = positions.entry(e.event).or_insert((0, 0));
+                        slot.0 += e.position as u64;
+                        slot.1 += 1;
+                    }
                 }
+                Some(lcr_events(layout, records))
             }
-            Some(lcr_events(layout, records))
-        }
-        ProfileData::Lbr(_) => None,
-    });
+            ProfileData::Lbr(_) => None,
+        },
+    );
+    let _rank_span = stm_telemetry::span_cat("lcra.ranking", "diagnosis");
     let mut ranked = model.rank_with_absence();
     proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
     LcraDiagnosis { ranked, stats }
@@ -332,8 +386,8 @@ mod tests {
     use super::*;
     use crate::transform::InstrumentOptions;
     use stm_machine::builder::ProgramBuilder;
-    use stm_machine::ir::{BinOp, Program};
     use stm_machine::ids::LogSiteId;
+    use stm_machine::ir::{BinOp, Program};
 
     /// A sanity-check program: the error fires iff input 0 is negative,
     /// after passing through a couple of unrelated branches.
@@ -385,10 +439,8 @@ mod tests {
     #[test]
     fn lbra_ranks_root_cause_branch_first() {
         let (p, site, root) = guarded_program();
-        let runner = Runner::instrumented(
-            &p,
-            &InstrumentOptions::lbra_reactive(vec![site], vec![]),
-        );
+        let runner =
+            Runner::instrumented(&p, &InstrumentOptions::lbra_reactive(vec![site], vec![]));
         let failing: Vec<Workload> = (0..10)
             .map(|i| Workload::new(vec![-1 - i as i64, (i as i64 * 13) % 100]))
             .collect();
@@ -396,7 +448,13 @@ mod tests {
             .map(|i| Workload::new(vec![1 + i as i64, (i as i64 * 29) % 100]))
             .collect();
         let spec = FailureSpec::ErrorLogAt(site);
-        let d = lbra(&runner, &failing, &passing, &spec, &DiagnosisConfig::default());
+        let d = lbra(
+            &runner,
+            &failing,
+            &passing,
+            &spec,
+            &DiagnosisConfig::default(),
+        );
         assert_eq!(d.stats.failure_runs_used, 10);
         assert_eq!(d.stats.success_runs_used, 10);
         // The top predictor is (root branch, true-edge): precision and
@@ -411,10 +469,8 @@ mod tests {
     #[test]
     fn lbra_excludes_runs_that_miss_the_site() {
         let (p, site, _) = guarded_program();
-        let runner = Runner::instrumented(
-            &p,
-            &InstrumentOptions::lbra_reactive(vec![site], vec![]),
-        );
+        let runner =
+            Runner::instrumented(&p, &InstrumentOptions::lbra_reactive(vec![site], vec![]));
         // Every "failing" workload actually succeeds: no failure profiles.
         let failing = vec![Workload::new(vec![5, 5])];
         let passing = vec![Workload::new(vec![6, 6])];

@@ -79,7 +79,9 @@ pub mod prelude {
     pub use crate::diagnose::{
         find_workloads, lbra, lcra, DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis,
     };
-    pub use crate::logging::{failure_log, run_and_log, render_failure_log, FailureLog, LogPayload};
+    pub use crate::logging::{
+        failure_log, render_failure_log, run_and_log, FailureLog, LogPayload,
+    };
     pub use crate::profile::{BranchOutcome, CoherenceEvent};
     pub use crate::ranking::{Polarity, RankedEvent, RankingModel};
     pub use crate::runner::{classify, FailureSpec, RunClass, Runner, Workload};

@@ -11,14 +11,13 @@ use crate::profile::{
     decode_lbr, decode_lcr, render_lbr_log, render_lcr_log, DecodedLbrEntry, DecodedLcrEntry,
 };
 use crate::runner::{Runner, Workload};
-use serde::{Deserialize, Serialize};
 use stm_machine::events::CoherenceState;
 use stm_machine::ids::BranchId;
 use stm_machine::ir::SourceLoc;
 use stm_machine::report::{ProfileData, RunReport};
 
 /// The enhanced failure log of one failed run.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FailureLog {
     /// Human-readable failure symptom.
     pub symptom: String,
@@ -40,11 +39,7 @@ impl FailureLog {
 
     /// Position (1 = most recent) of the first LCR entry matching a
     /// location and observed state — the `n` of Table 7's `✓ n`.
-    pub fn lcr_position_of_event(
-        &self,
-        loc: SourceLoc,
-        state: CoherenceState,
-    ) -> Option<usize> {
+    pub fn lcr_position_of_event(&self, loc: SourceLoc, state: CoherenceState) -> Option<usize> {
         self.lcr
             .iter()
             .find(|e| e.event.loc == loc && e.event.state == state)
@@ -149,7 +144,7 @@ pub fn render_failure_log(runner: &Runner, log: &FailureLog) -> String {
 // ---------------------------------------------------------------------------
 
 /// What one logging scheme must persist at the failure site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LogPayload {
     /// The 16-entry LBR/LCR ring: `entries` records of two words each.
     ShortTermMemory {

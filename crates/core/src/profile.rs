@@ -7,7 +7,6 @@
 //! for LCR. This module performs the mapping through the program's
 //! [`Layout`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use stm_machine::events::{AccessKind, BranchRecord, CoherenceRecord, CoherenceState};
@@ -17,9 +16,7 @@ use stm_machine::layout::{Decoded, Layout};
 
 /// A source-level branch event: a conditional branch together with the
 /// outcome an LBR record proves.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BranchOutcome {
     /// The source branch.
     pub branch: BranchId,
@@ -40,9 +37,7 @@ impl fmt::Display for BranchOutcome {
 
 /// A source-level coherence event: the location of an access plus the MESI
 /// state it observed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoherenceEvent {
     /// Source location of the access (unknown for driver pollution).
     pub loc: SourceLoc,
@@ -59,7 +54,7 @@ impl fmt::Display for CoherenceEvent {
 }
 
 /// One decoded entry of an LBR snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodedLbrEntry {
     /// Position in the snapshot: 1 = most recent.
     pub position: usize,
@@ -104,7 +99,7 @@ pub fn lbr_events(layout: &Layout, snapshot: &[BranchRecord]) -> BTreeSet<Branch
 }
 
 /// One decoded entry of an LCR snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodedLcrEntry {
     /// Position in the snapshot: 1 = most recent.
     pub position: usize,
@@ -139,7 +134,10 @@ pub fn decode_lcr(layout: &Layout, snapshot: &[CoherenceRecord]) -> Vec<DecodedL
 
 /// Extracts the set of coherence events present in an LCR snapshot.
 pub fn lcr_events(layout: &Layout, snapshot: &[CoherenceRecord]) -> BTreeSet<CoherenceEvent> {
-    decode_lcr(layout, snapshot).iter().map(|e| e.event).collect()
+    decode_lcr(layout, snapshot)
+        .iter()
+        .map(|e| e.event)
+        .collect()
 }
 
 /// Position (1 = most recent) of the first LBR entry proving an outcome of
@@ -227,12 +225,12 @@ pub fn render_lcr_log(program: &Program, entries: &[DecodedLcrEntry]) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stm_hardware::HardwareCtx;
     use stm_machine::builder::ProgramBuilder;
-    use stm_machine::events::{BranchKind, Hardware, HwCtlOp, CtlResponse};
+    use stm_machine::events::{BranchKind, CtlResponse, Hardware, HwCtlOp};
     use stm_machine::ids::{CoreId, ThreadId};
     use stm_machine::interp::{Machine, RunConfig};
     use stm_machine::ir::BinOp;
-    use stm_hardware::HardwareCtx;
 
     /// Build a program with one conditional branch and run it with LBR
     /// enabled from the start (manually, without the transformer).

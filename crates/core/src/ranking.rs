@@ -14,11 +14,10 @@
 //! configuration ("failures are highly correlated with B2 *not*
 //! encountering a shared state").
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Whether a predictor fires on the presence or the absence of its event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Polarity {
     /// The event's presence in a profile predicts failure.
     Present,
@@ -27,7 +26,7 @@ pub enum Polarity {
 }
 
 /// A scored failure predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedEvent<E> {
     /// The event.
     pub event: E,
@@ -161,7 +160,10 @@ impl<E: Ord + Clone> RankingModel<E> {
 
     /// 1-based rank of the first predictor satisfying `pred` in the given
     /// ranking.
-    pub fn rank_of(ranked: &[RankedEvent<E>], pred: impl FnMut(&RankedEvent<E>) -> bool) -> Option<usize> {
+    pub fn rank_of(
+        ranked: &[RankedEvent<E>],
+        pred: impl FnMut(&RankedEvent<E>) -> bool,
+    ) -> Option<usize> {
         ranked.iter().position(pred).map(|i| i + 1)
     }
 }
@@ -245,10 +247,7 @@ mod tests {
         m.add_profile(true, set(&["x"]));
         m.add_profile(false, set(&["y"]));
         let ranked = m.rank();
-        assert_eq!(
-            RankingModel::rank_of(&ranked, |r| r.event == "x"),
-            Some(1)
-        );
+        assert_eq!(RankingModel::rank_of(&ranked, |r| r.event == "x"), Some(1));
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! paper's per-failure-site grouping does).
 
 use crate::transform::{instrument, InstrumentOptions};
-use serde::{Deserialize, Serialize};
 use stm_hardware::{HardwareCtx, HwConfig};
 use stm_machine::ids::LogSiteId;
 use stm_machine::interp::{Machine, RunConfig};
@@ -19,7 +18,7 @@ use stm_machine::sched::SchedPolicy;
 
 /// One run's inputs: data inputs, scheduler seed and the expected output
 /// (for wrong-output symptom checking).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Workload {
     /// Data inputs, read by `ReadInput`.
     pub inputs: Vec<i64>,
@@ -53,7 +52,7 @@ impl Workload {
 }
 
 /// Describes the failure being diagnosed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FailureSpec {
     /// The failure manifests as an error message from this logging site.
     ErrorLogAt(LogSiteId),
@@ -75,7 +74,7 @@ pub enum FailureSpec {
 }
 
 /// How a run relates to the failure under diagnosis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunClass {
     /// The run reproduced the target failure.
     TargetFailure,
@@ -211,6 +210,7 @@ impl Runner {
 
     /// Runs one workload and also returns the final hardware state.
     pub fn run_with_hw(&self, workload: &Workload) -> (RunReport, HardwareCtx) {
+        let _span = stm_telemetry::span_cat("runner.run", "runner");
         let mut hw = HardwareCtx::new(self.hw_config);
         let mut cfg = self.run_config.clone();
         cfg.scheduler = SchedPolicy::Random {
@@ -224,6 +224,7 @@ impl Runner {
     pub fn run_classified(&self, workload: &Workload, spec: &FailureSpec) -> (RunReport, RunClass) {
         let report = self.run(workload);
         let class = classify(self.machine.program(), &report, workload, spec);
+        note_class(class);
         (report, class)
     }
 
@@ -244,7 +245,17 @@ impl Runner {
         cfg.sample_seed = sample_seed;
         let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
         let class = classify(self.machine.program(), &report, workload, spec);
+        note_class(class);
         (report, class)
+    }
+}
+
+/// Counts one classified run in the telemetry collector.
+fn note_class(class: RunClass) {
+    match class {
+        RunClass::TargetFailure => stm_telemetry::counter!("runner.class.target_failure").incr(),
+        RunClass::Success => stm_telemetry::counter!("runner.class.success").incr(),
+        RunClass::Other => stm_telemetry::counter!("runner.class.other").incr(),
     }
 }
 

@@ -18,7 +18,6 @@
 //!    block, and (reactive scheme) right after instructions observed to
 //!    fault.
 
-use serde::{Deserialize, Serialize};
 use stm_machine::events::{lbr_select, HwCtlOp, LcrConfig};
 use stm_machine::ids::{FuncId, LogSiteId, VarId};
 use stm_machine::ir::{
@@ -27,7 +26,7 @@ use stm_machine::ir::{
 };
 
 /// Which success-site profiling scheme to install (§5.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum SuccessSites {
     /// No success-site profiling (LBRLOG/LCRLOG mode).
     #[default]
@@ -48,7 +47,7 @@ pub enum SuccessSites {
 }
 
 /// Options controlling [`instrument`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstrumentOptions {
     /// Deploy the LBR machinery.
     pub lbr: bool,
@@ -95,10 +94,7 @@ impl InstrumentOptions {
     }
 
     /// LBRA in reactive mode for the given observed failures.
-    pub fn lbra_reactive(
-        log_sites: Vec<LogSiteId>,
-        fault_locs: Vec<(FuncId, SourceLoc)>,
-    ) -> Self {
+    pub fn lbra_reactive(log_sites: Vec<LogSiteId>, fault_locs: Vec<(FuncId, SourceLoc)>) -> Self {
         InstrumentOptions {
             success_sites: SuccessSites::Reactive {
                 log_sites,
@@ -324,7 +320,12 @@ fn insert_failure_profiles(p: &mut Program, opts: &InstrumentOptions) {
                 };
                 let mut seq = Vec::new();
                 if opts.lbr {
-                    seq.extend(profile_stmt(true, Some(site), ProfileRole::FailureSite, loc));
+                    seq.extend(profile_stmt(
+                        true,
+                        Some(site),
+                        ProfileRole::FailureSite,
+                        loc,
+                    ));
                 }
                 if opts.lcr {
                     seq.extend(profile_stmt(
@@ -367,9 +368,9 @@ fn insert_success_profiles(p: &mut Program, opts: &InstrumentOptions) {
         let func = &mut p.functions[info.func.index()];
         // Which block holds the Log instruction?
         let holder = func.blocks.iter().position(|b| {
-            b.stmts.iter().any(
-                |s| matches!(&s.instr, Instr::Log { site: s2, .. } if *s2 == site),
-            )
+            b.stmts
+                .iter()
+                .any(|s| matches!(&s.instr, Instr::Log { site: s2, .. } if *s2 == site))
         });
         let Some(holder) = holder else { continue };
         for block in &mut func.blocks {
@@ -693,13 +694,15 @@ mod tests {
     fn lcr_options_insert_lcr_ops() {
         let (p, _, _) = sample();
         let out = instrument(&p, &InstrumentOptions::lcrlog(LcrConfig::SPACE_SAVING));
-        assert!(count_ops(&out, |i| matches!(
-            i,
-            Instr::HwCtl {
-                op: HwCtlOp::ProfileLcr,
-                ..
-            }
-        )) >= 1);
+        assert!(
+            count_ops(&out, |i| matches!(
+                i,
+                Instr::HwCtl {
+                    op: HwCtlOp::ProfileLcr,
+                    ..
+                }
+            )) >= 1
+        );
         assert_eq!(out.lcr_config, LcrConfig::SPACE_SAVING);
         assert!(out.fault_profile.lcr);
         assert!(!out.fault_profile.lbr);

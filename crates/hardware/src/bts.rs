@@ -70,6 +70,7 @@ impl Bts {
             }
         }
         self.buffer.push_back(ev.into());
+        stm_telemetry::counter!("hw.bts.pushes").incr();
     }
 
     /// The trace, oldest branch first.

@@ -20,12 +20,11 @@
 //! Geometry defaults to the paper's simulator (§6): 2-way associative,
 //! 64-byte blocks, 64 KB per core.
 
-use serde::{Deserialize, Serialize};
 use stm_machine::events::{AccessKind, CoherenceState};
 use stm_machine::ids::CoreId;
 
 /// Stable (non-Invalid) MESI states a held line can be in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HeldState {
     /// Locally modified, dirty, sole copy.
     Modified,
@@ -46,7 +45,7 @@ impl From<HeldState> for CoherenceState {
 }
 
 /// Cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Block (line) size in bytes.
     pub line_bytes: u64,
@@ -148,9 +147,7 @@ impl CacheSystem {
         let ci = core.index();
         assert!(ci < self.cores.len(), "core {core} out of range");
 
-        let local = self.cores[ci].sets[set]
-            .iter()
-            .position(|e| e.tag == line);
+        let local = self.cores[ci].sets[set].iter().position(|e| e.tag == line);
         let observed = match local {
             Some(i) => CoherenceState::from(self.cores[ci].sets[set][i].state),
             None => CoherenceState::Invalid,
@@ -222,7 +219,11 @@ impl CacheSystem {
             entries.swap_remove(victim);
             self.evictions += 1;
         }
-        entries.push(LineEntry { tag, state, lru: tick });
+        entries.push(LineEntry {
+            tag,
+            state,
+            lru: tick,
+        });
     }
 
     /// Total lines evicted so far.

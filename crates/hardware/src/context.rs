@@ -278,7 +278,8 @@ mod tests {
         hw.on_access(C0, T0, load(1, 0x1000));
         hw.on_access(C0, T0, load(2, 0x1000));
         assert_eq!(
-            hw.counters().count(AccessKind::Load, CoherenceState::Invalid),
+            hw.counters()
+                .count(AccessKind::Load, CoherenceState::Invalid),
             1
         );
         assert_eq!(

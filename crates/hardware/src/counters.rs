@@ -27,6 +27,7 @@ impl PerfCounters {
     /// Counts one retired access.
     pub fn observe(&mut self, kind: AccessKind, state: CoherenceState) {
         *self.counts.entry((kind, state)).or_insert(0) += 1;
+        stm_telemetry::counter!("hw.counters.events").incr();
     }
 
     /// Reads one counter.
@@ -91,6 +92,7 @@ impl CoherenceSampler {
         if self.countdown == 0 {
             self.countdown = self.period;
             self.samples.push(CoherenceRecord { pc, state, access });
+            stm_telemetry::counter!("hw.sampler.samples").incr();
         }
     }
 

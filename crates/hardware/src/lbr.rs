@@ -6,8 +6,8 @@
 //! interface (the analogue of `IA32_DEBUGCTL`); once enabled, every retired
 //! branch admitted by the filter evicts the oldest record.
 
-use stm_machine::events::{lbr_select, lbr_select_admits, BranchEvent, BranchRecord};
 use std::collections::VecDeque;
+use stm_machine::events::{lbr_select, lbr_select_admits, BranchEvent, BranchRecord};
 
 /// Number of LBR entries on the Nehalem microarchitecture the paper
 /// evaluates on (§2.1; 4 on Pentium 4, 8 on Pentium M, 16 on Nehalem).
@@ -79,10 +79,14 @@ impl Lbr {
             self.ring.pop_front();
         }
         self.ring.push_back(ev.into());
+        stm_telemetry::counter!("hw.lbr.pushes").incr();
     }
 
     /// Reads the stack, most recent branch first (`DRIVER_PROFILE_LBR`).
     pub fn snapshot(&self) -> Vec<BranchRecord> {
+        stm_telemetry::counter!("hw.lbr.snapshots").incr();
+        stm_telemetry::histogram!("hw.lbr.snapshot_records").record(self.ring.len() as u64);
+        stm_telemetry::instant("hw.lbr.snapshot", "hardware");
         self.ring.iter().rev().copied().collect()
     }
 

@@ -128,14 +128,20 @@ impl Lcr {
             buf.pop_front();
         }
         buf.push_back(CoherenceRecord { pc, state, access });
+        stm_telemetry::counter!("hw.lcr.pushes").incr();
     }
 
     /// Reads the calling thread's ring, most recent access first.
     pub fn snapshot(&self, thread: ThreadId) -> Vec<CoherenceRecord> {
-        self.rings
+        let records: Vec<CoherenceRecord> = self
+            .rings
             .get(&thread)
             .map(|b| b.iter().rev().copied().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        stm_telemetry::counter!("hw.lcr.snapshots").incr();
+        stm_telemetry::histogram!("hw.lcr.snapshot_records").record(records.len() as u64);
+        stm_telemetry::instant("hw.lcr.snapshot", "hardware");
+        records
     }
 }
 
@@ -216,7 +222,13 @@ mod tests {
         lcr.configure(LcrConfig::SPACE_CONSUMING);
         lcr.enabled = true;
         for pc in 0..5 {
-            lcr.record(T0, pc, CoherenceState::Invalid, AccessKind::Load, Ring::User);
+            lcr.record(
+                T0,
+                pc,
+                CoherenceState::Invalid,
+                AccessKind::Load,
+                Ring::User,
+            );
         }
         let pcs: Vec<u64> = lcr.snapshot(T0).iter().map(|r| r.pc).collect();
         assert_eq!(pcs, vec![4, 3, 2]);

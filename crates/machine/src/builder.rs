@@ -188,7 +188,13 @@ impl ProgramBuilder {
         Ok(program)
     }
 
-    fn alloc_log_site(&mut self, func: FuncId, loc: SourceLoc, kind: LogKind, msg: &str) -> LogSiteId {
+    fn alloc_log_site(
+        &mut self,
+        func: FuncId,
+        loc: SourceLoc,
+        kind: LogKind,
+        msg: &str,
+    ) -> LogSiteId {
         let site = LogSiteId::new(self.log_sites.len() as u32);
         self.log_sites.push(LogSiteInfo {
             site,

@@ -10,11 +10,10 @@
 //! `LBR_SELECT` filter masks and the L1-D cache-coherence event masks).
 
 use crate::ids::{CoreId, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Privilege level at which a branch retired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ring {
     /// Kernel mode (ring 0): branches executed inside the simulated kernel,
     /// e.g. by `ioctl` calls into the LBR driver or by syscalls.
@@ -25,7 +24,7 @@ pub enum Ring {
 
 /// The machine-level taxonomy of branch instructions, following the classes
 /// that `LBR_SELECT` can filter (paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchKind {
     /// A taken conditional jump (`jcc`). Under the Fig. 2 lowering this is
     /// the *false* edge of a source conditional branch.
@@ -77,7 +76,7 @@ pub mod lbr_select {
 }
 
 /// A branch retirement event, as produced by the interpreter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchEvent {
     /// Linear address of the branch instruction.
     pub from: u64,
@@ -91,7 +90,7 @@ pub struct BranchEvent {
 
 /// One entry of an LBR snapshot: the source and target addresses of a
 /// recorded branch (`BRANCH_n_FROM_IP` / `BRANCH_n_TO_IP`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     /// Linear address of the recorded branch instruction.
     pub from: u64,
@@ -113,7 +112,7 @@ impl From<BranchEvent> for BranchRecord {
 }
 
 /// Whether a data-cache access was a load or a store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// A load (event code 0x40 in Table 2).
     Load,
@@ -132,7 +131,7 @@ impl fmt::Display for AccessKind {
 
 /// MESI coherence state of a cache line *as observed by an access, right
 /// before the access updates the cache* (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CoherenceState {
     /// The line was absent or invalidated (unit mask 0x01).
     Invalid,
@@ -177,7 +176,7 @@ impl fmt::Display for CoherenceState {
 ///
 /// Memory addresses are deliberately **not** recorded (paper §4.2.1,
 /// footnote 2) — this is part of the privacy story.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoherenceRecord {
     /// Program counter of the access instruction.
     pub pc: u64,
@@ -188,7 +187,7 @@ pub struct CoherenceRecord {
 }
 
 /// A retired L1 data-cache access, as produced by the interpreter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccessEvent {
     /// Program counter of the access instruction.
     pub pc: u64,
@@ -202,7 +201,7 @@ pub struct AccessEvent {
 
 /// Configuration for the LCR facility: which (access kind, observed state)
 /// pairs to record, mirroring the event-code/unit-mask scheme of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LcrConfig {
     /// Unit-mask of coherence states recorded for loads (bitwise OR of
     /// [`CoherenceState::unit_mask`] values).
@@ -259,7 +258,7 @@ impl Default for LcrConfig {
 
 /// Control operations on the monitoring hardware, mirroring the `ioctl`
 /// interface of the paper's kernel module (Fig. 7) plus its LCR analogue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwCtlOp {
     /// `DRIVER_CLEAN_LBR`: reset all LBR entries.
     CleanLbr,
@@ -284,7 +283,7 @@ pub enum HwCtlOp {
 }
 
 /// The response of the hardware to a control operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum CtlResponse {
     /// The operation completed and produced no data.
     #[default]
@@ -390,11 +389,26 @@ mod tests {
     #[test]
     fn diagnosis_mask_filters_kernel_calls_returns_indirects_far() {
         let m = lbr_select::DIAGNOSIS;
-        assert!(!lbr_select_admits(m, &ev(BranchKind::CondJump, Ring::Kernel)));
-        assert!(!lbr_select_admits(m, &ev(BranchKind::NearRelCall, Ring::User)));
-        assert!(!lbr_select_admits(m, &ev(BranchKind::NearIndCall, Ring::User)));
-        assert!(!lbr_select_admits(m, &ev(BranchKind::NearReturn, Ring::User)));
-        assert!(!lbr_select_admits(m, &ev(BranchKind::UncondIndirect, Ring::User)));
+        assert!(!lbr_select_admits(
+            m,
+            &ev(BranchKind::CondJump, Ring::Kernel)
+        ));
+        assert!(!lbr_select_admits(
+            m,
+            &ev(BranchKind::NearRelCall, Ring::User)
+        ));
+        assert!(!lbr_select_admits(
+            m,
+            &ev(BranchKind::NearIndCall, Ring::User)
+        ));
+        assert!(!lbr_select_admits(
+            m,
+            &ev(BranchKind::NearReturn, Ring::User)
+        ));
+        assert!(!lbr_select_admits(
+            m,
+            &ev(BranchKind::UncondIndirect, Ring::User)
+        ));
         assert!(!lbr_select_admits(m, &ev(BranchKind::Far, Ring::User)));
     }
 

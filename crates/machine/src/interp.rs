@@ -24,10 +24,9 @@ use crate::report::{
 };
 use crate::rng::SplitMix64;
 use crate::sched::{SchedPolicy, Scheduler};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunConfig {
     /// Watchdog step budget; exceeding it reports a [`FailureKind::Hang`].
     pub max_steps: u64,
@@ -155,6 +154,12 @@ struct Exec<'m, 'h, H> {
     sample_rng: SplitMix64,
     report: RunReport,
     steps: u64,
+    // Local telemetry accumulators, flushed once per run so the hot loop
+    // never touches shared atomics.
+    loads: u64,
+    stores: u64,
+    ctx_switches: u64,
+    last_tid: Option<ThreadId>,
 }
 
 impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
@@ -188,6 +193,10 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             sample_rng: SplitMix64::new(cfg.sample_seed),
             report,
             steps: 0,
+            loads: 0,
+            stores: 0,
+            ctx_switches: 0,
+            last_tid: None,
         };
         exec.spawn_thread(m.program.entry, &[]);
         exec
@@ -239,6 +248,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
     }
 
     fn run(mut self) -> RunReport {
+        let _span = stm_telemetry::span_cat("machine.run", "machine");
         loop {
             if self.threads[0].status == Status::Done {
                 break;
@@ -256,6 +266,10 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                 break;
             }
             let tid = self.sched.pick(&runnable);
+            if self.last_tid.is_some_and(|last| last != tid) {
+                self.ctx_switches += 1;
+            }
+            self.last_tid = Some(tid);
             self.steps += 1;
             if self.steps > self.cfg.max_steps {
                 self.fail(tid, FailureKind::Hang);
@@ -283,7 +297,29 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
         }
         self.report.steps = self.steps;
+        self.flush_telemetry();
         self.report
+    }
+
+    /// Flushes the run's telemetry accumulators into the global collector
+    /// (one batch of atomic adds per run; free when collection is off).
+    fn flush_telemetry(&self) {
+        if !stm_telemetry::enabled() {
+            return;
+        }
+        stm_telemetry::counter!("machine.runs").incr();
+        stm_telemetry::counter!("machine.instructions").add(self.steps);
+        stm_telemetry::counter!("machine.branches").add(self.report.branches_retired);
+        stm_telemetry::counter!("machine.loads").add(self.loads);
+        stm_telemetry::counter!("machine.stores").add(self.stores);
+        stm_telemetry::counter!("machine.context_switches").add(self.ctx_switches);
+        stm_telemetry::counter!("machine.threads_spawned").add(self.report.threads_spawned as u64);
+        if self.report.outcome.is_completed() {
+            stm_telemetry::counter!("machine.runs_completed").incr();
+        } else {
+            stm_telemetry::counter!("machine.runs_failed").incr();
+        }
+        stm_telemetry::histogram!("machine.run_steps").record(self.steps);
     }
 
     /// Records the failure and lets the registered fault handler profile
@@ -335,7 +371,9 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             (
                 frame.func,
                 block.stmts[frame.ip].loc,
-                self.m.layout.stmt_addr(frame.func, frame.block, frame.ip as u32),
+                self.m
+                    .layout
+                    .stmt_addr(frame.func, frame.block, frame.ip as u32),
             )
         } else {
             (
@@ -369,7 +407,15 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
 
     fn emit_branch(&mut self, tid: ThreadId, from: u64, to: u64, kind: BranchKind, ring: Ring) {
         let core = self.core_of(tid);
-        self.hw.on_branch(core, BranchEvent { from, to, kind, ring });
+        self.hw.on_branch(
+            core,
+            BranchEvent {
+                from,
+                to,
+                kind,
+                ring,
+            },
+        );
         self.report.branches_retired += 1;
     }
 
@@ -387,7 +433,13 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                 Ring::Kernel,
             );
         }
-        self.emit_branch(tid, KERNEL_BASE + 0x200, pc + SLOT, BranchKind::Far, Ring::Kernel);
+        self.emit_branch(
+            tid,
+            KERNEL_BASE + 0x200,
+            pc + SLOT,
+            BranchKind::Far,
+            Ring::Kernel,
+        );
     }
 
     /// Performs a checked data access: fault check first (a faulting access
@@ -416,6 +468,10 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             },
         );
         self.report.accesses_retired += 1;
+        match kind {
+            AccessKind::Load => self.loads += 1,
+            AccessKind::Store => self.stores += 1,
+        }
         match write_value {
             Some(v) => {
                 self.mem.write(addr, v).map_err(fault_to_failure)?;
@@ -536,9 +592,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                     Err(MemFault::InvalidFree { addr }) => {
                         Flow::Fault(FailureKind::InvalidFree { addr })
                     }
-                    Err(MemFault::Unmapped { addr }) => {
-                        Flow::Fault(FailureKind::Segfault { addr })
-                    }
+                    Err(MemFault::Unmapped { addr }) => Flow::Fault(FailureKind::Segfault { addr }),
                 }
             }
             Instr::Call { dst, callee, args } => {

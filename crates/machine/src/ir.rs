@@ -19,7 +19,6 @@
 
 use crate::events::{HwCtlOp, LcrConfig};
 use crate::ids::{BlockId, BranchId, FileId, FuncId, LogSiteId, SampleId, VarId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Base linear address of the code segment; function `f` is laid out at
@@ -37,7 +36,7 @@ pub const STACK_BASE: u64 = 0x7000_0000;
 pub const STACK_STRIDE: u64 = 0x0010_0000;
 
 /// A position in the (synthetic) source code of a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceLoc {
     /// The source file.
     pub file: FileId,
@@ -74,7 +73,7 @@ impl fmt::Display for SourceLoc {
 }
 
 /// An operand: either an immediate constant or a local variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// An immediate 64-bit constant. Addresses are plain integers.
     Const(i64),
@@ -104,7 +103,7 @@ impl fmt::Display for Operand {
 }
 
 /// Binary operators. Comparisons yield `1` (true) or `0` (false).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -165,7 +164,7 @@ impl fmt::Display for BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation.
     Neg,
@@ -176,7 +175,7 @@ pub enum UnOp {
 }
 
 /// The right-hand side of an assignment (three-address style).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rvalue {
     /// Copies an operand.
     Use(Operand),
@@ -204,7 +203,7 @@ pub enum Rvalue {
 }
 
 /// Severity of a logging call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LogKind {
     /// A failure-logging call (`error()`, `ap_log_error()`...). These are
     /// the sites the diagnosis transformer instruments.
@@ -217,7 +216,7 @@ pub enum LogKind {
 
 /// Whether a profile instruction collects a failure-run or a success-run
 /// profile (paper §5.2, Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProfileRole {
     /// Collected at a failure logging site (or in the fault handler).
     FailureSite,
@@ -226,7 +225,7 @@ pub enum ProfileRole {
 }
 
 /// Callee of a call instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Callee {
     /// A direct call; retires a near relative call branch.
     Direct(FuncId),
@@ -241,7 +240,7 @@ pub enum Callee {
 }
 
 /// A straight-line instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dst = rvalue`.
     Assign {
@@ -400,7 +399,7 @@ pub enum Instr {
 }
 
 /// A statement: an instruction plus its source location.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     /// The instruction.
     pub instr: Instr,
@@ -409,7 +408,7 @@ pub struct Stmt {
 }
 
 /// A basic-block terminator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Terminator {
     /// A source-level conditional branch (Fig. 2 lowering: taken
     /// conditional jump on the false edge, fall-through unconditional jump
@@ -444,7 +443,7 @@ impl Terminator {
 }
 
 /// A basic block: straight-line statements plus a terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     /// The statements, executed in order.
     pub stmts: Vec<Stmt>,
@@ -458,7 +457,7 @@ pub struct BasicBlock {
 }
 
 /// A function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name (unique within a program).
     pub name: String,
@@ -495,7 +494,7 @@ impl Function {
 }
 
 /// A global variable definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalDef {
     /// Name (unique within a program).
     pub name: String,
@@ -508,7 +507,7 @@ pub struct GlobalDef {
 }
 
 /// Registry entry describing a source-level conditional branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
     /// The branch id.
     pub id: BranchId,
@@ -521,7 +520,7 @@ pub struct BranchInfo {
 }
 
 /// Registry entry describing a logging site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogSiteInfo {
     /// The site id.
     pub site: LogSiteId,
@@ -537,7 +536,7 @@ pub struct LogSiteInfo {
 
 /// Configuration of the registered fault handler: which facilities it
 /// profiles when the program crashes (transformer step 4 of §5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultProfile {
     /// Profile the LBR in the fault handler.
     pub lbr: bool,
@@ -546,7 +545,7 @@ pub struct FaultProfile {
 }
 
 /// A complete program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Program name (for reports).
     pub name: String,
@@ -839,7 +838,11 @@ impl Program {
                                 check_op(a)?;
                             }
                         }
-                        Instr::Spawn { dst, func: f2, args } => {
+                        Instr::Spawn {
+                            dst,
+                            func: f2,
+                            args,
+                        } => {
                             check_var(*dst)?;
                             check_callee(*f2)?;
                             for a in args {
@@ -907,9 +910,7 @@ impl Program {
 
     /// Iterates over all `Error`-kind logging sites.
     pub fn error_log_sites(&self) -> impl Iterator<Item = &LogSiteInfo> {
-        self.log_sites
-            .iter()
-            .filter(|s| s.kind == LogKind::Error)
+        self.log_sites.iter().filter(|s| s.kind == LogKind::Error)
     }
 }
 

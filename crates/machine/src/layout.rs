@@ -16,14 +16,13 @@
 
 use crate::ids::{BlockId, BranchId, FuncId};
 use crate::ir::{Instr, Program, SourceLoc, Terminator, CODE_BASE, FUNC_STRIDE};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Width of one instruction slot in the simulated encoding.
 pub const SLOT: u64 = 4;
 
 /// What a recorded branch `from` address decodes to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decoded {
     /// One edge of a source-level conditional branch.
     SourceBranch {
@@ -60,7 +59,7 @@ pub enum Decoded {
 }
 
 /// Reference from a code address back to the statement that owns it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StmtRef {
     /// Enclosing function.
     pub func: FuncId,

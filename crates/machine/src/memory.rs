@@ -8,13 +8,12 @@
 //! inside the same region (silent corruption, as in the `sort` bug of
 //! Fig. 3) while *far* out-of-bounds accesses fault.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use crate::ir::HEAP_BASE;
 
 /// Why a memory operation faulted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemFault {
     /// Access to an address in no live region (includes null).
     Unmapped {
@@ -29,7 +28,7 @@ pub enum MemFault {
 }
 
 /// The kind of a mapped region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionKind {
     /// Global data.
     Global,
@@ -39,7 +38,7 @@ pub enum RegionKind {
     Stack,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Region {
     base: u64,
     bytes: u64,
@@ -52,7 +51,7 @@ struct Region {
 pub const HEAP_GUARD: u64 = 64;
 
 /// The simulated memory of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Memory {
     cells: HashMap<u64, i64>,
     regions: BTreeMap<u64, Region>,

@@ -8,11 +8,10 @@
 use crate::events::{BranchRecord, CoherenceRecord};
 use crate::ids::{FuncId, LogSiteId, SampleId, ThreadId};
 use crate::ir::{LogKind, ProfileRole, SourceLoc};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a fail-stop failure.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// Invalid memory access.
     Segfault {
@@ -55,7 +54,7 @@ impl fmt::Display for FailureKind {
 
 /// A fail-stop failure, attributed to the thread where it first occurred
 /// (the *failure thread* of §4.2.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Failure {
     /// What happened.
     pub kind: FailureKind,
@@ -70,7 +69,7 @@ pub struct Failure {
 }
 
 /// How a run ended.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunOutcome {
     /// The program ran to completion (main returned or `exit` executed).
     Completed {
@@ -97,7 +96,7 @@ impl RunOutcome {
 }
 
 /// One executed logging call.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEvent {
     /// The static logging site.
     pub site: LogSiteId,
@@ -110,7 +109,7 @@ pub struct LogEvent {
 }
 
 /// The payload of a profile event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProfileData {
     /// An LBR snapshot, most recent branch first.
     Lbr(Vec<BranchRecord>),
@@ -119,7 +118,7 @@ pub enum ProfileData {
 }
 
 /// One LBR/LCR profile collected during the run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileEvent {
     /// The logging site the profile belongs to (`None` when it was
     /// collected by the fault handler).
@@ -135,7 +134,7 @@ pub struct ProfileEvent {
 }
 
 /// One fired sampling probe (CBI/CCI/PBI baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleEvent {
     /// The probe.
     pub id: SampleId,
@@ -148,7 +147,7 @@ pub struct SampleEvent {
 }
 
 /// Everything one execution produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// How the run ended.
     pub outcome: RunOutcome,
@@ -233,7 +232,10 @@ mod tests {
             FailureKind::Segfault { addr: 0 }.to_string(),
             "segmentation fault at 0x0"
         );
-        assert_eq!(FailureKind::Hang.to_string(), "hang (step budget exhausted)");
+        assert_eq!(
+            FailureKind::Hang.to_string(),
+            "hang (step budget exhausted)"
+        );
     }
 
     #[test]

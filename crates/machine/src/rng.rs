@@ -7,8 +7,6 @@
 //! pin the generator to SplitMix64, whose output sequence is fully specified
 //! by its reference implementation.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic SplitMix64 pseudo-random number generator.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SplitMix64 {
     state: u64,
 }

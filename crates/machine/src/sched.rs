@@ -8,10 +8,9 @@
 
 use crate::ids::ThreadId;
 use crate::rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// A scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
     /// Rotate through runnable threads.
     RoundRobin,
@@ -57,7 +56,10 @@ impl Scheduler {
     /// Panics if `runnable` is empty — the interpreter must detect
     /// deadlock/completion before asking.
     pub fn pick(&mut self, runnable: &[ThreadId]) -> ThreadId {
-        assert!(!runnable.is_empty(), "scheduler invoked with no runnable threads");
+        assert!(
+            !runnable.is_empty(),
+            "scheduler invoked with no runnable threads"
+        );
         if runnable.len() == 1 {
             return runnable[0];
         }

@@ -3,7 +3,6 @@
 //! workloads, plus the numbers the paper reports for that failure (so the
 //! harness can print paper-vs-measured side by side).
 
-use serde::{Deserialize, Serialize};
 use stm_core::runner::{FailureSpec, Workload};
 use stm_machine::events::CoherenceState;
 use stm_machine::ids::{BranchId, FuncId};
@@ -11,7 +10,7 @@ use stm_machine::ir::{Program, SourceLoc};
 
 /// Implementation language of the original application (CBI supports only
 /// C programs — the `N/A` rows of Table 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Language {
     /// C.
     C,
@@ -20,7 +19,7 @@ pub enum Language {
 }
 
 /// Root-cause classification (Table 4's "Root Cause" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RootCauseKind {
     /// Configuration error.
     Config,
@@ -48,7 +47,7 @@ impl RootCauseKind {
 }
 
 /// Failure symptom (Table 4's "Failure Symptom" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Symptom {
     /// An error message is emitted.
     ErrorMessage,
@@ -76,7 +75,7 @@ impl Symptom {
 }
 
 /// Sequential vs. concurrency benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BugClass {
     /// A sequential-bug failure (Table 6).
     Sequential,
@@ -85,7 +84,7 @@ pub enum BugClass {
 }
 
 /// A `✓ n` / `✓ n*` / `-` cell from the paper's result tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PaperMark {
     /// `✓ n`: the root cause itself at entry/rank `n`.
     Found(u32),
@@ -107,7 +106,7 @@ impl std::fmt::Display for PaperMark {
 
 /// The numbers the paper reports for one benchmark (for paper-vs-measured
 /// tables). `None` in a CBI field means CBI is inapplicable (`N/A`).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PaperExpectations {
     /// Table 6 "LBRLOG w/ tog".
     pub lbrlog_tog: Option<PaperMark>,
@@ -137,7 +136,7 @@ pub struct PaperExpectations {
 }
 
 /// The failure-predicting event of a concurrency benchmark (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FpeSpec {
     /// Source location of the access (the `a2`/`B2`/`B3` instruction).
     pub loc: SourceLoc,
@@ -151,7 +150,7 @@ pub struct FpeSpec {
 }
 
 /// Ground truth for evaluating diagnosis results against the benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// How the target failure manifests.
     pub spec: FailureSpec,
@@ -180,7 +179,7 @@ impl GroundTruth {
 }
 
 /// The workload sets of a benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Workloads {
     /// Workloads that (deterministically or under their seed) reproduce
     /// the failure.
@@ -193,7 +192,7 @@ pub struct Workloads {
 }
 
 /// Descriptive metadata (one row of Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkInfo {
     /// Short unique id (`"sort"`, `"apache1"`, ...).
     pub id: &'static str,

@@ -172,7 +172,13 @@ mod tests {
         let opts = crate::eval::reactive_options(&b, false, Some(LcrConfig::SPACE_SAVING));
         let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
         let (failing, passing) = crate::eval::expand_workloads(&b, &runner);
-        let d = lcra(&runner, &failing, &passing, &b.truth.spec, &DiagnosisConfig::default());
+        let d = lcra(
+            &runner,
+            &failing,
+            &passing,
+            &b.truth.spec,
+            &DiagnosisConfig::default(),
+        );
         let fpe = b.truth.fpe.unwrap();
         let top = d.top().expect("a predictor");
         assert_eq!(top.event.loc, fpe.loc);

@@ -3,8 +3,9 @@
 //! measured positions/ranks that Tables 6 and 7 tabulate.
 
 use crate::benchmark::{Benchmark, BugClass};
-use serde::{Deserialize, Serialize};
-use stm_core::diagnose::{find_workloads, lbra, lcra, DiagnosisConfig, LbraDiagnosis, LcraDiagnosis};
+use stm_core::diagnose::{
+    find_workloads, lbra, lcra, DiagnosisConfig, LbraDiagnosis, LcraDiagnosis,
+};
 use stm_core::logging::failure_log_for;
 use stm_core::runner::{FailureSpec, RunClass, Runner, Workload};
 use stm_core::transform::{instrument, InstrumentOptions};
@@ -17,7 +18,11 @@ const SEED_SCAN: u64 = 400;
 
 /// Builds the reactive-scheme instrumentation options implied by a
 /// benchmark's ground truth (the failure has been observed once; §5.2).
-pub fn reactive_options(b: &Benchmark, lbr: bool, lcr_config: Option<LcrConfig>) -> InstrumentOptions {
+pub fn reactive_options(
+    b: &Benchmark,
+    lbr: bool,
+    lcr_config: Option<LcrConfig>,
+) -> InstrumentOptions {
     let log_sites = match &b.truth.spec {
         FailureSpec::ErrorLogAt(site) => vec![*site],
         _ => Vec::new(),
@@ -264,7 +269,7 @@ pub fn lcra_rank(b: &Benchmark) -> Option<usize> {
 }
 
 /// One measured Table 6 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeqRow {
     /// Benchmark id.
     pub id: String,
@@ -295,7 +300,7 @@ pub fn evaluate_sequential(b: &Benchmark) -> SeqRow {
 }
 
 /// One measured Table 7 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConcRow {
     /// Benchmark id.
     pub id: String,

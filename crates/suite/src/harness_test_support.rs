@@ -1,8 +1,8 @@
 //! Assertions shared by the benchmark unit tests.
 
-pub use crate::eval::{lbra_rank, lbrlog_position, lcra_rank, lcrlog_position, patch_distances};
 use crate::benchmark::Benchmark;
 use crate::eval::{expand_workloads, lbrlog_runner};
+pub use crate::eval::{lbra_rank, lbrlog_position, lcra_rank, lcrlog_position, patch_distances};
 use stm_core::runner::RunClass;
 
 /// Asserts that every failing workload reproduces the target failure and

@@ -43,7 +43,11 @@ pub struct Libc {
 /// computation, bounds math and byte shuffling that dominates real library
 /// bodies. Keeps the per-call *branch-record* counts in the table above
 /// unchanged while giving calls realistic instruction weight.
-fn ballast(f: &mut stm_machine::builder::FunctionBuilder<'_>, seed: stm_machine::ids::VarId, n: u32) {
+fn ballast(
+    f: &mut stm_machine::builder::FunctionBuilder<'_>,
+    seed: stm_machine::ids::VarId,
+    n: u32,
+) {
     let mut v = seed;
     for i in 0..n {
         v = f.bin(BinOp::Add, v, 0x9E37 + i as i64);
@@ -267,7 +271,10 @@ mod tests {
         let out = run_libcall(|pb, libc, main| {
             let mut f = pb.build_function(main, "m.c");
             let dst = f.alloc(2);
-            f.call_void(libc.memset, &[dst.into(), Operand::Const(7), Operand::Const(2)]);
+            f.call_void(
+                libc.memset,
+                &[dst.into(), Operand::Const(7), Operand::Const(2)],
+            );
             let a = f.load(dst, 0);
             let b = f.load(dst, 8);
             f.output(a);

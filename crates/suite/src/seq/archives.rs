@@ -285,7 +285,11 @@ pub fn pbzip1() -> Benchmark {
         pad_checks(&mut f, 2, root_line + 12, nblocks);
         f.at(fail_line);
         let ok = f.un(UnOp::Not, trailing);
-        site = guard(&mut f, ok, "pbzip2: *ERROR: Could not allocate memory for block");
+        site = guard(
+            &mut f,
+            ok,
+            "pbzip2: *ERROR: Could not allocate memory for block",
+        );
         f.ret(Some(Operand::Const(0)));
         f.finish();
     }

@@ -217,7 +217,7 @@ pub fn sort() -> Benchmark {
         let gentry = f.bin(BinOp::Add, goff, files as i64);
         f.store(gentry, 0, 4242); // garbage "name"
         f.store(gentry, 8, stale); // stale memory past the array
-        // A valid table for the normal (non-merge) lookup path.
+                                   // A valid table for the normal (non-merge) lookup path.
         let tbl = f.alloc(4);
         f.store(tbl, 0, 1);
         f.store(string_table as i64, 0, tbl);
@@ -488,7 +488,11 @@ pub fn ln() -> Benchmark {
         f.call_void(libc.format, &[Operand::Const(8)]);
         f.at(fail_line);
         let ok = f.un(stm_machine::ir::UnOp::Not, misclassified);
-        site = guard(&mut f, ok, "ln: accessing target: no such file or directory");
+        site = guard(
+            &mut f,
+            ok,
+            "ln: accessing target: no such file or directory",
+        );
         f.ret(Some(Operand::Const(0)));
         f.finish();
     }
@@ -660,7 +664,11 @@ pub fn mv() -> Benchmark {
         pad_checks(&mut f, 10, 404, operand);
         f.at(fail_line);
         let ok = f.un(stm_machine::ir::UnOp::Not, into_itself);
-        site = guard(&mut f, ok, "mv: cannot move file to a subdirectory of itself");
+        site = guard(
+            &mut f,
+            ok,
+            "mv: cannot move file to a subdirectory of itself",
+        );
         f.ret(Some(Operand::Const(0)));
         f.finish();
     }

@@ -2,6 +2,6 @@
 
 pub mod apache;
 pub mod archives;
+pub mod coreutils;
 pub mod cppcheck;
 pub mod servers;
-pub mod coreutils;

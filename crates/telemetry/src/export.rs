@@ -1,0 +1,240 @@
+//! Exporters: human-readable summary table, JSONL metrics dump, and the
+//! Chrome `trace_event` span export.
+//!
+//! The Chrome format is the JSON Object Format of the Trace Event
+//! specification: `{"traceEvents": [...]}` where each span is a complete
+//! event (`"ph": "X"` with `ts`/`dur` in microseconds) and each marker an
+//! instant event (`"ph": "i"`). The output loads directly in
+//! `chrome://tracing` and <https://ui.perfetto.dev>.
+
+use crate::json::Json;
+use crate::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
+use std::fmt::Write as _;
+
+/// Renders a fixed-width summary table of every counter and histogram.
+pub fn summary(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !m.counters.is_empty() {
+        let width = m
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(7);
+        let _ = writeln!(out, "{:<width$} {:>14}", "counter", "value");
+        for (name, value) in &m.counters {
+            let _ = writeln!(out, "{name:<width$} {value:>14}");
+        }
+    }
+    if !m.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let width = m
+            .histograms
+            .iter()
+            .map(|h| h.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(9);
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>10} {:>14} {:>12} {:>8} {:>10} {:>10}",
+            "histogram", "count", "sum", "mean", "min", "p95", "max"
+        );
+        for h in &m.histograms {
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>10} {:>14} {:>12.1} {:>8} {:>10} {:>10}",
+                h.name,
+                h.count,
+                h.sum,
+                h.mean(),
+                h.min,
+                h.quantile(0.95),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("type", "histogram".into()),
+        ("name", h.name.clone().into()),
+        ("count", h.count.into()),
+        ("sum", h.sum.into()),
+        ("mean", h.mean().into()),
+        ("min", h.min.into()),
+        ("max", h.max.into()),
+        ("p50", h.quantile(0.5).into()),
+        ("p95", h.quantile(0.95).into()),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| Json::obj([("bucket", i.into()), ("count", (*c).into())]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders the snapshot as JSONL: one JSON object per line, counters
+/// first, then histograms.
+pub fn jsonl(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &m.counters {
+        let line = Json::obj([
+            ("type", "counter".into()),
+            ("name", name.clone().into()),
+            ("value", (*value).into()),
+        ]);
+        out.push_str(&line.encode());
+        out.push('\n');
+    }
+    for h in &m.histograms {
+        out.push_str(&histogram_json(h).encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the whole snapshot as one JSON object (for `results/BENCH_*`
+/// artifacts that embed metrics next to their table data).
+pub fn metrics_json(m: &MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), (*v).into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Arr(m.histograms.iter().map(histogram_json).collect()),
+        ),
+    ])
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the object format, with a
+/// `traceEvents` array of `"X"` complete and `"i"` instant events).
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            let mut ev = vec![
+                ("name", Json::from(s.name)),
+                ("cat", Json::from(s.cat)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(s.tid)),
+                ("ts", Json::from(s.start_us)),
+            ];
+            match s.dur_us {
+                Some(dur) => {
+                    ev.push(("ph", "X".into()));
+                    ev.push(("dur", dur.into()));
+                }
+                None => {
+                    ev.push(("ph", "i".into()));
+                    ev.push(("s", "t".into()));
+                }
+            }
+            Json::obj(ev)
+        })
+        .collect();
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", "ms".into()),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut h = HistogramSnapshot {
+            name: "h.latency".into(),
+            count: 3,
+            sum: 14,
+            min: 2,
+            max: 8,
+            buckets: vec![0; crate::HISTOGRAM_BUCKETS],
+        };
+        h.buckets[2] = 1; // 2
+        h.buckets[3] = 2; // 4 and 8? 8 is bucket 4; keep it synthetic
+        MetricsSnapshot {
+            counters: vec![("c.runs".into(), 7)],
+            histograms: vec![h],
+        }
+    }
+
+    #[test]
+    fn summary_lists_everything() {
+        let s = summary(&sample_snapshot());
+        assert!(s.contains("c.runs"));
+        assert!(s.contains('7'));
+        assert!(s.contains("h.latency"));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Json::parse(line).expect("valid JSON line");
+            assert!(v.get("type").is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let spans = vec![
+            SpanRecord {
+                name: "phase",
+                cat: "test",
+                tid: 1,
+                start_us: 10,
+                dur_us: Some(25),
+            },
+            SpanRecord {
+                name: "marker",
+                cat: "test",
+                tid: 1,
+                start_us: 12,
+                dur_us: None,
+            },
+        ];
+        let text = chrome_trace(&spans);
+        let v = Json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(25.0));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+        for e in events {
+            for key in ["name", "cat", "pid", "tid", "ts", "ph"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert!(summary(&MetricsSnapshot::default()).contains("no metrics"));
+    }
+}

@@ -1,0 +1,663 @@
+//! # stm-telemetry — observability for the stm stack
+//!
+//! The paper's whole pitch is *observability on the cheap*: LBR/LCR rings
+//! are hardware telemetry and LBRA/LCRA are statistical consumers of it.
+//! This crate gives the reproduction the same property about itself —
+//! always-compiled-in, near-zero-cost-when-off instrumentation of the
+//! interpreter, the simulated hardware rings and the diagnosis pipeline.
+//!
+//! Three primitive kinds, all `std`-only and process-global:
+//!
+//! * [`Counter`] — a monotonically increasing atomic `u64`, declared at the
+//!   use site with [`counter!`];
+//! * [`Histogram`] — log2-bucketed value distribution (count, sum, min,
+//!   max, percentile estimates), declared with [`histogram!`];
+//! * spans — hierarchical RAII wall-clock timers created with [`span`] /
+//!   [`span_cat`], recorded as Chrome `trace_event` complete events, plus
+//!   zero-duration [`instant`] markers.
+//!
+//! Collection is gated by one global switch ([`set_enabled`]); when off,
+//! every operation is a load of one relaxed atomic and an early return —
+//! no locks, no allocation, no timestamps.
+//!
+//! Export lives in [`export`]: a human-readable summary table, a JSONL
+//! metrics dump, and a Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. A minimal JSON value
+//! type with an encoder *and* parser lives in [`json`] (the build is
+//! offline; no serde).
+//!
+//! ## Example
+//!
+//! ```
+//! stm_telemetry::set_enabled(true);
+//! {
+//!     let _run = stm_telemetry::span("demo.phase");
+//!     stm_telemetry::counter!("demo.events").add(3);
+//!     stm_telemetry::histogram!("demo.latency_us").record(250);
+//! }
+//! let m = stm_telemetry::metrics_snapshot();
+//! assert_eq!(m.counter("demo.events"), Some(3));
+//! let trace = stm_telemetry::export::chrome_trace(&stm_telemetry::take_spans());
+//! assert!(trace.contains("demo.phase"));
+//! stm_telemetry::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod json;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global collection switch. Relaxed is enough: telemetry is advisory and
+/// never synchronises program data.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns collection on or off. Off is the default; when off every
+/// instrumentation call is a true no-op (one relaxed atomic load).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently enabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of log2 histogram buckets: bucket `i` counts values in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zeros), up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The global registry of every counter/histogram that has ever recorded
+/// a value, plus the span sink.
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        spans: Mutex::new(Vec::new()),
+    })
+}
+
+/// Process-wide monotonic epoch; all span timestamps are microseconds
+/// since the first telemetry event.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter. Declare one per site with [`counter!`]; the
+/// static is registered globally on its first recorded increment.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates a zeroed counter (used by the [`counter!`] macro).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`; a no-op while collection is disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.lock().unwrap().push(self);
+        }
+    }
+
+    /// Adds one; a no-op while collection is disabled.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Declares (once) and returns a `&'static Counter` for this call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &COUNTER
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// A named log2-bucketed histogram of `u64` samples. Declare one per site
+/// with [`histogram!`].
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram (used by the [`histogram!`] macro).
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The bucket index of a value: 0 for 0, else `64 - leading_zeros`.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records a sample; a no-op while collection is disabled.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().histograms.lock().unwrap().push(self);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Declares (once) and returns a `&'static Histogram` for this call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HISTOGRAM: $crate::Histogram = $crate::Histogram::new($name);
+        &HISTOGRAM
+    }};
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; bucket `i` covers `[2^(i-1), 2^i)`, bucket 0 is
+    /// exactly zero.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the upper bound of the
+    /// bucket holding that rank — an over-estimate by at most 2x, which is
+    /// the log2-bucket resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One finished span or instant marker, in Chrome `trace_event` terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Event name (`"lbra.ranking"`, ...).
+    pub name: &'static str,
+    /// Category (`"machine"`, `"hardware"`, `"diagnosis"`, ...).
+    pub cat: &'static str,
+    /// Logical thread id of the recording OS thread.
+    pub tid: u64,
+    /// Start, microseconds since the process telemetry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds; `None` for instant markers.
+    pub dur_us: Option<u64>,
+}
+
+fn thread_index() -> u64 {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed) as u64;
+    }
+    INDEX.with(|i| *i)
+}
+
+/// Finished spans batch in a thread-local buffer and move to the global
+/// sink in chunks, so span-heavy hot paths don't contend on one mutex.
+const SPAN_FLUSH_THRESHOLD: usize = 128;
+
+/// The buffer flushes on overflow and (via `Drop`) on thread exit.
+struct LocalSpans(Vec<SpanRecord>);
+
+impl Drop for LocalSpans {
+    fn drop(&mut self) {
+        if !self.0.is_empty() {
+            registry().spans.lock().unwrap().append(&mut self.0);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_SPANS: std::cell::RefCell<LocalSpans> =
+        const { std::cell::RefCell::new(LocalSpans(Vec::new())) };
+}
+
+fn push_span(rec: SpanRecord) {
+    let mut rec = Some(rec);
+    let _ = LOCAL_SPANS.try_with(|l| {
+        let mut l = l.borrow_mut();
+        l.0.push(rec.take().unwrap());
+        if l.0.len() >= SPAN_FLUSH_THRESHOLD {
+            registry().spans.lock().unwrap().append(&mut l.0);
+        }
+    });
+    if let Some(r) = rec {
+        // The thread-local is gone (thread teardown); sink directly.
+        registry().spans.lock().unwrap().push(r);
+    }
+}
+
+fn flush_local_spans() {
+    let _ = LOCAL_SPANS.try_with(|l| {
+        let mut l = l.borrow_mut();
+        if !l.0.is_empty() {
+            registry().spans.lock().unwrap().append(&mut l.0);
+        }
+    });
+}
+
+/// An RAII span: records a complete event from creation to drop. Created
+/// by [`span`] / [`span_cat`]; inactive (fully free) when collection is
+/// disabled at creation time.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    start_us: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = now_us();
+        push_span(SpanRecord {
+            name: self.name,
+            cat: self.cat,
+            tid: thread_index(),
+            start_us: self.start_us,
+            dur_us: Some(end.saturating_sub(self.start_us)),
+        });
+    }
+}
+
+/// Opens a span in the default category; closes when the guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "stm")
+}
+
+/// Opens a span with an explicit category.
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    let active = enabled();
+    SpanGuard {
+        name,
+        cat,
+        start_us: if active { now_us() } else { 0 },
+        active,
+    }
+}
+
+/// Records an instant marker (a zero-duration event).
+pub fn instant(name: &'static str, cat: &'static str) {
+    if !enabled() {
+        return;
+    }
+    push_span(SpanRecord {
+        name,
+        cat,
+        tid: thread_index(),
+        start_us: now_us(),
+        dur_us: None,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// Every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, when registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A histogram snapshot, when registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Per-counter difference against an earlier snapshot (counters are
+    /// monotonic; missing-before counters diff against zero). Used by the
+    /// table harnesses to attribute metrics to one benchmark.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v - earlier.counter(n).unwrap_or(0)))
+            .filter(|(_, v)| *v > 0)
+            .collect()
+    }
+}
+
+/// Copies out every registered counter and histogram.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let mut counters: Vec<(String, u64)> = registry()
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| (c.name.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSnapshot> = registry()
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| h.snapshot())
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Drains every finished span recorded so far. Spans of one thread stay
+/// in order; spans still buffered by *other* live threads arrive at their
+/// next flush (chunk overflow or thread exit).
+pub fn take_spans() -> Vec<SpanRecord> {
+    flush_local_spans();
+    std::mem::take(&mut *registry().spans.lock().unwrap())
+}
+
+/// Zeroes every registered metric and drops all recorded spans. Counters
+/// and histograms stay registered (they are statics).
+pub fn reset() {
+    for c in registry().counters.lock().unwrap().iter() {
+        c.reset();
+    }
+    for h in registry().histograms.lock().unwrap().iter() {
+        h.reset();
+    }
+    let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().0.clear());
+    registry().spans.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Telemetry state is process-global; tests in this crate serialise on
+    /// this lock so they can assert exact values.
+    fn lock() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        guard
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _g = lock();
+        let c = counter!("test.counter");
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(metrics_snapshot().counter("test.counter"), Some(42));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_mode_is_a_true_noop() {
+        let _g = lock();
+        set_enabled(false);
+        let c = counter!("test.disabled.counter");
+        let h = histogram!("test.disabled.histogram");
+        c.add(5);
+        h.record(5);
+        instant("test.disabled.instant", "test");
+        {
+            let _s = span("test.disabled.span");
+        }
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        let m = metrics_snapshot();
+        assert_eq!(m.counter("test.disabled.counter"), None);
+        assert!(m.histogram("test.disabled.histogram").is_none());
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _g = lock();
+        let h = histogram!("test.histogram");
+        for v in [0u64, 1, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        let m = metrics_snapshot();
+        let s = m.histogram("test.histogram").expect("registered");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1013);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the two ones
+        assert_eq!(s.buckets[2], 1); // 3 in [2,4)
+        assert_eq!(s.buckets[4], 1); // 8 in [8,16)
+        assert_eq!(s.buckets[10], 1); // 1000 in [512,1024)
+        assert_eq!(s.quantile(0.5), 1); // rank 3 of 6 lands in the [1,2) bucket
+        assert!(s.quantile(1.0) >= 1000);
+        assert!((s.mean() - 1013.0 / 6.0).abs() < 1e-9);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn spans_nest_and_record_durations() {
+        let _g = lock();
+        {
+            let _outer = span_cat("test.outer", "test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span_cat("test.inner", "test");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            instant("test.marker", "test");
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), 3);
+        // Inner closes first, then the marker fires, then outer closes.
+        let inner = &spans[0];
+        let marker = &spans[1];
+        let outer = &spans[2];
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(marker.name, "test.marker");
+        assert_eq!(marker.dur_us, None);
+        assert_eq!(outer.name, "test.outer");
+        assert!(outer.start_us <= inner.start_us);
+        let (od, id) = (outer.dur_us.unwrap(), inner.dur_us.unwrap());
+        assert!(od >= id, "outer {od}us shorter than inner {id}us");
+        assert!(outer.start_us + od >= inner.start_us + id);
+        assert_eq!(inner.tid, outer.tid);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn delta_since_diffs_counters() {
+        let _g = lock();
+        let c = counter!("test.delta");
+        c.add(10);
+        let before = metrics_snapshot();
+        c.add(7);
+        let after = metrics_snapshot();
+        let delta = after.delta_since(&before);
+        assert!(delta.contains(&("test.delta".to_string(), 7)));
+        set_enabled(false);
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example cbi_vs_lbra`
 
-use stm_bench::{cbi_rank, mark};
 use stm::suite::eval::run_lbra;
+use stm_bench::{cbi_rank, mark};
 
 fn main() {
     let b = stm::suite::by_id("mv").expect("mv benchmark");
@@ -21,7 +21,10 @@ fn main() {
 
     for runs in [10, 100, 1000] {
         let r = cbi_rank(&b, runs, runs);
-        println!("CBI @ {runs:>4} failing runs (1/100 sampling): rank {}", mark(r));
+        println!(
+            "CBI @ {runs:>4} failing runs (1/100 sampling): rank {}",
+            mark(r)
+        );
     }
     println!("\nThe LBR snapshot captures the root cause deterministically at the");
     println!("first failure; a sampled predicate must get lucky many times over.");

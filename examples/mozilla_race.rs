@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example mozilla_race`
 
 use stm::core::logging::{failure_log_for, render_failure_log};
-use stm::suite::eval::{expand_workloads, lcrlog_runner, run_lcra};
 use stm::machine::events::LcrConfig;
+use stm::suite::eval::{expand_workloads, lcrlog_runner, run_lcra};
 
 fn main() {
     let b = stm::suite::by_id("mozilla-js3").expect("mozilla-js3 benchmark");
