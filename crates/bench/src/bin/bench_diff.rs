@@ -1,0 +1,61 @@
+//! The benchmark regression gate: diffs two `results/BENCH_*.json`
+//! generations and fails (exit 1) when any metric regressed beyond
+//! tolerance under the higher-is-worse rule (ranks, ring positions,
+//! overheads and telemetry counters all degrade upward).
+//!
+//! Usage: `bench_diff [--tol-pct N] <baseline.json> <candidate.json>`
+//! (default tolerance: 10%).
+//!
+//! Exit codes: 0 = no regressions, 1 = regressions found, 2 = bad
+//! invocation or malformed input.
+
+use stm_forensics::{diff_benchmarks, DiffOptions};
+use stm_telemetry::json::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff [--tol-pct N] <baseline.json> <candidate.json>");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tol-pct" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                opts.tolerance_pct = v;
+            }
+            "--help" | "-h" => usage(),
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        usage();
+    };
+
+    let base = load(baseline);
+    let cand = load(candidate);
+    let diff = diff_benchmarks(&base, &cand, &opts).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", diff.render());
+    if diff.has_regressions() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Emits the forensic artifacts for suite benchmarks: a failure-dossier +
+//! ranking-evidence report per benchmark, as strict JSON
+//! (`results/REPORT_<id>.json`) and markdown (`results/REPORT_<id>.md`).
+//!
+//! Sequential benchmarks run through LBRA, concurrency benchmarks through
+//! LCRA — the same reactive deployments the Table 6/7 harnesses use.
+//!
+//! Usage: `diagnose_report [--top K] [benchmark ids...]`
+//! (defaults: top 5, benchmarks `sort` and `apache4`).
+
+use stm_core::diagnose::{lbra, lcra, DiagnosisConfig};
+use stm_core::runner::{RunClass, Runner, Workload};
+use stm_core::transform::instrument;
+use stm_forensics::{FailureDossier, ForensicReport, RankingReport};
+use stm_machine::events::LcrConfig;
+use stm_machine::interp::Machine;
+use stm_suite::eval::{expand_workloads, reactive_options};
+use stm_suite::{Benchmark, BugClass};
+use stm_telemetry::json::Json;
+
+/// Builds the forensic report for one benchmark, or says why it cannot.
+fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
+    let (runner, system) = match b.info.bug_class {
+        BugClass::Sequential => {
+            let opts = reactive_options(b, true, None);
+            (
+                Runner::new(Machine::new(instrument(&b.program, &opts))),
+                "LBRA",
+            )
+        }
+        BugClass::Concurrency => {
+            let opts = reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING));
+            (
+                Runner::new(Machine::new(instrument(&b.program, &opts))),
+                "LCRA",
+            )
+        }
+    };
+    let (failing, passing) = expand_workloads(b, &runner);
+    if failing.is_empty() {
+        return Err("no failing workload reproduces the target failure".into());
+    }
+    let cfg = DiagnosisConfig::default();
+    let ranking = match system {
+        "LBRA" => {
+            let mut d = lbra(&runner, &failing, &passing, &b.truth.spec, &cfg);
+            d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
+            RankingReport::from_lbra(runner.machine().program(), b.info.id, &d, top_k)
+        }
+        _ => {
+            let d = lcra(&runner, &failing, &passing, &b.truth.spec, &cfg);
+            RankingReport::from_lcra(runner.machine().program(), b.info.id, &d, top_k)
+        }
+    };
+    // Flight-record the first workload that reproduces the failure.
+    let dossier = failing
+        .iter()
+        .find_map(|w: &Workload| {
+            let (report, class) = runner.run_classified(w, &b.truth.spec);
+            if class != RunClass::TargetFailure {
+                return None;
+            }
+            FailureDossier::collect(&runner, &report, w, Some(&b.truth.spec))
+        })
+        .ok_or("no run yielded a failure-site profile")?;
+    Ok(ForensicReport { dossier, ranking })
+}
+
+fn main() {
+    let mut top_k = 5usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--top" => {
+                top_k = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--top needs a number");
+                    std::process::exit(2);
+                });
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        // One sequential (LBRA) and one concurrency (LCRA) benchmark.
+        ids = vec!["sort".to_string(), "apache4".to_string()];
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        let Some(b) = stm_suite::by_id(id) else {
+            eprintln!("{id}: unknown benchmark");
+            failed = true;
+            continue;
+        };
+        match report_for(&b, top_k) {
+            Ok(report) => {
+                let json = report.to_json();
+                let encoded = json.encode();
+                // The artifact must round-trip through the strict parser.
+                match Json::parse(&encoded) {
+                    Ok(back) if back == json => {}
+                    Ok(_) => {
+                        eprintln!("{id}: JSON round-trip altered the document");
+                        failed = true;
+                        continue;
+                    }
+                    Err(e) => {
+                        eprintln!("{id}: emitted JSON does not re-parse: {e}");
+                        failed = true;
+                        continue;
+                    }
+                }
+                if let Err(e) = std::fs::create_dir_all("results") {
+                    eprintln!("cannot create results/: {e}");
+                    std::process::exit(2);
+                }
+                let json_path = format!("results/REPORT_{id}.json");
+                let md_path = format!("results/REPORT_{id}.md");
+                let io = std::fs::write(&json_path, encoded + "\n")
+                    .and_then(|_| std::fs::write(&md_path, report.to_markdown()));
+                match io {
+                    Ok(()) => println!("wrote {json_path} and {md_path}"),
+                    Err(e) => {
+                        eprintln!("{id}: write failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

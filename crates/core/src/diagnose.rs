@@ -117,24 +117,28 @@ fn collect<E: Ord + Clone>(
         while collected < needed && i < config.max_runs && !workloads.is_empty() {
             // Cycle workloads; perturb the seed on later laps so repeated
             // replays explore fresh interleavings.
-            let base = &workloads[i % workloads.len()];
+            let widx = i % workloads.len();
+            let base = &workloads[widx];
             let lap = (i / workloads.len()) as u64;
             let mut w = base.clone();
             w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
             i += 1;
             let (report, class) = runner.run_classified(&w, spec);
             stats.total_runs += 1;
+            // Witness id: which workload (and perturbed seed) produced the
+            // profile — the evidence trail the forensic report names.
+            let witness = |kind: &str| format!("{kind}:w{widx}:seed{}", w.seed);
             match (class, want_failure) {
                 (RunClass::TargetFailure, true) => {
                     if let Some(events) = failure_profile(&report, spec).and_then(&mut extract) {
-                        model.add_profile(true, events);
+                        model.add_profile_named(true, witness("fail"), events);
                         stats.failure_runs_used += 1;
                         collected += 1;
                     }
                 }
                 (RunClass::Success, false) => {
                     if let Some(events) = success_profile(&report, spec).and_then(&mut extract) {
-                        model.add_profile(false, events);
+                        model.add_profile_named(false, witness("pass"), events);
                         stats.success_runs_used += 1;
                         collected += 1;
                     }
@@ -172,6 +176,11 @@ pub struct LbraDiagnosis {
 
 impl LbraDiagnosis {
     /// 1-based rank of the first predictor involving `branch`.
+    ///
+    /// Deterministic for identical profile sets: predictors order by
+    /// harmonic score (descending), then average failure-profile ring
+    /// position (ascending, unseen last), then event order
+    /// (`BranchOutcome`'s `Ord`: branch id, then outcome).
     pub fn rank_of_branch(&self, branch: BranchId) -> Option<usize> {
         RankingModel::rank_of(&self.ranked, |r| r.event.branch == branch)
     }
@@ -284,11 +293,23 @@ pub struct LcraDiagnosis {
 impl LcraDiagnosis {
     /// 1-based rank of the first predictor at the given source location
     /// (any state, either polarity).
+    ///
+    /// Rank numbers are deterministic for identical profile sets: the
+    /// ranking orders by harmonic score (descending), then by average
+    /// ring position in the failure profiles (closest to the failure
+    /// first, unseen events last), then by event order
+    /// (`CoherenceEvent`'s `Ord`: location, state, access kind), then
+    /// `Present` before `Absent`. See [`LcraDiagnosis::tie_break_order`].
     pub fn rank_of_loc(&self, loc: SourceLoc) -> Option<usize> {
         RankingModel::rank_of(&self.ranked, |r| r.event.loc == loc)
     }
 
-    /// 1-based rank of a specific (location, state) predictor.
+    /// 1-based rank of a specific (location, state) predictor, matching
+    /// either access kind and either polarity.
+    ///
+    /// Deterministic under the same tie-breaking order as
+    /// [`LcraDiagnosis::rank_of_loc`]; replaying the same diagnosis (same
+    /// workloads, seeds and configuration) reports the same rank.
     pub fn rank_of_event(
         &self,
         loc: SourceLoc,
@@ -297,6 +318,18 @@ impl LcraDiagnosis {
         RankingModel::rank_of(&self.ranked, |r| {
             r.event.loc == loc && r.event.state == state
         })
+    }
+
+    /// The tie-breaking order behind every rank number this diagnosis
+    /// reports, most significant first. Stable sorts preserve each level,
+    /// so ranks are reproducible across runs given identical profiles.
+    pub const fn tie_break_order() -> &'static [&'static str] {
+        &[
+            "harmonic score, descending",
+            "average failure-profile ring position, ascending (unseen last)",
+            "event order (location, state, access kind)",
+            "polarity (Present before Absent)",
+        ]
     }
 
     /// The best predictor.
@@ -483,6 +516,60 @@ mod tests {
         let d = lbra(&runner, &failing, &passing, &spec, &cfg);
         assert_eq!(d.stats.failure_runs_used, 0);
         assert_eq!(d.stats.success_runs_used, 3);
+    }
+
+    #[test]
+    fn diagnosis_ranks_are_deterministic_across_replays() {
+        let (p, site, _) = guarded_program();
+        let runner =
+            Runner::instrumented(&p, &InstrumentOptions::lbra_reactive(vec![site], vec![]));
+        let failing: Vec<Workload> = (0..6)
+            .map(|i| Workload::new(vec![-1 - i as i64, (i as i64 * 13) % 100]))
+            .collect();
+        let passing: Vec<Workload> = (0..6)
+            .map(|i| Workload::new(vec![1 + i as i64, (i as i64 * 29) % 100]))
+            .collect();
+        let spec = FailureSpec::ErrorLogAt(site);
+        let cfg = DiagnosisConfig {
+            failure_profiles: 6,
+            success_profiles: 6,
+            max_runs: 100,
+        };
+        let first = lbra(&runner, &failing, &passing, &spec, &cfg);
+        for _ in 0..3 {
+            let again = lbra(&runner, &failing, &passing, &spec, &cfg);
+            assert_eq!(again.ranked, first.ranked, "rank order must not drift");
+        }
+    }
+
+    #[test]
+    fn diagnosis_witnesses_name_workload_and_seed() {
+        let (p, site, root) = guarded_program();
+        let runner =
+            Runner::instrumented(&p, &InstrumentOptions::lbra_reactive(vec![site], vec![]));
+        let failing = vec![Workload::new(vec![-5, 3]).with_seed(42)];
+        let passing = vec![Workload::new(vec![5, 3]).with_seed(7)];
+        let spec = FailureSpec::ErrorLogAt(site);
+        let cfg = DiagnosisConfig {
+            failure_profiles: 2,
+            success_profiles: 1,
+            max_runs: 20,
+        };
+        let d = lbra(&runner, &failing, &passing, &spec, &cfg);
+        let top = d
+            .ranked
+            .iter()
+            .find(|r| r.event.branch == root)
+            .expect("root branch ranked");
+        assert_eq!(top.failure_witnesses.len(), 2);
+        assert!(
+            top.failure_witnesses[0].starts_with("fail:w0:seed42"),
+            "{:?}",
+            top.failure_witnesses
+        );
+        // The second profile comes from the seed-perturbed second lap.
+        assert!(top.failure_witnesses[1].starts_with("fail:w0:seed"));
+        assert_ne!(top.failure_witnesses[0], top.failure_witnesses[1]);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub enum Polarity {
     Absent,
 }
 
-/// A scored failure predictor.
+/// A scored failure predictor, carrying the full evidence trail that
+/// produced its rank: the precision/recall split, the match counts, and
+/// the ids of the runs supporting (and contradicting) the prediction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedEvent<E> {
     /// The event.
@@ -42,13 +44,33 @@ pub struct RankedEvent<E> {
     pub failure_matches: usize,
     /// Number of success runs matching the predictor.
     pub success_matches: usize,
+    /// Ids of the failure runs matching the predictor — the runs that
+    /// voted for it.
+    pub failure_witnesses: Vec<String>,
+    /// Ids of the success runs matching the predictor — the runs that
+    /// dilute its precision.
+    pub success_witnesses: Vec<String>,
+}
+
+impl<E> RankedEvent<E> {
+    /// Total number of profiles matching the predictor, `|e|` (or `|¬e|`).
+    pub fn total_matches(&self) -> usize {
+        self.failure_matches + self.success_matches
+    }
+}
+
+/// One run's contribution to the model: its id and its event set.
+#[derive(Debug, Clone)]
+struct Profile<E> {
+    id: String,
+    events: BTreeSet<E>,
 }
 
 /// Accumulates profiles and ranks events.
 #[derive(Debug, Clone)]
 pub struct RankingModel<E> {
-    failure_profiles: Vec<BTreeSet<E>>,
-    success_profiles: Vec<BTreeSet<E>>,
+    failure_profiles: Vec<Profile<E>>,
+    success_profiles: Vec<Profile<E>>,
 }
 
 impl<E: Ord + Clone> RankingModel<E> {
@@ -60,12 +82,33 @@ impl<E: Ord + Clone> RankingModel<E> {
         }
     }
 
-    /// Adds one run's profile.
+    /// Adds one run's profile under an auto-generated id (`F#n` / `S#n`).
     pub fn add_profile(&mut self, is_failure: bool, events: BTreeSet<E>) {
-        if is_failure {
-            self.failure_profiles.push(events);
+        let id = if is_failure {
+            format!("F#{}", self.failure_profiles.len())
         } else {
-            self.success_profiles.push(events);
+            format!("S#{}", self.success_profiles.len())
+        };
+        self.add_profile_named(is_failure, id, events);
+    }
+
+    /// Adds one run's profile under an explicit id (e.g. the workload and
+    /// scheduler seed that produced it), so ranked events can name the
+    /// exact runs that voted for them.
+    pub fn add_profile_named(
+        &mut self,
+        is_failure: bool,
+        id: impl Into<String>,
+        events: BTreeSet<E>,
+    ) {
+        let p = Profile {
+            id: id.into(),
+            events,
+        };
+        if is_failure {
+            self.failure_profiles.push(p);
+        } else {
+            self.success_profiles.push(p);
         }
     }
 
@@ -82,18 +125,30 @@ impl<E: Ord + Clone> RankingModel<E> {
     fn universe(&self) -> BTreeSet<E> {
         let mut u = BTreeSet::new();
         for p in self.failure_profiles.iter().chain(&self.success_profiles) {
-            u.extend(p.iter().cloned());
+            u.extend(p.events.iter().cloned());
         }
         u
     }
 
     fn score_one(&self, event: &E, polarity: Polarity) -> RankedEvent<E> {
-        let matches = |p: &BTreeSet<E>| match polarity {
-            Polarity::Present => p.contains(event),
-            Polarity::Absent => !p.contains(event),
+        let matches = |p: &Profile<E>| match polarity {
+            Polarity::Present => p.events.contains(event),
+            Polarity::Absent => !p.events.contains(event),
         };
-        let f = self.failure_profiles.iter().filter(|p| matches(p)).count();
-        let s = self.success_profiles.iter().filter(|p| matches(p)).count();
+        let failure_witnesses: Vec<String> = self
+            .failure_profiles
+            .iter()
+            .filter(|p| matches(p))
+            .map(|p| p.id.clone())
+            .collect();
+        let success_witnesses: Vec<String> = self
+            .success_profiles
+            .iter()
+            .filter(|p| matches(p))
+            .map(|p| p.id.clone())
+            .collect();
+        let f = failure_witnesses.len();
+        let s = success_witnesses.len();
         let total_f = self.failure_profiles.len();
         let precision = if f + s > 0 {
             f as f64 / (f + s) as f64
@@ -118,11 +173,19 @@ impl<E: Ord + Clone> RankingModel<E> {
             score,
             failure_matches: f,
             success_matches: s,
+            failure_witnesses,
+            success_witnesses,
         }
     }
 
-    /// Ranks all presence predictors, best first. Ties are broken
-    /// deterministically by event order.
+    /// Ranks all presence predictors, best first.
+    ///
+    /// Tie-breaking is deterministic: predictors with equal harmonic score
+    /// are ordered by their event's `Ord` order (ascending). Downstream
+    /// re-sorts (e.g. the failure-proximity tie-break of
+    /// [`lbra`](crate::diagnose::lbra)) are stable, so rank numbers are
+    /// reproducible run to run for identical profile sets.
+    #[must_use = "ranking computes scores without storing them; use the returned list"]
     pub fn rank(&self) -> Vec<RankedEvent<E>> {
         let mut ranked: Vec<RankedEvent<E>> = self
             .universe()
@@ -139,6 +202,12 @@ impl<E: Ord + Clone> RankingModel<E> {
     }
 
     /// Ranks presence *and* absence predictors, best first.
+    ///
+    /// Tie-breaking is deterministic: equal harmonic scores order by the
+    /// event's `Ord` order, then `Present` before `Absent` — so a
+    /// presence predictor always precedes its own absence twin when both
+    /// score the same.
+    #[must_use = "ranking computes scores without storing them; use the returned list"]
     pub fn rank_with_absence(&self) -> Vec<RankedEvent<E>> {
         let mut ranked: Vec<RankedEvent<E>> = Vec::new();
         for e in self.universe().iter() {
@@ -160,6 +229,7 @@ impl<E: Ord + Clone> RankingModel<E> {
 
     /// 1-based rank of the first predictor satisfying `pred` in the given
     /// ranking.
+    #[must_use = "the computed rank is the result; use it"]
     pub fn rank_of(
         ranked: &[RankedEvent<E>],
         pred: impl FnMut(&RankedEvent<E>) -> bool,
@@ -272,6 +342,74 @@ mod tests {
         assert!(score_of("rootA") >= score_of("noise"));
         assert!(score_of("rootB") >= score_of("noise"));
         assert!(score_of("rootA") > 0.5);
+    }
+
+    #[test]
+    fn witnesses_name_the_supporting_runs() {
+        let mut m = RankingModel::new();
+        m.add_profile_named(true, "fail:seed7", set(&["root", "noise"]));
+        m.add_profile_named(true, "fail:seed9", set(&["root"]));
+        m.add_profile_named(false, "pass:seed1", set(&["noise"]));
+        let ranked = m.rank();
+        let root = ranked.iter().find(|r| r.event == "root").unwrap();
+        assert_eq!(root.failure_witnesses, vec!["fail:seed7", "fail:seed9"]);
+        assert!(root.success_witnesses.is_empty());
+        assert_eq!(root.total_matches(), 2);
+        let noise = ranked.iter().find(|r| r.event == "noise").unwrap();
+        assert_eq!(noise.failure_witnesses, vec!["fail:seed7"]);
+        assert_eq!(noise.success_witnesses, vec!["pass:seed1"]);
+    }
+
+    #[test]
+    fn auto_ids_count_per_class() {
+        let mut m = RankingModel::new();
+        m.add_profile(true, set(&["a"]));
+        m.add_profile(false, set(&["a"]));
+        m.add_profile(true, set(&["a"]));
+        let ranked = m.rank();
+        let a = &ranked[0];
+        assert_eq!(a.failure_witnesses, vec!["F#0", "F#1"]);
+        assert_eq!(a.success_witnesses, vec!["S#0"]);
+    }
+
+    #[test]
+    fn absence_witnesses_are_the_runs_missing_the_event() {
+        let mut m = RankingModel::new();
+        m.add_profile_named(true, "f0", set(&["noise"]));
+        m.add_profile_named(false, "s0", set(&["guard", "noise"]));
+        let ranked = m.rank_with_absence();
+        let absent = ranked
+            .iter()
+            .find(|r| r.event == "guard" && r.polarity == Polarity::Absent)
+            .unwrap();
+        assert_eq!(absent.failure_witnesses, vec!["f0"]);
+        assert!(absent.success_witnesses.is_empty());
+    }
+
+    #[test]
+    fn equal_scores_tie_break_by_event_then_polarity() {
+        // Two events, each in exactly one (distinct) failure profile, no
+        // successes: identical precision/recall. The tie resolves by
+        // event order; with absence predictors, Present precedes Absent
+        // for the same event and score.
+        let mut m = RankingModel::new();
+        m.add_profile(true, set(&["alpha"]));
+        m.add_profile(true, set(&["beta"]));
+        let ranked = m.rank();
+        assert_eq!(ranked[0].event, "alpha");
+        assert_eq!(ranked[1].event, "beta");
+        // Deterministic across repeated rankings of the same model.
+        for _ in 0..5 {
+            assert_eq!(m.rank(), ranked);
+        }
+        let with_absence = m.rank_with_absence();
+        for pair in with_absence.windows(2) {
+            let same_score = (pair[0].score - pair[1].score).abs() < 1e-12;
+            if same_score && pair[0].event == pair[1].event {
+                assert_eq!(pair[0].polarity, Polarity::Present);
+                assert_eq!(pair[1].polarity, Polarity::Absent);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Golden-file coverage for [`render_failure_log`]: one committed golden
+//! per [`FailureKind`] variant, plus edge-case tests for the ring position
+//! queries (`lbr_position_of_branch` / `lcr_position_of_event`) on empty
+//! and wrapped rings.
+//!
+//! Regenerate the goldens with `BLESS=1 cargo test -p stm-core --test
+//! golden_failure_log` and review the diff like any other change.
+
+use std::path::PathBuf;
+
+use stm_core::logging::{render_failure_log, run_and_log, FailureLog};
+use stm_core::runner::{Runner, Workload};
+use stm_core::transform::InstrumentOptions;
+use stm_hardware::HwConfig;
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::events::{CoherenceState, LcrConfig};
+use stm_machine::ir::{BinOp, SourceLoc};
+use stm_machine::report::FailureKind;
+
+/// A two-branch program whose error path logs and exits: deterministic
+/// layout, deterministic LBR contents.
+fn failing_runner() -> Runner {
+    let mut pb = ProgramBuilder::new("golden");
+    let main = pb.declare_function("main");
+    {
+        let mut f = pb.build_function(main, "m.c");
+        let err = f.new_block();
+        let ok = f.new_block();
+        let x = f.read_input(0);
+        let c = f.bin(BinOp::Lt, x, 0);
+        f.at(9);
+        f.br(c, err, ok);
+        f.set_block(err);
+        f.at(10);
+        f.log_error("boom");
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.output(x);
+        f.ret(None);
+        f.finish();
+    }
+    let p = pb.finish(main);
+    Runner::instrumented(&p, &InstrumentOptions::lbrlog())
+}
+
+/// One failure log with a real decoded LBR ring, shared by every golden.
+fn base_log(runner: &Runner) -> FailureLog {
+    run_and_log(runner, &Workload::new(vec![-3])).expect("the negative input reaches the log site")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("failure_log_{name}.txt"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; regenerate with BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "rendered log diverged from {}; re-bless if intentional",
+        path.display()
+    );
+}
+
+/// Renders the shared ring under a given symptom and checks its golden.
+fn check_variant(name: &str, kind: FailureKind) {
+    let runner = failing_runner();
+    let mut log = base_log(&runner);
+    // Mirror `failure_log`'s symptom format for a crash at the log site.
+    log.symptom = format!("{kind} in main at m.c:10");
+    check_golden(name, &render_failure_log(&runner, &log));
+}
+
+#[test]
+fn golden_segfault() {
+    check_variant("segfault", FailureKind::Segfault { addr: 0x40_1000 });
+}
+
+#[test]
+fn golden_invalid_free() {
+    check_variant("invalid_free", FailureKind::InvalidFree { addr: 0x40_2040 });
+}
+
+#[test]
+fn golden_assert_failed() {
+    check_variant(
+        "assert_failed",
+        FailureKind::AssertFailed {
+            message: "index < len".into(),
+        },
+    );
+}
+
+#[test]
+fn golden_div_by_zero() {
+    check_variant("div_by_zero", FailureKind::DivByZero);
+}
+
+#[test]
+fn golden_deadlock() {
+    check_variant("deadlock", FailureKind::Deadlock);
+}
+
+#[test]
+fn golden_hang() {
+    check_variant("hang", FailureKind::Hang);
+}
+
+#[test]
+fn golden_stack_overflow() {
+    check_variant("stack_overflow", FailureKind::StackOverflow);
+}
+
+// ---------------------------------------------------------------------------
+// Ring edge cases.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_rings_answer_no_position() {
+    let runner = failing_runner();
+    let program = runner.machine().program();
+    let branch = program.branches[0].id;
+    let loc = program.branches[0].loc;
+    let log = FailureLog::default();
+    assert_eq!(log.lbr_position_of_branch(branch), None);
+    assert_eq!(
+        log.lcr_position_of_event(loc, CoherenceState::Invalid),
+        None
+    );
+    // An empty log still renders its symptom and nothing else.
+    let rendered = render_failure_log(&runner, &log);
+    assert_eq!(rendered, "FAILURE: \n");
+}
+
+/// A program whose guard branch fires once and whose loop branch fires
+/// many times; with a tiny LBR the guard's records must be evicted.
+fn looping_runner(opts: &InstrumentOptions, entries: usize) -> Runner {
+    let mut pb = ProgramBuilder::new("wrap");
+    let counter = pb.global("counter", 1) as i64;
+    let main = pb.declare_function("main");
+    {
+        let mut f = pb.build_function(main, "w.c");
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        let x = f.read_input(0);
+        let guard = f.bin(BinOp::Lt, x, 0);
+        f.at(5);
+        f.br(guard, head, done); // guard branch: one outcome, early.
+        f.set_block(head);
+        let i = f.load(counter, 0);
+        let again = f.bin(BinOp::Lt, i, 8);
+        f.at(10);
+        f.br(again, body, done); // loop branch: nine outcomes.
+        f.set_block(body);
+        let next = f.bin(BinOp::Add, i, 1);
+        f.at(11);
+        f.store(counter, 0, next);
+        f.jmp(head);
+        f.set_block(done);
+        f.at(20);
+        f.log_error("wrapped");
+        f.exit(1);
+        f.ret(None);
+        f.finish();
+    }
+    let p = pb.finish(main);
+    let hw = HwConfig {
+        lbr_entries: entries,
+        lcr_entries: entries,
+        ..HwConfig::default()
+    };
+    Runner::instrumented(&p, opts).with_hw_config(hw)
+}
+
+#[test]
+fn wrapped_lbr_evicts_the_early_branch() {
+    let runner = looping_runner(&InstrumentOptions::lbrlog(), 4);
+    let program = runner.machine().program();
+    let guard = program.branches[0].id;
+    let looped = program.branches[1].id;
+    assert_eq!(program.branches[0].loc.line, 5);
+    assert_eq!(program.branches[1].loc.line, 10);
+
+    let log = run_and_log(&runner, &Workload::new(vec![-1])).expect("run reaches the log site");
+    assert_eq!(log.lbr.len(), 4, "the ring snapshot is exactly the ring");
+    // Nine loop-branch outcomes flowed through a 4-entry ring: the guard's
+    // single early record has been overwritten.
+    assert_eq!(log.lbr_position_of_branch(guard), None);
+    let pos = log
+        .lbr_position_of_branch(looped)
+        .expect("the loop branch survives in the wrapped ring");
+    assert!(pos <= 4, "position {pos} must lie inside the ring");
+}
+
+#[test]
+fn wrapped_lcr_evicts_the_first_state_observation() {
+    // Coherence events only fire on cache misses/invalidations, so a
+    // single-threaded loop over one line yields exactly one LCR record.
+    // Touch eight *distinct* cache lines instead: eight first-touch
+    // misses, each observing Invalid at its own source line. With a
+    // 4-entry ring (partly consumed by the §4.3 disable-path pollution)
+    // the earliest misses must wrap out.
+    let mut pb = ProgramBuilder::new("wrap_lcr");
+    let addrs: Vec<i64> = (0..8)
+        .map(|i| pb.global(format!("g{i}"), 1) as i64)
+        .collect();
+    let main = pb.declare_function("main");
+    {
+        let mut f = pb.build_function(main, "w.c");
+        for (i, &a) in addrs.iter().enumerate() {
+            f.at(30 + i as u32);
+            f.load(a, 0);
+        }
+        f.at(50);
+        f.log_error("wrapped");
+        f.exit(1);
+        f.ret(None);
+        f.finish();
+    }
+    let p = pb.finish(main);
+    let hw = HwConfig {
+        lcr_entries: 4,
+        ..HwConfig::default()
+    };
+    let runner = Runner::instrumented(&p, &InstrumentOptions::lcrlog(LcrConfig::SPACE_CONSUMING))
+        .with_hw_config(hw);
+    let log = run_and_log(&runner, &Workload::new(vec![])).expect("run reaches the log site");
+    assert_eq!(log.lcr.len(), 4, "the ring snapshot is exactly the ring");
+    // Pollution records carry an unknown location; a located Invalid
+    // observation is a real first-touch miss.
+    let survivor = log
+        .lcr
+        .iter()
+        .find(|e| e.event.state == CoherenceState::Invalid && e.event.loc.line != 0)
+        .unwrap_or_else(|| panic!("no real record survived the wrap: {:?}", log.lcr));
+    assert!(
+        survivor.event.loc.line > 30,
+        "the survivor must be a late miss, got line {}",
+        survivor.event.loc.line
+    );
+    // The first global's miss (line 30) wrapped out of the ring.
+    let first_loc = SourceLoc {
+        file: survivor.event.loc.file,
+        line: 30,
+    };
+    assert_eq!(
+        log.lcr_position_of_event(first_loc, CoherenceState::Invalid),
+        None
+    );
+    assert_eq!(
+        log.lcr_position_of_event(survivor.event.loc, CoherenceState::Invalid),
+        Some(survivor.position)
+    );
+}

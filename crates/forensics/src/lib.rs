@@ -1,0 +1,41 @@
+//! # stm-forensics — evidence trails for production-run diagnosis
+//!
+//! The diagnosis pipeline (`stm-core`) answers *what* predicts a failure;
+//! this crate preserves *why* — the forensic artifacts a developer (or a
+//! regression gate) needs to trust a rank number:
+//!
+//! * [`dossier`] — the **failure flight recorder**: a [`FailureDossier`]
+//!   assembled at diagnosis time from one failed run's [`RunReport`],
+//!   bundling the failing instruction, the decoded LBR/LCR ring contents
+//!   (branch → source location, coherence event → MESI transition), the
+//!   executed log calls and each thread's last-instruction context;
+//! * [`report`] — the **explainable ranking report**: the top-K
+//!   [`RankedEvent`]s of an LBRA/LCRA diagnosis rendered with their full
+//!   evidence (precision/recall split, match counts, supporting run ids)
+//!   as strict JSON and as markdown with a "why ranked here" section;
+//! * [`diff`] — the **regression tracker**: structural comparison of two
+//!   `results/BENCH_*.json` generations with configurable tolerance,
+//!   behind the `bench_diff` binary the CI gate runs.
+//!
+//! Everything serializes through [`stm_telemetry::json`] — the build is
+//! offline, so no serde.
+//!
+//! [`RunReport`]: stm_machine::report::RunReport
+//! [`RankedEvent`]: stm_core::ranking::RankedEvent
+//! [`FailureDossier`]: dossier::FailureDossier
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diff;
+pub mod dossier;
+pub mod report;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::diff::{diff_benchmarks, BenchDiff, Delta, DiffOptions, Direction};
+    pub use crate::dossier::{mesi_transition, FailureDossier, MesiTransition};
+    pub use crate::report::{EvidenceRow, ForensicReport, RankingReport};
+}
+
+pub use prelude::*;

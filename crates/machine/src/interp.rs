@@ -128,6 +128,8 @@ struct ThreadState {
     frames: Vec<Frame>,
     sp: u64,
     countdown: u32,
+    /// Global step at which this thread last retired an instruction.
+    last_step: u64,
 }
 
 enum Flow {
@@ -181,6 +183,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             branches_retired: 0,
             accesses_retired: 0,
             threads_spawned: 0,
+            thread_states: Vec::new(),
         };
         let mut exec = Exec {
             m,
@@ -231,6 +234,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             frames: vec![frame],
             sp,
             countdown: self.sample_rng.next_countdown(self.cfg.sample_mean),
+            last_step: 0,
         });
         self.report.threads_spawned += 1;
         tid
@@ -277,6 +281,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
             // Unblock the thread; blocked statements re-execute.
             self.threads[tid.index()].status = Status::Runnable;
+            self.threads[tid.index()].last_step = self.steps;
             match self.step(tid) {
                 Flow::Next => {
                     self.threads[tid.index()]
@@ -297,8 +302,35 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
         }
         self.report.steps = self.steps;
+        self.record_thread_states();
         self.flush_telemetry();
         self.report
+    }
+
+    /// Captures every thread's final context into the report — the
+    /// flight-recorder view of where each thread stood when the run ended.
+    fn record_thread_states(&mut self) {
+        use crate::report::{FinalStatus, ThreadFinalState};
+        let mut states = Vec::with_capacity(self.threads.len());
+        for (i, t) in self.threads.iter().enumerate() {
+            let tid = ThreadId(i as u32);
+            let status = match t.status {
+                Status::Runnable => FinalStatus::Runnable,
+                Status::BlockedLock(addr) => FinalStatus::BlockedLock(addr),
+                Status::BlockedJoin(j) => FinalStatus::BlockedJoin(j),
+                Status::Done => FinalStatus::Done,
+            };
+            let (func, loc, pc) = self.position(tid);
+            states.push(ThreadFinalState {
+                thread: tid,
+                status,
+                func,
+                loc,
+                pc,
+                last_step: t.last_step,
+            });
+        }
+        self.report.thread_states = states;
     }
 
     /// Flushes the run's telemetry accumulators into the global collector
@@ -1108,6 +1140,51 @@ mod tests {
         assert!(r.outcome.is_completed());
         assert_eq!(r.outputs, vec![77]);
         assert_eq!(r.threads_spawned, 2);
+        // The flight-recorder context covers both threads in spawn order;
+        // the worker finished (joined), so it reads as done.
+        assert_eq!(r.thread_states.len(), 2);
+        assert_eq!(r.thread_states[0].thread, ThreadId::MAIN);
+        assert_eq!(r.thread_states[1].thread, ThreadId(1));
+        assert_eq!(r.thread_states[1].status, crate::report::FinalStatus::Done);
+        assert!(r.thread_states[0].last_step >= r.thread_states[1].last_step);
+    }
+
+    #[test]
+    fn deadlock_records_blocked_thread_states() {
+        // Main locks the mutex and joins a worker that also wants it:
+        // a guaranteed deadlock whose final states name the lock address.
+        let mut pb = ProgramBuilder::new("p");
+        let mutex = pb.global("mutex", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            f.lock(mutex as i64);
+            f.unlock(mutex as i64);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            f.lock(mutex as i64);
+            let t = f.spawn(worker, &[]);
+            f.join(t);
+            f.unlock(mutex as i64);
+            f.ret(None);
+            f.finish();
+        }
+        let r = run(pb.finish(main), &[]);
+        assert!(matches!(
+            r.outcome.failure().map(|f| &f.kind),
+            Some(FailureKind::Deadlock)
+        ));
+        use crate::report::FinalStatus;
+        assert_eq!(r.thread_states.len(), 2);
+        assert_eq!(
+            r.thread_states[0].status,
+            FinalStatus::BlockedJoin(ThreadId(1))
+        );
+        assert_eq!(r.thread_states[1].status, FinalStatus::BlockedLock(mutex));
     }
 
     #[test]

@@ -95,6 +95,51 @@ impl RunOutcome {
     }
 }
 
+/// The scheduling state a thread ended the run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalStatus {
+    /// The thread ran to completion.
+    Done,
+    /// The thread was still runnable when the run ended.
+    Runnable,
+    /// The thread was blocked acquiring the lock at this address.
+    BlockedLock(u64),
+    /// The thread was blocked joining this thread.
+    BlockedJoin(ThreadId),
+}
+
+impl fmt::Display for FinalStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinalStatus::Done => write!(f, "done"),
+            FinalStatus::Runnable => write!(f, "runnable"),
+            FinalStatus::BlockedLock(addr) => write!(f, "blocked on lock {addr:#x}"),
+            FinalStatus::BlockedJoin(t) => write!(f, "blocked joining thread {}", t.0),
+        }
+    }
+}
+
+/// Where one thread stood when the run ended — the per-thread
+/// last-instruction context a failure flight recorder preserves (which
+/// instruction each thread was about to retire, and why it was not
+/// running, at the moment of failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadFinalState {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Its final scheduling state.
+    pub status: FinalStatus,
+    /// Function of its last (or next pending) instruction.
+    pub func: FuncId,
+    /// Source location of that instruction.
+    pub loc: SourceLoc,
+    /// Program counter of that instruction.
+    pub pc: u64,
+    /// Global step at which the thread last retired an instruction
+    /// (0 when it never ran).
+    pub last_step: u64,
+}
+
 /// One executed logging call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEvent {
@@ -167,6 +212,10 @@ pub struct RunReport {
     pub accesses_retired: u64,
     /// Number of threads ever spawned (including main).
     pub threads_spawned: u32,
+    /// Final per-thread context, one entry per spawned thread in spawn
+    /// order (the flight-recorder view of where every thread stood when
+    /// the run ended).
+    pub thread_states: Vec<ThreadFinalState>,
 }
 
 impl RunReport {
@@ -207,6 +256,7 @@ mod tests {
             branches_retired: 0,
             accesses_retired: 0,
             threads_spawned: 1,
+            thread_states: vec![],
         }
     }
 

@@ -12,6 +12,7 @@ use crate::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
 use std::fmt::Write as _;
 
 /// Renders a fixed-width summary table of every counter and histogram.
+#[must_use = "rendering has no side effects; print or write the returned text"]
 pub fn summary(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     if !m.counters.is_empty() {
@@ -90,6 +91,7 @@ fn histogram_json(h: &HistogramSnapshot) -> Json {
 
 /// Renders the snapshot as JSONL: one JSON object per line, counters
 /// first, then histograms.
+#[must_use = "rendering has no side effects; print or write the returned text"]
 pub fn jsonl(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &m.counters {
@@ -110,6 +112,7 @@ pub fn jsonl(m: &MetricsSnapshot) -> String {
 
 /// Renders the whole snapshot as one JSON object (for `results/BENCH_*`
 /// artifacts that embed metrics next to their table data).
+#[must_use = "serialization has no side effects; use the returned value"]
 pub fn metrics_json(m: &MetricsSnapshot) -> Json {
     Json::obj([
         (

@@ -294,6 +294,7 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Mean sample value, 0.0 when empty.
+    #[must_use = "the computed mean is the result; use it"]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -305,6 +306,7 @@ impl HistogramSnapshot {
     /// Estimates the `q`-quantile (`0.0..=1.0`) as the upper bound of the
     /// bucket holding that rank — an over-estimate by at most 2x, which is
     /// the log2-bucket resolution.
+    #[must_use = "the computed quantile is the result; use it"]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -469,6 +471,7 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// The value of a counter, when registered.
+    #[must_use = "the looked-up value is the result; use it"]
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -477,6 +480,7 @@ impl MetricsSnapshot {
     }
 
     /// A histogram snapshot, when registered.
+    #[must_use = "the looked-up snapshot is the result; use it"]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
@@ -484,6 +488,7 @@ impl MetricsSnapshot {
     /// Per-counter difference against an earlier snapshot (counters are
     /// monotonic; missing-before counters diff against zero). Used by the
     /// table harnesses to attribute metrics to one benchmark.
+    #[must_use = "the computed deltas are the result; use them"]
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> Vec<(String, u64)> {
         self.counters
             .iter()
@@ -494,6 +499,7 @@ impl MetricsSnapshot {
 }
 
 /// Copies out every registered counter and histogram.
+#[must_use = "snapshotting does not export anything by itself; use the returned snapshot"]
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let mut counters: Vec<(String, u64)> = registry()
         .counters
@@ -520,6 +526,9 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 /// Drains every finished span recorded so far. Spans of one thread stay
 /// in order; spans still buffered by *other* live threads arrive at their
 /// next flush (chunk overflow or thread exit).
+///
+/// Dropping the result silently discards the drained spans — export them.
+#[must_use = "draining removes the spans; dropping the result loses them"]
 pub fn take_spans() -> Vec<SpanRecord> {
     flush_local_spans();
     std::mem::take(&mut *registry().spans.lock().unwrap())

@@ -17,6 +17,8 @@
 //! | [`core`] | `stm-core` | instrumentation, LBRLOG/LCRLOG, LBRA/LCRA |
 //! | [`baselines`] | `stm-baselines` | CBI, CCI, PBI |
 //! | [`suite`] | `stm-suite` | the 31 Table 4 failures with ground truth |
+//! | [`telemetry`] | `stm-telemetry` | tracing, metrics, trace export |
+//! | [`forensics`] | `stm-forensics` | failure dossiers, explainable reports, bench diffing |
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,8 @@
 
 pub use stm_baselines as baselines;
 pub use stm_core as core;
+pub use stm_forensics as forensics;
 pub use stm_hardware as hardware;
 pub use stm_machine as machine;
 pub use stm_suite as suite;
+pub use stm_telemetry as telemetry;
