@@ -1,0 +1,172 @@
+//! Measures the parallel collection engine's throughput at 1/2/4/8
+//! threads on one sequential (sort, LBR) and one concurrency (apache4,
+//! LCR) benchmark, and writes `results/BENCH_scaling.json`.
+//!
+//! Each measurement is a scan-mode [`DiagnosisSession`] over a fixed
+//! seed range with quotas that never fill, so every thread count
+//! executes exactly the same set of runs and `runs/sec` is comparable
+//! across thread counts.
+//!
+//! The emitted file carries two kinds of numbers:
+//!
+//! * informational throughput (`runs_per_sec_t{1,2,4,8}`,
+//!   `speedup_t{2,4,8}_x1000`, `available_parallelism`) — these are
+//!   machine-dependent and deliberately absent from the committed
+//!   baseline, so `bench_diff` never gates on the speed of the box;
+//! * gate metrics, both scale-free ratios where **higher is worse**:
+//!   `inv_speedup_t4_x1000` (time at 4 threads relative to 1 thread,
+//!   ×1000 — parallel overhead must not blow up) and
+//!   `seq_cost_vs_raw_x1000` (engine at 1 thread relative to a bare
+//!   `Runner::run_classified` loop, ×1000 — the session machinery must
+//!   stay close to free).
+//!
+//! CI compares against `baselines/BENCH_scaling.json` with
+//! `bench_diff --tol-pct 25`.
+
+use std::time::Instant;
+
+use stm_bench::MetricsEmitter;
+use stm_core::engine::DiagnosisSession;
+use stm_core::runner::Runner;
+use stm_core::transform::instrument;
+use stm_machine::events::LcrConfig;
+use stm_machine::interp::Machine;
+use stm_suite::eval::reactive_options;
+use stm_telemetry::json::Json;
+
+/// Thread counts swept per benchmark.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Timing repetitions per configuration; the fastest is kept.
+const REPS: usize = 3;
+
+struct Case {
+    id: &'static str,
+    lbr: bool,
+    /// Scan seeds per measurement — sized so one sweep stays under a
+    /// few seconds even on a single core.
+    runs: u64,
+}
+
+const CASES: [Case; 2] = [
+    Case {
+        id: "sort",
+        lbr: true,
+        runs: 400,
+    },
+    Case {
+        id: "apache4",
+        lbr: false,
+        runs: 400,
+    },
+];
+
+/// Runs one scan sweep and returns the wall-clock seconds it took.
+/// Quotas are set above the job count so no early stop ever triggers:
+/// the engine executes all `runs` jobs at every thread count.
+fn timed_sweep(runner: &Runner, b: &stm_suite::Benchmark, runs: u64, threads: usize) -> f64 {
+    let base = b.workloads.failing[0].clone();
+    let start = Instant::now();
+    let profiles = DiagnosisSession::from_runner(runner)
+        .failure(b.truth.spec.clone())
+        .workloads(vec![base])
+        .seeds(0..runs)
+        .failure_profiles(usize::MAX)
+        .success_profiles(usize::MAX)
+        .threads(threads)
+        .collect()
+        .expect("scan collection cannot fail");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        profiles.stats().total_runs,
+        runs as usize,
+        "sweep must execute every job"
+    );
+    secs
+}
+
+/// The engine-free reference: the same runs through a bare
+/// `run_classified` loop, without sessions, channels, or merging.
+fn timed_raw(runner: &Runner, b: &stm_suite::Benchmark, runs: u64) -> f64 {
+    let base = b.workloads.failing[0].clone();
+    let start = Instant::now();
+    let mut failures = 0usize;
+    for seed in 0..runs {
+        let w = base.clone().with_seed(seed);
+        let (_, class) = runner.run_classified(&w, &b.truth.spec);
+        if class == stm_core::runner::RunClass::TargetFailure {
+            failures += 1;
+        }
+    }
+    std::hint::black_box(failures);
+    start.elapsed().as_secs_f64()
+}
+
+fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut metrics = MetricsEmitter::new("scaling");
+    println!("Collection-engine scaling (available_parallelism = {cores})");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "bench", "runs", "t1 runs/s", "t2 runs/s", "t4 runs/s", "t8 runs/s", "raw/s"
+    );
+
+    for case in &CASES {
+        let b = stm_suite::by_id(case.id).expect("benchmark exists");
+        let opts = if case.lbr {
+            reactive_options(&b, true, None)
+        } else {
+            reactive_options(&b, false, Some(LcrConfig::SPACE_CONSUMING))
+        };
+        let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+
+        // Warm up allocators and page in the program before timing.
+        timed_sweep(&runner, &b, case.runs.min(50), 1);
+
+        let raw = best_of(|| timed_raw(&runner, &b, case.runs));
+        let mut secs = [0.0f64; THREADS.len()];
+        for (i, &t) in THREADS.iter().enumerate() {
+            secs[i] = best_of(|| timed_sweep(&runner, &b, case.runs, t));
+        }
+        let rps = |s: f64| case.runs as f64 / s;
+
+        println!(
+            "{:<10} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>10.0}",
+            case.id,
+            case.runs,
+            rps(secs[0]),
+            rps(secs[1]),
+            rps(secs[2]),
+            rps(secs[3]),
+            rps(raw),
+        );
+
+        let x1000 = |ratio: f64| Json::from((ratio * 1000.0).round());
+        metrics.checkpoint(
+            case.id,
+            vec![
+                // Gate metrics: scale-free, higher-is-worse.
+                ("inv_speedup_t4_x1000", x1000(secs[2] / secs[0])),
+                ("seq_cost_vs_raw_x1000", x1000(secs[0] / raw)),
+                // Informational: machine-dependent, not in the baseline.
+                ("runs", Json::from(case.runs)),
+                ("runs_per_sec_t1", Json::from(rps(secs[0]).round())),
+                ("runs_per_sec_t2", Json::from(rps(secs[1]).round())),
+                ("runs_per_sec_t4", Json::from(rps(secs[2]).round())),
+                ("runs_per_sec_t8", Json::from(rps(secs[3]).round())),
+                ("speedup_t2_x1000", x1000(secs[0] / secs[1])),
+                ("speedup_t4_x1000", x1000(secs[0] / secs[2])),
+                ("speedup_t8_x1000", x1000(secs[0] / secs[3])),
+                ("available_parallelism", Json::from(cores as u64)),
+            ],
+        );
+    }
+
+    match metrics.finish() {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+}

@@ -8,31 +8,31 @@
 //! Usage: `diagnose_report [--top K] [benchmark ids...]`
 //! (defaults: top 5, benchmarks `sort` and `apache4`).
 
-use stm_core::diagnose::{lbra, lcra, DiagnosisConfig};
-use stm_core::runner::{RunClass, Runner, Workload};
+use stm_core::engine::{DiagnosisSession, ProfileKind};
+use stm_core::runner::Runner;
 use stm_core::transform::instrument;
 use stm_forensics::{FailureDossier, ForensicReport, RankingReport};
 use stm_machine::events::LcrConfig;
 use stm_machine::interp::Machine;
-use stm_suite::eval::{expand_workloads, reactive_options};
+use stm_suite::eval::{default_threads, expand_workloads, reactive_options};
 use stm_suite::{Benchmark, BugClass};
 use stm_telemetry::json::Json;
 
 /// Builds the forensic report for one benchmark, or says why it cannot.
 fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
-    let (runner, system) = match b.info.bug_class {
+    let (runner, kind) = match b.info.bug_class {
         BugClass::Sequential => {
             let opts = reactive_options(b, true, None);
             (
                 Runner::new(Machine::new(instrument(&b.program, &opts))),
-                "LBRA",
+                ProfileKind::Lbr,
             )
         }
         BugClass::Concurrency => {
             let opts = reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING));
             (
                 Runner::new(Machine::new(instrument(&b.program, &opts))),
-                "LCRA",
+                ProfileKind::Lcr,
             )
         }
     };
@@ -40,27 +40,32 @@ fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
     if failing.is_empty() {
         return Err("no failing workload reproduces the target failure".into());
     }
-    let cfg = DiagnosisConfig::default();
-    let ranking = match system {
-        "LBRA" => {
-            let mut d = lbra(&runner, &failing, &passing, &b.truth.spec, &cfg);
+    let profiles = DiagnosisSession::from_runner(&runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(kind)
+        .threads(default_threads())
+        .collect()
+        .map_err(|e| e.to_string())?;
+    let ranking = match kind {
+        ProfileKind::Lbr => {
+            let mut d = profiles.lbra();
             d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
             RankingReport::from_lbra(runner.machine().program(), b.info.id, &d, top_k)
         }
-        _ => {
-            let d = lcra(&runner, &failing, &passing, &b.truth.spec, &cfg);
+        ProfileKind::Lcr => {
+            let d = profiles.lcra();
             RankingReport::from_lcra(runner.machine().program(), b.info.id, &d, top_k)
         }
     };
-    // Flight-record the first workload that reproduces the failure.
-    let dossier = failing
+    // Flight-record the first collected failure witness — the run is
+    // already in the profile set, no replay needed.
+    let dossier = profiles
+        .failure_runs()
         .iter()
-        .find_map(|w: &Workload| {
-            let (report, class) = runner.run_classified(w, &b.truth.spec);
-            if class != RunClass::TargetFailure {
-                return None;
-            }
-            FailureDossier::collect(&runner, &report, w, Some(&b.truth.spec))
+        .find_map(|run| {
+            FailureDossier::collect(&runner, &run.report, &run.workload, Some(&b.truth.spec))
         })
         .ok_or("no run yielded a failure-site profile")?;
     Ok(ForensicReport { dossier, ranking })

@@ -3,8 +3,9 @@
 //! https://ui.perfetto.dev to see the interpreter runs, ring snapshots
 //! and diagnosis phases on a timeline.
 //!
-//! Usage: `trace_run <benchmark-id> [--out FILE]`
-//! (default output: `results/TRACE_<id>.json`)
+//! Usage: `trace_run <benchmark-id> [--out FILE] [--threads N]`
+//! (default output: `results/TRACE_<id>.json`; default threads: the
+//! `STM_THREADS` env var, else available parallelism capped at 8)
 
 use stm_suite::BugClass;
 use stm_telemetry::json::Json;
@@ -12,7 +13,7 @@ use stm_telemetry::json::Json;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(id) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace_run <benchmark-id> [--out FILE]");
+        eprintln!("usage: trace_run <benchmark-id> [--out FILE] [--threads N]");
         eprintln!("benchmarks:");
         for b in stm_suite::all() {
             eprintln!("  {:<12} ({:?})", b.info.id, b.info.bug_class);
@@ -25,6 +26,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("results/TRACE_{id}.json"));
+    if let Some(threads) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    {
+        if threads.parse::<usize>().is_err() {
+            eprintln!("--threads needs a number, got {threads:?}");
+            std::process::exit(2);
+        }
+        // The eval drivers read STM_THREADS for their collection engine.
+        std::env::set_var("STM_THREADS", threads);
+    }
 
     let Some(b) = stm_suite::by_id(id) else {
         eprintln!("unknown benchmark {id:?}; run with no arguments for the list");

@@ -10,7 +10,8 @@ const EXPECTED_SPANS: &[&str] = &[
     "machine.run",
     "runner.run",
     "hw.lbr.snapshot",
-    "lbra.run_collection",
+    "engine.collect",
+    "engine.job",
     "lbra.profile_extraction",
     "lbra.ranking",
 ];
@@ -66,7 +67,9 @@ fn trace_run_export_is_valid_chrome_trace() {
         assert!(names.contains(*want), "missing span {want:?} in {names:?}");
     }
 
-    // Phase nesting: extraction happens inside collection's time range.
+    // Phase nesting: every run job executes inside the engine's
+    // collection window (workers are scoped threads the driver joins),
+    // and extraction/ranking happen only after collection has begun.
     let range = |name: &str| {
         spans
             .iter()
@@ -74,7 +77,13 @@ fn trace_run_export_is_valid_chrome_trace() {
             .map(|s| (s.start_us, s.start_us + s.dur_us.unwrap_or(0)))
             .expect(name)
     };
-    let (c0, c1) = range("lbra.run_collection");
-    let (e0, e1) = range("lbra.profile_extraction");
-    assert!(c0 <= e0 && e1 <= c1, "extraction outside collection");
+    let (c0, c1) = range("engine.collect");
+    for s in spans.iter().filter(|s| s.name == "engine.job") {
+        let (j0, j1) = (s.start_us, s.start_us + s.dur_us.unwrap_or(0));
+        assert!(c0 <= j0 && j1 <= c1, "job outside collection window");
+    }
+    let (e0, _) = range("lbra.profile_extraction");
+    let (r0, _) = range("lbra.ranking");
+    assert!(c0 <= e0, "extraction before collection");
+    assert!(e0 <= r0, "ranking before extraction");
 }

@@ -13,6 +13,7 @@
 //! latency** — the headline advantage over sampling-based CBI (§7.2: 10
 //! vs. 1000 failure occurrences).
 
+use crate::engine::{CollectedProfiles, DiagnosisSession, ProfileKind};
 use crate::profile::{lbr_events, lcr_events, BranchOutcome, CoherenceEvent};
 use crate::ranking::{Polarity, RankedEvent, RankingModel};
 use crate::runner::{FailureSpec, RunClass, Runner, Workload};
@@ -69,7 +70,10 @@ pub fn failure_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<
 
 /// Selects the success-run profile matching the spec: the last snapshot
 /// taken at the corresponding success logging site.
-fn success_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r ProfileEvent> {
+pub(crate) fn success_profile<'r>(
+    report: &'r RunReport,
+    spec: &FailureSpec,
+) -> Option<&'r ProfileEvent> {
     let want_site = match spec {
         FailureSpec::ErrorLogAt(site) => Some(*site),
         _ => None,
@@ -80,89 +84,90 @@ fn success_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r 
         .rfind(|p| p.role == ProfileRole::SuccessSite && p.site == want_site)
 }
 
-/// Telemetry span names for the two collection-side diagnosis phases;
-/// the ranking phase is timed by the driver itself.
-struct PhaseSpans {
-    /// Wraps the whole failing+passing replay loop.
-    run_collection: &'static str,
-    /// Wraps each ring-snapshot decode inside it.
-    profile_extraction: &'static str,
-}
-
-/// Generic profile collection shared by LBRA and LCRA.
-fn collect<E: Ord + Clone>(
-    runner: &Runner,
-    failing: &[Workload],
-    passing: &[Workload],
-    spec: &FailureSpec,
-    config: &DiagnosisConfig,
-    phases: PhaseSpans,
+/// Builds the ranking model from collected profiles: failures first, then
+/// successes, both in their deterministic consumption order — exactly the
+/// insertion order the sequential driver produced.
+fn build_model<E: Ord + Clone>(
+    profiles: &CollectedProfiles,
+    extraction_span: &'static str,
     mut extract: impl FnMut(&ProfileEvent) -> Option<BTreeSet<E>>,
-) -> (RankingModel<E>, DiagnosisStats) {
-    let _span = stm_telemetry::span_cat(phases.run_collection, "diagnosis");
+) -> RankingModel<E> {
+    let spec = profiles.spec();
     let mut extract = |p: &ProfileEvent| {
-        let _span = stm_telemetry::span_cat(phases.profile_extraction, "diagnosis");
+        let _span = stm_telemetry::span_cat(extraction_span, "diagnosis");
         extract(p)
     };
     let mut model = RankingModel::new();
-    let mut stats = DiagnosisStats::default();
-
-    let mut replay = |workloads: &[Workload],
-                      want_failure: bool,
-                      needed: usize,
-                      model: &mut RankingModel<E>,
-                      stats: &mut DiagnosisStats| {
-        let mut collected = 0;
-        let mut i = 0;
-        while collected < needed && i < config.max_runs && !workloads.is_empty() {
-            // Cycle workloads; perturb the seed on later laps so repeated
-            // replays explore fresh interleavings.
-            let widx = i % workloads.len();
-            let base = &workloads[widx];
-            let lap = (i / workloads.len()) as u64;
-            let mut w = base.clone();
-            w.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
-            i += 1;
-            let (report, class) = runner.run_classified(&w, spec);
-            stats.total_runs += 1;
-            // Witness id: which workload (and perturbed seed) produced the
-            // profile — the evidence trail the forensic report names.
-            let witness = |kind: &str| format!("{kind}:w{widx}:seed{}", w.seed);
-            match (class, want_failure) {
-                (RunClass::TargetFailure, true) => {
-                    if let Some(events) = failure_profile(&report, spec).and_then(&mut extract) {
-                        model.add_profile_named(true, witness("fail"), events);
-                        stats.failure_runs_used += 1;
-                        collected += 1;
-                    }
-                }
-                (RunClass::Success, false) => {
-                    if let Some(events) = success_profile(&report, spec).and_then(&mut extract) {
-                        model.add_profile_named(false, witness("pass"), events);
-                        stats.success_runs_used += 1;
-                        collected += 1;
-                    }
-                }
-                _ => {}
-            }
+    for run in profiles.failure_runs() {
+        if let Some(events) = failure_profile(&run.report, spec).and_then(&mut extract) {
+            model.add_profile_named(true, run.witness.clone(), events);
         }
-    };
+    }
+    for run in profiles.success_runs() {
+        if let Some(events) = success_profile(&run.report, spec).and_then(&mut extract) {
+            model.add_profile_named(false, run.witness.clone(), events);
+        }
+    }
+    model
+}
 
-    replay(
-        failing,
-        true,
-        config.failure_profiles,
-        &mut model,
-        &mut stats,
-    );
-    replay(
-        passing,
-        false,
-        config.success_profiles,
-        &mut model,
-        &mut stats,
-    );
-    (model, stats)
+impl CollectedProfiles {
+    /// Runs the LBRA ranking (§5.2) over the collected LBR profiles:
+    /// branch outcomes scored by the harmonic mean of prediction
+    /// precision and recall, proximity tie-broken by ring position.
+    pub fn lbra(&self) -> LbraDiagnosis {
+        let layout = self.runner().machine().layout();
+        let mut positions: HashMap<BranchOutcome, (u64, u64)> = HashMap::new();
+        let model = build_model(self, "lbra.profile_extraction", |p| match &p.data {
+            ProfileData::Lbr(records) => {
+                if p.role == ProfileRole::FailureSite {
+                    for e in crate::profile::decode_lbr(layout, records) {
+                        if let Some(bo) = e.branch_outcome() {
+                            let slot = positions.entry(bo).or_insert((0, 0));
+                            slot.0 += e.position as u64;
+                            slot.1 += 1;
+                        }
+                    }
+                }
+                Some(lbr_events(layout, records))
+            }
+            ProfileData::Lcr(_) => None,
+        });
+        let _rank_span = stm_telemetry::span_cat("lbra.ranking", "diagnosis");
+        let mut ranked = model.rank();
+        proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
+        LbraDiagnosis {
+            ranked,
+            stats: *self.stats(),
+        }
+    }
+
+    /// Runs the LCRA ranking (§5.2) over the collected LCR profiles,
+    /// including the absence predictors of §4.2.2.
+    pub fn lcra(&self) -> LcraDiagnosis {
+        let layout = self.runner().machine().layout();
+        let mut positions: HashMap<CoherenceEvent, (u64, u64)> = HashMap::new();
+        let model = build_model(self, "lcra.profile_extraction", |p| match &p.data {
+            ProfileData::Lcr(records) => {
+                if p.role == ProfileRole::FailureSite {
+                    for e in crate::profile::decode_lcr(layout, records) {
+                        let slot = positions.entry(e.event).or_insert((0, 0));
+                        slot.0 += e.position as u64;
+                        slot.1 += 1;
+                    }
+                }
+                Some(lcr_events(layout, records))
+            }
+            ProfileData::Lbr(_) => None,
+        });
+        let _rank_span = stm_telemetry::span_cat("lcra.ranking", "diagnosis");
+        let mut ranked = model.rank_with_absence();
+        proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
+        LcraDiagnosis {
+            ranked,
+            stats: *self.stats(),
+        }
+    }
 }
 
 /// The result of an LBRA diagnosis.
@@ -210,6 +215,10 @@ impl LbraDiagnosis {
 /// `runner` must wrap a program instrumented with success-site profiling
 /// ([`InstrumentOptions::lbra_reactive`](crate::transform::InstrumentOptions::lbra_reactive)
 /// or `lbra_proactive`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use DiagnosisSession::from_runner(..).failure(..).failing(..).passing(..).collect()?.lbra()"
+)]
 pub fn lbra(
     runner: &Runner,
     failing: &[Workload],
@@ -217,39 +226,15 @@ pub fn lbra(
     spec: &FailureSpec,
     config: &DiagnosisConfig,
 ) -> LbraDiagnosis {
-    let layout = runner.machine().layout();
-    let mut positions: HashMap<BranchOutcome, (u64, u64)> = HashMap::new();
-    let phases = PhaseSpans {
-        run_collection: "lbra.run_collection",
-        profile_extraction: "lbra.profile_extraction",
-    };
-    let (model, stats) = collect(
-        runner,
-        failing,
-        passing,
-        spec,
-        config,
-        phases,
-        |p| match &p.data {
-            ProfileData::Lbr(records) => {
-                if p.role == ProfileRole::FailureSite {
-                    for e in crate::profile::decode_lbr(layout, records) {
-                        if let Some(bo) = e.branch_outcome() {
-                            let slot = positions.entry(bo).or_insert((0, 0));
-                            slot.0 += e.position as u64;
-                            slot.1 += 1;
-                        }
-                    }
-                }
-                Some(lbr_events(layout, records))
-            }
-            ProfileData::Lcr(_) => None,
-        },
-    );
-    let _rank_span = stm_telemetry::span_cat("lbra.ranking", "diagnosis");
-    let mut ranked = model.rank();
-    proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
-    LbraDiagnosis { ranked, stats }
+    DiagnosisSession::from_runner(runner)
+        .failure(spec.clone())
+        .failing(failing.to_vec())
+        .passing(passing.to_vec())
+        .profile_kind(ProfileKind::Lbr)
+        .diagnosis_config(config)
+        .collect()
+        .expect("witness-mode collection cannot fail")
+        .lbra()
 }
 
 /// Stable-reorders equal-scored predictors by their average ring position
@@ -349,6 +334,10 @@ impl LcraDiagnosis {
 
 /// Runs LCRA: collects LCR profiles and ranks coherence events, including
 /// absence predictors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DiagnosisSession::from_runner(..).failure(..).failing(..).passing(..).collect()?.lcra()"
+)]
 pub fn lcra(
     runner: &Runner,
     failing: &[Workload],
@@ -356,42 +345,28 @@ pub fn lcra(
     spec: &FailureSpec,
     config: &DiagnosisConfig,
 ) -> LcraDiagnosis {
-    let layout = runner.machine().layout();
-    let mut positions: HashMap<CoherenceEvent, (u64, u64)> = HashMap::new();
-    let phases = PhaseSpans {
-        run_collection: "lcra.run_collection",
-        profile_extraction: "lcra.profile_extraction",
-    };
-    let (model, stats) = collect(
-        runner,
-        failing,
-        passing,
-        spec,
-        config,
-        phases,
-        |p| match &p.data {
-            ProfileData::Lcr(records) => {
-                if p.role == ProfileRole::FailureSite {
-                    for e in crate::profile::decode_lcr(layout, records) {
-                        let slot = positions.entry(e.event).or_insert((0, 0));
-                        slot.0 += e.position as u64;
-                        slot.1 += 1;
-                    }
-                }
-                Some(lcr_events(layout, records))
-            }
-            ProfileData::Lbr(_) => None,
-        },
-    );
-    let _rank_span = stm_telemetry::span_cat("lcra.ranking", "diagnosis");
-    let mut ranked = model.rank_with_absence();
-    proximity_tiebreak(&mut ranked, |e| positions.get(e).copied());
-    LcraDiagnosis { ranked, stats }
+    DiagnosisSession::from_runner(runner)
+        .failure(spec.clone())
+        .failing(failing.to_vec())
+        .passing(passing.to_vec())
+        .profile_kind(ProfileKind::Lcr)
+        .diagnosis_config(config)
+        .collect()
+        .expect("witness-mode collection cannot fail")
+        .lcra()
 }
 
 /// Scans scheduler seeds for workloads reproducing (or avoiding) the target
 /// failure — how the suite pins down failing/passing interleavings for
 /// concurrency bugs.
+///
+/// Prefer a single scan-mode session, which finds failing *and* passing
+/// witnesses in one pass over the seed range instead of one pass per
+/// class.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DiagnosisSession::from_runner(..).failure(..).workloads(vec![base]).seeds(..).collect()"
+)]
 pub fn find_workloads(
     runner: &Runner,
     base: &Workload,
@@ -400,22 +375,50 @@ pub fn find_workloads(
     count: usize,
     seed_range: std::ops::Range<u64>,
 ) -> Vec<Workload> {
-    let mut found = Vec::new();
-    for seed in seed_range {
-        if found.len() >= count {
-            break;
-        }
-        let w = base.clone().with_seed(seed);
-        let (_, c) = runner.run_classified(&w, spec);
-        if c == class {
-            found.push(w);
+    let session = || {
+        DiagnosisSession::from_runner(runner)
+            .failure(spec.clone())
+            .workloads(vec![base.clone()])
+            .seeds(seed_range.clone())
+    };
+    match class {
+        RunClass::TargetFailure => session()
+            .failure_profiles(count)
+            .success_profiles(0)
+            .collect()
+            .expect("scan-mode collection cannot fail")
+            .failing_workloads(),
+        RunClass::Success => session()
+            .failure_profiles(0)
+            .success_profiles(count)
+            .collect()
+            .expect("scan-mode collection cannot fail")
+            .passing_workloads(),
+        // The engine only buckets target failures and successes; `Other`
+        // keeps the legacy scan.
+        RunClass::Other => {
+            let mut found = Vec::new();
+            for seed in seed_range {
+                if found.len() >= count {
+                    break;
+                }
+                let w = base.clone().with_seed(seed);
+                let (_, c) = runner.run_classified(&w, spec);
+                if c == class {
+                    found.push(w);
+                }
+            }
+            found
         }
     }
-    found
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy entry points stay covered until the deprecation window
+    // closes; the engine's own tests cover the session API.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::transform::InstrumentOptions;
     use stm_machine::builder::ProgramBuilder;

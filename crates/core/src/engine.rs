@@ -1,0 +1,1088 @@
+//! Parallel profile-collection engine behind the [`DiagnosisSession`] API.
+//!
+//! Every witness run the paper's LBRA/LCRA drivers consume is an
+//! independent simulated execution: a (workload, seed) pair replayed on a
+//! fresh [`HardwareCtx`](stm_hardware::HardwareCtx), classified against the
+//! failure spec, and mined for a ring snapshot. Nothing couples one run to
+//! the next, so collection is embarrassingly parallel — this module shards
+//! those runs across a fixed pool of `std::thread` workers fed by a channel
+//! work queue, with **zero new dependencies**.
+//!
+//! ## Job model
+//!
+//! A collection is described by a [`JobPlan`]: a pure function from a
+//! logical job index `i` to the `i`-th (workload, seed) pair. Witness-mode
+//! plans cycle a workload list, perturbing the scheduler seed on each lap
+//! exactly as the sequential driver did; scan-mode plans enumerate
+//! `bases × seeds` (the `find_workloads` seed scan). Because the plan is a
+//! function of the index, jobs need no shared state and can be regenerated
+//! anywhere.
+//!
+//! ## Merge determinism
+//!
+//! Workers finish out of order, but the driver **consumes results strictly
+//! in job-index order**: completed jobs park in a `BTreeMap` until every
+//! lower-indexed job has been consumed. Quota checks (how many failure /
+//! success profiles are still needed) and the early-stop decision happen
+//! only at consumption time, on that ordered prefix. Speculatively executed
+//! jobs past the stopping point are discarded. The consumed prefix is
+//! therefore *identical* to what a sequential loop would have executed —
+//! same witnesses, same profile order, same `DiagnosisStats` — so
+//! `threads(N)` is bit-for-bit equal to `threads(1)`.
+//!
+//! ## Thread-safety argument
+//!
+//! Each worker owns a deep clone of the [`Runner`] (machine + configs, all
+//! plain data — compile-time `Send + Sync` assertions live in the machine
+//! and hardware crates) and builds a private `HardwareCtx` per run, so
+//! workers share nothing mutable. A run that panics is caught with
+//! `catch_unwind`, reported over the results channel, and surfaces as
+//! [`SessionError::WorkerPanicked`] instead of a hang.
+
+use crate::diagnose::{failure_profile, success_profile, DiagnosisConfig, DiagnosisStats};
+use crate::runner::{FailureSpec, RunClass, Runner, Workload};
+use crate::transform::{instrument, InstrumentOptions};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use stm_hardware::HwConfig;
+use stm_machine::interp::{Machine, RunConfig};
+use stm_machine::ir::Program;
+use stm_machine::report::{ProfileData, ProfileEvent, RunReport};
+
+/// Which hardware ring a session collects, and therefore which profile
+/// data a run must carry to count against the collection quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileKind {
+    /// Last Branch Record snapshots (LBRA, §4.1).
+    Lbr,
+    /// Last Cache-coherence Record snapshots (LCRA, §4.2).
+    Lcr,
+}
+
+/// Why a [`DiagnosisSession::collect`] call could not produce profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No [`FailureSpec`] was given; nothing can be classified.
+    MissingFailureSpec,
+    /// Both witness lists (`failing`/`passing`) and scan bases
+    /// (`workloads`) were set; a session is one or the other.
+    ConflictingWorkloads,
+    /// A worker panicked while executing a run. The engine reports this
+    /// instead of hanging or unwinding across the pool.
+    WorkerPanicked {
+        /// Logical index of the job whose run panicked.
+        job: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingFailureSpec => {
+                write!(f, "diagnosis session has no failure spec")
+            }
+            SessionError::ConflictingWorkloads => write!(
+                f,
+                "session mixes witness lists (failing/passing) with scan bases (workloads)"
+            ),
+            SessionError::WorkerPanicked { job, message } => {
+                write!(f, "collection worker panicked on job {job}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Unified configuration for a diagnosis session: the profile quotas that
+/// used to live in [`DiagnosisConfig`], the interpreter's [`RunConfig`],
+/// the simulated-hardware [`HwConfig`], and the engine's parallelism
+/// knobs, behind one `Default` + builder-setter surface.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Failure-run profiles to collect. The paper diagnoses from 10
+    /// failure occurrences (§5.2; §7.2 contrasts this diagnosis latency
+    /// with CBI's ~1000).
+    pub failure_profiles: usize,
+    /// Success-run profiles to collect — 10, mirroring the failure quota
+    /// (§5.2's statistical model needs both populations).
+    pub success_profiles: usize,
+    /// Hard cap on runs *per collection phase* (failure and success
+    /// each), bounding non-reproducing workload sets. An engineering
+    /// guard; the paper assumes reproducing workloads (§5.2).
+    pub max_runs: usize,
+    /// Worker threads for profile collection; `1` keeps the sequential
+    /// driver, `0` asks the OS for the available parallelism. Runs are
+    /// independent production executions (§2's per-run short-term memory
+    /// snapshots), so sharding them changes no result.
+    pub threads: usize,
+    /// Speculation window: how many jobs may be dispatched beyond the
+    /// consumed prefix (`0` = `threads × 4`). Bounds the work discarded
+    /// when the quota early-stop triggers.
+    pub chunk: usize,
+    /// Interpreter configuration — step budget, cores, scheduler,
+    /// sampling (the §6 evaluation machine model).
+    pub run: RunConfig,
+    /// Simulated monitoring-hardware geometry — 16-entry Nehalem-style
+    /// LBR, LCR size/configuration (§3, §4.2.1).
+    pub hw: HwConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        let d = DiagnosisConfig::default();
+        SessionConfig {
+            failure_profiles: d.failure_profiles,
+            success_profiles: d.success_profiles,
+            max_runs: d.max_runs,
+            threads: 1,
+            chunk: 0,
+            run: RunConfig::default(),
+            hw: HwConfig::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Sets the failure-profile quota.
+    pub fn failure_profiles(mut self, n: usize) -> Self {
+        self.failure_profiles = n;
+        self
+    }
+
+    /// Sets the success-profile quota.
+    pub fn success_profiles(mut self, n: usize) -> Self {
+        self.success_profiles = n;
+        self
+    }
+
+    /// Sets the per-phase run cap.
+    pub fn max_runs(mut self, n: usize) -> Self {
+        self.max_runs = n;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets the speculation window (`0` = `threads × 4`).
+    pub fn chunk(mut self, n: usize) -> Self {
+        self.chunk = n;
+        self
+    }
+
+    /// Sets the interpreter configuration.
+    pub fn run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Sets the simulated-hardware configuration.
+    pub fn hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// The quota subset as the legacy [`DiagnosisConfig`].
+    pub fn diagnosis(&self) -> DiagnosisConfig {
+        DiagnosisConfig {
+            failure_profiles: self.failure_profiles,
+            success_profiles: self.success_profiles,
+            max_runs: self.max_runs,
+        }
+    }
+}
+
+impl From<DiagnosisConfig> for SessionConfig {
+    fn from(d: DiagnosisConfig) -> Self {
+        SessionConfig::default()
+            .failure_profiles(d.failure_profiles)
+            .success_profiles(d.success_profiles)
+            .max_runs(d.max_runs)
+    }
+}
+
+/// One profile-bearing run kept by a collection: the witness id the
+/// forensic report names, the exact (seed-perturbed) workload that was
+/// replayed, and its full run report (ring snapshots included).
+#[derive(Debug, Clone)]
+pub struct CollectedRun {
+    /// Witness id, `fail:w<idx>:seed<seed>` / `pass:w<idx>:seed<seed>`.
+    pub witness: String,
+    /// The workload exactly as replayed (seed already perturbed).
+    pub workload: Workload,
+    /// The run's report, carrying the ring-snapshot profiles.
+    pub report: RunReport,
+}
+
+/// The output of [`DiagnosisSession::collect`]: the kept failure/success
+/// runs in deterministic consumption order, plus everything needed to
+/// rank them ([`CollectedProfiles::lbra`] / [`CollectedProfiles::lcra`])
+/// or flight-record them into forensics dossiers.
+#[derive(Debug)]
+pub struct CollectedProfiles {
+    pub(crate) runner: Runner,
+    pub(crate) spec: FailureSpec,
+    pub(crate) kind: Option<ProfileKind>,
+    pub(crate) failures: Vec<CollectedRun>,
+    pub(crate) successes: Vec<CollectedRun>,
+    pub(crate) stats: DiagnosisStats,
+}
+
+impl CollectedProfiles {
+    /// The runner the profiles were collected with (same machine and
+    /// configs each worker cloned).
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// The failure being diagnosed.
+    pub fn spec(&self) -> &FailureSpec {
+        &self.spec
+    }
+
+    /// The ring kind the quota counted, when one was set.
+    pub fn kind(&self) -> Option<ProfileKind> {
+        self.kind
+    }
+
+    /// Run accounting: identical to the sequential driver's stats.
+    pub fn stats(&self) -> &DiagnosisStats {
+        &self.stats
+    }
+
+    /// Failure-run witnesses, in consumption (= sequential) order.
+    pub fn failure_runs(&self) -> &[CollectedRun] {
+        &self.failures
+    }
+
+    /// Success-run witnesses, in consumption (= sequential) order.
+    pub fn success_runs(&self) -> &[CollectedRun] {
+        &self.successes
+    }
+
+    /// The workloads (seeds applied) of the kept failure runs — what a
+    /// scan-mode session hands back as failing witnesses.
+    pub fn failing_workloads(&self) -> Vec<Workload> {
+        self.failures.iter().map(|r| r.workload.clone()).collect()
+    }
+
+    /// The workloads (seeds applied) of the kept success runs.
+    pub fn passing_workloads(&self) -> Vec<Workload> {
+        self.successes.iter().map(|r| r.workload.clone()).collect()
+    }
+}
+
+/// Builder for one diagnosis: what to run (witness lists or a seed scan),
+/// what failure to look for, and how to run it (quotas, configs,
+/// parallelism). Ends with [`DiagnosisSession::collect`].
+///
+/// ```
+/// use stm_core::engine::DiagnosisSession;
+/// use stm_core::prelude::*;
+/// # use stm_machine::builder::ProgramBuilder;
+/// # use stm_machine::ir::BinOp;
+/// # let mut pb = ProgramBuilder::new("demo");
+/// # let main = pb.declare_function("main");
+/// # let mut f = pb.build_function(main, "demo.c");
+/// # let err = f.new_block();
+/// # let ok = f.new_block();
+/// # let x = f.read_input(0);
+/// # let neg = f.bin(BinOp::Lt, x, 0);
+/// # f.br(neg, err, ok);
+/// # f.set_block(err);
+/// # let site = f.log_error("negative input");
+/// # f.exit(1);
+/// # f.ret(None);
+/// # f.set_block(ok);
+/// # f.output(x);
+/// # f.ret(None);
+/// # f.finish();
+/// # let program = pb.finish(main);
+/// let profiles = DiagnosisSession::new(&program)
+///     .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+///     .failure(FailureSpec::ErrorLogAt(site))
+///     .failing(vec![Workload::new(vec![-1])])
+///     .passing(vec![Workload::new(vec![1])])
+///     .threads(2)
+///     .collect()?;
+/// let diagnosis = profiles.lbra();
+/// assert_eq!(diagnosis.top().expect("a predictor").score, 1.0);
+/// # Ok::<(), stm_core::engine::SessionError>(())
+/// ```
+#[derive(Debug)]
+pub struct DiagnosisSession {
+    machine: Machine,
+    spec: Option<FailureSpec>,
+    failing: Vec<Workload>,
+    passing: Vec<Workload>,
+    bases: Vec<Workload>,
+    seeds: Option<Range<u64>>,
+    kind: Option<ProfileKind>,
+    config: SessionConfig,
+}
+
+impl DiagnosisSession {
+    /// Starts a session on `program` as-is (assumed already instrumented;
+    /// call [`DiagnosisSession::instrument`] otherwise).
+    pub fn new(program: &Program) -> Self {
+        DiagnosisSession::with_machine(Machine::new(program.clone()))
+    }
+
+    /// Starts a session on an already-built machine.
+    pub fn with_machine(machine: Machine) -> Self {
+        DiagnosisSession {
+            machine,
+            spec: None,
+            failing: Vec::new(),
+            passing: Vec::new(),
+            bases: Vec::new(),
+            seeds: None,
+            kind: None,
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// Starts a session with a runner's machine and both of its configs —
+    /// the migration path for callers that already hold a [`Runner`].
+    pub fn from_runner(runner: &Runner) -> Self {
+        let mut s = DiagnosisSession::with_machine(runner.machine().clone());
+        s.config.run = runner.run_config().clone();
+        s.config.hw = *runner.hw_config();
+        s
+    }
+
+    /// Applies the §5.1 source-to-source instrumentation to the session's
+    /// program and infers the profile kind from it (LCR wins when both
+    /// rings are deployed, matching LCRA's use of the richer ring).
+    pub fn instrument(mut self, opts: &InstrumentOptions) -> Self {
+        self.machine = Machine::new(instrument(self.machine.program(), opts));
+        self.kind = if opts.lcr {
+            Some(ProfileKind::Lcr)
+        } else if opts.lbr {
+            Some(ProfileKind::Lbr)
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Sets the failure being diagnosed. Required.
+    pub fn failure(mut self, spec: FailureSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Witness mode: workloads known to reproduce the failure, cycled
+    /// (with per-lap seed perturbation) until the failure quota is met.
+    pub fn failing(mut self, workloads: Vec<Workload>) -> Self {
+        self.failing = workloads;
+        self
+    }
+
+    /// Witness mode: workloads known to succeed, cycled until the
+    /// success quota is met.
+    pub fn passing(mut self, workloads: Vec<Workload>) -> Self {
+        self.passing = workloads;
+        self
+    }
+
+    /// Scan mode: base workloads whose scheduler seeds are enumerated
+    /// (see [`DiagnosisSession::seeds`]) to *find* failing and passing
+    /// interleavings — the redesigned `find_workloads`. Mutually
+    /// exclusive with the witness lists.
+    pub fn workloads(mut self, bases: Vec<Workload>) -> Self {
+        self.bases = bases;
+        self
+    }
+
+    /// Scan mode: the seed range to enumerate per base workload
+    /// (default `0..max_runs`).
+    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
+    /// Sets the speculation window (`0` = `threads × 4`).
+    pub fn chunk(mut self, n: usize) -> Self {
+        self.config.chunk = n;
+        self
+    }
+
+    /// Sets the failure-profile quota (scan mode: failing witnesses to
+    /// find).
+    pub fn failure_profiles(mut self, n: usize) -> Self {
+        self.config.failure_profiles = n;
+        self
+    }
+
+    /// Sets the success-profile quota (scan mode: passing witnesses to
+    /// find).
+    pub fn success_profiles(mut self, n: usize) -> Self {
+        self.config.success_profiles = n;
+        self
+    }
+
+    /// Sets the per-phase run cap.
+    pub fn max_runs(mut self, n: usize) -> Self {
+        self.config.max_runs = n;
+        self
+    }
+
+    /// Sets the interpreter configuration.
+    pub fn run_config(mut self, run: RunConfig) -> Self {
+        self.config.run = run;
+        self
+    }
+
+    /// Sets the simulated-hardware configuration.
+    pub fn hw_config(mut self, hw: HwConfig) -> Self {
+        self.config.hw = hw;
+        self
+    }
+
+    /// Pins the ring kind a witness run must carry to count against the
+    /// quota. Witness mode without a kind accepts any profile at the
+    /// failure/success site.
+    pub fn profile_kind(mut self, kind: ProfileKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Copies the quota subset from a legacy [`DiagnosisConfig`],
+    /// keeping the session's run/hw configs and parallelism knobs.
+    pub fn diagnosis_config(mut self, d: &DiagnosisConfig) -> Self {
+        self.config.failure_profiles = d.failure_profiles;
+        self.config.success_profiles = d.success_profiles;
+        self.config.max_runs = d.max_runs;
+        self
+    }
+
+    /// Runs the collection: replays jobs (in parallel when
+    /// `threads > 1`), classifies each run, and keeps the deterministic
+    /// prefix that fills the profile quotas.
+    pub fn collect(self) -> Result<CollectedProfiles, SessionError> {
+        let spec = self.spec.ok_or(SessionError::MissingFailureSpec)?;
+        let scan = !self.bases.is_empty();
+        if scan && (!self.failing.is_empty() || !self.passing.is_empty()) {
+            return Err(SessionError::ConflictingWorkloads);
+        }
+        let runner = Runner::new(self.machine)
+            .with_run_config(self.config.run.clone())
+            .with_hw_config(self.config.hw);
+        let threads = resolve_threads(self.config.threads);
+        let window = if self.config.chunk == 0 {
+            threads.saturating_mul(4).max(1)
+        } else {
+            self.config.chunk
+        };
+        let _span = stm_telemetry::span_cat("engine.collect", "engine");
+
+        let mut sink = Sink::default();
+        let factory = |_w: usize| {
+            let r = runner.clone();
+            let spec = spec.clone();
+            move |job: &Job| r.run_classified(&job.workload, &spec)
+        };
+        if scan {
+            let seeds = self.seeds.unwrap_or(0..self.config.max_runs as u64);
+            let plan = JobPlan::scan(self.bases, seeds);
+            let mut quota = Quota::scan(self.config.failure_profiles, self.config.success_profiles);
+            run_plan(
+                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+            )?;
+        } else {
+            let plan = JobPlan::cycle(self.failing, self.config.max_runs as u64);
+            let mut quota = Quota::witness_fail(self.config.failure_profiles, self.kind);
+            run_plan(
+                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+            )?;
+            let plan = JobPlan::cycle(self.passing, self.config.max_runs as u64);
+            let mut quota = Quota::witness_pass(self.config.success_profiles, self.kind);
+            run_plan(
+                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+            )?;
+        }
+        Ok(CollectedProfiles {
+            runner,
+            spec,
+            kind: self.kind,
+            failures: sink.failures,
+            successes: sink.successes,
+            stats: sink.stats,
+        })
+    }
+}
+
+/// `0` = ask the OS; otherwise the explicit count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// One replay: its logical index (the determinism key), which workload it
+/// came from (for witness naming), and the exact workload to run.
+#[derive(Debug, Clone)]
+struct Job {
+    index: u64,
+    widx: usize,
+    workload: Workload,
+}
+
+/// A pure index → job function; see the module docs.
+#[derive(Debug)]
+enum JobPlan {
+    /// Witness mode: cycle the list, perturbing the seed each lap.
+    Cycle {
+        workloads: Vec<Workload>,
+        limit: u64,
+    },
+    /// Scan mode: enumerate `bases × seeds`, base-major.
+    Scan {
+        bases: Vec<Workload>,
+        start: u64,
+        per_base: u64,
+    },
+}
+
+impl JobPlan {
+    fn cycle(workloads: Vec<Workload>, limit: u64) -> JobPlan {
+        JobPlan::Cycle { workloads, limit }
+    }
+
+    fn scan(bases: Vec<Workload>, seeds: Range<u64>) -> JobPlan {
+        JobPlan::Scan {
+            per_base: seeds.end.saturating_sub(seeds.start),
+            start: seeds.start,
+            bases,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            JobPlan::Cycle { workloads, limit } => {
+                if workloads.is_empty() {
+                    0
+                } else {
+                    *limit
+                }
+            }
+            JobPlan::Scan {
+                bases, per_base, ..
+            } => bases.len() as u64 * per_base,
+        }
+    }
+
+    fn job_at(&self, index: u64) -> Job {
+        match self {
+            JobPlan::Cycle { workloads, .. } => {
+                let n = workloads.len() as u64;
+                let widx = (index % n) as usize;
+                let lap = index / n;
+                let base = &workloads[widx];
+                let mut workload = base.clone();
+                // Later laps explore fresh interleavings (same constant
+                // the sequential driver used, so witnesses match).
+                workload.seed = base.seed.wrapping_add(lap.wrapping_mul(0x9E37_79B9));
+                Job {
+                    index,
+                    widx,
+                    workload,
+                }
+            }
+            JobPlan::Scan {
+                bases,
+                start,
+                per_base,
+            } => {
+                let widx = (index / per_base) as usize;
+                let workload = bases[widx].clone().with_seed(start + index % per_base);
+                Job {
+                    index,
+                    widx,
+                    workload,
+                }
+            }
+        }
+    }
+}
+
+/// What a consumed run was kept as.
+enum Pick {
+    Failure,
+    Success,
+}
+
+/// How the consumed prefix decides which runs to keep and when to stop.
+struct Quota {
+    mode: QuotaMode,
+    want_fail: usize,
+    want_pass: usize,
+    got_fail: usize,
+    got_pass: usize,
+    kind: Option<ProfileKind>,
+}
+
+enum QuotaMode {
+    /// Witness fail phase: keep target failures that carry a
+    /// failure-site profile (of the right ring, when pinned).
+    WitnessFail,
+    /// Witness pass phase: keep successes with a success-site profile.
+    WitnessPass,
+    /// Seed scan: keep by class alone (`find_workloads` semantics).
+    Scan,
+}
+
+impl Quota {
+    fn witness_fail(want: usize, kind: Option<ProfileKind>) -> Quota {
+        Quota {
+            mode: QuotaMode::WitnessFail,
+            want_fail: want,
+            want_pass: 0,
+            got_fail: 0,
+            got_pass: 0,
+            kind,
+        }
+    }
+
+    fn witness_pass(want: usize, kind: Option<ProfileKind>) -> Quota {
+        Quota {
+            mode: QuotaMode::WitnessPass,
+            want_fail: 0,
+            want_pass: want,
+            got_fail: 0,
+            got_pass: 0,
+            kind,
+        }
+    }
+
+    fn scan(want_fail: usize, want_pass: usize) -> Quota {
+        Quota {
+            mode: QuotaMode::Scan,
+            want_fail,
+            want_pass,
+            got_fail: 0,
+            got_pass: 0,
+            kind: None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.got_fail >= self.want_fail && self.got_pass >= self.want_pass
+    }
+
+    fn consider(
+        &mut self,
+        class: RunClass,
+        report: &RunReport,
+        spec: &FailureSpec,
+    ) -> Option<Pick> {
+        match (&self.mode, class) {
+            (QuotaMode::WitnessFail, RunClass::TargetFailure)
+                if self.got_fail < self.want_fail
+                    && profile_matches(failure_profile(report, spec), self.kind) =>
+            {
+                self.got_fail += 1;
+                Some(Pick::Failure)
+            }
+            (QuotaMode::WitnessPass, RunClass::Success)
+                if self.got_pass < self.want_pass
+                    && profile_matches(success_profile(report, spec), self.kind) =>
+            {
+                self.got_pass += 1;
+                Some(Pick::Success)
+            }
+            (QuotaMode::Scan, RunClass::TargetFailure) if self.got_fail < self.want_fail => {
+                self.got_fail += 1;
+                Some(Pick::Failure)
+            }
+            (QuotaMode::Scan, RunClass::Success) if self.got_pass < self.want_pass => {
+                self.got_pass += 1;
+                Some(Pick::Success)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Does the report carry the profile the quota needs, of the right ring?
+fn profile_matches(profile: Option<&ProfileEvent>, kind: Option<ProfileKind>) -> bool {
+    match profile {
+        None => false,
+        Some(p) => match kind {
+            None => true,
+            Some(ProfileKind::Lbr) => matches!(p.data, ProfileData::Lbr(_)),
+            Some(ProfileKind::Lcr) => matches!(p.data, ProfileData::Lcr(_)),
+        },
+    }
+}
+
+/// A finished (or failed) job coming back from a worker. The report is
+/// boxed so the channel moves a pointer, not the full profile payload.
+enum WorkerMsg {
+    Done {
+        job: Job,
+        report: Box<RunReport>,
+        class: RunClass,
+    },
+    Panicked {
+        job: u64,
+        message: String,
+    },
+}
+
+/// Where consumed runs accumulate: the run accounting plus the collected
+/// failure/success witnesses, shared across a session's plans.
+#[derive(Default)]
+struct Sink {
+    stats: DiagnosisStats,
+    failures: Vec<CollectedRun>,
+    successes: Vec<CollectedRun>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Consumes one run in index order: accounts it, asks the quota whether
+/// to keep it, and stores the witness.
+fn consume(
+    job: Job,
+    report: RunReport,
+    class: RunClass,
+    quota: &mut Quota,
+    spec: &FailureSpec,
+    sink: &mut Sink,
+) {
+    sink.stats.total_runs += 1;
+    let witness = |kind: &str| format!("{kind}:w{}:seed{}", job.widx, job.workload.seed);
+    match quota.consider(class, &report, spec) {
+        Some(Pick::Failure) => {
+            sink.stats.failure_runs_used += 1;
+            sink.failures.push(CollectedRun {
+                witness: witness("fail"),
+                workload: job.workload,
+                report,
+            });
+        }
+        Some(Pick::Success) => {
+            sink.stats.success_runs_used += 1;
+            sink.successes.push(CollectedRun {
+                witness: witness("pass"),
+                workload: job.workload,
+                report,
+            });
+        }
+        None => {}
+    }
+}
+
+/// Executes one plan, sequentially or on the pool, consuming results in
+/// strict index order until the quota is met or the plan is exhausted.
+///
+/// The worker body is injected (`factory` builds one executor per
+/// worker), so tests can drive the pool with hostile executors — e.g. a
+/// panicking run — without a real machine.
+fn run_plan<W, F>(
+    plan: &JobPlan,
+    threads: usize,
+    window: usize,
+    quota: &mut Quota,
+    spec: &FailureSpec,
+    sink: &mut Sink,
+    factory: &F,
+) -> Result<(), SessionError>
+where
+    F: Fn(usize) -> W + Sync,
+    W: FnMut(&Job) -> (RunReport, RunClass) + Send,
+{
+    let limit = plan.len();
+    if limit == 0 || quota.done() {
+        return Ok(());
+    }
+
+    if threads <= 1 {
+        let mut exec = factory(0);
+        let mut index = 0u64;
+        while index < limit && !quota.done() {
+            let job = plan.job_at(index);
+            let _span = stm_telemetry::span_cat("engine.job", "engine");
+            stm_telemetry::counter!("engine.runs").incr();
+            let jid = job.index;
+            let (report, class) = catch_unwind(AssertUnwindSafe(|| exec(&job))).map_err(|p| {
+                SessionError::WorkerPanicked {
+                    job: jid,
+                    message: panic_message(p),
+                }
+            })?;
+            consume(job, report, class, quota, spec, sink);
+            index += 1;
+        }
+        return Ok(());
+    }
+
+    let depth = stm_telemetry::gauge!("engine.queue_depth");
+    let outcome = std::thread::scope(|s| -> Result<(), SessionError> {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
+        for w in 0..threads {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let mut exec = factory(w);
+            s.spawn(move || {
+                let _worker_span = stm_telemetry::span_cat("engine.worker", "engine");
+                loop {
+                    // Hold the lock only to dequeue, never while running.
+                    let job = {
+                        let rx = job_rx.lock().unwrap_or_else(|p| p.into_inner());
+                        match rx.recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // queue closed: drain done
+                        }
+                    };
+                    let _span = stm_telemetry::span_cat("engine.job", "engine");
+                    stm_telemetry::counter!("engine.runs").incr();
+                    let index = job.index;
+                    let msg = match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                        Ok((report, class)) => WorkerMsg::Done {
+                            job,
+                            report: Box::new(report),
+                            class,
+                        },
+                        Err(p) => WorkerMsg::Panicked {
+                            job: index,
+                            message: panic_message(p),
+                        },
+                    };
+                    let poisoned = matches!(msg, WorkerMsg::Panicked { .. });
+                    let _ = res_tx.send(msg);
+                    if poisoned {
+                        break; // a panicked executor is not reusable
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut dispatched = 0u64;
+        let mut consumed = 0u64;
+        let mut pending: BTreeMap<u64, (Job, RunReport, RunClass)> = BTreeMap::new();
+        let mut failure: Option<SessionError> = None;
+        while consumed < limit && !quota.done() && failure.is_none() {
+            // Keep the queue primed up to the speculation window.
+            while dispatched < limit && dispatched < consumed + window as u64 {
+                let job = plan.job_at(dispatched);
+                if job_tx.send(job).is_err() {
+                    break;
+                }
+                stm_telemetry::counter!("engine.jobs").incr();
+                depth.add(1);
+                dispatched += 1;
+            }
+            let msg = match res_rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break, // all workers gone
+            };
+            depth.add(-1);
+            match msg {
+                WorkerMsg::Done { job, report, class } => {
+                    pending.insert(job.index, (job, *report, class));
+                }
+                WorkerMsg::Panicked { job, message } => {
+                    failure = Some(SessionError::WorkerPanicked { job, message });
+                }
+            }
+            // Consume the ready prefix, in order, re-checking the quota
+            // after each job exactly as the sequential loop does.
+            while !quota.done() {
+                let Some((job, report, class)) = pending.remove(&consumed) else {
+                    break;
+                };
+                consume(job, report, class, quota, spec, sink);
+                consumed += 1;
+            }
+        }
+
+        // Stop feeding; let the workers drain the queue and exit, then
+        // account the speculative overshoot.
+        drop(job_tx);
+        for _ in res_rx.iter() {
+            depth.add(-1);
+        }
+        stm_telemetry::counter!("engine.jobs_discarded").add(dispatched.saturating_sub(consumed));
+        depth.set(0);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    });
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::InstrumentOptions;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ids::LogSiteId;
+    use stm_machine::ir::BinOp;
+
+    /// Error iff input 0 is negative (same shape as the diagnose tests).
+    fn guarded_program() -> (Program, LogSiteId) {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let site;
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let err = f.new_block();
+            let ok = f.new_block();
+            let x = f.read_input(0);
+            let neg = f.bin(BinOp::Lt, x, 0);
+            f.at(10);
+            f.br(neg, err, ok);
+            f.set_block(err);
+            f.at(11);
+            site = f.log_error("x must be non-negative");
+            f.exit(1);
+            f.ret(None);
+            f.set_block(ok);
+            f.output(x);
+            f.ret(None);
+            f.finish();
+        }
+        (pb.finish(main), site)
+    }
+
+    fn session(threads: usize) -> Result<CollectedProfiles, SessionError> {
+        let (p, site) = guarded_program();
+        DiagnosisSession::new(&p)
+            .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+            .failure(FailureSpec::ErrorLogAt(site))
+            .failing((0..4).map(|i| Workload::new(vec![-1 - i])).collect())
+            .passing((0..4).map(|i| Workload::new(vec![1 + i])).collect())
+            .failure_profiles(6)
+            .success_profiles(6)
+            .threads(threads)
+            .collect()
+    }
+
+    #[test]
+    fn missing_spec_is_an_error() {
+        let (p, _) = guarded_program();
+        let err = DiagnosisSession::new(&p)
+            .failing(vec![Workload::new(vec![-1])])
+            .collect()
+            .unwrap_err();
+        assert_eq!(err, SessionError::MissingFailureSpec);
+    }
+
+    #[test]
+    fn witness_and_scan_workloads_conflict() {
+        let (p, site) = guarded_program();
+        let err = DiagnosisSession::new(&p)
+            .failure(FailureSpec::ErrorLogAt(site))
+            .failing(vec![Workload::new(vec![-1])])
+            .workloads(vec![Workload::new(vec![-1])])
+            .collect()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ConflictingWorkloads);
+    }
+
+    #[test]
+    fn parallel_collection_matches_sequential_exactly() {
+        let seq = session(1).expect("sequential collection");
+        for threads in [2, 4, 8] {
+            let par = session(threads).expect("parallel collection");
+            assert_eq!(par.stats(), seq.stats(), "stats at {threads} threads");
+            let w =
+                |runs: &[CollectedRun]| runs.iter().map(|r| r.witness.clone()).collect::<Vec<_>>();
+            assert_eq!(w(par.failure_runs()), w(seq.failure_runs()));
+            assert_eq!(w(par.success_runs()), w(seq.success_runs()));
+            assert_eq!(par.lbra().ranked, seq.lbra().ranked);
+        }
+    }
+
+    #[test]
+    fn scan_mode_finds_witnesses_in_seed_order() {
+        let (p, site) = guarded_program();
+        // The class depends only on the input, so every seed matches:
+        // the first `failure_profiles` seeds must come back, in order.
+        let profiles = DiagnosisSession::new(&p)
+            .instrument(&InstrumentOptions::lbrlog())
+            .failure(FailureSpec::ErrorLogAt(site))
+            .workloads(vec![Workload::new(vec![-3])])
+            .seeds(5..50)
+            .failure_profiles(3)
+            .success_profiles(0)
+            .threads(4)
+            .collect()
+            .expect("scan collection");
+        let seeds: Vec<u64> = profiles
+            .failing_workloads()
+            .iter()
+            .map(|w| w.seed)
+            .collect();
+        assert_eq!(seeds, vec![5, 6, 7]);
+        assert_eq!(profiles.stats().total_runs, 3, "stops at the quota");
+    }
+
+    #[test]
+    fn poisoned_worker_surfaces_as_error_not_hang() {
+        // Drive the pool with an executor that panics on the third job.
+        let plan = JobPlan::cycle(vec![Workload::new(vec![0])], 64);
+        let mut quota = Quota::scan(64, 0);
+        let spec = FailureSpec::AnyCrash;
+        let mut sink = Sink::default();
+        let factory = |_w: usize| {
+            |job: &Job| -> (RunReport, RunClass) {
+                if job.index >= 2 {
+                    panic!("poisoned run");
+                }
+                // Never returns a report before the poison triggers: the
+                // first two jobs produce a real (trivial) run.
+                let (p, _) = guarded_program();
+                let runner = Runner::new(Machine::new(p));
+                runner.run_classified(&job.workload, &FailureSpec::AnyCrash)
+            }
+        };
+        let err = run_plan(&plan, 4, 8, &mut quota, &spec, &mut sink, &factory).unwrap_err();
+        match err {
+            SessionError::WorkerPanicked { message, .. } => {
+                assert!(message.contains("poisoned run"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+}

@@ -44,20 +44,18 @@
 //! f.finish();
 //! let program = pb.finish(main);
 //!
-//! // Deploy with LBRA reactive instrumentation and diagnose.
-//! let runner = Runner::instrumented(
-//!     &program,
-//!     &InstrumentOptions::lbra_reactive(vec![site], vec![]),
-//! );
-//! let failing = vec![Workload::new(vec![-1])];
-//! let passing = vec![Workload::new(vec![1])];
-//! let diagnosis = lbra(
-//!     &runner,
-//!     &failing,
-//!     &passing,
-//!     &FailureSpec::ErrorLogAt(site),
-//!     &DiagnosisConfig::default(),
-//! );
+//! // Deploy with LBRA reactive instrumentation and diagnose. The
+//! // session collects witness profiles (in parallel when `threads > 1`
+//! // — results are bit-identical either way) and hands them to the
+//! // ranker.
+//! let diagnosis = DiagnosisSession::new(&program)
+//!     .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+//!     .failure(FailureSpec::ErrorLogAt(site))
+//!     .failing(vec![Workload::new(vec![-1])])
+//!     .passing(vec![Workload::new(vec![1])])
+//!     .collect()
+//!     .expect("collection succeeds")
+//!     .lbra();
 //! let top = diagnosis.top().expect("a top predictor");
 //! assert_eq!(top.score, 1.0); // the guard branch perfectly predicts failure
 //! ```
@@ -67,6 +65,7 @@
 
 pub mod analysis;
 pub mod diagnose;
+pub mod engine;
 pub mod logging;
 pub mod profile;
 pub mod ranking;
@@ -76,8 +75,11 @@ pub mod transform;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::analysis::{useful_branch_ratio, UsefulBranchReport};
-    pub use crate::diagnose::{
-        find_workloads, lbra, lcra, DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis,
+    #[allow(deprecated)] // re-exported through the deprecation window
+    pub use crate::diagnose::{find_workloads, lbra, lcra};
+    pub use crate::diagnose::{DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis};
+    pub use crate::engine::{
+        CollectedProfiles, CollectedRun, DiagnosisSession, ProfileKind, SessionConfig, SessionError,
     };
     pub use crate::logging::{
         failure_log, render_failure_log, run_and_log, FailureLog, LogPayload,

@@ -159,7 +159,11 @@ pub fn classify(
 
 /// Executes runs of one (instrumented) machine with a fresh
 /// [`HardwareCtx`] per run.
-#[derive(Debug)]
+///
+/// `Runner` is `Clone + Send + Sync`: the machine and both configs are
+/// plain data, so the collection engine can hand each worker thread its
+/// own copy (see `crate::engine`).
+#[derive(Debug, Clone)]
 pub struct Runner {
     machine: Machine,
     run_config: RunConfig,
@@ -201,6 +205,11 @@ impl Runner {
     /// The hardware configuration used for each run.
     pub fn hw_config(&self) -> &HwConfig {
         &self.hw_config
+    }
+
+    /// The run configuration used for each run.
+    pub fn run_config(&self) -> &RunConfig {
+        &self.run_config
     }
 
     /// Runs one workload on fresh hardware; returns the report.

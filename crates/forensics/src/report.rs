@@ -353,7 +353,8 @@ impl ForensicReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stm_core::diagnose::{lbra, DiagnosisConfig, LbraDiagnosis};
+    use stm_core::diagnose::LbraDiagnosis;
+    use stm_core::engine::{DiagnosisSession, ProfileKind};
     use stm_core::runner::{FailureSpec, Runner, Workload};
     use stm_core::transform::InstrumentOptions;
     use stm_machine::builder::ProgramBuilder;
@@ -386,18 +387,17 @@ mod tests {
             Runner::instrumented(&p, &InstrumentOptions::lbra_reactive(vec![site], vec![]));
         let failing: Vec<Workload> = (0..4).map(|i| Workload::new(vec![-1 - i])).collect();
         let passing: Vec<Workload> = (0..4).map(|i| Workload::new(vec![1 + i])).collect();
-        let cfg = DiagnosisConfig {
-            failure_profiles: 4,
-            success_profiles: 4,
-            max_runs: 50,
-        };
-        let d = lbra(
-            &runner,
-            &failing,
-            &passing,
-            &FailureSpec::ErrorLogAt(site),
-            &cfg,
-        );
+        let d = DiagnosisSession::from_runner(&runner)
+            .failure(FailureSpec::ErrorLogAt(site))
+            .failing(failing)
+            .passing(passing)
+            .profile_kind(ProfileKind::Lbr)
+            .failure_profiles(4)
+            .success_profiles(4)
+            .max_runs(50)
+            .collect()
+            .expect("collection")
+            .lbra();
         (p, d)
     }
 

@@ -209,6 +209,16 @@ impl Hardware for HardwareCtx {
     }
 }
 
+// Send/Sync audit: each collection-engine worker owns a fresh
+// `HardwareCtx` per run, so the simulated hardware must be safe to build
+// and move across threads. Compile-time check that no thread-bound state
+// sneaks into the rings or cache model.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HardwareCtx>();
+    assert_send_sync::<HwConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

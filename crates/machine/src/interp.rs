@@ -905,6 +905,19 @@ fn fault_to_failure(f: MemFault) -> FailureKind {
     }
 }
 
+// Send/Sync audit: the parallel collection engine (stm-core) clones a
+// `Machine` per worker thread and moves run reports back over channels.
+// These assertions fail to compile if anyone introduces interior
+// mutability or thread-bound state (Rc, RefCell, raw pointers) into the
+// interpreter's plain-data types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<crate::ir::Program>();
+    assert_send_sync::<RunConfig>();
+    assert_send_sync::<crate::report::RunReport>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

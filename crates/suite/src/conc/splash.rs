@@ -162,7 +162,7 @@ mod tests {
     fn fft_conf1_top_predictor_is_an_absence() {
         // §4.2.2: under the space-saving configuration, failures correlate
         // with B2 *not* observing the shared state.
-        use stm_core::diagnose::{lcra, DiagnosisConfig};
+        use stm_core::engine::{DiagnosisSession, ProfileKind};
         use stm_core::runner::Runner;
         use stm_core::transform::instrument;
         use stm_machine::events::LcrConfig;
@@ -172,13 +172,14 @@ mod tests {
         let opts = crate::eval::reactive_options(&b, false, Some(LcrConfig::SPACE_SAVING));
         let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
         let (failing, passing) = crate::eval::expand_workloads(&b, &runner);
-        let d = lcra(
-            &runner,
-            &failing,
-            &passing,
-            &b.truth.spec,
-            &DiagnosisConfig::default(),
-        );
+        let d = DiagnosisSession::from_runner(&runner)
+            .failure(b.truth.spec.clone())
+            .failing(failing)
+            .passing(passing)
+            .profile_kind(ProfileKind::Lcr)
+            .collect()
+            .expect("collection")
+            .lcra();
         let fpe = b.truth.fpe.unwrap();
         let top = d.top().expect("a predictor");
         assert_eq!(top.event.loc, fpe.loc);

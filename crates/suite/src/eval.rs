@@ -3,9 +3,8 @@
 //! measured positions/ranks that Tables 6 and 7 tabulate.
 
 use crate::benchmark::{Benchmark, BugClass};
-use stm_core::diagnose::{
-    find_workloads, lbra, lcra, DiagnosisConfig, LbraDiagnosis, LcraDiagnosis,
-};
+use stm_core::diagnose::{LbraDiagnosis, LcraDiagnosis};
+use stm_core::engine::{DiagnosisSession, ProfileKind};
 use stm_core::logging::failure_log_for;
 use stm_core::runner::{FailureSpec, RunClass, Runner, Workload};
 use stm_core::transform::{instrument, InstrumentOptions};
@@ -15,6 +14,21 @@ use stm_machine::ir::SourceLoc;
 
 /// How many seeds to scan when expanding concurrency workloads.
 const SEED_SCAN: u64 = 400;
+
+/// Worker threads for profile collection: `STM_THREADS` when set,
+/// otherwise the machine's available parallelism capped at 8. Thread
+/// count never changes results (the engine consumes runs in job order),
+/// only wall-clock time.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("STM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
 
 /// Builds the reactive-scheme instrumentation options implied by a
 /// benchmark's ground truth (the failure has been observed once; §5.2).
@@ -61,27 +75,35 @@ pub fn expand_workloads(b: &Benchmark, runner: &Runner) -> (Vec<Workload>, Vec<W
     match b.info.bug_class {
         BugClass::Sequential => (b.workloads.failing.clone(), b.workloads.passing.clone()),
         BugClass::Concurrency => {
+            let scan = |base: &Workload, fail_n: usize, pass_n: usize| {
+                DiagnosisSession::from_runner(runner)
+                    .failure(b.truth.spec.clone())
+                    .workloads(vec![base.clone()])
+                    .seeds(base.seed..base.seed + SEED_SCAN)
+                    .failure_profiles(fail_n)
+                    .success_profiles(pass_n)
+                    .threads(default_threads())
+                    .collect()
+                    .expect("scan-mode collection cannot fail")
+            };
             let mut failing = Vec::new();
-            for base in &b.workloads.failing {
-                failing.extend(find_workloads(
-                    runner,
-                    base,
-                    &b.truth.spec,
-                    RunClass::TargetFailure,
-                    12,
-                    base.seed..base.seed + SEED_SCAN,
-                ));
-            }
             let mut passing = Vec::new();
-            for base in &b.workloads.passing {
-                passing.extend(find_workloads(
-                    runner,
-                    base,
-                    &b.truth.spec,
-                    RunClass::Success,
-                    12,
-                    base.seed..base.seed + SEED_SCAN,
-                ));
+            if b.workloads.failing == b.workloads.passing {
+                // One combined pass per base finds both witness classes
+                // and stops as soon as both quotas are met (previously:
+                // two full scans over the same seed range).
+                for base in &b.workloads.failing {
+                    let got = scan(base, 12, 12);
+                    failing.extend(got.failing_workloads());
+                    passing.extend(got.passing_workloads());
+                }
+            } else {
+                for base in &b.workloads.failing {
+                    failing.extend(scan(base, 12, 0).failing_workloads());
+                }
+                for base in &b.workloads.passing {
+                    passing.extend(scan(base, 0, 12).passing_workloads());
+                }
             }
             (failing, passing)
         }
@@ -170,13 +192,15 @@ pub fn run_lbra(b: &Benchmark) -> LbraDiagnosis {
     let opts = reactive_options(b, true, None);
     let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
     let (failing, passing) = expand_workloads(b, &runner);
-    let mut d = lbra(
-        &runner,
-        &failing,
-        &passing,
-        &b.truth.spec,
-        &DiagnosisConfig::default(),
-    );
+    let profiles = DiagnosisSession::from_runner(&runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(ProfileKind::Lbr)
+        .threads(default_threads())
+        .collect()
+        .expect("witness-mode collection cannot fail");
+    let mut d = profiles.lbra();
     d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
     d
 }
@@ -252,13 +276,15 @@ pub fn run_lcra(b: &Benchmark) -> LcraDiagnosis {
     let opts = reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING));
     let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
     let (failing, passing) = expand_workloads(b, &runner);
-    lcra(
-        &runner,
-        &failing,
-        &passing,
-        &b.truth.spec,
-        &DiagnosisConfig::default(),
-    )
+    DiagnosisSession::from_runner(&runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(ProfileKind::Lcr)
+        .threads(default_threads())
+        .collect()
+        .expect("witness-mode collection cannot fail")
+        .lcra()
 }
 
 /// The LCRA rank of the benchmark's FPE — a Table 7 "LCRA" cell.

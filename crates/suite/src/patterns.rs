@@ -176,8 +176,8 @@ pub fn table3_patterns() -> Vec<Pattern> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stm_core::diagnose::find_workloads;
-    use stm_core::runner::{RunClass, Runner};
+    use stm_core::engine::DiagnosisSession;
+    use stm_core::runner::Runner;
     use stm_core::transform::{instrument, InstrumentOptions};
     use stm_machine::events::LcrConfig;
     use stm_machine::interp::Machine;
@@ -201,14 +201,15 @@ mod tests {
                 &p.program,
                 &InstrumentOptions::lcrlog(LcrConfig::SPACE_CONSUMING),
             )));
-            let failing = find_workloads(
-                &runner,
-                &p.base,
-                &p.spec,
-                RunClass::TargetFailure,
-                3,
-                0..300,
-            );
+            let failing = DiagnosisSession::from_runner(&runner)
+                .failure(p.spec.clone())
+                .workloads(vec![p.base.clone()])
+                .seeds(0..300)
+                .failure_profiles(3)
+                .success_profiles(0)
+                .collect()
+                .expect("seed scan")
+                .failing_workloads();
             assert!(!failing.is_empty(), "{}: no failing interleaving", p.name);
             let (report, _) = runner.run_classified(&failing[0], &p.spec);
             let log = stm_core::logging::failure_log_for(&runner, &report, &p.spec)

@@ -11,7 +11,8 @@ use crate::json::Json;
 use crate::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
 use std::fmt::Write as _;
 
-/// Renders a fixed-width summary table of every counter and histogram.
+/// Renders a fixed-width summary table of every counter, gauge, and
+/// histogram.
 #[must_use = "rendering has no side effects; print or write the returned text"]
 pub fn summary(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
@@ -25,6 +26,22 @@ pub fn summary(m: &MetricsSnapshot) -> String {
             .max(7);
         let _ = writeln!(out, "{:<width$} {:>14}", "counter", "value");
         for (name, value) in &m.counters {
+            let _ = writeln!(out, "{name:<width$} {value:>14}");
+        }
+    }
+    if !m.gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let width = m
+            .gauges
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        let _ = writeln!(out, "{:<width$} {:>14}", "gauge", "value");
+        for (name, value) in &m.gauges {
             let _ = writeln!(out, "{name:<width$} {value:>14}");
         }
     }
@@ -90,7 +107,7 @@ fn histogram_json(h: &HistogramSnapshot) -> Json {
 }
 
 /// Renders the snapshot as JSONL: one JSON object per line, counters
-/// first, then histograms.
+/// first, then gauges, then histograms.
 #[must_use = "rendering has no side effects; print or write the returned text"]
 pub fn jsonl(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
@@ -99,6 +116,15 @@ pub fn jsonl(m: &MetricsSnapshot) -> String {
             ("type", "counter".into()),
             ("name", name.clone().into()),
             ("value", (*value).into()),
+        ]);
+        out.push_str(&line.encode());
+        out.push('\n');
+    }
+    for (name, value) in &m.gauges {
+        let line = Json::obj([
+            ("type", "gauge".into()),
+            ("name", name.clone().into()),
+            ("value", Json::from(*value as f64)),
         ]);
         out.push_str(&line.encode());
         out.push('\n');
@@ -121,6 +147,15 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Json {
                 m.counters
                     .iter()
                     .map(|(n, v)| (n.clone(), (*v).into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                m.gauges
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::from(*v as f64)))
                     .collect(),
             ),
         ),
@@ -181,6 +216,7 @@ mod tests {
         h.buckets[3] = 2; // 4 and 8? 8 is bucket 4; keep it synthetic
         MetricsSnapshot {
             counters: vec![("c.runs".into(), 7)],
+            gauges: vec![("g.depth".into(), -3)],
             histograms: vec![h],
         }
     }
@@ -190,6 +226,8 @@ mod tests {
         let s = summary(&sample_snapshot());
         assert!(s.contains("c.runs"));
         assert!(s.contains('7'));
+        assert!(s.contains("g.depth"));
+        assert!(s.contains("-3"));
         assert!(s.contains("h.latency"));
     }
 
@@ -197,7 +235,7 @@ mod tests {
     fn jsonl_lines_each_parse() {
         let text = jsonl(&sample_snapshot());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         for line in lines {
             let v = Json::parse(line).expect("valid JSON line");
             assert!(v.get("type").is_some());

@@ -48,7 +48,7 @@
 pub mod export;
 pub mod json;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -77,6 +77,7 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
     spans: Mutex<Vec<SpanRecord>>,
 }
 
@@ -85,6 +86,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         spans: Mutex::new(Vec::new()),
     })
 }
@@ -274,6 +276,82 @@ macro_rules! histogram {
     }};
 }
 
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A named instantaneous level (queue depth, in-flight jobs, live workers):
+/// unlike a [`Counter`] it moves both ways and snapshots report its
+/// *current* value, not an accumulation. Declare one per site with
+/// [`gauge!`].
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge (used by the [`gauge!`] macro).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Moves the level by `delta` (negative to lower it); a no-op while
+    /// collection is disabled.
+    #[inline]
+    pub fn add(&'static self, delta: i64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        self.register();
+    }
+
+    /// Sets the level outright; a no-op while collection is disabled.
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        if !enabled() {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+        self.register();
+    }
+
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().gauges.lock().unwrap().push(self);
+        }
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Declares (once) and returns a `&'static Gauge` for this call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static GAUGE: $crate::Gauge = $crate::Gauge::new($name);
+        &GAUGE
+    }};
+}
+
 /// A point-in-time copy of one histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -324,6 +402,28 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// Folds another snapshot of the *same* metric name into this one —
+    /// used when several call-site statics share a histogram name.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
     }
 }
 
@@ -467,6 +567,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// Every registered histogram.
     pub histograms: Vec<HistogramSnapshot>,
+    /// `(name, level)` for every registered gauge.
+    pub gauges: Vec<(String, i64)>,
 }
 
 impl MetricsSnapshot {
@@ -485,6 +587,12 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// The level of a gauge, when registered.
+    #[must_use = "the looked-up level is the result; use it"]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Per-counter difference against an earlier snapshot (counters are
     /// monotonic; missing-before counters diff against zero). Used by the
     /// table harnesses to attribute metrics to one benchmark.
@@ -499,27 +607,37 @@ impl MetricsSnapshot {
 }
 
 /// Copies out every registered counter and histogram.
+///
+/// The `counter!`/`gauge!`/`histogram!` macros declare one static per
+/// *call site*, so the same metric name may be registered several times
+/// (e.g. a counter bumped on both the sequential and the pooled path of
+/// an engine). Snapshots merge same-name entries — counters and gauges
+/// sum, histograms combine — so each name appears exactly once.
 #[must_use = "snapshotting does not export anything by itself; use the returned snapshot"]
 pub fn metrics_snapshot() -> MetricsSnapshot {
-    let mut counters: Vec<(String, u64)> = registry()
-        .counters
-        .lock()
-        .unwrap()
-        .iter()
-        .map(|c| (c.name.to_string(), c.get()))
-        .collect();
-    counters.sort();
-    let mut histograms: Vec<HistogramSnapshot> = registry()
-        .histograms
-        .lock()
-        .unwrap()
-        .iter()
-        .map(|h| h.snapshot())
-        .collect();
-    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut counters: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for c in registry().counters.lock().unwrap().iter() {
+        *counters.entry(c.name.to_string()).or_insert(0) += c.get();
+    }
+    let mut histograms: std::collections::BTreeMap<String, HistogramSnapshot> =
+        std::collections::BTreeMap::new();
+    for h in registry().histograms.lock().unwrap().iter() {
+        let snap = h.snapshot();
+        match histograms.entry(snap.name.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(snap);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&snap),
+        }
+    }
+    let mut gauges: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for g in registry().gauges.lock().unwrap().iter() {
+        *gauges.entry(g.name.to_string()).or_insert(0) += g.get();
+    }
     MetricsSnapshot {
-        counters,
-        histograms,
+        counters: counters.into_iter().collect(),
+        histograms: histograms.into_values().collect(),
+        gauges: gauges.into_iter().collect(),
     }
 }
 
@@ -542,6 +660,9 @@ pub fn reset() {
     }
     for h in registry().histograms.lock().unwrap().iter() {
         h.reset();
+    }
+    for g in registry().gauges.lock().unwrap().iter() {
+        g.reset();
     }
     let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().0.clear());
     registry().spans.lock().unwrap().clear();
@@ -574,13 +695,71 @@ mod tests {
     }
 
     #[test]
+    fn same_name_call_sites_merge_into_one_snapshot_entry() {
+        // Each macro invocation declares its own static, so the same name
+        // registered from two call sites must still snapshot as ONE entry
+        // with summed values — not two rows that downstream JSON objects
+        // would dedupe arbitrarily.
+        let _g = lock();
+        counter!("test.dup.counter").add(2);
+        counter!("test.dup.counter").add(3);
+        gauge!("test.dup.gauge").add(4);
+        gauge!("test.dup.gauge").add(-1);
+        histogram!("test.dup.histogram").record(1);
+        histogram!("test.dup.histogram").record(1000);
+        let m = metrics_snapshot();
+        let rows = |name: &str| m.counters.iter().filter(|(n, _)| n == name).count();
+        assert_eq!(rows("test.dup.counter"), 1);
+        assert_eq!(m.counter("test.dup.counter"), Some(5));
+        assert_eq!(
+            m.gauges
+                .iter()
+                .filter(|(n, _)| n == "test.dup.gauge")
+                .count(),
+            1
+        );
+        assert_eq!(m.gauge("test.dup.gauge"), Some(3));
+        let hists = m
+            .histograms
+            .iter()
+            .filter(|h| h.name == "test.dup.histogram")
+            .count();
+        assert_eq!(hists, 1);
+        let h = m.histogram("test.dup.histogram").expect("registered");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1001);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_snapshot() {
+        let _g = lock();
+        let g = gauge!("test.gauge");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(metrics_snapshot().gauge("test.gauge"), Some(3));
+        g.set(-7);
+        assert_eq!(metrics_snapshot().gauge("test.gauge"), Some(-7));
+        reset();
+        assert_eq!(g.get(), 0);
+        set_enabled(false);
+    }
+
+    #[test]
     fn disabled_mode_is_a_true_noop() {
         let _g = lock();
         set_enabled(false);
         let c = counter!("test.disabled.counter");
         let h = histogram!("test.disabled.histogram");
+        let ga = gauge!("test.disabled.gauge");
         c.add(5);
         h.record(5);
+        ga.add(5);
+        ga.set(9);
+        assert_eq!(ga.get(), 0);
         instant("test.disabled.instant", "test");
         {
             let _s = span("test.disabled.span");
@@ -590,6 +769,7 @@ mod tests {
         let m = metrics_snapshot();
         assert_eq!(m.counter("test.disabled.counter"), None);
         assert!(m.histogram("test.disabled.histogram").is_none());
+        assert_eq!(m.gauge("test.disabled.gauge"), None);
         assert!(take_spans().is_empty());
     }
 

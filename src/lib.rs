@@ -47,17 +47,17 @@
 //! let program = pb.finish(main);
 //!
 //! // Deploy with LBRA instrumentation and diagnose from 10+10 runs.
-//! let runner = Runner::instrumented(
-//!     &program,
-//!     &InstrumentOptions::lbra_reactive(vec![site], vec![]),
-//! );
-//! let diagnosis = lbra(
-//!     &runner,
-//!     &[Workload::new(vec![0])],
-//!     &[Workload::new(vec![5])],
-//!     &FailureSpec::ErrorLogAt(site),
-//!     &DiagnosisConfig::default(),
-//! );
+//! // The session collects profiles (in parallel with `.threads(k)`;
+//! // results are bit-identical to sequential) and hands them to the
+//! // ranker.
+//! let diagnosis = DiagnosisSession::new(&program)
+//!     .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+//!     .failure(FailureSpec::ErrorLogAt(site))
+//!     .failing(vec![Workload::new(vec![0])])
+//!     .passing(vec![Workload::new(vec![5])])
+//!     .collect()
+//!     .expect("collection succeeds")
+//!     .lbra();
 //! assert_eq!(diagnosis.top().unwrap().score, 1.0);
 //! ```
 

@@ -95,17 +95,15 @@ fn facade_quickstart_diagnoses_a_fresh_bug() {
     f.finish();
     let program = pb.finish(main);
 
-    let runner = Runner::instrumented(
-        &program,
-        &InstrumentOptions::lbra_reactive(vec![site], vec![]),
-    );
-    let d = lbra(
-        &runner,
-        &[Workload::new(vec![0]), Workload::new(vec![-4])],
-        &[Workload::new(vec![5]), Workload::new(vec![60])],
-        &FailureSpec::ErrorLogAt(site),
-        &DiagnosisConfig::default(),
-    );
+    let d = DiagnosisSession::new(&program)
+        .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+        .failure(FailureSpec::ErrorLogAt(site))
+        .failing(vec![Workload::new(vec![0]), Workload::new(vec![-4])])
+        .passing(vec![Workload::new(vec![5]), Workload::new(vec![60])])
+        .threads(2)
+        .collect()
+        .expect("collection succeeds")
+        .lbra();
     let top = d.top().expect("a predictor");
     assert_eq!(top.score, 1.0);
     assert_eq!(top.event.branch, program.branches[0].id);
@@ -118,13 +116,14 @@ fn proactive_and_reactive_schemes_agree_on_the_diagnosis() {
     let reactive = eval::run_lbra(&b);
     let proactive_runner = Runner::instrumented(&b.program, &InstrumentOptions::lbra_proactive());
     let (failing, passing) = eval::expand_workloads(&b, &proactive_runner);
-    let mut proactive = lbra(
-        &proactive_runner,
-        &failing,
-        &passing,
-        &b.truth.spec,
-        &DiagnosisConfig::default(),
-    );
+    let mut proactive = DiagnosisSession::from_runner(&proactive_runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(ProfileKind::Lbr)
+        .collect()
+        .expect("collection succeeds")
+        .lbra();
     proactive.exclude_site_guards(proactive_runner.machine().program(), &b.truth.spec);
     assert_eq!(reactive.rank_of_branch(root), Some(1));
     assert_eq!(proactive.rank_of_branch(root), Some(1));

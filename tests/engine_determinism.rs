@@ -1,0 +1,84 @@
+//! The collection engine's headline guarantee: thread count never changes
+//! results. `threads(1)` and `threads(8)` must produce byte-identical
+//! ranking artifacts for a sequential (LBRA) and a concurrency (LCRA)
+//! benchmark — same witnesses, same stats, same serialized report.
+
+use stm::core::engine::{CollectedProfiles, DiagnosisSession, ProfileKind};
+use stm::core::runner::Runner;
+use stm::core::transform::instrument;
+use stm::forensics::RankingReport;
+use stm::machine::events::LcrConfig;
+use stm::machine::interp::Machine;
+use stm::suite::eval::{expand_workloads, reactive_options};
+use stm::suite::Benchmark;
+
+/// Collects one benchmark's profiles at the given thread count.
+fn collect(b: &Benchmark, kind: ProfileKind, threads: usize) -> (Runner, CollectedProfiles) {
+    let opts = match kind {
+        ProfileKind::Lbr => reactive_options(b, true, None),
+        ProfileKind::Lcr => reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING)),
+    };
+    let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+    let (failing, passing) = expand_workloads(b, &runner);
+    let profiles = DiagnosisSession::from_runner(&runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(kind)
+        .threads(threads)
+        .collect()
+        .expect("collection succeeds");
+    (runner, profiles)
+}
+
+fn witnesses(p: &CollectedProfiles) -> (Vec<String>, Vec<String>) {
+    let names = |runs: &[stm::core::engine::CollectedRun]| {
+        runs.iter().map(|r| r.witness.clone()).collect::<Vec<_>>()
+    };
+    (names(p.failure_runs()), names(p.success_runs()))
+}
+
+#[test]
+fn lbra_ranking_json_is_identical_at_1_and_8_threads() {
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    let (runner1, p1) = collect(&b, ProfileKind::Lbr, 1);
+    let (_, p8) = collect(&b, ProfileKind::Lbr, 8);
+
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let report = |p: &CollectedProfiles| {
+        let mut d = p.lbra();
+        d.exclude_site_guards(runner1.machine().program(), &b.truth.spec);
+        RankingReport::from_lbra(runner1.machine().program(), b.info.id, &d, 10)
+            .to_json()
+            .encode()
+    };
+    assert_eq!(
+        report(&p1),
+        report(&p8),
+        "LBRA ranking JSON must be byte-identical"
+    );
+}
+
+#[test]
+fn lcra_ranking_json_is_identical_at_1_and_8_threads() {
+    let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
+    let (runner1, p1) = collect(&b, ProfileKind::Lcr, 1);
+    let (_, p8) = collect(&b, ProfileKind::Lcr, 8);
+
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let report = |p: &CollectedProfiles| {
+        let d = p.lcra();
+        RankingReport::from_lcra(runner1.machine().program(), b.info.id, &d, 10)
+            .to_json()
+            .encode()
+    };
+    assert_eq!(
+        report(&p1),
+        report(&p8),
+        "LCRA ranking JSON must be byte-identical"
+    );
+}
