@@ -147,8 +147,7 @@ impl<P: Ord + Clone> CbiModel<P> {
             .collect();
         out.sort_by(|a, b| {
             b.importance
-                .partial_cmp(&a.importance)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.importance)
                 .then_with(|| a.predicate.cmp(&b.predicate))
         });
         out

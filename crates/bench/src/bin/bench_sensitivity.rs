@@ -1,0 +1,126 @@
+//! Sweeps diagnosis quality against degraded hardware signals — the
+//! paper's §7 sensitivity analysis (4/8/16-entry LBR capacities, row 1 of
+//! PAPER.md's substitutions table), generalized with the fault-injection
+//! layer (`stm_hardware::perturb`) — and writes
+//! `results/BENCH_sensitivity.json`.
+//!
+//! Grid: effective ring size (truncation at read time to 16/8/4/1
+//! records) × random per-record drop rate (0%/25%/50%/100%) on one
+//! sequential benchmark (sort, LBRA, rank of the root-cause branch) and
+//! one concurrency benchmark (apache4, LCRA Conf2, rank of the
+//! failure-predicting event).
+//!
+//! Witness workloads are expanded **once** per benchmark at full signal
+//! and reused across every grid cell: perturbations degrade only the
+//! snapshots the driver reads back, never execution or classification, so
+//! the sweep isolates signal degradation from workload luck.
+//!
+//! Every metric is a 1-based rank where **higher is worse** and `null`
+//! means the root cause was not ranked at all (total signal loss) —
+//! exactly what `bench_diff` gates: a rank drifting up, or a previously
+//! present rank disappearing, fails CI against
+//! `baselines/BENCH_sensitivity.json`. The simulation is fully seeded, so
+//! these ranks are machine-independent.
+
+use stm_bench::{json_rank, mark, MetricsEmitter};
+use stm_hardware::{HwConfig, PerturbConfig};
+use stm_suite::eval::{
+    expand_workloads, lbra_runner, lcra_runner, run_lbra_with_hw, run_lcra_with_hw,
+};
+
+/// Effective ring sizes swept (records kept per snapshot, newest first).
+/// 16 = the full Nehalem-sized signal; 8 ≈ Pentium M; 4 ≈ Pentium 4; 1 =
+/// a single surviving record.
+const RING_SIZES: [usize; 4] = [16, 8, 4, 1];
+
+/// Per-record drop rates swept, in percent.
+const DROP_PCTS: [u32; 4] = [0, 25, 50, 100];
+
+/// The grid cell's hardware: default geometry, snapshots truncated to
+/// `ring` records and thinned by `drop_pct` at read time.
+fn perturbed_hw(lbr: bool, ring: usize, drop_pct: u32) -> HwConfig {
+    let base = PerturbConfig::NONE.drop_rate(drop_pct as f64 / 100.0);
+    let perturb = if lbr {
+        base.truncate_lbr(ring)
+    } else {
+        base.truncate_lcr(ring)
+    };
+    HwConfig {
+        perturb,
+        ..HwConfig::default()
+    }
+}
+
+/// Leaks a formatted metric name; checkpoint extras want `&'static str`
+/// and the grid is small and swept once per process.
+fn metric_name(ring: usize, drop_pct: u32) -> &'static str {
+    Box::leak(format!("rank_r{ring}_d{drop_pct}").into_boxed_str())
+}
+
+fn main() {
+    let mut metrics = MetricsEmitter::new("sensitivity");
+    println!("Diagnosis rank under degraded signals (lower is better, - = lost)");
+    println!(
+        "{:<10} {:<6} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "ring", "d0", "d25", "d50", "d100"
+    );
+
+    for (id, lbr) in [("sort", true), ("apache4", false)] {
+        let b = stm_suite::by_id(id).expect("benchmark exists");
+        let runner = if lbr {
+            lbra_runner(&b)
+        } else {
+            lcra_runner(&b)
+        };
+        let (failing, passing) = expand_workloads(&b, &runner);
+
+        let rank_with = |hw: HwConfig| -> Option<usize> {
+            if lbr {
+                let target = b.truth.target_branch().expect("sequential target");
+                run_lbra_with_hw(&b, &runner, hw, failing.clone(), passing.clone())
+                    .expect("witness-mode collection cannot fail")
+                    .rank_of_branch(target)
+            } else {
+                let fpe = b.truth.fpe.expect("concurrency FPE");
+                let state = fpe.conf2_state.expect("Conf2 state");
+                run_lcra_with_hw(&b, &runner, hw, failing.clone(), passing.clone())
+                    .expect("witness-mode collection cannot fail")
+                    .rank_of_event(fpe.loc, state)
+            }
+        };
+
+        let full = rank_with(HwConfig::default());
+        let mut extras = vec![("rank_full", json_rank(full))];
+        for ring in RING_SIZES {
+            let mut row = Vec::with_capacity(DROP_PCTS.len());
+            for drop_pct in DROP_PCTS {
+                let rank = rank_with(perturbed_hw(lbr, ring, drop_pct));
+                if ring == 16 && drop_pct == 0 {
+                    // The full-signal grid corner must reproduce today's
+                    // unperturbed diagnosis exactly.
+                    assert_eq!(
+                        rank, full,
+                        "{id}: full-signal cell diverged from the unperturbed rank"
+                    );
+                }
+                extras.push((metric_name(ring, drop_pct), json_rank(rank)));
+                row.push(rank);
+            }
+            println!(
+                "{:<10} {:<6} {:>8} {:>8} {:>8} {:>8}",
+                id,
+                ring,
+                mark(row[0]),
+                mark(row[1]),
+                mark(row[2]),
+                mark(row[3]),
+            );
+        }
+        metrics.checkpoint(id, extras);
+    }
+
+    match metrics.finish() {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+}

@@ -254,13 +254,8 @@ fn proximity_tiebreak<E: Ord + Clone>(
     };
     ranked.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| {
-                avg(&a.event)
-                    .partial_cmp(&avg(&b.event))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .total_cmp(&a.score)
+            .then_with(|| avg(&a.event).total_cmp(&avg(&b.event)))
             .then_with(|| a.event.cmp(&b.event))
     });
 }

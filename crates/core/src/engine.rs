@@ -70,6 +70,11 @@ pub enum SessionError {
     /// Both witness lists (`failing`/`passing`) and scan bases
     /// (`workloads`) were set; a session is one or the other.
     ConflictingWorkloads,
+    /// The hardware configuration is contradictory — a zero-capacity
+    /// ring, or a malformed perturbation setting. Surfaced before any run
+    /// executes, so a bad sweep setting fails fast with the reason rather
+    /// than panicking inside a worker.
+    InvalidHardware(stm_hardware::HwConfigError),
     /// A worker panicked while executing a run. The engine reports this
     /// instead of hanging or unwinding across the pool.
     WorkerPanicked {
@@ -92,6 +97,9 @@ impl std::fmt::Display for SessionError {
             ),
             SessionError::WorkerPanicked { job, message } => {
                 write!(f, "collection worker panicked on job {job}: {message}")
+            }
+            SessionError::InvalidHardware(e) => {
+                write!(f, "invalid hardware configuration: {e}")
             }
         }
     }
@@ -483,6 +491,10 @@ impl DiagnosisSession {
     /// prefix that fills the profile quotas.
     pub fn collect(self) -> Result<CollectedProfiles, SessionError> {
         let spec = self.spec.ok_or(SessionError::MissingFailureSpec)?;
+        self.config
+            .hw
+            .validate()
+            .map_err(SessionError::InvalidHardware)?;
         let scan = !self.bases.is_empty();
         if scan && (!self.failing.is_empty() || !self.passing.is_empty()) {
             return Err(SessionError::ConflictingWorkloads);
@@ -1006,6 +1018,78 @@ mod tests {
             .collect()
             .unwrap_err();
         assert_eq!(err, SessionError::MissingFailureSpec);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_a_typed_error_not_a_clamp() {
+        let (p, site) = guarded_program();
+        for (lbr_entries, lcr_entries, want) in [
+            (0usize, 16usize, stm_hardware::HwConfigError::ZeroLbrEntries),
+            (16, 0, stm_hardware::HwConfigError::ZeroLcrEntries),
+        ] {
+            let err = DiagnosisSession::new(&p)
+                .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+                .failure(FailureSpec::ErrorLogAt(site))
+                .failing(vec![Workload::new(vec![-1])])
+                .hw_config(stm_hardware::HwConfig {
+                    lbr_entries,
+                    lcr_entries,
+                    ..stm_hardware::HwConfig::default()
+                })
+                .collect()
+                .unwrap_err();
+            assert_eq!(err, SessionError::InvalidHardware(want));
+        }
+    }
+
+    #[test]
+    fn malformed_perturbation_is_rejected_before_any_run() {
+        let (p, site) = guarded_program();
+        let err = DiagnosisSession::new(&p)
+            .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+            .failure(FailureSpec::ErrorLogAt(site))
+            .failing(vec![Workload::new(vec![-1])])
+            .hw_config(stm_hardware::HwConfig {
+                perturb: stm_hardware::PerturbConfig::NONE.truncate_lbr(0),
+                ..stm_hardware::HwConfig::default()
+            })
+            .collect()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::InvalidHardware(stm_hardware::HwConfigError::ZeroTruncation {
+                ring: "lbr"
+            })
+        ));
+    }
+
+    #[test]
+    fn extreme_perturbations_complete_without_panicking() {
+        // Ring size 1 plus total entry drop plus total snapshot loss: no
+        // profile can survive, but collection must terminate cleanly at
+        // its run cap rather than panic or hang.
+        let (p, site) = guarded_program();
+        let profiles = DiagnosisSession::new(&p)
+            .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+            .failure(FailureSpec::ErrorLogAt(site))
+            .failing(vec![Workload::new(vec![-1])])
+            .passing(vec![Workload::new(vec![1])])
+            .failure_profiles(2)
+            .success_profiles(2)
+            .max_runs(8)
+            .hw_config(stm_hardware::HwConfig {
+                lbr_entries: 1,
+                perturb: stm_hardware::PerturbConfig::NONE
+                    .drop_rate(1.0)
+                    .loss_rate(1.0),
+                ..stm_hardware::HwConfig::default()
+            })
+            .collect()
+            .expect("collection terminates");
+        // Every snapshot was lost, so no witness carries a profile.
+        assert!(profiles.failure_runs().is_empty());
+        assert!(profiles.success_runs().is_empty());
+        assert_eq!(profiles.stats().total_runs, 16, "both phases hit the cap");
     }
 
     #[test]

@@ -165,6 +165,13 @@ impl<E: Ord + Clone> RankingModel<E> {
         } else {
             0.0
         };
+        // The three values are ratios of finite counts with guarded
+        // denominators; a non-finite score would silently scramble every
+        // downstream sort, so fail loudly here instead.
+        debug_assert!(
+            precision.is_finite() && recall.is_finite() && score.is_finite(),
+            "non-finite ranking score (precision {precision}, recall {recall}, score {score})"
+        );
         RankedEvent {
             event: event.clone(),
             polarity,
@@ -194,8 +201,7 @@ impl<E: Ord + Clone> RankingModel<E> {
             .collect();
         ranked.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.score)
                 .then_with(|| a.event.cmp(&b.event))
         });
         ranked
@@ -215,14 +221,11 @@ impl<E: Ord + Clone> RankingModel<E> {
             ranked.push(self.score_one(e, Polarity::Absent));
         }
         ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    a.event
-                        .cmp(&b.event)
-                        .then_with(|| a.polarity.cmp(&b.polarity))
-                })
+            b.score.total_cmp(&a.score).then_with(|| {
+                a.event
+                    .cmp(&b.event)
+                    .then_with(|| a.polarity.cmp(&b.polarity))
+            })
         });
         ranked
     }
@@ -418,5 +421,66 @@ mod tests {
         assert!(m.rank().is_empty());
         assert_eq!(m.failure_count(), 0);
         assert_eq!(m.success_count(), 0);
+    }
+
+    #[test]
+    fn ranking_is_invariant_under_profile_insertion_order() {
+        // The same profile multiset added in three different orders must
+        // produce identical rankings (scores, order, and counts — witness
+        // ids are position-dependent by design, so compare them by set).
+        let profiles: Vec<(bool, BTreeSet<String>)> = vec![
+            (true, set(&["root", "noise"])),
+            (true, set(&["root"])),
+            (true, set(&["noise"])),
+            (false, set(&["noise", "guard"])),
+            (false, set(&["guard"])),
+        ];
+        let build = |order: &[usize]| {
+            let mut m = RankingModel::new();
+            for &i in order {
+                let (is_failure, events) = &profiles[i];
+                m.add_profile(*is_failure, events.clone());
+            }
+            m
+        };
+        let strip = |ranked: Vec<RankedEvent<String>>| {
+            ranked
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.event,
+                        r.polarity,
+                        r.score.to_bits(),
+                        r.failure_matches,
+                        r.success_matches,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let baseline = build(&[0, 1, 2, 3, 4]);
+        for order in [[4, 3, 2, 1, 0], [2, 4, 0, 3, 1]] {
+            let m = build(&order);
+            assert_eq!(strip(m.rank()), strip(baseline.rank()));
+            assert_eq!(
+                strip(m.rank_with_absence()),
+                strip(baseline.rank_with_absence())
+            );
+        }
+    }
+
+    #[test]
+    fn zero_failing_profiles_rank_nan_free() {
+        // Success-only models hit every guarded denominator (|F| = 0 and,
+        // for presence predictors with no matches, |e| = 0). All scores
+        // must come out finite and zero — never NaN.
+        let mut m = RankingModel::new();
+        m.add_profile(false, set(&["a", "b"]));
+        m.add_profile(false, set(&["b"]));
+        for r in m.rank().into_iter().chain(m.rank_with_absence()) {
+            assert!(r.precision.is_finite(), "{:?}", r.event);
+            assert!(r.recall.is_finite(), "{:?}", r.event);
+            assert!(r.score.is_finite(), "{:?}", r.event);
+            assert_eq!(r.score, 0.0);
+        }
     }
 }

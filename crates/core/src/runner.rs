@@ -221,6 +221,10 @@ impl Runner {
     pub fn run_with_hw(&self, workload: &Workload) -> (RunReport, HardwareCtx) {
         let _span = stm_telemetry::span_cat("runner.run", "runner");
         let mut hw = HardwareCtx::new(self.hw_config);
+        // Fault injection draws from a stream derived from the workload's
+        // scheduler seed, so perturbed runs replay identically regardless
+        // of which worker thread executes them.
+        hw.seed_perturbations(workload.seed);
         let mut cfg = self.run_config.clone();
         cfg.scheduler = SchedPolicy::Random {
             seed: workload.seed,
@@ -247,6 +251,7 @@ impl Runner {
         sample_seed: u64,
     ) -> (RunReport, RunClass) {
         let mut hw = HardwareCtx::new(self.hw_config);
+        hw.seed_perturbations(workload.seed);
         let mut cfg = self.run_config.clone();
         cfg.scheduler = SchedPolicy::Random {
             seed: workload.seed,

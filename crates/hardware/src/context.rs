@@ -8,10 +8,58 @@ use crate::cache::{CacheConfig, CacheSystem};
 use crate::counters::{CoherenceSampler, PerfCounters};
 use crate::lbr::{Lbr, NEHALEM_ENTRIES};
 use crate::lcr::{Lcr, DEFAULT_ENTRIES};
+use crate::perturb::{PerturbConfig, PerturbLayer};
+use std::fmt;
 use stm_machine::events::{
     AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp, LcrConfig, Ring,
 };
 use stm_machine::ids::{CoreId, ThreadId};
+
+/// A rejected hardware configuration, reported by [`HwConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwConfigError {
+    /// `lbr_entries` was zero — a branch ring needs at least one entry.
+    ZeroLbrEntries,
+    /// `lcr_entries` was zero — a coherence ring needs at least one entry.
+    ZeroLcrEntries,
+    /// A perturbation asked to truncate a ring to zero records; model a
+    /// total blackout with a drop or loss rate of 1.0 instead.
+    ZeroTruncation {
+        /// Which ring the truncation targeted (`"lbr"` or `"lcr"`).
+        ring: &'static str,
+    },
+    /// A perturbation rate exceeded 1.0 (one million parts per million).
+    RateOutOfRange {
+        /// Which rate field was out of range.
+        rate: &'static str,
+        /// The offending parts-per-million value.
+        ppm: u32,
+    },
+}
+
+impl fmt::Display for HwConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwConfigError::ZeroLbrEntries => {
+                write!(f, "lbr_entries must be positive (zero-entry ring)")
+            }
+            HwConfigError::ZeroLcrEntries => {
+                write!(f, "lcr_entries must be positive (zero-entry ring)")
+            }
+            HwConfigError::ZeroTruncation { ring } => write!(
+                f,
+                "perturbation truncates the {ring} ring to zero records; \
+                 use a drop or loss rate of 1.0 for a total blackout"
+            ),
+            HwConfigError::RateOutOfRange { rate, ppm } => write!(
+                f,
+                "perturbation rate {rate} = {ppm} ppm exceeds 1000000 (probability 1.0)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HwConfigError {}
 
 /// Static configuration of the monitoring unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +78,9 @@ pub struct HwConfig {
     pub enable_bts: bool,
     /// Attach a PBI-style coherence sampler with this period.
     pub sampler_period: Option<u64>,
+    /// Fault injection applied to snapshots as the driver reads them
+    /// (default: none — the full signal).
+    pub perturb: PerturbConfig,
 }
 
 impl Default for HwConfig {
@@ -42,7 +93,25 @@ impl Default for HwConfig {
             cache: CacheConfig::PAPER,
             enable_bts: false,
             sampler_period: None,
+            perturb: PerturbConfig::NONE,
         }
+    }
+}
+
+impl HwConfig {
+    /// Checks the configuration for contradictions — zero-capacity rings
+    /// and malformed perturbation settings — without building anything.
+    /// [`HardwareCtx::new`] asserts on the same conditions; sessions call
+    /// this first so a bad configuration surfaces as a typed error instead
+    /// of a panic inside a worker.
+    pub fn validate(&self) -> Result<(), HwConfigError> {
+        if self.lbr_entries == 0 {
+            return Err(HwConfigError::ZeroLbrEntries);
+        }
+        if self.lcr_entries == 0 {
+            return Err(HwConfigError::ZeroLcrEntries);
+        }
+        self.perturb.validate()
     }
 }
 
@@ -55,6 +124,7 @@ pub struct HardwareCtx {
     counters: PerfCounters,
     bts: Option<Bts>,
     sampler: Option<CoherenceSampler>,
+    perturb: Option<PerturbLayer>,
 }
 
 impl HardwareCtx {
@@ -81,6 +151,18 @@ impl HardwareCtx {
                 s.enable();
                 s
             }),
+            perturb: PerturbLayer::new(&config.perturb, 0),
+        }
+    }
+
+    /// Re-seeds the fault-injection stream for a new run. The runner calls
+    /// this with the workload's scheduler seed before execution starts, so
+    /// injected faults are a pure function of (config, run) — independent
+    /// of worker thread, collection order, or wall clock. A no-op when the
+    /// configuration injects nothing.
+    pub fn seed_perturbations(&mut self, run_seed: u64) {
+        if let Some(layer) = &mut self.perturb {
+            layer.reseed(run_seed);
         }
     }
 
@@ -124,12 +206,18 @@ impl HardwareCtx {
         self.sampler.as_mut()
     }
 
-    /// Drains the PBI sampler's latched records.
+    /// Drains the PBI sampler's latched records, running them through the
+    /// perturbation pipeline (sampler-period thinning) when one is active.
     pub fn take_coherence_samples(&mut self) -> Vec<stm_machine::events::CoherenceRecord> {
-        self.sampler
+        let samples = self
+            .sampler
             .as_mut()
             .map(|s| s.take_samples())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        match &mut self.perturb {
+            Some(layer) => layer.samples(samples),
+            None => samples,
+        }
     }
 }
 
@@ -187,7 +275,16 @@ impl Hardware for HardwareCtx {
                 }
                 CtlResponse::Done
             }
-            HwCtlOp::ProfileLbr => CtlResponse::Lbr(self.lbrs[core.index()].snapshot()),
+            HwCtlOp::ProfileLbr => {
+                let snap = self.lbrs[core.index()].snapshot();
+                match &mut self.perturb {
+                    None => CtlResponse::Lbr(snap),
+                    Some(layer) => match layer.lbr_snapshot(snap) {
+                        Some(records) => CtlResponse::Lbr(records),
+                        None => CtlResponse::Lost,
+                    },
+                }
+            }
             HwCtlOp::CleanLcr => {
                 self.lcr.clean(thread);
                 CtlResponse::Done
@@ -204,7 +301,16 @@ impl Hardware for HardwareCtx {
                 self.lcr.disable(thread);
                 CtlResponse::Done
             }
-            HwCtlOp::ProfileLcr => CtlResponse::Lcr(self.lcr.snapshot(thread)),
+            HwCtlOp::ProfileLcr => {
+                let snap = self.lcr.snapshot(thread);
+                match &mut self.perturb {
+                    None => CtlResponse::Lcr(snap),
+                    Some(layer) => match layer.lcr_snapshot(snap) {
+                        Some(records) => CtlResponse::Lcr(records),
+                        None => CtlResponse::Lost,
+                    },
+                }
+            }
         }
     }
 }
@@ -337,6 +443,60 @@ mod tests {
         assert_eq!(hw.bts().unwrap().len(), 100);
         // LBR kept only the last 16.
         assert_eq!(hw.lbr(C0).len(), 16);
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacity_rings() {
+        assert!(HwConfig::default().validate().is_ok());
+        let no_lbr = HwConfig {
+            lbr_entries: 0,
+            ..HwConfig::default()
+        };
+        assert_eq!(no_lbr.validate(), Err(HwConfigError::ZeroLbrEntries));
+        let no_lcr = HwConfig {
+            lcr_entries: 0,
+            ..HwConfig::default()
+        };
+        assert_eq!(no_lcr.validate(), Err(HwConfigError::ZeroLcrEntries));
+    }
+
+    #[test]
+    fn perturbed_profile_truncates_at_read_time() {
+        let mut hw = HardwareCtx::new(HwConfig {
+            perturb: PerturbConfig::NONE.truncate_lbr(2),
+            ..HwConfig::default()
+        });
+        hw.seed_perturbations(1);
+        hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+        for i in 0..6 {
+            hw.on_branch(C0, branch(0x100 + i * 0x10));
+        }
+        // The ring itself still holds all six records (the hardware is
+        // untouched); only the read is degraded.
+        assert_eq!(hw.lbr(C0).len(), 6);
+        match hw.ctl(C0, T0, HwCtlOp::ProfileLbr) {
+            CtlResponse::Lbr(snap) => {
+                assert_eq!(snap.len(), 2);
+                assert_eq!(snap[0].from, 0x150);
+                assert_eq!(snap[1].from, 0x140);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_snapshot_loss_reports_lost() {
+        let mut hw = HardwareCtx::new(HwConfig {
+            perturb: PerturbConfig::NONE.loss_rate(1.0),
+            ..HwConfig::default()
+        });
+        hw.seed_perturbations(1);
+        hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+        hw.on_branch(C0, branch(0x100));
+        assert_eq!(hw.ctl(C0, T0, HwCtlOp::ProfileLbr), CtlResponse::Lost);
+        hw.ctl(C0, T0, HwCtlOp::EnableLcr);
+        hw.on_access(C0, T0, load(0x200, 0x1000));
+        assert_eq!(hw.ctl(C0, T0, HwCtlOp::ProfileLcr), CtlResponse::Lost);
     }
 
     #[test]

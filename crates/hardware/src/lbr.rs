@@ -25,10 +25,18 @@ pub struct Lbr {
 impl Lbr {
     /// Creates a disabled LBR with the given number of entries and the
     /// diagnosis filter mask preloaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `capacity`: a branch ring with no entries is a
+    /// configuration bug, not a degenerate ring. Validate configurations
+    /// up front with [`HwConfig::validate`](crate::HwConfig::validate),
+    /// which reports the error instead of panicking.
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LBR capacity must be positive");
         Lbr {
-            capacity: capacity.max(1),
-            ring: VecDeque::with_capacity(capacity.max(1)),
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
             enabled: false,
             select: lbr_select::DIAGNOSIS,
         }
@@ -213,5 +221,20 @@ mod tests {
     #[test]
     fn default_is_nehalem_sized() {
         assert_eq!(Lbr::default().capacity(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "LBR capacity must be positive")]
+    fn zero_capacity_is_rejected_not_clamped() {
+        let _ = Lbr::new(0);
+    }
+
+    #[test]
+    fn one_entry_ring_is_legal_and_keeps_newest() {
+        let mut lbr = Lbr::new(1);
+        lbr.enable();
+        lbr.record(cond(1));
+        lbr.record(cond(2));
+        assert_eq!(lbr.snapshot()[0].from, 2);
     }
 }

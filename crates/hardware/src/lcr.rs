@@ -37,9 +37,17 @@ pub struct Lcr {
 
 impl Lcr {
     /// Creates a disabled LCR with the given per-thread capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `capacity`: a coherence ring with no entries is a
+    /// configuration bug, not a degenerate ring. Validate configurations
+    /// up front with [`HwConfig::validate`](crate::HwConfig::validate),
+    /// which reports the error instead of panicking.
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LCR capacity must be positive");
         Lcr {
-            capacity: capacity.max(1),
+            capacity,
             config: LcrConfig::default(),
             enabled: false,
             rings: HashMap::new(),
@@ -278,6 +286,12 @@ mod tests {
         let snap = lcr.snapshot(T0);
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].state, CoherenceState::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "LCR capacity must be positive")]
+    fn zero_capacity_is_rejected_not_clamped() {
+        let _ = Lcr::new(0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   paper's driver-pollution model;
 //! * [`counters`] — coherence-event **performance counters** and the
 //!   interrupt-sampling mechanism the PBI baseline relies on;
+//! * [`perturb`] — the **fault-injection layer** degrading snapshots at
+//!   read time (ring truncation, entry drop, coherence-state flips,
+//!   sampler thinning, whole-snapshot loss) for sensitivity studies;
 //! * [`context`] — [`HardwareCtx`], the assembled unit the interpreter
 //!   drives.
 //!
@@ -44,10 +47,12 @@ pub mod context;
 pub mod counters;
 pub mod lbr;
 pub mod lcr;
+pub mod perturb;
 
 pub use bts::Bts;
 pub use cache::{CacheConfig, CacheSystem, HeldState};
-pub use context::{HardwareCtx, HwConfig};
+pub use context::{HardwareCtx, HwConfig, HwConfigError};
 pub use counters::{CoherenceSampler, PerfCounters};
 pub use lbr::{Lbr, NEHALEM_ENTRIES};
 pub use lcr::{Lcr, DEFAULT_ENTRIES};
+pub use perturb::{PerturbConfig, PerturbLayer, Perturbation};

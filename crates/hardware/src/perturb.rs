@@ -1,0 +1,631 @@
+//! Ring-perturbation / fault-injection layer (`stm-perturb`).
+//!
+//! A production deployment rarely sees the full Nehalem-sized signal the
+//! paper's simulator assumes: older parts ship 4- or 8-entry LBRs (§2.1),
+//! drivers lose snapshots under load, and sampled coherence feeds thin
+//! out. This module models that *degraded-signal regime* as a pipeline of
+//! [`Perturbation`] injectors applied at the **hardware-snapshot
+//! boundary** — recording is never touched, so a perturbed run executes
+//! (and classifies) exactly like an unperturbed one; only what the driver
+//! *reads back* degrades.
+//!
+//! Concrete injectors:
+//!
+//! * [`TruncateRing`] — caps a snapshot at its `N` newest records,
+//!   reproducing the paper's 4/8/16-entry LBR sweep without rebuilding
+//!   the machine;
+//! * [`DropEntries`] — loses each record independently with a configured
+//!   probability (a lossy read path);
+//! * [`FlipCoherence`] — replaces an LCR record's observed MESI state
+//!   with a random *other* state (stale/corrupted coherence metadata);
+//! * [`ThinSampler`] — keeps every `k`-th PBI coherence sample (a longer
+//!   effective sampler period);
+//! * [`SnapshotLoss`] — loses whole snapshots at log sites, surfacing as
+//!   [`CtlResponse::Lost`](stm_machine::events::CtlResponse::Lost).
+//!
+//! Every random decision draws from a [`SplitMix64`] stream seeded from
+//! the *run's* scheduler seed mixed with [`PerturbConfig::seed`]. Each run
+//! owns a private [`PerturbLayer`] inside its `HardwareCtx`, so the draw
+//! sequence depends only on that run's own event order — the collection
+//! engine's `threads(N)` ≡ `threads(1)` guarantee survives perturbation
+//! bit for bit.
+
+use std::fmt;
+use stm_machine::events::{BranchRecord, CoherenceRecord, CoherenceState};
+use stm_machine::rng::SplitMix64;
+
+/// One million — the denominator of all parts-per-million rates.
+pub const PPM_SCALE: u32 = 1_000_000;
+
+/// Converts a probability in `[0, 1]` to parts-per-million, clamping.
+pub fn ppm(rate: f64) -> u32 {
+    (rate.clamp(0.0, 1.0) * PPM_SCALE as f64).round() as u32
+}
+
+/// Draws `true` with probability `ppm / 1e6`, consuming exactly one RNG
+/// value (so the draw count is independent of the rate).
+fn chance(rng: &mut SplitMix64, ppm: u32) -> bool {
+    match ppm {
+        0 => {
+            let _ = rng.next_u64();
+            false
+        }
+        p if p >= PPM_SCALE => {
+            let _ = rng.next_u64();
+            true
+        }
+        p => rng.next_below(PPM_SCALE as u64) < p as u64,
+    }
+}
+
+/// A fault injector applied to hardware snapshots as the driver reads
+/// them. Implementations must be deterministic functions of their inputs
+/// and the RNG stream: no clocks, no global state.
+pub trait Perturbation: fmt::Debug + Send + Sync {
+    /// Injector name, used in telemetry and reports.
+    fn name(&self) -> &'static str;
+
+    /// `true` drops the whole snapshot read (the driver sees nothing).
+    fn loses_snapshot(&self, _rng: &mut SplitMix64) -> bool {
+        false
+    }
+
+    /// Degrades an LBR snapshot (records newest-first).
+    fn perturb_lbr(&self, _rng: &mut SplitMix64, _records: &mut Vec<BranchRecord>) {}
+
+    /// Degrades an LCR snapshot (records newest-first).
+    fn perturb_lcr(&self, _rng: &mut SplitMix64, _records: &mut Vec<CoherenceRecord>) {}
+
+    /// Degrades the PBI sampler's latched records (oldest-first).
+    fn perturb_samples(&self, _rng: &mut SplitMix64, _samples: &mut Vec<CoherenceRecord>) {}
+
+    /// Clones the injector behind the trait object (the hardware context
+    /// is `Clone`).
+    fn clone_box(&self) -> Box<dyn Perturbation>;
+}
+
+impl Clone for Box<dyn Perturbation> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Caps ring snapshots at their `N` newest records — the 4/8/16-entry
+/// capacity sweep of the paper's §2.1/§7, applied at read time.
+/// Snapshots arrive newest-first, so truncation preserves that order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncateRing {
+    /// Keep this many newest LBR records (`None` = untouched).
+    pub lbr: Option<usize>,
+    /// Keep this many newest LCR records (`None` = untouched).
+    pub lcr: Option<usize>,
+}
+
+impl Perturbation for TruncateRing {
+    fn name(&self) -> &'static str {
+        "truncate_ring"
+    }
+
+    fn perturb_lbr(&self, _rng: &mut SplitMix64, records: &mut Vec<BranchRecord>) {
+        if let Some(n) = self.lbr {
+            if records.len() > n {
+                stm_telemetry::counter!("perturb.records_truncated")
+                    .add((records.len() - n) as u64);
+                records.truncate(n);
+            }
+        }
+    }
+
+    fn perturb_lcr(&self, _rng: &mut SplitMix64, records: &mut Vec<CoherenceRecord>) {
+        if let Some(n) = self.lcr {
+            if records.len() > n {
+                stm_telemetry::counter!("perturb.records_truncated")
+                    .add((records.len() - n) as u64);
+                records.truncate(n);
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Perturbation> {
+        Box::new(*self)
+    }
+}
+
+/// Drops each snapshot record independently with probability
+/// `ppm / 1e6` — a lossy driver read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropEntries {
+    /// Per-record drop probability in parts per million.
+    pub ppm: u32,
+}
+
+impl DropEntries {
+    fn drop_from<T>(&self, rng: &mut SplitMix64, records: &mut Vec<T>) {
+        let before = records.len();
+        records.retain(|_| !chance(rng, self.ppm));
+        let dropped = before - records.len();
+        if dropped > 0 {
+            stm_telemetry::counter!("perturb.records_dropped").add(dropped as u64);
+        }
+    }
+}
+
+impl Perturbation for DropEntries {
+    fn name(&self) -> &'static str {
+        "drop_entries"
+    }
+
+    fn perturb_lbr(&self, rng: &mut SplitMix64, records: &mut Vec<BranchRecord>) {
+        self.drop_from(rng, records);
+    }
+
+    fn perturb_lcr(&self, rng: &mut SplitMix64, records: &mut Vec<CoherenceRecord>) {
+        self.drop_from(rng, records);
+    }
+
+    fn clone_box(&self) -> Box<dyn Perturbation> {
+        Box::new(*self)
+    }
+}
+
+/// Replaces an LCR record's observed MESI state with a uniformly chosen
+/// *different* state with probability `ppm / 1e6` — stale or corrupted
+/// coherence metadata reaching the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipCoherence {
+    /// Per-record flip probability in parts per million.
+    pub ppm: u32,
+}
+
+/// MESI states in a fixed order, for deterministic flip selection.
+const MESI: [CoherenceState; 4] = [
+    CoherenceState::Modified,
+    CoherenceState::Exclusive,
+    CoherenceState::Shared,
+    CoherenceState::Invalid,
+];
+
+impl Perturbation for FlipCoherence {
+    fn name(&self) -> &'static str {
+        "flip_coherence"
+    }
+
+    fn perturb_lcr(&self, rng: &mut SplitMix64, records: &mut Vec<CoherenceRecord>) {
+        for rec in records.iter_mut() {
+            if chance(rng, self.ppm) {
+                let others: Vec<CoherenceState> =
+                    MESI.iter().copied().filter(|s| *s != rec.state).collect();
+                rec.state = others[rng.next_below(others.len() as u64) as usize];
+                stm_telemetry::counter!("perturb.states_flipped").incr();
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Perturbation> {
+        Box::new(*self)
+    }
+}
+
+/// Keeps every `keep_every`-th PBI coherence sample, modelling a sampler
+/// period `keep_every` times longer than configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThinSampler {
+    /// Keep one sample in this many (`0`/`1` = keep all).
+    pub keep_every: u32,
+}
+
+impl Perturbation for ThinSampler {
+    fn name(&self) -> &'static str {
+        "thin_sampler"
+    }
+
+    fn perturb_samples(&self, _rng: &mut SplitMix64, samples: &mut Vec<CoherenceRecord>) {
+        if self.keep_every > 1 {
+            let before = samples.len();
+            let k = self.keep_every as usize;
+            let mut i = 0usize;
+            samples.retain(|_| {
+                let keep = i.is_multiple_of(k);
+                i += 1;
+                keep
+            });
+            stm_telemetry::counter!("perturb.samples_thinned").add((before - samples.len()) as u64);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Perturbation> {
+        Box::new(*self)
+    }
+}
+
+/// Loses whole snapshots at log sites with probability `ppm / 1e6`: the
+/// profile `ioctl` fails and the driver records nothing for that site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotLoss {
+    /// Per-snapshot loss probability in parts per million.
+    pub ppm: u32,
+}
+
+impl Perturbation for SnapshotLoss {
+    fn name(&self) -> &'static str {
+        "snapshot_loss"
+    }
+
+    fn loses_snapshot(&self, rng: &mut SplitMix64) -> bool {
+        let lost = chance(rng, self.ppm);
+        if lost {
+            stm_telemetry::counter!("perturb.snapshots_lost").incr();
+        }
+        lost
+    }
+
+    fn clone_box(&self) -> Box<dyn Perturbation> {
+        Box::new(*self)
+    }
+}
+
+/// Plain-data description of a perturbation pipeline, embeddable in
+/// [`HwConfig`](crate::HwConfig) (and therefore in a session's
+/// configuration). [`PerturbConfig::NONE`] — the default — injects
+/// nothing and adds no per-snapshot cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PerturbConfig {
+    /// Extra seed mixed with each run's scheduler seed; lets two sweeps
+    /// over the same workloads draw independent fault streams.
+    pub seed: u64,
+    /// Truncate LBR snapshots to this many newest records.
+    pub lbr_truncate: Option<usize>,
+    /// Truncate LCR snapshots to this many newest records.
+    pub lcr_truncate: Option<usize>,
+    /// Per-record random drop rate, in parts per million.
+    pub drop_ppm: u32,
+    /// Per-record coherence-state flip rate, in parts per million.
+    pub flip_ppm: u32,
+    /// Whole-snapshot loss rate at log sites, in parts per million.
+    pub loss_ppm: u32,
+    /// Keep one PBI sample in this many (`0`/`1` = keep all).
+    pub sampler_keep_every: u32,
+}
+
+/// The configuration injects no faults at all.
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        PerturbConfig::NONE
+    }
+}
+
+impl PerturbConfig {
+    /// No perturbation: the full, paper-default signal.
+    pub const NONE: PerturbConfig = PerturbConfig {
+        seed: 0,
+        lbr_truncate: None,
+        lcr_truncate: None,
+        drop_ppm: 0,
+        flip_ppm: 0,
+        loss_ppm: 0,
+        sampler_keep_every: 0,
+    };
+
+    /// `true` when the pipeline would be empty.
+    pub fn is_noop(&self) -> bool {
+        self.lbr_truncate.is_none()
+            && self.lcr_truncate.is_none()
+            && self.drop_ppm == 0
+            && self.flip_ppm == 0
+            && self.loss_ppm == 0
+            && self.sampler_keep_every <= 1
+    }
+
+    /// Sets the extra fault-stream seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Truncates LBR snapshots to `n` newest records.
+    pub fn truncate_lbr(mut self, n: usize) -> Self {
+        self.lbr_truncate = Some(n);
+        self
+    }
+
+    /// Truncates LCR snapshots to `n` newest records.
+    pub fn truncate_lcr(mut self, n: usize) -> Self {
+        self.lcr_truncate = Some(n);
+        self
+    }
+
+    /// Drops each snapshot record with probability `rate` (0..=1).
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_ppm = ppm(rate);
+        self
+    }
+
+    /// Flips each LCR record's state with probability `rate` (0..=1).
+    pub fn flip_rate(mut self, rate: f64) -> Self {
+        self.flip_ppm = ppm(rate);
+        self
+    }
+
+    /// Loses each whole snapshot with probability `rate` (0..=1).
+    pub fn loss_rate(mut self, rate: f64) -> Self {
+        self.loss_ppm = ppm(rate);
+        self
+    }
+
+    /// Keeps one PBI sample in `k`.
+    pub fn thin_sampler(mut self, k: u32) -> Self {
+        self.sampler_keep_every = k;
+        self
+    }
+
+    /// Validates the configuration. Zero-record truncation is rejected
+    /// like a zero-capacity ring (use `drop_rate(1.0)` or `loss_rate` for
+    /// a total blackout); ppm rates must not exceed [`PPM_SCALE`].
+    pub fn validate(&self) -> Result<(), crate::context::HwConfigError> {
+        use crate::context::HwConfigError;
+        if self.lbr_truncate == Some(0) {
+            return Err(HwConfigError::ZeroTruncation { ring: "lbr" });
+        }
+        if self.lcr_truncate == Some(0) {
+            return Err(HwConfigError::ZeroTruncation { ring: "lcr" });
+        }
+        for (rate, ppm) in [
+            ("drop_ppm", self.drop_ppm),
+            ("flip_ppm", self.flip_ppm),
+            ("loss_ppm", self.loss_ppm),
+        ] {
+            if ppm > PPM_SCALE {
+                return Err(HwConfigError::RateOutOfRange { rate, ppm });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the injector pipeline this configuration describes, in a
+    /// fixed order: loss, truncation, drop, flip, thinning.
+    pub fn build(&self) -> Vec<Box<dyn Perturbation>> {
+        let mut pipeline: Vec<Box<dyn Perturbation>> = Vec::new();
+        if self.loss_ppm > 0 {
+            pipeline.push(Box::new(SnapshotLoss { ppm: self.loss_ppm }));
+        }
+        if self.lbr_truncate.is_some() || self.lcr_truncate.is_some() {
+            pipeline.push(Box::new(TruncateRing {
+                lbr: self.lbr_truncate,
+                lcr: self.lcr_truncate,
+            }));
+        }
+        if self.drop_ppm > 0 {
+            pipeline.push(Box::new(DropEntries { ppm: self.drop_ppm }));
+        }
+        if self.flip_ppm > 0 {
+            pipeline.push(Box::new(FlipCoherence { ppm: self.flip_ppm }));
+        }
+        if self.sampler_keep_every > 1 {
+            pipeline.push(Box::new(ThinSampler {
+                keep_every: self.sampler_keep_every,
+            }));
+        }
+        pipeline
+    }
+}
+
+/// One run's instantiated perturbation pipeline: the injectors plus the
+/// run-private RNG stream all their decisions draw from.
+#[derive(Debug, Clone)]
+pub struct PerturbLayer {
+    injectors: Vec<Box<dyn Perturbation>>,
+    config_seed: u64,
+    rng: SplitMix64,
+}
+
+/// Mixes the configured fault-stream seed with the run's scheduler seed
+/// into an independent SplitMix64 stream.
+fn mix_seed(config_seed: u64, run_seed: u64) -> u64 {
+    config_seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5157_4D50_4552_5455
+}
+
+impl PerturbLayer {
+    /// Builds the layer for one run, or `None` for a no-op configuration
+    /// (the common case pays nothing per snapshot).
+    pub fn new(config: &PerturbConfig, run_seed: u64) -> Option<Self> {
+        if config.is_noop() {
+            return None;
+        }
+        Some(PerturbLayer {
+            injectors: config.build(),
+            config_seed: config.seed,
+            rng: SplitMix64::new(mix_seed(config.seed, run_seed)),
+        })
+    }
+
+    /// Re-seeds the fault stream for a new run (the runner calls this
+    /// with the workload's scheduler seed before execution starts).
+    pub fn reseed(&mut self, run_seed: u64) {
+        self.rng = SplitMix64::new(mix_seed(self.config_seed, run_seed));
+    }
+
+    /// Runs an LBR snapshot through the pipeline; `None` = snapshot lost.
+    pub fn lbr_snapshot(&mut self, mut records: Vec<BranchRecord>) -> Option<Vec<BranchRecord>> {
+        for inj in &self.injectors {
+            if inj.loses_snapshot(&mut self.rng) {
+                return None;
+            }
+            inj.perturb_lbr(&mut self.rng, &mut records);
+        }
+        Some(records)
+    }
+
+    /// Runs an LCR snapshot through the pipeline; `None` = snapshot lost.
+    pub fn lcr_snapshot(
+        &mut self,
+        mut records: Vec<CoherenceRecord>,
+    ) -> Option<Vec<CoherenceRecord>> {
+        for inj in &self.injectors {
+            if inj.loses_snapshot(&mut self.rng) {
+                return None;
+            }
+            inj.perturb_lcr(&mut self.rng, &mut records);
+        }
+        Some(records)
+    }
+
+    /// Runs the PBI sampler's latched records through the pipeline.
+    pub fn samples(&mut self, mut samples: Vec<CoherenceRecord>) -> Vec<CoherenceRecord> {
+        for inj in &self.injectors {
+            inj.perturb_samples(&mut self.rng, &mut samples);
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lbr::Lbr;
+    use stm_machine::events::{AccessKind, BranchEvent, BranchKind, Ring};
+
+    fn cond(from: u64) -> BranchEvent {
+        BranchEvent {
+            from,
+            to: from + 0x10,
+            kind: BranchKind::CondJump,
+            ring: Ring::User,
+        }
+    }
+
+    fn coh(pc: u64, state: CoherenceState) -> CoherenceRecord {
+        CoherenceRecord {
+            pc,
+            state,
+            access: AccessKind::Load,
+        }
+    }
+
+    #[test]
+    fn noop_config_builds_no_layer() {
+        assert!(PerturbConfig::NONE.is_noop());
+        assert!(PerturbLayer::new(&PerturbConfig::NONE, 7).is_none());
+        assert!(PerturbConfig::default().build().is_empty());
+    }
+
+    #[test]
+    fn truncation_keeps_newest_prefix() {
+        let mut layer =
+            PerturbLayer::new(&PerturbConfig::NONE.truncate_lbr(2), 0).expect("layer built");
+        let snap: Vec<BranchRecord> = (0..5).rev().map(|i| cond(i).into()).collect();
+        let out = layer.lbr_snapshot(snap.clone()).expect("not lost");
+        assert_eq!(out, snap[..2].to_vec());
+    }
+
+    /// Wrapped-ring + truncation interaction: perturbing a ring that has
+    /// already wrapped must preserve newest-first order. Property-style
+    /// over every ring size 1..=32 and every truncation 1..=capacity.
+    #[test]
+    fn wrapped_ring_truncation_preserves_newest_first_order() {
+        for capacity in 1..=32usize {
+            let mut lbr = Lbr::new(capacity);
+            lbr.enable();
+            // Overfill well past a full wrap (and a second partial one).
+            let total = 2 * capacity + 3;
+            for i in 0..total {
+                lbr.record(cond(i as u64));
+            }
+            let full = lbr.snapshot();
+            assert_eq!(full.len(), capacity, "ring wraps to capacity");
+            // Newest-first after wrapping: froms descend from total-1.
+            let froms: Vec<u64> = full.iter().map(|r| r.from).collect();
+            let expect: Vec<u64> = (0..capacity).map(|i| (total - 1 - i) as u64).collect();
+            assert_eq!(froms, expect, "capacity {capacity}");
+            for keep in 1..=capacity {
+                let mut layer = PerturbLayer::new(&PerturbConfig::NONE.truncate_lbr(keep), 3)
+                    .expect("layer built");
+                let out = layer.lbr_snapshot(full.clone()).expect("not lost");
+                assert_eq!(
+                    out,
+                    full[..keep].to_vec(),
+                    "capacity {capacity}, truncate {keep}: newest-first prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_one_empties_and_zero_keeps() {
+        let snap: Vec<BranchRecord> = (0..8).map(|i| cond(i).into()).collect();
+        let mut all = PerturbLayer::new(&PerturbConfig::NONE.drop_rate(1.0), 1).unwrap();
+        assert_eq!(all.lbr_snapshot(snap.clone()).unwrap(), vec![]);
+        // Rate 0 alone is a no-op config; combine with truncation to get
+        // a live layer and check nothing is dropped.
+        let cfg = PerturbConfig::NONE.truncate_lbr(8).drop_rate(0.0);
+        let mut none = PerturbLayer::new(&cfg, 1).unwrap();
+        assert_eq!(none.lbr_snapshot(snap.clone()).unwrap(), snap);
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let cfg = PerturbConfig::NONE.drop_rate(0.5);
+        let snap: Vec<BranchRecord> = (0..32).map(|i| cond(i).into()).collect();
+        let run = |run_seed: u64| {
+            let mut layer = PerturbLayer::new(&cfg, run_seed).unwrap();
+            layer.lbr_snapshot(snap.clone()).unwrap()
+        };
+        assert_eq!(run(9), run(9), "same run seed, same faults");
+        assert_ne!(run(9), run(10), "different run seed, different faults");
+    }
+
+    #[test]
+    fn flip_changes_state_to_a_different_mesi_state() {
+        let cfg = PerturbConfig::NONE.flip_rate(1.0);
+        let mut layer = PerturbLayer::new(&cfg, 5).unwrap();
+        let recs: Vec<CoherenceRecord> = (0..16).map(|i| coh(i, MESI[i as usize % 4])).collect();
+        let out = layer.lcr_snapshot(recs.clone()).unwrap();
+        assert_eq!(out.len(), recs.len());
+        for (a, b) in recs.iter().zip(&out) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.access, b.access);
+            assert_ne!(a.state, b.state, "flip must pick a different state");
+        }
+    }
+
+    #[test]
+    fn loss_rate_one_loses_every_snapshot() {
+        let cfg = PerturbConfig::NONE.loss_rate(1.0);
+        let mut layer = PerturbLayer::new(&cfg, 2).unwrap();
+        assert!(layer.lbr_snapshot(vec![cond(1).into()]).is_none());
+        assert!(layer.lcr_snapshot(vec![coh(1, MESI[0])]).is_none());
+    }
+
+    #[test]
+    fn sampler_thinning_keeps_every_kth() {
+        let cfg = PerturbConfig::NONE.thin_sampler(3);
+        let mut layer = PerturbLayer::new(&cfg, 0).unwrap();
+        let samples: Vec<CoherenceRecord> =
+            (0..9).map(|i| coh(i, CoherenceState::Shared)).collect();
+        let out = layer.samples(samples);
+        let pcs: Vec<u64> = out.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_truncation_and_bad_rates() {
+        assert!(PerturbConfig::NONE.validate().is_ok());
+        assert!(PerturbConfig::NONE.truncate_lbr(0).validate().is_err());
+        assert!(PerturbConfig::NONE.truncate_lcr(0).validate().is_err());
+        let bad = PerturbConfig {
+            drop_ppm: PPM_SCALE + 1,
+            ..PerturbConfig::NONE
+        };
+        assert!(bad.validate().is_err());
+        assert!(PerturbConfig::NONE.drop_rate(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn reseed_replays_the_same_fault_stream() {
+        let cfg = PerturbConfig::NONE.drop_rate(0.5).with_seed(77);
+        let snap: Vec<BranchRecord> = (0..32).map(|i| cond(i).into()).collect();
+        let mut layer = PerturbLayer::new(&cfg, 1).unwrap();
+        let first = layer.lbr_snapshot(snap.clone()).unwrap();
+        layer.reseed(1);
+        assert_eq!(layer.lbr_snapshot(snap).unwrap(), first);
+    }
+}

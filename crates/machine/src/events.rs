@@ -292,6 +292,11 @@ pub enum CtlResponse {
     Lbr(Vec<BranchRecord>),
     /// An LCR snapshot, most recent access first.
     Lcr(Vec<CoherenceRecord>),
+    /// The operation should have produced data but the read failed — the
+    /// driver sees nothing for this snapshot. Produced by fault-injecting
+    /// hardware (`stm-hardware`'s perturbation layer); never by the real
+    /// monitoring unit on the happy path.
+    Lost,
 }
 
 /// The interface through which the interpreter drives the simulated

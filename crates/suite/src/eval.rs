@@ -211,6 +211,65 @@ pub fn lbra_rank(b: &Benchmark) -> Option<usize> {
     run_lbra(b).rank_of_branch(target)
 }
 
+/// The LBRA deployment's runner, for expanding witnesses once and reusing
+/// them across sensitivity-sweep settings (perturbations degrade only the
+/// snapshots the driver reads — never execution or classification — so a
+/// witness list found at full signal stays valid at every setting).
+pub fn lbra_runner(b: &Benchmark) -> Runner {
+    let opts = reactive_options(b, true, None);
+    Runner::new(Machine::new(instrument(&b.program, &opts)))
+}
+
+/// The LCRA (Conf2) deployment's runner; see [`lbra_runner`].
+pub fn lcra_runner(b: &Benchmark) -> Runner {
+    let opts = reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING));
+    Runner::new(Machine::new(instrument(&b.program, &opts)))
+}
+
+/// Runs LBRA on pre-expanded witnesses under an explicit hardware
+/// configuration — one cell of the §7-style sensitivity sweep (ring size
+/// × degradation). `runner` must come from [`lbra_runner`] so witnesses
+/// and instrumentation match.
+pub fn run_lbra_with_hw(
+    b: &Benchmark,
+    runner: &Runner,
+    hw: stm_hardware::HwConfig,
+    failing: Vec<Workload>,
+    passing: Vec<Workload>,
+) -> Result<LbraDiagnosis, stm_core::engine::SessionError> {
+    let profiles = DiagnosisSession::from_runner(runner)
+        .hw_config(hw)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(ProfileKind::Lbr)
+        .threads(default_threads())
+        .collect()?;
+    let mut d = profiles.lbra();
+    d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
+    Ok(d)
+}
+
+/// Runs LCRA (Conf2) on pre-expanded witnesses under an explicit hardware
+/// configuration; the LCR counterpart of [`run_lbra_with_hw`].
+pub fn run_lcra_with_hw(
+    b: &Benchmark,
+    runner: &Runner,
+    hw: stm_hardware::HwConfig,
+    failing: Vec<Workload>,
+    passing: Vec<Workload>,
+) -> Result<LcraDiagnosis, stm_core::engine::SessionError> {
+    Ok(DiagnosisSession::from_runner(runner)
+        .hw_config(hw)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(ProfileKind::Lcr)
+        .threads(default_threads())
+        .collect()?
+        .lcra())
+}
+
 /// Runs the benchmark under LCRLOG with the given configuration and
 /// returns the ring position of the failure-predicting event — a Table 7
 /// "LCRLOG" cell.

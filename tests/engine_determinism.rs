@@ -12,23 +12,37 @@ use stm::machine::interp::Machine;
 use stm::suite::eval::{expand_workloads, reactive_options};
 use stm::suite::Benchmark;
 
-/// Collects one benchmark's profiles at the given thread count.
-fn collect(b: &Benchmark, kind: ProfileKind, threads: usize) -> (Runner, CollectedProfiles) {
+/// Collects one benchmark's profiles at the given thread count, with an
+/// optional hardware override (perturbed sweeps reuse full-signal
+/// witnesses: perturbation never changes execution or classification).
+fn collect_hw(
+    b: &Benchmark,
+    kind: ProfileKind,
+    threads: usize,
+    hw: Option<stm::hardware::HwConfig>,
+) -> (Runner, CollectedProfiles) {
     let opts = match kind {
         ProfileKind::Lbr => reactive_options(b, true, None),
         ProfileKind::Lcr => reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING)),
     };
     let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
     let (failing, passing) = expand_workloads(b, &runner);
-    let profiles = DiagnosisSession::from_runner(&runner)
+    let mut session = DiagnosisSession::from_runner(&runner)
         .failure(b.truth.spec.clone())
         .failing(failing)
         .passing(passing)
         .profile_kind(kind)
-        .threads(threads)
-        .collect()
-        .expect("collection succeeds");
+        .threads(threads);
+    if let Some(hw) = hw {
+        session = session.hw_config(hw);
+    }
+    let profiles = session.collect().expect("collection succeeds");
     (runner, profiles)
+}
+
+/// Collects one benchmark's profiles at the given thread count.
+fn collect(b: &Benchmark, kind: ProfileKind, threads: usize) -> (Runner, CollectedProfiles) {
+    collect_hw(b, kind, threads, None)
 }
 
 fn witnesses(p: &CollectedProfiles) -> (Vec<String>, Vec<String>) {
@@ -58,6 +72,66 @@ fn lbra_ranking_json_is_identical_at_1_and_8_threads() {
         report(&p1),
         report(&p8),
         "LBRA ranking JSON must be byte-identical"
+    );
+}
+
+/// A mid-grid sensitivity setting: truncate both rings to 8 records and
+/// drop each surviving record with probability 1/2.
+fn perturbed_hw() -> stm::hardware::HwConfig {
+    stm::hardware::HwConfig {
+        perturb: stm::hardware::PerturbConfig::NONE
+            .truncate_lbr(8)
+            .truncate_lcr(8)
+            .drop_rate(0.5),
+        ..stm::hardware::HwConfig::default()
+    }
+}
+
+#[test]
+fn perturbed_lbra_ranking_json_is_identical_at_1_and_8_threads() {
+    // Fault injection draws from a per-run RNG seeded by the workload's
+    // scheduler seed, so a degraded-signal session must keep the engine's
+    // headline guarantee: thread count never changes results.
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    let (runner1, p1) = collect_hw(&b, ProfileKind::Lbr, 1, Some(perturbed_hw()));
+    let (_, p8) = collect_hw(&b, ProfileKind::Lbr, 8, Some(perturbed_hw()));
+
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let report = |p: &CollectedProfiles| {
+        let mut d = p.lbra();
+        d.exclude_site_guards(runner1.machine().program(), &b.truth.spec);
+        RankingReport::from_lbra(runner1.machine().program(), b.info.id, &d, 10)
+            .to_json()
+            .encode()
+    };
+    assert_eq!(
+        report(&p1),
+        report(&p8),
+        "perturbed LBRA ranking JSON must be byte-identical"
+    );
+}
+
+#[test]
+fn perturbed_lcra_ranking_json_is_identical_at_1_and_8_threads() {
+    let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
+    let (runner1, p1) = collect_hw(&b, ProfileKind::Lcr, 1, Some(perturbed_hw()));
+    let (_, p8) = collect_hw(&b, ProfileKind::Lcr, 8, Some(perturbed_hw()));
+
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let report = |p: &CollectedProfiles| {
+        let d = p.lcra();
+        RankingReport::from_lcra(runner1.machine().program(), b.info.id, &d, 10)
+            .to_json()
+            .encode()
+    };
+    assert_eq!(
+        report(&p1),
+        report(&p8),
+        "perturbed LCRA ranking JSON must be byte-identical"
     );
 }
 
