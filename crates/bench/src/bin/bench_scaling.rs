@@ -31,6 +31,7 @@ use stm_core::runner::Runner;
 use stm_core::transform::instrument;
 use stm_machine::events::LcrConfig;
 use stm_machine::interp::Machine;
+use stm_profiler::CriticalPathReport;
 use stm_suite::eval::reactive_options;
 use stm_telemetry::json::Json;
 
@@ -128,8 +129,15 @@ fn main() {
 
         let raw = best_of(|| timed_raw(&runner, &b, case.runs));
         let mut secs = [0.0f64; THREADS.len()];
+        let mut paths = Vec::new();
         for (i, &t) in THREADS.iter().enumerate() {
+            // Telemetry is already on (the emitter enabled it), so the
+            // sweeps leave full span DAGs behind; start each thread count
+            // from a drained buffer and attribute its last session.
+            let _ = stm_telemetry::take_spans();
             secs[i] = best_of(|| timed_sweep(&runner, &b, case.runs, t));
+            let report = CriticalPathReport::analyze(&stm_telemetry::take_spans());
+            paths.push((t, report));
         }
         let rps = |s: f64| case.runs as f64 / s;
 
@@ -143,6 +151,26 @@ fn main() {
             rps(secs[3]),
             rps(raw),
         );
+        // Informational: where the session wall-clock went at each thread
+        // count (machine-dependent, never gated).
+        for (t, report) in &paths {
+            match report {
+                Some(c) => {
+                    let phases = c.by_label();
+                    let us = |label: &str| phases.get(label).copied().unwrap_or(0);
+                    println!(
+                        "  t{t}: wall {} us | job execution {} | queue wait {} | hold-back {} | consume {} | efficiency {:.1}%",
+                        c.wall_us,
+                        us("job execution"),
+                        us("queue wait"),
+                        us("result hold-back"),
+                        us("ordered consumption"),
+                        c.parallel_efficiency_pct,
+                    );
+                }
+                None => println!("  t{t}: no completed session span"),
+            }
+        }
 
         let x1000 = |ratio: f64| Json::from((ratio * 1000.0).round());
         metrics.checkpoint(

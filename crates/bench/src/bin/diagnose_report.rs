@@ -5,8 +5,10 @@
 //! Sequential benchmarks run through LBRA, concurrency benchmarks through
 //! LCRA — the same reactive deployments the Table 6/7 harnesses use.
 //!
-//! Usage: `diagnose_report [--top K] [benchmark ids...]`
-//! (defaults: top 5, benchmarks `sort` and `apache4`).
+//! Usage: `diagnose_report [--top K] [--telemetry] [--trace-out FILE]
+//! [benchmark ids...]` (defaults: top 5, benchmarks `sort` and
+//! `apache4`). The shared observability flags enable span/metric
+//! collection and export a Chrome trace of the whole emission.
 
 use stm_core::engine::{DiagnosisSession, ProfileKind};
 use stm_core::runner::Runner;
@@ -72,9 +74,11 @@ fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
 }
 
 fn main() {
+    let (tele, rest) = stm_bench::TelemetryCli::from_env();
+    tele.apply();
     let mut top_k = 5usize;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = rest.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--top" => {
@@ -137,6 +141,9 @@ fn main() {
                 failed = true;
             }
         }
+    }
+    if let Err(e) = tele.finish() {
+        eprintln!("warning: {e}");
     }
     if failed {
         std::process::exit(1);

@@ -4,10 +4,12 @@
 //! the "model" columns describe our IR reproductions. Also writes
 //! `results/BENCH_table4.json` with the per-benchmark model sizes.
 
-use stm_bench::MetricsEmitter;
+use stm_bench::{MetricsEmitter, TelemetryCli};
 use stm_telemetry::json::Json;
 
 fn main() {
+    let (tele, _) = TelemetryCli::from_env();
+    tele.apply();
     let mut metrics = MetricsEmitter::new("table4");
     println!("Table 4: Features of real-world failures evaluated");
     println!(
@@ -44,5 +46,8 @@ fn main() {
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+    if let Err(e) = tele.finish() {
+        eprintln!("warning: {e}");
     }
 }

@@ -3,7 +3,7 @@
 //! computed by the static backward path analysis of §7.1.1. Also writes
 //! `results/BENCH_table5.json` with the per-benchmark ratios.
 
-use stm_bench::MetricsEmitter;
+use stm_bench::{MetricsEmitter, TelemetryCli};
 use stm_core::analysis::useful_branch_ratio;
 use stm_telemetry::json::Json;
 
@@ -32,6 +32,8 @@ const PAPER: &[(&str, f64)] = &[
 ];
 
 fn main() {
+    let (tele, _) = TelemetryCli::from_env();
+    tele.apply();
     let mut metrics = MetricsEmitter::new("table5");
     println!("Table 5: Resolution of control-flow uncertainties by LBRLOG");
     println!(
@@ -66,5 +68,8 @@ fn main() {
     match metrics.finish() {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+    if let Err(e) = tele.finish() {
+        eprintln!("warning: {e}");
     }
 }

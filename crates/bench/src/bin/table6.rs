@@ -4,12 +4,13 @@
 //! budget (default 1000, the paper's setting). Also writes
 //! `results/BENCH_table6.json` with per-benchmark ranks and run volumes.
 
-use stm_bench::{cbi_rank, dist, json_rank, mark, measure_overheads, MetricsEmitter};
+use stm_bench::{cbi_rank, dist, json_rank, mark, measure_overheads, MetricsEmitter, TelemetryCli};
 use stm_suite::eval::evaluate_sequential;
 use stm_telemetry::json::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (tele, args) = TelemetryCli::from_env();
+    tele.apply();
     let timed = args.iter().any(|a| a == "--timed");
     let cbi_runs = args
         .iter()
@@ -117,5 +118,8 @@ fn main() {
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+    if let Err(e) = tele.finish() {
+        eprintln!("warning: {e}");
     }
 }

@@ -3,10 +3,12 @@
 //! the space-consuming Conf2). Also writes `results/BENCH_table7.json`
 //! with per-benchmark ranks and run volumes.
 
-use stm_bench::{json_rank, mark, MetricsEmitter};
+use stm_bench::{json_rank, mark, MetricsEmitter, TelemetryCli};
 use stm_suite::eval::evaluate_concurrency;
 
 fn main() {
+    let (tele, _) = TelemetryCli::from_env();
+    tele.apply();
     let mut metrics = MetricsEmitter::new("table7");
     println!("Table 7: Failure diagnosis capability of LCR (paper values in parentheses)");
     println!(
@@ -46,5 +48,8 @@ fn main() {
     match metrics.finish() {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write metrics: {e}"),
+    }
+    if let Err(e) = tele.finish() {
+        eprintln!("warning: {e}");
     }
 }

@@ -1,14 +1,17 @@
-//! Measures the cost of the telemetry layer itself on three suite
-//! benchmarks: perf-workload throughput with collection disabled (the
-//! hooks gate on one relaxed atomic load) versus enabled (counter
-//! batches, ring-push counters and spans). Writes
+//! Measures the cost of the observability layers themselves on three
+//! suite benchmarks: perf-workload throughput with telemetry collection
+//! disabled (the hooks gate on one relaxed atomic load) versus enabled
+//! (counter batches, ring-push counters and spans), and with the guest
+//! sampling profiler on at its default period (telemetry off — the two
+//! costs are independent). Writes
 //! `results/BENCH_telemetry_overhead.json`.
 //!
 //! Usage: `telemetry_overhead [--iters N]` (default 60 runs per sample).
 
 use std::time::Instant;
 use stm_core::runner::Runner;
-use stm_machine::interp::Machine;
+use stm_machine::interp::{Machine, RunConfig};
+use stm_profiler::DEFAULT_PERIOD;
 use stm_suite::Benchmark;
 use stm_telemetry::json::Json;
 
@@ -39,32 +42,58 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
 
-    println!("Telemetry collection overhead ({iters} runs/sample, best of {SAMPLES}):");
+    println!("Observability overhead ({iters} runs/sample, best of {SAMPLES}):");
     println!(
-        "{:<12} {:>14} {:>14} {:>10}",
-        "Benchmark", "off ns/run", "on ns/run", "overhead"
+        "{:<12} {:>14} {:>14} {:>10} {:>14} {:>10}",
+        "Benchmark", "off ns/run", "on ns/run", "telemetry", "sampled ns/run", "sampling"
     );
     let mut rows = std::collections::BTreeMap::new();
     for id in BENCHMARKS {
         let b = stm_suite::by_id(id).expect("suite benchmark");
         let runner = Runner::new(Machine::new(b.program.clone()));
-        // Warm up caches and the allocator before either mode is timed.
+        let sampling_runner =
+            Runner::new(Machine::new(b.program.clone())).with_run_config(RunConfig {
+                profile_period: DEFAULT_PERIOD,
+                ..RunConfig::default()
+            });
+        // Warm up caches and the allocator before any mode is timed.
         let _ = ns_per_run(&runner, &b, iters.min(10));
 
         stm_telemetry::set_enabled(false);
         let off = ns_per_run(&runner, &b, iters);
+        let sampled = ns_per_run(&sampling_runner, &b, iters);
         stm_telemetry::set_enabled(true);
+        let before = stm_telemetry::metrics_snapshot();
         let on = ns_per_run(&runner, &b, iters);
+        let delta = stm_telemetry::metrics_snapshot().delta_since(&before);
         stm_telemetry::set_enabled(false);
 
-        let overhead_pct = ((on - off) / off * 100.0).max(0.0);
-        println!("{id:<12} {off:>14.0} {on:>14.0} {overhead_pct:>9.2}%");
+        // The enabled phase doubles as a data check: the histogram delta
+        // must show exactly the timed runs (SAMPLES timed batches).
+        let (runs, steps_per_run) = delta
+            .histograms
+            .iter()
+            .find(|h| h.name == "machine.run_steps")
+            .map(|h| (h.count, h.sum as f64 / h.count.max(1) as f64))
+            .unwrap_or((0, 0.0));
+
+        let pct = |cost: f64| ((cost - off) / off * 100.0).max(0.0);
+        let telemetry_pct = pct(on);
+        let sampling_pct = pct(sampled);
+        println!(
+            "{id:<12} {off:>14.0} {on:>14.0} {telemetry_pct:>9.2}% {sampled:>14.0} {sampling_pct:>9.2}%"
+        );
         rows.insert(
             id.to_string(),
             Json::obj([
                 ("disabled_ns_per_run", Json::from(off)),
                 ("enabled_ns_per_run", Json::from(on)),
-                ("overhead_pct", Json::from(overhead_pct)),
+                ("overhead_pct", Json::from(telemetry_pct)),
+                ("sampling_ns_per_run", Json::from(sampled)),
+                ("sampling_overhead_pct", Json::from(sampling_pct)),
+                ("sampling_period", Json::from(DEFAULT_PERIOD)),
+                ("timed_runs_observed", Json::from(runs)),
+                ("steps_per_run", Json::from(steps_per_run)),
             ]),
         );
     }

@@ -1,50 +1,66 @@
 //! Runs one suite benchmark's full diagnosis under telemetry and exports
 //! a Chrome `trace_event` JSON — load it at chrome://tracing or
-//! https://ui.perfetto.dev to see the interpreter runs, ring snapshots
-//! and diagnosis phases on a timeline.
+//! https://ui.perfetto.dev to see the interpreter runs, ring snapshots,
+//! diagnosis phases and per-job flow arrows on a timeline.
 //!
-//! Usage: `trace_run <benchmark-id> [--out FILE] [--threads N]`
-//! (default output: `results/TRACE_<id>.json`; default threads: the
-//! `STM_THREADS` env var, else available parallelism capped at 8)
+//! Usage: `trace_run <benchmark-id> [--trace-out FILE] [--threads N]`
+//! (default output: `results/TRACE_<id>.json`; `--out` is accepted as an
+//! alias for `--trace-out`; default threads: the `STM_THREADS` env var,
+//! else available parallelism capped at 8). Telemetry is always on here —
+//! exporting the trace is this binary's whole job — so the shared
+//! `--telemetry` flag is accepted but redundant.
 
+use stm_bench::TelemetryCli;
 use stm_suite::BugClass;
-use stm_telemetry::json::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(id) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace_run <benchmark-id> [--out FILE] [--threads N]");
+    let (mut tele, rest) = TelemetryCli::from_env();
+    let mut id: Option<String> = None;
+    let mut args = rest.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // Historical alias for the shared --trace-out flag.
+            "--out" => match args.next() {
+                Some(path) => tele.trace_out = Some(path),
+                None => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => {
+                let Some(threads) = args.next().filter(|t| t.parse::<usize>().is_ok()) else {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                };
+                // The eval drivers read STM_THREADS for their collection
+                // engine.
+                std::env::set_var("STM_THREADS", threads);
+            }
+            other if !other.starts_with("--") && id.is_none() => id = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(id) = id else {
+        eprintln!("usage: trace_run <benchmark-id> [--trace-out FILE] [--threads N]");
         eprintln!("benchmarks:");
         for b in stm_suite::all() {
             eprintln!("  {:<12} ({:?})", b.info.id, b.info.bug_class);
         }
         std::process::exit(2);
     };
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("results/TRACE_{id}.json"));
-    if let Some(threads) = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-    {
-        if threads.parse::<usize>().is_err() {
-            eprintln!("--threads needs a number, got {threads:?}");
-            std::process::exit(2);
-        }
-        // The eval drivers read STM_THREADS for their collection engine.
-        std::env::set_var("STM_THREADS", threads);
-    }
-
-    let Some(b) = stm_suite::by_id(id) else {
+    let Some(b) = stm_suite::by_id(&id) else {
         eprintln!("unknown benchmark {id:?}; run with no arguments for the list");
         std::process::exit(2);
     };
 
-    stm_telemetry::set_enabled(true);
+    tele.enabled = true;
+    if tele.trace_out.is_none() {
+        tele.trace_out = Some(format!("results/TRACE_{id}.json"));
+    }
+    tele.apply();
     {
         let _run = stm_telemetry::span_cat("trace_run", "harness");
         match b.info.bug_class {
@@ -71,18 +87,10 @@ fn main() {
         }
     }
 
-    let spans = stm_telemetry::take_spans();
-    let trace = stm_telemetry::export::chrome_trace(&spans);
-    // Round-trip through the parser: never ship a malformed trace.
-    if let Err(e) = Json::parse(&trace) {
-        eprintln!("internal error: generated trace is not valid JSON: {e}");
+    if let Err(e) = tele.finish() {
+        eprintln!("internal error: {e}");
         std::process::exit(1);
     }
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    std::fs::write(&out, &trace).expect("write trace file");
-    println!("wrote {out} ({} events)", spans.len());
 
     println!();
     print!(

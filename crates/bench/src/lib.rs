@@ -197,6 +197,7 @@ impl MetricsEmitter {
         let now = stm_telemetry::metrics_snapshot();
         let counters: std::collections::BTreeMap<String, Json> = now
             .delta_since(&self.last)
+            .counters
             .into_iter()
             .map(|(name, v)| (name, Json::from(v)))
             .collect();
@@ -243,6 +244,114 @@ impl MetricsEmitter {
         std::fs::write(&path, doc.encode() + "\n")?;
         Ok(path)
     }
+}
+
+/// The shared observability flags every harness binary understands:
+/// `--telemetry` turns span/metric collection on for the whole process,
+/// and `--trace-out <path>` additionally exports a Chrome `trace_event`
+/// JSON when the harness exits (implying `--telemetry`). One parser, one
+/// behaviour — `table4`…`table7`, `diagnose_report`, `trace_run` and
+/// `profile_run` all route through here instead of hand-rolling flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryCli {
+    /// Collection requested (`--telemetry`, or implied by `--trace-out`).
+    pub enabled: bool,
+    /// Export path for the Chrome trace, when requested.
+    pub trace_out: Option<String>,
+}
+
+impl TelemetryCli {
+    /// Extracts the shared flags out of `args`, removing them so the
+    /// caller's own positional/flag parsing never sees them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when `--trace-out` is missing its path.
+    pub fn extract(args: &mut Vec<String>) -> Result<TelemetryCli, String> {
+        let mut cli = TelemetryCli::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--telemetry" => {
+                    cli.enabled = true;
+                    args.remove(i);
+                }
+                "--trace-out" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--trace-out needs a file path".to_string());
+                    }
+                    cli.trace_out = Some(args.remove(i));
+                    cli.enabled = true;
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Extracts the shared flags from the process arguments; exits with
+    /// the usage error on a malformed invocation. Returns the remaining
+    /// arguments (program name excluded) for the caller to parse.
+    pub fn from_env() -> (TelemetryCli, Vec<String>) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        match TelemetryCli::extract(&mut args) {
+            Ok(cli) => (cli, args),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Applies the flags: enables collection and drains any spans a
+    /// previous phase left behind, so an exported trace starts at this
+    /// harness's own work. No-op when the flags were not given.
+    pub fn apply(&self) {
+        if self.enabled {
+            stm_telemetry::set_enabled(true);
+            let _ = stm_telemetry::take_spans();
+        }
+    }
+
+    /// Finishes the harness: writes the Chrome trace when `--trace-out`
+    /// was given (round-tripped through the strict JSON parser first —
+    /// never ship a malformed trace) and prints the metrics summary when
+    /// telemetry was on. Returns the trace path if one was written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trace fails validation or the write
+    /// fails.
+    pub fn finish(&self) -> Result<Option<String>, String> {
+        let Some(out) = &self.trace_out else {
+            return Ok(None);
+        };
+        write_trace(&stm_telemetry::take_spans(), out)?;
+        Ok(Some(out.clone()))
+    }
+}
+
+/// Writes `spans` as a Chrome `trace_event` JSON at `out`, round-tripped
+/// through the strict parser first — never ship a malformed trace.
+/// Harnesses that need the spans for their own analysis (critical-path
+/// attribution) drain them once and call this directly instead of
+/// [`TelemetryCli::finish`].
+///
+/// # Errors
+///
+/// Returns an error when the trace fails validation or the write fails.
+pub fn write_trace(spans: &[stm_telemetry::SpanRecord], out: &str) -> Result<(), String> {
+    let trace = stm_telemetry::export::chrome_trace(spans);
+    if let Err(e) = stm_telemetry::json::Json::parse(&trace) {
+        return Err(format!("generated trace is not valid JSON: {e}"));
+    }
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(out, &trace).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out} ({} events)", spans.len());
+    Ok(())
 }
 
 /// A dependency-free micro-benchmark harness for the `benches/` targets
@@ -294,6 +403,35 @@ mod tests {
         assert_eq!(mark(None), "-");
         assert_eq!(dist(Some(0)), "0");
         assert_eq!(dist(None), "inf");
+    }
+
+    #[test]
+    fn telemetry_cli_extracts_and_leaves_the_rest() {
+        let mut args: Vec<String> = ["sort", "--telemetry", "--top", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = TelemetryCli::extract(&mut args).unwrap();
+        assert!(cli.enabled);
+        assert_eq!(cli.trace_out, None);
+        assert_eq!(args, vec!["sort", "--top", "3"]);
+
+        let mut args: Vec<String> = ["--trace-out", "results/T.json", "apache4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = TelemetryCli::extract(&mut args).unwrap();
+        assert!(cli.enabled, "--trace-out implies --telemetry");
+        assert_eq!(cli.trace_out.as_deref(), Some("results/T.json"));
+        assert_eq!(args, vec!["apache4"]);
+
+        let mut args = vec!["--trace-out".to_string()];
+        assert!(TelemetryCli::extract(&mut args).is_err());
+
+        let mut args = vec!["plain".to_string()];
+        let cli = TelemetryCli::extract(&mut args).unwrap();
+        assert_eq!(cli, TelemetryCli::default());
+        assert!(cli.finish().unwrap().is_none(), "no trace requested");
     }
 
     #[test]

@@ -559,11 +559,19 @@ fn resolve_threads(threads: usize) -> usize {
 
 /// One replay: its logical index (the determinism key), which workload it
 /// came from (for witness naming), and the exact workload to run.
+///
+/// `flow` and `enqueued` are telemetry plumbing stamped at dispatch time:
+/// the flow id ties the job's enqueue, execution and ordered consumption
+/// into one Chrome-trace causal chain, and the enqueue timestamp feeds
+/// the queue-wait histogram. Both stay zero/`None` when collection is
+/// off and never influence execution.
 #[derive(Debug, Clone)]
 struct Job {
     index: u64,
     widx: usize,
     workload: Workload,
+    flow: u64,
+    enqueued: Option<std::time::Instant>,
 }
 
 /// A pure index → job function; see the module docs.
@@ -625,6 +633,8 @@ impl JobPlan {
                     index,
                     widx,
                     workload,
+                    flow: 0,
+                    enqueued: None,
                 }
             }
             JobPlan::Scan {
@@ -638,6 +648,8 @@ impl JobPlan {
                     index,
                     widx,
                     workload,
+                    flow: 0,
+                    enqueued: None,
                 }
             }
         }
@@ -874,49 +886,75 @@ where
             let res_tx = res_tx.clone();
             let mut exec = factory(w);
             s.spawn(move || {
-                let _worker_span = stm_telemetry::span_cat("engine.worker", "engine");
-                loop {
-                    // Hold the lock only to dequeue, never while running.
-                    let job = {
-                        let rx = job_rx.lock().unwrap_or_else(|p| p.into_inner());
-                        match rx.recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // queue closed: drain done
+                {
+                    let _worker_span = stm_telemetry::span_cat("engine.worker", "engine");
+                    loop {
+                        // Hold the lock only to dequeue, never while running.
+                        let job = {
+                            let rx = job_rx.lock().unwrap_or_else(|p| p.into_inner());
+                            match rx.recv() {
+                                Ok(job) => job,
+                                Err(_) => break, // queue closed: drain done
+                            }
+                        };
+                        if let Some(at) = job.enqueued {
+                            stm_telemetry::histogram!("engine.queue_wait_us")
+                                .record(at.elapsed().as_micros() as u64);
                         }
-                    };
-                    let _span = stm_telemetry::span_cat("engine.job", "engine");
-                    stm_telemetry::counter!("engine.runs").incr();
-                    let index = job.index;
-                    let msg = match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
-                        Ok((report, class)) => WorkerMsg::Done {
-                            job,
-                            report: Box::new(report),
-                            class,
-                        },
-                        Err(p) => WorkerMsg::Panicked {
-                            job: index,
-                            message: panic_message(p),
-                        },
-                    };
-                    let poisoned = matches!(msg, WorkerMsg::Panicked { .. });
-                    let _ = res_tx.send(msg);
-                    if poisoned {
-                        break; // a panicked executor is not reusable
+                        let _span = stm_telemetry::span_cat("engine.job", "engine")
+                            .with_flow(job.flow, stm_telemetry::FlowPhase::Step);
+                        stm_telemetry::counter!("engine.runs").incr();
+                        let index = job.index;
+                        let msg = match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                            Ok((report, class)) => WorkerMsg::Done {
+                                job,
+                                report: Box::new(report),
+                                class,
+                            },
+                            Err(p) => WorkerMsg::Panicked {
+                                job: index,
+                                message: panic_message(p),
+                            },
+                        };
+                        let poisoned = matches!(msg, WorkerMsg::Panicked { .. });
+                        let _ = res_tx.send(msg);
+                        if poisoned {
+                            break; // a panicked executor is not reusable
+                        }
                     }
                 }
+                // `scope` can see this thread as finished before its TLS
+                // destructors flush the span buffer; push the spans to
+                // the global sink while still ahead of the join.
+                stm_telemetry::flush_thread();
             });
         }
         drop(res_tx);
 
         let mut dispatched = 0u64;
         let mut consumed = 0u64;
-        let mut pending: BTreeMap<u64, (Job, RunReport, RunClass)> = BTreeMap::new();
+        // Each parked result remembers when it arrived, so ordered
+        // consumption can report how long speculation held it back.
+        type Parked = (Job, RunReport, RunClass, Option<std::time::Instant>);
+        let mut pending: BTreeMap<u64, Parked> = BTreeMap::new();
         let mut failure: Option<SessionError> = None;
         while consumed < limit && !quota.done() && failure.is_none() {
             // Keep the queue primed up to the speculation window.
             while dispatched < limit && dispatched < consumed + window as u64 {
-                let job = plan.job_at(dispatched);
-                if job_tx.send(job).is_err() {
+                let mut job = plan.job_at(dispatched);
+                if stm_telemetry::enabled() {
+                    // Stamp the causal chain: enqueue → worker execution
+                    // → ordered consumption share this flow id.
+                    job.flow = stm_telemetry::new_flow_id();
+                    job.enqueued = Some(std::time::Instant::now());
+                }
+                let flow = job.flow;
+                let sent = {
+                    let _enq = stm_telemetry::span_cat("engine.enqueue", "engine")
+                        .with_flow(flow, stm_telemetry::FlowPhase::Start);
+                    job_tx.send(job).is_ok()
+                };
+                if !sent {
                     break;
                 }
                 stm_telemetry::counter!("engine.jobs").incr();
@@ -930,7 +968,8 @@ where
             depth.add(-1);
             match msg {
                 WorkerMsg::Done { job, report, class } => {
-                    pending.insert(job.index, (job, *report, class));
+                    let arrived = stm_telemetry::enabled().then(std::time::Instant::now);
+                    pending.insert(job.index, (job, *report, class, arrived));
                 }
                 WorkerMsg::Panicked { job, message } => {
                     failure = Some(SessionError::WorkerPanicked { job, message });
@@ -939,9 +978,15 @@ where
             // Consume the ready prefix, in order, re-checking the quota
             // after each job exactly as the sequential loop does.
             while !quota.done() {
-                let Some((job, report, class)) = pending.remove(&consumed) else {
+                let Some((job, report, class, arrived)) = pending.remove(&consumed) else {
                     break;
                 };
+                if let Some(at) = arrived {
+                    stm_telemetry::histogram!("engine.result_holdback_us")
+                        .record(at.elapsed().as_micros() as u64);
+                }
+                let _span = stm_telemetry::span_cat("engine.consume", "engine")
+                    .with_flow(job.flow, stm_telemetry::FlowPhase::End);
                 consume(job, report, class, quota, spec, sink);
                 consumed += 1;
             }

@@ -230,6 +230,7 @@ impl Runner {
             seed: workload.seed,
         };
         let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
+        hw.counters().flush_run_telemetry();
         (report, hw)
     }
 
@@ -258,6 +259,7 @@ impl Runner {
         };
         cfg.sample_seed = sample_seed;
         let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
+        hw.counters().flush_run_telemetry();
         let class = classify(self.machine.program(), &report, workload, spec);
         note_class(class);
         (report, class)

@@ -44,6 +44,17 @@ impl PerfCounters {
     pub fn reset(&mut self) {
         self.counts.clear();
     }
+
+    /// Flushes this run's totals into the telemetry collector: one
+    /// histogram sample of total coherence-event volume, so per-run
+    /// hardware pressure shows up next to the profiler's per-run guest
+    /// costs. Free when collection is off; call once at end of run.
+    pub fn flush_run_telemetry(&self) {
+        if !stm_telemetry::enabled() {
+            return;
+        }
+        stm_telemetry::histogram!("hw.counters.events_per_run").record(self.total());
+    }
 }
 
 /// Interrupt-driven sampling of coherence events (the PBI mechanism).

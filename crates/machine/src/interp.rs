@@ -20,7 +20,8 @@ use crate::ir::{
 use crate::layout::{Layout, SLOT};
 use crate::memory::{MemFault, Memory, RegionKind};
 use crate::report::{
-    Failure, FailureKind, LogEvent, ProfileData, ProfileEvent, RunOutcome, RunReport, SampleEvent,
+    Failure, FailureKind, LockWaitEvent, LogEvent, ProfileData, ProfileEvent, RunOutcome,
+    RunReport, SampleEvent, StackSample,
 };
 use crate::rng::SplitMix64;
 use crate::sched::{SchedPolicy, Scheduler};
@@ -40,6 +41,13 @@ pub struct RunConfig {
     pub sample_seed: u64,
     /// Maximum call depth before a stack-overflow failure.
     pub max_call_depth: usize,
+    /// Guest-profiler sampling period: every `profile_period` retired
+    /// instructions the interpreter captures the scheduled thread's call
+    /// stack into [`RunReport::stack_samples`] and tracks contended lock
+    /// acquisitions into [`RunReport::lock_waits`]. 0 (the default)
+    /// disables profiling entirely — the hot loop then pays exactly one
+    /// integer compare per step.
+    pub profile_period: u64,
 }
 
 impl Default for RunConfig {
@@ -51,6 +59,7 @@ impl Default for RunConfig {
             sample_mean: 100,
             sample_seed: 0,
             max_call_depth: 128,
+            profile_period: 0,
         }
     }
 }
@@ -122,6 +131,15 @@ struct Frame {
     ret_pc: u64,
 }
 
+/// One in-progress contended lock acquisition, tracked per thread while
+/// guest profiling is on: where the thread first blocked and on whom.
+#[derive(Debug, Clone, Copy)]
+struct PendingLock {
+    addr: u64,
+    since_step: u64,
+    holder: Option<ThreadId>,
+}
+
 #[derive(Debug)]
 struct ThreadState {
     status: Status,
@@ -130,6 +148,8 @@ struct ThreadState {
     countdown: u32,
     /// Global step at which this thread last retired an instruction.
     last_step: u64,
+    /// Contended acquisition in progress (guest profiling only).
+    pending_lock: Option<PendingLock>,
 }
 
 enum Flow {
@@ -184,6 +204,8 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             accesses_retired: 0,
             threads_spawned: 0,
             thread_states: Vec::new(),
+            stack_samples: Vec::new(),
+            lock_waits: Vec::new(),
         };
         let mut exec = Exec {
             m,
@@ -235,6 +257,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             sp,
             countdown: self.sample_rng.next_countdown(self.cfg.sample_mean),
             last_step: 0,
+            pending_lock: None,
         });
         self.report.threads_spawned += 1;
         tid
@@ -282,6 +305,12 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             // Unblock the thread; blocked statements re-execute.
             self.threads[tid.index()].status = Status::Runnable;
             self.threads[tid.index()].last_step = self.steps;
+            // The guest profiler's "sampling interrupt": driven by the
+            // retired-instruction count, not wall-clock, so the sample
+            // stream replays identically with the run.
+            if self.cfg.profile_period != 0 && self.steps.is_multiple_of(self.cfg.profile_period) {
+                self.record_stack_sample(tid);
+            }
             match self.step(tid) {
                 Flow::Next => {
                     self.threads[tid.index()]
@@ -333,6 +362,65 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         self.report.thread_states = states;
     }
 
+    /// Captures the scheduled thread's call stack, outermost frame first —
+    /// the guest profiler's sample. Only called while profiling is on.
+    fn record_stack_sample(&mut self, tid: ThreadId) {
+        let frames = self.threads[tid.index()]
+            .frames
+            .iter()
+            .map(|f| (f.func, f.block))
+            .collect();
+        self.report.stack_samples.push(StackSample {
+            thread: tid,
+            step: self.steps,
+            frames,
+        });
+    }
+
+    /// Guest profiling: a lock acquisition failed; remember when this
+    /// thread first blocked on the lock and who held it then (the lock
+    /// word stores `holder + 1`).
+    fn record_lock_blocked(&mut self, tid: ThreadId, addr: u64, held: i64) {
+        let holder = u32::try_from(held - 1)
+            .ok()
+            .map(ThreadId)
+            .filter(|h| h.index() < self.threads.len());
+        let t = &mut self.threads[tid.index()];
+        let fresh = match t.pending_lock {
+            Some(p) => p.addr != addr,
+            None => true,
+        };
+        if fresh {
+            t.pending_lock = Some(PendingLock {
+                addr,
+                since_step: self.steps,
+                holder,
+            });
+        }
+    }
+
+    /// Guest profiling: a lock acquisition succeeded. When the thread had
+    /// been blocked on this same lock, emit the wait record (uncontended
+    /// acquisitions record nothing).
+    fn record_lock_acquired(&mut self, tid: ThreadId, addr: u64, pc: u64) {
+        let t = &mut self.threads[tid.index()];
+        let Some(p) = t.pending_lock.take() else {
+            return;
+        };
+        if p.addr != addr {
+            t.pending_lock = Some(p);
+            return;
+        }
+        self.report.lock_waits.push(LockWaitEvent {
+            addr,
+            waiter: tid,
+            holder: p.holder,
+            wait_steps: self.steps.saturating_sub(p.since_step),
+            acquired_step: self.steps,
+            pc,
+        });
+    }
+
     /// Flushes the run's telemetry accumulators into the global collector
     /// (one batch of atomic adds per run; free when collection is off).
     fn flush_telemetry(&self) {
@@ -352,6 +440,12 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             stm_telemetry::counter!("machine.runs_failed").incr();
         }
         stm_telemetry::histogram!("machine.run_steps").record(self.steps);
+        if self.cfg.profile_period != 0 {
+            stm_telemetry::counter!("machine.profile_samples")
+                .add(self.report.stack_samples.len() as u64);
+            stm_telemetry::counter!("machine.profile_lock_waits")
+                .add(self.report.lock_waits.len() as u64);
+        }
     }
 
     /// Records the failure and lets the registered fault handler profile
@@ -691,13 +785,21 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                 let held = self.mem.read(a).unwrap_or(0);
                 if held == 0 {
                     match self.access(tid, pc, a, AccessKind::Store, Some(tid.0 as i64 + 1)) {
-                        Ok(_) => Flow::Next,
+                        Ok(_) => {
+                            if self.cfg.profile_period != 0 {
+                                self.record_lock_acquired(tid, a, pc);
+                            }
+                            Flow::Next
+                        }
                         Err(k) => Flow::Fault(k),
                     }
                 } else {
                     // Failed acquisition: observe the lock word, then sleep.
                     if let Err(k) = self.access(tid, pc, a, AccessKind::Load, None) {
                         return Flow::Fault(k);
+                    }
+                    if self.cfg.profile_period != 0 {
+                        self.record_lock_blocked(tid, a, held);
                     }
                     self.threads[tid.index()].status = Status::BlockedLock(a);
                     Flow::Blocked
@@ -1423,5 +1525,136 @@ mod tests {
         let cfg = RunConfig::default();
         assert_eq!(m.run(&[0], &cfg, &mut NullHardware).outputs, vec![1]);
         assert_eq!(m.run(&[1], &cfg, &mut NullHardware).outputs, vec![2]);
+    }
+
+    /// main calls `work`, which loops `n` times — deep enough stacks and
+    /// enough steps for the sampling countdown to fire repeatedly.
+    fn looping_program() -> Program {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let work = pb.declare_function("work");
+        {
+            let mut f = pb.build_function(work, "lib.c");
+            let ps = f.params(1);
+            let header = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            let i = f.var();
+            f.assign(i, 0);
+            f.jmp(header);
+            f.set_block(header);
+            let c = f.bin(BinOp::Lt, i, ps[0]);
+            f.br(c, body, done);
+            f.set_block(body);
+            f.assign_bin(i, BinOp::Add, i, 1);
+            f.jmp(header);
+            f.set_block(done);
+            f.ret(Some(i.into()));
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let n = f.read_input(0);
+            let r = f.call(work, &[n.into()]);
+            f.output(r);
+            f.ret(None);
+            f.finish();
+        }
+        pb.finish(main)
+    }
+
+    #[test]
+    fn guest_sampling_fires_on_period_and_replays_identically() {
+        let m = Machine::new(looping_program());
+        let cfg = RunConfig {
+            profile_period: 10,
+            ..RunConfig::with_seed(3)
+        };
+        let r1 = m.run(&[50], &cfg, &mut NullHardware);
+        let r2 = m.run(&[50], &cfg, &mut NullHardware);
+        // One sample per full period, at exact period multiples.
+        assert_eq!(r1.stack_samples.len() as u64, r1.steps / 10);
+        assert!(!r1.stack_samples.is_empty());
+        for s in &r1.stack_samples {
+            assert_eq!(s.step % 10, 0);
+            assert!(!s.frames.is_empty());
+            assert_eq!(s.frames[0].0, FuncId::new(0), "outermost frame is main");
+        }
+        // Most of the run sits inside work(): some sample must see the
+        // two-deep main -> work stack.
+        assert!(r1.stack_samples.iter().any(|s| s.frames.len() == 2));
+        // The sample stream is as deterministic as the run.
+        assert_eq!(r1.stack_samples, r2.stack_samples);
+        assert_eq!(r1.steps, r2.steps);
+    }
+
+    #[test]
+    fn guest_sampling_disabled_records_nothing_and_changes_nothing() {
+        let m = Machine::new(looping_program());
+        let plain = RunConfig::with_seed(3);
+        let profiled = RunConfig {
+            profile_period: 7,
+            ..RunConfig::with_seed(3)
+        };
+        let r_plain = m.run(&[50], &plain, &mut NullHardware);
+        let r_prof = m.run(&[50], &profiled, &mut NullHardware);
+        assert!(r_plain.stack_samples.is_empty());
+        assert!(r_plain.lock_waits.is_empty());
+        // Profiling observes the run without perturbing it.
+        assert_eq!(r_plain.outputs, r_prof.outputs);
+        assert_eq!(r_plain.steps, r_prof.steps);
+        assert_eq!(r_plain.outcome, r_prof.outcome);
+    }
+
+    #[test]
+    fn guest_lock_profile_attributes_holder_and_wait() {
+        // Main grabs the mutex, spawns a worker that wants it, and holds
+        // on through a pile of yields: the worker's acquisition must be
+        // recorded with main as the holder and a nonzero wait.
+        let mut pb = ProgramBuilder::new("p");
+        let mutex = pb.global("mutex", 1);
+        let main = pb.declare_function("main");
+        let worker = pb.declare_function("worker");
+        {
+            let mut f = pb.build_function(worker, "w.c");
+            f.lock(mutex as i64);
+            f.unlock(mutex as i64);
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            f.lock(mutex as i64);
+            let t = f.spawn(worker, &[]);
+            for _ in 0..64 {
+                f.yield_now();
+            }
+            f.unlock(mutex as i64);
+            f.join(t);
+            f.ret(None);
+            f.finish();
+        }
+        let m = Machine::new(pb.finish(main));
+        let contended = (0..10).find_map(|seed| {
+            let cfg = RunConfig {
+                profile_period: 1,
+                ..RunConfig::with_seed(seed)
+            };
+            let r = m.run(&[], &cfg, &mut NullHardware);
+            assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
+            r.lock_waits.first().copied().map(|w| (seed, r.clone(), w))
+        });
+        let (seed, r, w) = contended.expect("some seed contends the lock");
+        assert_eq!(w.addr, mutex);
+        assert_eq!(w.waiter, ThreadId(1));
+        assert_eq!(w.holder, Some(ThreadId::MAIN));
+        assert!(w.wait_steps >= 1, "blocked at least one step");
+        assert!(w.acquired_step > 0);
+        // Replays identically.
+        let cfg = RunConfig {
+            profile_period: 1,
+            ..RunConfig::with_seed(seed)
+        };
+        assert_eq!(m.run(&[], &cfg, &mut NullHardware).lock_waits, r.lock_waits);
     }
 }

@@ -6,7 +6,7 @@
 //! the baselines and step statistics.
 
 use crate::events::{BranchRecord, CoherenceRecord};
-use crate::ids::{FuncId, LogSiteId, SampleId, ThreadId};
+use crate::ids::{BlockId, FuncId, LogSiteId, SampleId, ThreadId};
 use crate::ir::{LogKind, ProfileRole, SourceLoc};
 use std::fmt;
 
@@ -191,6 +191,43 @@ pub struct SampleEvent {
     pub step: u64,
 }
 
+/// One guest-profiler stack sample: where one thread stood when the
+/// sampling countdown fired. Samples fire every
+/// [`RunConfig::profile_period`](crate::interp::RunConfig::profile_period)
+/// retired instructions and hit whichever thread the (seeded) scheduler
+/// picked for that step — so the sample stream is exactly as
+/// deterministic as the run itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSample {
+    /// The thread that retired the sampled instruction.
+    pub thread: ThreadId,
+    /// Global step at which the sample fired.
+    pub step: u64,
+    /// The thread's call stack, outermost frame first; each entry is a
+    /// frame's function and the basic block it was executing.
+    pub frames: Vec<(FuncId, BlockId)>,
+}
+
+/// One contended lock acquisition observed by the guest profiler: how
+/// long the waiter stalled (in retired instructions, the machine's only
+/// clock) and who held the lock when it first blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockWaitEvent {
+    /// Address of the lock word.
+    pub addr: u64,
+    /// The thread that waited.
+    pub waiter: ThreadId,
+    /// The thread holding the lock when the waiter first blocked
+    /// (`None` when the lock word held a value no live thread wrote).
+    pub holder: Option<ThreadId>,
+    /// Global steps between first blocking and acquiring.
+    pub wait_steps: u64,
+    /// Global step of the successful acquisition.
+    pub acquired_step: u64,
+    /// Program counter of the acquiring lock statement.
+    pub pc: u64,
+}
+
 /// Everything one execution produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -216,6 +253,13 @@ pub struct RunReport {
     /// order (the flight-recorder view of where every thread stood when
     /// the run ended).
     pub thread_states: Vec<ThreadFinalState>,
+    /// Guest-profiler stack samples, in firing order (empty unless
+    /// [`RunConfig::profile_period`](crate::interp::RunConfig::profile_period)
+    /// is nonzero).
+    pub stack_samples: Vec<StackSample>,
+    /// Contended lock acquisitions, in acquisition order (empty unless
+    /// guest profiling is on).
+    pub lock_waits: Vec<LockWaitEvent>,
 }
 
 impl RunReport {
@@ -257,6 +301,8 @@ mod tests {
             accesses_retired: 0,
             threads_spawned: 1,
             thread_states: vec![],
+            stack_samples: vec![],
+            lock_waits: vec![],
         }
     }
 

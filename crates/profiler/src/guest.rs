@@ -1,0 +1,500 @@
+//! Guest-level sampling-profile aggregation.
+//!
+//! A [`GuestProfile`] folds the per-run
+//! [`stack_samples`](stm_machine::report::RunReport::stack_samples) and
+//! [`lock_waits`](stm_machine::report::RunReport::lock_waits) of any
+//! number of runs into three spectra:
+//!
+//! * **folded stacks** — `main;merge;hash_lookup 42` lines, one per
+//!   distinct call chain, directly consumable by `flamegraph.pl` or
+//!   inferno;
+//! * **hot blocks** — leaf-sample counts per (function, basic block),
+//!   with source locations, the program-spectra view of where guest time
+//!   goes;
+//! * **lock contention** — per-lock wait totals (in retired
+//!   instructions, the machine's only clock) with holder attribution.
+//!
+//! Aggregation is pure data-plumbing over deterministic inputs: feeding
+//! runs in the same order yields byte-identical renderings, which is what
+//! lets `tests/engine_determinism.rs` pin profile output across engine
+//! thread counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use stm_machine::ids::ThreadId;
+use stm_machine::ir::Program;
+use stm_machine::report::RunReport;
+use stm_telemetry::json::Json;
+
+/// One row of the hot-block table: leaf samples attributed to a single
+/// basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotBlock {
+    /// Function name.
+    pub func: String,
+    /// Basic-block index within the function.
+    pub block: u32,
+    /// `file:line` of the block's first statement.
+    pub loc: String,
+    /// Leaf samples that landed in the block.
+    pub samples: u64,
+}
+
+/// One row of the lock-contention table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// The lock, resolved to a global name when the address falls inside
+    /// one (`mutex`, `proc_table+2`), else the raw hex address.
+    pub lock: String,
+    /// Contended acquisitions observed.
+    pub contended: u64,
+    /// Total steps spent waiting across those acquisitions.
+    pub total_wait_steps: u64,
+    /// Longest single wait.
+    pub max_wait_steps: u64,
+    /// Waits attributed to each holding thread, `(holder, waits)` with
+    /// holder rendered as `t0`, `t1`, ... or `?` when unknown.
+    pub holders: Vec<(String, u64)>,
+}
+
+/// Per-lock tallies: (contended acquisitions, total wait steps, max wait
+/// steps, holder → waits attributed).
+type LockStats = (u64, u64, u64, BTreeMap<Option<u32>, u64>);
+
+/// Aggregated guest profile of one benchmark's runs.
+#[derive(Debug, Clone)]
+pub struct GuestProfile {
+    period: u64,
+    runs: u64,
+    samples: u64,
+    func_names: Vec<String>,
+    block_locs: Vec<Vec<String>>,
+    globals: Vec<(String, u64, u64)>,
+    /// Call chain (outermost-first function indices) → samples.
+    stacks: BTreeMap<Vec<u32>, u64>,
+    /// (function index, block index) → leaf samples.
+    blocks: BTreeMap<(u32, u32), u64>,
+    /// Lock address → per-lock tallies.
+    locks: BTreeMap<u64, LockStats>,
+}
+
+impl GuestProfile {
+    /// Creates an empty profile for `program`, sampled at `period`
+    /// retired instructions (recorded for rendering; the interpreter owns
+    /// the actual countdown).
+    pub fn new(program: &Program, period: u64) -> Self {
+        let func_names = program.functions.iter().map(|f| f.name.clone()).collect();
+        let block_locs = program
+            .functions
+            .iter()
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .map(|b| {
+                        let loc = b.stmts.first().map_or(b.term_loc, |s| s.loc);
+                        format!("{}:{}", program.file_name(loc.file), loc.line)
+                    })
+                    .collect()
+            })
+            .collect();
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.addr, g.words))
+            .collect();
+        GuestProfile {
+            period,
+            runs: 0,
+            samples: 0,
+            func_names,
+            block_locs,
+            globals,
+            stacks: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            locks: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one run's samples and lock waits into the profile.
+    pub fn add_run(&mut self, report: &RunReport) {
+        self.runs += 1;
+        for s in &report.stack_samples {
+            self.samples += 1;
+            let chain: Vec<u32> = s.frames.iter().map(|(f, _)| f.raw()).collect();
+            *self.stacks.entry(chain).or_insert(0) += 1;
+            if let Some((f, b)) = s.frames.last() {
+                *self.blocks.entry((f.raw(), b.raw())).or_insert(0) += 1;
+            }
+        }
+        for w in &report.lock_waits {
+            let entry = self
+                .locks
+                .entry(w.addr)
+                .or_insert_with(|| (0, 0, 0, BTreeMap::new()));
+            entry.0 += 1;
+            entry.1 += w.wait_steps;
+            entry.2 = entry.2.max(w.wait_steps);
+            *entry.3.entry(w.holder.map(|t| t.0)).or_insert(0) += 1;
+        }
+    }
+
+    /// Sampling period the profile was recorded at.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Runs folded in.
+    pub fn run_count(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total stack samples folded in.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+
+    fn func_name(&self, idx: u32) -> &str {
+        self.func_names
+            .get(idx as usize)
+            .map_or("<unknown>", |n| n.as_str())
+    }
+
+    /// Renders the profile as folded stacks — one
+    /// `frame;frame;...frame count` line per distinct call chain, sorted
+    /// lexicographically, ready for `flamegraph.pl` or `inferno`.
+    #[must_use = "rendering has no side effects; print or write the returned text"]
+    pub fn folded(&self) -> String {
+        let mut lines: Vec<String> = self
+            .stacks
+            .iter()
+            .map(|(chain, n)| {
+                let frames: Vec<&str> = chain.iter().map(|f| self.func_name(*f)).collect();
+                format!("{} {}", frames.join(";"), n)
+            })
+            .collect();
+        lines.sort_unstable();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The hottest *leaf* function — where the most samples landed — with
+    /// its sample count. Ties break to the lexicographically smallest
+    /// name so the answer is stable.
+    #[must_use = "the looked-up frame is the result; use it"]
+    pub fn top_frame(&self) -> Option<(String, u64)> {
+        let mut per_func: BTreeMap<&str, u64> = BTreeMap::new();
+        for ((f, _), n) in &self.blocks {
+            *per_func.entry(self.func_name(*f)).or_insert(0) += n;
+        }
+        per_func
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(name, n)| (name.to_string(), n))
+    }
+
+    /// The `k` hottest basic blocks by leaf samples (ties break to the
+    /// smaller (function, block) index).
+    #[must_use = "the computed table is the result; use it"]
+    pub fn hot_blocks(&self, k: usize) -> Vec<HotBlock> {
+        let mut rows: Vec<(&(u32, u32), &u64)> = self.blocks.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        rows.into_iter()
+            .take(k)
+            .map(|((f, b), n)| HotBlock {
+                func: self.func_name(*f).to_string(),
+                block: *b,
+                loc: self
+                    .block_locs
+                    .get(*f as usize)
+                    .and_then(|bl| bl.get(*b as usize))
+                    .cloned()
+                    .unwrap_or_else(|| "<unknown>:0".to_string()),
+                samples: *n,
+            })
+            .collect()
+    }
+
+    fn lock_name(&self, addr: u64) -> String {
+        for (name, base, words) in &self.globals {
+            if addr >= *base && addr < base + words * 8 {
+                let off = (addr - base) / 8;
+                return if off == 0 {
+                    name.clone()
+                } else {
+                    format!("{name}+{off}")
+                };
+            }
+        }
+        format!("{addr:#x}")
+    }
+
+    /// The lock-contention table, most-waited lock first (ties break to
+    /// the lower address).
+    #[must_use = "the computed table is the result; use it"]
+    pub fn lock_profile(&self) -> Vec<LockSite> {
+        let mut rows: Vec<(&u64, &LockStats)> = self.locks.iter().collect();
+        rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+        rows.into_iter()
+            .map(|(addr, (contended, total, max, holders))| {
+                let mut hs: Vec<(String, u64)> = holders
+                    .iter()
+                    .map(|(h, n)| {
+                        let name = h.map_or("?".to_string(), |t| ThreadId(t).to_string());
+                        (name, *n)
+                    })
+                    .collect();
+                hs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                LockSite {
+                    lock: self.lock_name(*addr),
+                    contended: *contended,
+                    total_wait_steps: *total,
+                    max_wait_steps: *max,
+                    holders: hs,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the profile as a markdown report: hot blocks, hot
+    /// functions (top frames) and the lock-contention table.
+    #[must_use = "rendering has no side effects; print or write the returned text"]
+    pub fn render_md(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sampled every {} instructions · {} samples across {} runs\n",
+            self.period, self.samples, self.runs
+        );
+        out.push_str("## Hot blocks (leaf samples)\n\n");
+        if self.blocks.is_empty() {
+            out.push_str("(no samples)\n");
+        } else {
+            out.push_str("| function | block | location | samples | % |\n");
+            out.push_str("|---|---|---|---|---|\n");
+            for r in self.hot_blocks(k) {
+                let pct = 100.0 * r.samples as f64 / self.samples.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "| {} | bb{} | {} | {} | {pct:.1} |",
+                    r.func, r.block, r.loc, r.samples
+                );
+            }
+        }
+        out.push_str("\n## Lock contention\n\n");
+        let locks = self.lock_profile();
+        if locks.is_empty() {
+            out.push_str("(no contended acquisitions)\n");
+        } else {
+            out.push_str("| lock | contended | total wait (steps) | max wait | held by |\n");
+            out.push_str("|---|---|---|---|---|\n");
+            for l in locks {
+                let holders: Vec<String> =
+                    l.holders.iter().map(|(h, n)| format!("{h}×{n}")).collect();
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} |",
+                    l.lock,
+                    l.contended,
+                    l.total_wait_steps,
+                    l.max_wait_steps,
+                    holders.join(", ")
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the profile (summary, hot blocks, top frame, lock
+    /// table) as one JSON object.
+    #[must_use = "serialization has no side effects; use the returned value"]
+    pub fn to_json(&self, k: usize) -> Json {
+        let hot = self
+            .hot_blocks(k)
+            .into_iter()
+            .map(|r| {
+                Json::obj([
+                    ("func", r.func.into()),
+                    ("block", u64::from(r.block).into()),
+                    ("loc", r.loc.into()),
+                    ("samples", r.samples.into()),
+                ])
+            })
+            .collect();
+        let locks = self
+            .lock_profile()
+            .into_iter()
+            .map(|l| {
+                Json::obj([
+                    ("lock", l.lock.into()),
+                    ("contended", l.contended.into()),
+                    ("total_wait_steps", l.total_wait_steps.into()),
+                    ("max_wait_steps", l.max_wait_steps.into()),
+                    (
+                        "holders",
+                        Json::Arr(
+                            l.holders
+                                .into_iter()
+                                .map(|(h, n)| {
+                                    Json::obj([("holder", h.into()), ("waits", n.into())])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("period", self.period.into()),
+            ("runs", self.runs.into()),
+            ("samples", self.samples.into()),
+            (
+                "top_frame",
+                match self.top_frame() {
+                    Some((name, n)) => Json::obj([("func", name.into()), ("samples", n.into())]),
+                    None => Json::Null,
+                },
+            ),
+            ("hot_blocks", Json::Arr(hot)),
+            ("locks", Json::Arr(locks)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_machine::builder::ProgramBuilder;
+    use stm_machine::ids::{BlockId, FuncId};
+    use stm_machine::report::{LockWaitEvent, RunOutcome, RunReport, StackSample};
+
+    fn two_function_program() -> (Program, u64) {
+        let mut pb = ProgramBuilder::new("p");
+        let mutex = pb.global("mutex", 1);
+        let main = pb.declare_function("main");
+        let work = pb.declare_function("work");
+        {
+            let mut f = pb.build_function(work, "lib.c");
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = pb.build_function(main, "m.c");
+            let _ = f.call(work, &[]);
+            f.ret(None);
+            f.finish();
+        }
+        (pb.finish(main), mutex)
+    }
+
+    fn report_with(samples: Vec<StackSample>, waits: Vec<LockWaitEvent>) -> RunReport {
+        RunReport {
+            outcome: RunOutcome::Completed { exit_code: 0 },
+            outputs: vec![],
+            logs: vec![],
+            profiles: vec![],
+            samples: vec![],
+            steps: 100,
+            branches_retired: 0,
+            accesses_retired: 0,
+            threads_spawned: 2,
+            thread_states: vec![],
+            stack_samples: samples,
+            lock_waits: waits,
+        }
+    }
+
+    fn sample(frames: &[(u32, u32)]) -> StackSample {
+        StackSample {
+            thread: ThreadId::MAIN,
+            step: 10,
+            frames: frames
+                .iter()
+                .map(|(f, b)| (FuncId::new(*f), BlockId::new(*b)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn folded_stacks_hot_blocks_and_top_frame() {
+        let (p, _) = two_function_program();
+        let mut g = GuestProfile::new(&p, 16);
+        g.add_run(&report_with(
+            vec![
+                sample(&[(0, 0)]),
+                sample(&[(0, 0), (1, 0)]),
+                sample(&[(0, 0), (1, 0)]),
+            ],
+            vec![],
+        ));
+        assert_eq!(g.sample_count(), 3);
+        assert_eq!(g.folded(), "main 1\nmain;work 2\n");
+        let (top, n) = g.top_frame().expect("samples exist");
+        assert_eq!((top.as_str(), n), ("work", 2));
+        let hot = g.hot_blocks(10);
+        assert_eq!(hot[0].func, "work");
+        assert_eq!(hot[0].samples, 2);
+        assert_eq!(hot[0].loc, "lib.c:1");
+        // Folding the same run again doubles every count but keeps the
+        // rendering shape — determinism is pure data-plumbing here.
+        let mut g2 = GuestProfile::new(&p, 16);
+        for _ in 0..2 {
+            g2.add_run(&report_with(vec![sample(&[(0, 0)])], vec![]));
+        }
+        assert_eq!(g2.folded(), "main 2\n");
+        assert_eq!(g2.run_count(), 2);
+    }
+
+    #[test]
+    fn lock_profile_resolves_names_and_holders() {
+        let (p, mutex) = two_function_program();
+        let mut g = GuestProfile::new(&p, 16);
+        let wait = |holder: Option<u32>, steps: u64| LockWaitEvent {
+            addr: mutex,
+            waiter: ThreadId(1),
+            holder: holder.map(ThreadId),
+            wait_steps: steps,
+            acquired_step: 50,
+            pc: 0,
+        };
+        let anon = LockWaitEvent {
+            addr: 0xDEAD_0000,
+            ..wait(None, 1)
+        };
+        g.add_run(&report_with(
+            vec![],
+            vec![wait(Some(0), 10), wait(Some(0), 4), wait(Some(1), 2), anon],
+        ));
+        let locks = g.lock_profile();
+        assert_eq!(locks.len(), 2);
+        // Most-waited first: the named mutex with 16 total steps.
+        assert_eq!(locks[0].lock, "mutex");
+        assert_eq!(locks[0].contended, 3);
+        assert_eq!(locks[0].total_wait_steps, 16);
+        assert_eq!(locks[0].max_wait_steps, 10);
+        assert_eq!(
+            locks[0].holders,
+            vec![("t0".to_string(), 2), ("t1".to_string(), 1)]
+        );
+        // Unresolvable addresses render as hex, unknown holders as "?".
+        assert_eq!(locks[1].lock, "0xdead0000");
+        assert_eq!(locks[1].holders, vec![("?".to_string(), 1)]);
+        let md = g.render_md(10);
+        assert!(md.contains("| mutex | 3 | 16 | 10 |"));
+        let json = g.to_json(10).encode();
+        assert!(json.contains("\"lock\":\"mutex\""));
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholders() {
+        let (p, _) = two_function_program();
+        let g = GuestProfile::new(&p, 16);
+        assert_eq!(g.folded(), "");
+        assert!(g.top_frame().is_none());
+        let md = g.render_md(5);
+        assert!(md.contains("(no samples)"));
+        assert!(md.contains("(no contended acquisitions)"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # stm-profiler — self-observability for the stm stack
+//!
+//! The paper's thesis is that cheap, always-on hardware telemetry is
+//! enough to diagnose production failures. This crate gives the
+//! reproduction the same story about *its own* execution, in two halves:
+//!
+//! * [`guest`] — aggregates the interpreter's deterministic stack samples
+//!   and lock-wait events (recorded when
+//!   [`RunConfig::profile_period`](stm_machine::interp::RunConfig::profile_period)
+//!   is nonzero) into a [`GuestProfile`]: folded stacks for
+//!   `flamegraph.pl`/inferno, per-block hot-spot tables, and a
+//!   lock-contention profile with holder attribution. Samples fire on
+//!   retired-instruction counts, so every artifact is byte-identical
+//!   across engine thread counts.
+//! * [`critical`] — walks the span DAG a
+//!   [`DiagnosisSession`](../stm_core/engine/struct.DiagnosisSession.html)
+//!   leaves in the telemetry collector (`engine.collect` →
+//!   `engine.enqueue` → `engine.job` → `engine.consume`, linked by flow
+//!   ids) and produces a [`CriticalPathReport`]: an exact tiling of the
+//!   session's wall-clock into attributed phases, top-k edges, and a
+//!   parallel-efficiency figure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod critical;
+pub mod guest;
+
+pub use critical::{CriticalPathReport, PathSegment};
+pub use guest::{GuestProfile, HotBlock, LockSite};
+
+/// Default guest sampling period, in retired instructions per sample.
+///
+/// Chosen so the table4 suite stays under a few percent of added
+/// wall-clock (each sample allocates one small call-stack vector) while a
+/// 10-profile diagnosis session still lands hundreds of samples.
+pub const DEFAULT_PERIOD: u64 = 512;

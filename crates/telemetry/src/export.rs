@@ -8,7 +8,7 @@
 //! `chrome://tracing` and <https://ui.perfetto.dev>.
 
 use crate::json::Json;
-use crate::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
+use crate::{FlowPhase, HistogramSnapshot, MetricsSnapshot, SpanRecord};
 use std::fmt::Write as _;
 
 /// Renders a fixed-width summary table of every counter, gauge, and
@@ -168,30 +168,64 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Json {
 
 /// Renders spans as Chrome `trace_event` JSON (the object format, with a
 /// `traceEvents` array of `"X"` complete and `"i"` instant events).
+///
+/// Span and parent ids travel in each event's `args`, and flow-tagged
+/// spans additionally emit a flow event (`"s"`/`"t"`/`"f"` for
+/// [`FlowPhase::Start`]/[`Step`](FlowPhase::Step)/[`End`](FlowPhase::End))
+/// bound inside the span's time slice, so Perfetto draws arrows along the
+/// causal chain.
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
-    let events: Vec<Json> = spans
-        .iter()
-        .map(|s| {
-            let mut ev = vec![
-                ("name", Json::from(s.name)),
-                ("cat", Json::from(s.cat)),
-                ("pid", Json::from(1u64)),
-                ("tid", Json::from(s.tid)),
-                ("ts", Json::from(s.start_us)),
-            ];
-            match s.dur_us {
-                Some(dur) => {
-                    ev.push(("ph", "X".into()));
-                    ev.push(("dur", dur.into()));
-                }
-                None => {
-                    ev.push(("ph", "i".into()));
-                    ev.push(("s", "t".into()));
-                }
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len());
+    for s in spans {
+        let mut ev = vec![
+            ("name", Json::from(s.name)),
+            ("cat", Json::from(s.cat)),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(s.tid)),
+            ("ts", Json::from(s.start_us)),
+        ];
+        match s.dur_us {
+            Some(dur) => {
+                ev.push(("ph", "X".into()));
+                ev.push(("dur", dur.into()));
             }
-            Json::obj(ev)
-        })
-        .collect();
+            None => {
+                ev.push(("ph", "i".into()));
+                ev.push(("s", "t".into()));
+            }
+        }
+        if s.id != 0 {
+            ev.push((
+                "args",
+                Json::obj([("span", s.id.into()), ("parent", s.parent.into())]),
+            ));
+        }
+        events.push(Json::obj(ev));
+        if s.flow == 0 {
+            continue;
+        }
+        let Some(phase) = s.flow_phase else { continue };
+        // Flow events bind to the slice enclosing their timestamp; the
+        // midpoint keeps them inside even for zero-duration spans.
+        let mut fl = vec![
+            ("name", Json::from("flow")),
+            ("cat", Json::from(s.cat)),
+            ("id", Json::from(s.flow)),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(s.tid)),
+            ("ts", Json::from(s.start_us + s.dur_us.unwrap_or(0) / 2)),
+        ];
+        match phase {
+            FlowPhase::Start => fl.push(("ph", "s".into())),
+            FlowPhase::Step => fl.push(("ph", "t".into())),
+            FlowPhase::End => {
+                fl.push(("ph", "f".into()));
+                // Bind the arrowhead to the enclosing slice.
+                fl.push(("bp", "e".into()));
+            }
+        }
+        events.push(Json::obj(fl));
+    }
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", "ms".into()),
@@ -242,24 +276,25 @@ mod tests {
         }
     }
 
+    fn record(name: &'static str, start_us: u64, dur_us: Option<u64>, id: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "test",
+            tid: 1,
+            start_us,
+            dur_us,
+            id,
+            parent: 0,
+            flow: 0,
+            flow_phase: None,
+        }
+    }
+
     #[test]
     fn chrome_trace_is_valid_and_complete() {
-        let spans = vec![
-            SpanRecord {
-                name: "phase",
-                cat: "test",
-                tid: 1,
-                start_us: 10,
-                dur_us: Some(25),
-            },
-            SpanRecord {
-                name: "marker",
-                cat: "test",
-                tid: 1,
-                start_us: 12,
-                dur_us: None,
-            },
-        ];
+        let mut child = record("phase", 10, Some(25), 2);
+        child.parent = 1;
+        let spans = vec![child, record("marker", 12, None, 3)];
         let text = chrome_trace(&spans);
         let v = Json::parse(&text).expect("valid JSON");
         let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
@@ -272,6 +307,46 @@ mod tests {
                 assert!(e.get(key).is_some(), "missing {key}");
             }
         }
+        let args = events[0].get("args").expect("span/parent args");
+        assert_eq!(args.get("span").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(args.get("parent").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_events_inside_their_slices() {
+        let mut start = record("enqueue", 0, Some(10), 1);
+        start.flow = 42;
+        start.flow_phase = Some(FlowPhase::Start);
+        let mut step = record("execute", 20, Some(30), 2);
+        step.flow = 42;
+        step.flow_phase = Some(FlowPhase::Step);
+        step.tid = 2;
+        let mut end = record("consume", 60, Some(4), 3);
+        end.flow = 42;
+        end.flow_phase = Some(FlowPhase::End);
+        let text = chrome_trace(&[start, step, end]);
+        let v = Json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        // Three slices plus one flow event each.
+        assert_eq!(events.len(), 6);
+        let flows: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("flow"))
+            .collect();
+        let phases: Vec<&str> = flows
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, ["s", "t", "f"]);
+        for f in &flows {
+            assert_eq!(f.get("id").and_then(Json::as_f64), Some(42.0));
+        }
+        // The terminating event binds its arrowhead to the enclosing
+        // slice, and every flow timestamp sits inside its span.
+        assert_eq!(flows[2].get("bp").and_then(Json::as_str), Some("e"));
+        assert_eq!(flows[0].get("ts").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(flows[1].get("ts").and_then(Json::as_f64), Some(35.0));
+        assert_eq!(flows[2].get("ts").and_then(Json::as_f64), Some(62.0));
     }
 
     #[test]

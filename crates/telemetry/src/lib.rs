@@ -404,6 +404,21 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Bucket-wise difference against an `earlier` snapshot of the same
+    /// metric: `count`, `sum` and the per-bucket tallies subtract.
+    /// `min`/`max` keep this (later) snapshot's values — extrema cannot
+    /// be attributed to a window, so they stay whole-process bounds.
+    #[must_use = "the computed delta is the result; use it"]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut d = self.clone();
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        for (i, b) in d.buckets.iter_mut().enumerate() {
+            *b = b.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0));
+        }
+        d
+    }
+
     /// Folds another snapshot of the *same* metric name into this one —
     /// used when several call-site statics share a histogram name.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -444,6 +459,47 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Duration in microseconds; `None` for instant markers.
     pub dur_us: Option<u64>,
+    /// Process-unique id of this event (never 0 once recorded).
+    pub id: u64,
+    /// Id of the span that was open on the same thread when this event
+    /// started; 0 for top-level events.
+    pub parent: u64,
+    /// Flow id tying this span into a cross-thread causal chain, 0 when
+    /// the span is not part of any flow. See [`SpanGuard::with_flow`].
+    pub flow: u64,
+    /// This span's role in its flow; `None` whenever `flow` is 0.
+    pub flow_phase: Option<FlowPhase>,
+}
+
+/// Where a span sits in a cross-thread flow. The Chrome trace exporter
+/// maps the three phases to flow events `"s"` (start), `"t"` (step) and
+/// `"f"` (end), which Perfetto renders as arrows between the spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The producing end of the chain (e.g. a job enqueue).
+    Start,
+    /// An intermediate hop (e.g. the worker executing the job).
+    Step,
+    /// The consuming end of the chain (e.g. ordered consumption).
+    End,
+}
+
+/// Allocates a process-unique id for a new cross-thread flow. Hand the id
+/// to every [`SpanGuard::with_flow`] participant of the chain.
+pub fn new_flow_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Id of the innermost open span on this thread (0 = none); gives
+    /// every record its `parent` without a global structure.
+    static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 fn thread_index() -> u64 {
@@ -458,29 +514,51 @@ fn thread_index() -> u64 {
 /// sink in chunks, so span-heavy hot paths don't contend on one mutex.
 const SPAN_FLUSH_THRESHOLD: usize = 128;
 
+/// Bumped by [`reset`]. A thread-local buffer stamped with an older epoch
+/// holds spans recorded *before* the reset; they are discarded (instead of
+/// leaking into the next export) the next time that buffer is touched.
+static SPAN_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 /// The buffer flushes on overflow and (via `Drop`) on thread exit.
-struct LocalSpans(Vec<SpanRecord>);
+struct LocalSpans {
+    spans: Vec<SpanRecord>,
+    epoch: u64,
+}
+
+impl LocalSpans {
+    /// Drops spans recorded before the last [`reset`], which invalidated
+    /// them by bumping [`SPAN_EPOCH`].
+    fn sync_epoch(&mut self) {
+        let current = SPAN_EPOCH.load(Ordering::Relaxed);
+        if self.epoch != current {
+            self.spans.clear();
+            self.epoch = current;
+        }
+    }
+}
 
 impl Drop for LocalSpans {
     fn drop(&mut self) {
-        if !self.0.is_empty() {
-            registry().spans.lock().unwrap().append(&mut self.0);
+        self.sync_epoch();
+        if !self.spans.is_empty() {
+            registry().spans.lock().unwrap().append(&mut self.spans);
         }
     }
 }
 
 thread_local! {
     static LOCAL_SPANS: std::cell::RefCell<LocalSpans> =
-        const { std::cell::RefCell::new(LocalSpans(Vec::new())) };
+        const { std::cell::RefCell::new(LocalSpans { spans: Vec::new(), epoch: 0 }) };
 }
 
 fn push_span(rec: SpanRecord) {
     let mut rec = Some(rec);
     let _ = LOCAL_SPANS.try_with(|l| {
         let mut l = l.borrow_mut();
-        l.0.push(rec.take().unwrap());
-        if l.0.len() >= SPAN_FLUSH_THRESHOLD {
-            registry().spans.lock().unwrap().append(&mut l.0);
+        l.sync_epoch();
+        l.spans.push(rec.take().unwrap());
+        if l.spans.len() >= SPAN_FLUSH_THRESHOLD {
+            registry().spans.lock().unwrap().append(&mut l.spans);
         }
     });
     if let Some(r) = rec {
@@ -492,8 +570,9 @@ fn push_span(rec: SpanRecord) {
 fn flush_local_spans() {
     let _ = LOCAL_SPANS.try_with(|l| {
         let mut l = l.borrow_mut();
-        if !l.0.is_empty() {
-            registry().spans.lock().unwrap().append(&mut l.0);
+        l.sync_epoch();
+        if !l.spans.is_empty() {
+            registry().spans.lock().unwrap().append(&mut l.spans);
         }
     });
 }
@@ -508,6 +587,29 @@ pub struct SpanGuard {
     cat: &'static str,
     start_us: u64,
     active: bool,
+    id: u64,
+    parent: u64,
+    flow: u64,
+    flow_phase: Option<FlowPhase>,
+}
+
+impl SpanGuard {
+    /// The span's process-unique id; 0 when the guard is inactive
+    /// (collection was off at creation).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ties this span into the cross-thread flow `flow` with the given
+    /// phase, so the trace exporter draws an arrow through it. A no-op
+    /// when the guard is inactive or `flow` is 0.
+    pub fn with_flow(mut self, flow: u64, phase: FlowPhase) -> SpanGuard {
+        if self.active && flow != 0 {
+            self.flow = flow;
+            self.flow_phase = Some(phase);
+        }
+        self
+    }
 }
 
 impl Drop for SpanGuard {
@@ -516,12 +618,17 @@ impl Drop for SpanGuard {
             return;
         }
         let end = now_us();
+        let _ = CURRENT_SPAN.try_with(|c| c.set(self.parent));
         push_span(SpanRecord {
             name: self.name,
             cat: self.cat,
             tid: thread_index(),
             start_us: self.start_us,
             dur_us: Some(end.saturating_sub(self.start_us)),
+            id: self.id,
+            parent: self.parent,
+            flow: self.flow,
+            flow_phase: self.flow_phase,
         });
     }
 }
@@ -534,11 +641,28 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Opens a span with an explicit category.
 pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
     let active = enabled();
+    let (id, parent) = if active {
+        let id = next_span_id();
+        let parent = CURRENT_SPAN
+            .try_with(|c| {
+                let parent = c.get();
+                c.set(id);
+                parent
+            })
+            .unwrap_or(0);
+        (id, parent)
+    } else {
+        (0, 0)
+    };
     SpanGuard {
         name,
         cat,
         start_us: if active { now_us() } else { 0 },
         active,
+        id,
+        parent,
+        flow: 0,
+        flow_phase: None,
     }
 }
 
@@ -553,6 +677,10 @@ pub fn instant(name: &'static str, cat: &'static str) {
         tid: thread_index(),
         start_us: now_us(),
         dur_us: None,
+        id: next_span_id(),
+        parent: CURRENT_SPAN.try_with(|c| c.get()).unwrap_or(0),
+        flow: 0,
+        flow_phase: None,
     });
 }
 
@@ -593,16 +721,43 @@ impl MetricsSnapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
-    /// Per-counter difference against an earlier snapshot (counters are
-    /// monotonic; missing-before counters diff against zero). Used by the
-    /// table harnesses to attribute metrics to one benchmark.
+    /// Difference against an earlier snapshot, covering all three metric
+    /// kinds. Counters subtract (they are monotonic; missing-before names
+    /// diff against zero) and zero deltas are dropped. Histograms
+    /// subtract bucket-wise via [`HistogramSnapshot::delta`] and empty
+    /// deltas are dropped. Gauges report the level *change* (which can be
+    /// negative); unchanged gauges are dropped. Used by the table
+    /// harnesses to attribute metrics to one benchmark.
     #[must_use = "the computed deltas are the result; use them"]
-    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> Vec<(String, u64)> {
-        self.counters
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
             .iter()
-            .map(|(n, v)| (n.clone(), v - earlier.counter(n).unwrap_or(0)))
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
             .filter(|(_, v)| *v > 0)
-            .collect()
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let d = match earlier.histogram(&h.name) {
+                    Some(e) => h.delta(e),
+                    None => h.clone(),
+                };
+                (d.count > 0).then_some(d)
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), v - earlier.gauge(n).unwrap_or(0)))
+            .filter(|(_, v)| *v != 0)
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            gauges,
+        }
     }
 }
 
@@ -641,6 +796,19 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
     }
 }
 
+/// Pushes the calling thread's buffered spans to the global sink now,
+/// instead of waiting for chunk overflow or thread exit.
+///
+/// Short-lived worker threads need this: `std::thread::scope` (and
+/// `JoinHandle::join`) can observe a thread as finished while its TLS
+/// destructors — including the buffer's exit flush — are still running,
+/// so spans left to the destructor may land *after* the joining thread's
+/// [`take_spans`]. Flushing as the last act inside the closure puts the
+/// spans in the sink before the join completes.
+pub fn flush_thread() {
+    flush_local_spans();
+}
+
 /// Drains every finished span recorded so far. Spans of one thread stay
 /// in order; spans still buffered by *other* live threads arrive at their
 /// next flush (chunk overflow or thread exit).
@@ -664,7 +832,12 @@ pub fn reset() {
     for g in registry().gauges.lock().unwrap().iter() {
         g.reset();
     }
-    let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().0.clear());
+    // Spans may still be batched in the thread-local buffers of *other*
+    // live threads, where this thread cannot reach them. Bumping the
+    // epoch invalidates those buffers in place: each one clears itself
+    // the next time it is touched (push, flush or thread exit).
+    SPAN_EPOCH.fetch_add(1, Ordering::Relaxed);
+    let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().sync_epoch());
     registry().spans.lock().unwrap().clear();
 }
 
@@ -846,7 +1019,193 @@ mod tests {
         c.add(7);
         let after = metrics_snapshot();
         let delta = after.delta_since(&before);
-        assert!(delta.contains(&("test.delta".to_string(), 7)));
+        assert_eq!(delta.counter("test.delta"), Some(7));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn delta_since_covers_histograms_and_gauges() {
+        let _g = lock();
+        let h = histogram!("test.delta.histogram");
+        let g = gauge!("test.delta.gauge");
+        let quiet = counter!("test.delta.quiet");
+        h.record(3);
+        h.record(100);
+        g.add(5);
+        quiet.add(2);
+        let before = metrics_snapshot();
+        h.record(3);
+        h.record(40);
+        g.add(-3);
+        let after = metrics_snapshot();
+        let delta = after.delta_since(&before);
+
+        let hd = delta.histogram("test.delta.histogram").expect("present");
+        assert_eq!(hd.count, 2);
+        assert_eq!(hd.sum, 43);
+        assert_eq!(hd.buckets[2], 1, "one new sample in [2,4)");
+        assert_eq!(hd.buckets[6], 1, "one new sample in [32,64)");
+        assert_eq!(hd.buckets[7], 0, "the pre-window 100 subtracted out");
+        // Extrema are whole-process, not per-window.
+        assert_eq!((hd.min, hd.max), (3, 100));
+
+        assert_eq!(delta.gauge("test.delta.gauge"), Some(-3));
+        // Untouched metrics drop out of the delta entirely.
+        assert_eq!(delta.counter("test.delta.quiet"), None);
+        let quiet_hist = delta.histograms.iter().filter(|h| h.count == 0).count();
+        assert_eq!(quiet_hist, 0, "empty histogram deltas are dropped");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty snapshot: every quantile is 0.
+        let empty = HistogramSnapshot {
+            name: "e".to_string(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        // Single-bucket population: every quantile lands in that bucket.
+        let mut single = empty.clone();
+        single.name = "s".to_string();
+        single.count = 10;
+        single.sum = 50;
+        single.min = 5;
+        single.max = 7;
+        single.buckets[3] = 10; // all samples in [4,8)
+        assert_eq!(single.quantile(0.0), 7, "q=0 clamps to rank 1");
+        assert_eq!(single.quantile(0.5), 7);
+        assert_eq!(single.quantile(1.0), 7, "bucket upper bound 2^3-1");
+
+        // q outside [0,1] clamps instead of panicking or overflowing.
+        assert_eq!(single.quantile(-1.0), 7);
+        assert_eq!(single.quantile(2.0), 7);
+
+        // The top bucket saturates at u64::MAX.
+        let mut top = empty.clone();
+        top.count = 1;
+        top.max = u64::MAX;
+        top.buckets[64] = 1;
+        assert_eq!(top.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        let empty = HistogramSnapshot {
+            name: "m".to_string(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        let mut low = empty.clone();
+        low.count = 2;
+        low.sum = 3;
+        low.min = 1;
+        low.max = 2;
+        low.buckets[1] = 1;
+        low.buckets[2] = 1;
+        let mut high = empty.clone();
+        high.count = 1;
+        high.sum = 1000;
+        high.min = 1000;
+        high.max = 1000;
+        high.buckets[10] = 1;
+
+        // Merging an empty snapshot changes nothing.
+        let mut m = low.clone();
+        m.merge(&empty);
+        assert_eq!(m, low);
+
+        // Merging *into* an empty snapshot adopts the other wholesale
+        // (in particular min must not stay at the empty sentinel 0).
+        let mut m = empty.clone();
+        m.merge(&high);
+        assert_eq!((m.count, m.min, m.max), (1, 1000, 1000));
+
+        // Disjoint bucket ranges: totals sum, extrema span both, and the
+        // occupied buckets stay disjoint.
+        let mut m = low.clone();
+        m.merge(&high);
+        assert_eq!((m.count, m.sum), (3, 1003));
+        assert_eq!((m.min, m.max), (1, 1000));
+        assert_eq!((m.buckets[1], m.buckets[2], m.buckets[10]), (1, 1, 1));
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn spans_carry_ids_parents_and_flows() {
+        let _g = lock();
+        let flow = new_flow_id();
+        {
+            let _outer = span_cat("test.id.outer", "test");
+            let _inner = span_cat("test.id.inner", "test").with_flow(flow, FlowPhase::Start);
+            instant("test.id.marker", "test");
+        }
+        {
+            let _after = span_cat("test.id.after", "test");
+        }
+        let spans = take_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).expect("recorded");
+        let outer = by_name("test.id.outer");
+        let inner = by_name("test.id.inner");
+        let marker = by_name("test.id.marker");
+        let after = by_name("test.id.after");
+        assert_ne!(outer.id, 0);
+        assert_ne!(outer.id, inner.id, "span ids are unique");
+        assert_eq!(outer.parent, 0, "top-level span has no parent");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(marker.parent, inner.id, "instants attach to the open span");
+        assert_eq!(after.parent, 0, "drop restores the previous parent");
+        assert_eq!(inner.flow, flow);
+        assert_eq!(inner.flow_phase, Some(FlowPhase::Start));
+        assert_eq!(outer.flow, 0);
+        assert_eq!(outer.flow_phase, None);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn reset_discards_spans_batched_on_other_threads() {
+        // Regression: reset() used to clear only the *calling* thread's
+        // local buffer, so spans batched on a still-live worker thread
+        // survived the reset and leaked into the next export.
+        let _g = lock();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            {
+                let _s = span_cat("test.reset.stale", "test");
+            }
+            // The span is now batched in this thread's local buffer.
+            ready_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+            // Touch the buffer again after the main thread's reset; the
+            // epoch bump must discard the stale span here.
+            {
+                let _s = span_cat("test.reset.fresh", "test");
+            }
+        });
+        ready_rx.recv().unwrap();
+        reset();
+        go_tx.send(()).unwrap();
+        worker.join().unwrap();
+        let names: Vec<_> = take_spans().iter().map(|s| s.name).collect();
+        assert!(
+            !names.contains(&"test.reset.stale"),
+            "pre-reset span leaked through reset: {names:?}"
+        );
+        assert!(
+            names.contains(&"test.reset.fresh"),
+            "post-reset span must survive: {names:?}"
+        );
         set_enabled(false);
     }
 }

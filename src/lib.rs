@@ -19,6 +19,7 @@
 //! | [`suite`] | `stm-suite` | the 31 Table 4 failures with ground truth |
 //! | [`telemetry`] | `stm-telemetry` | tracing, metrics, trace export |
 //! | [`forensics`] | `stm-forensics` | failure dossiers, explainable reports, bench diffing |
+//! | [`profiler`] | `stm-profiler` | guest sampling profiles, pipeline critical-path attribution |
 //!
 //! ## Quickstart
 //!
@@ -68,5 +69,6 @@ pub use stm_core as core;
 pub use stm_forensics as forensics;
 pub use stm_hardware as hardware;
 pub use stm_machine as machine;
+pub use stm_profiler as profiler;
 pub use stm_suite as suite;
 pub use stm_telemetry as telemetry;

@@ -136,6 +136,64 @@ fn perturbed_lcra_ranking_json_is_identical_at_1_and_8_threads() {
 }
 
 #[test]
+fn guest_profile_is_identical_at_1_and_8_threads() {
+    // The guest profiler samples on retired instructions — the machine's
+    // own clock — so every profile artifact must inherit the engine's
+    // thread-count invariance. (The critical-path report is wall-clock
+    // and deliberately excluded from this pin.)
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    let period = 64u64;
+    let profile_at = |threads: usize| {
+        let opts = reactive_options(&b, true, None);
+        let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+        let (failing, passing) = expand_workloads(&b, &runner);
+        let profiles = DiagnosisSession::from_runner(&runner)
+            .run_config(stm::machine::interp::RunConfig {
+                profile_period: period,
+                ..runner.run_config().clone()
+            })
+            .failure(b.truth.spec.clone())
+            .failing(failing)
+            .passing(passing)
+            .profile_kind(ProfileKind::Lbr)
+            .threads(threads)
+            .collect()
+            .expect("collection succeeds");
+        let mut g = stm::profiler::GuestProfile::new(runner.machine().program(), period);
+        for run in profiles
+            .failure_runs()
+            .iter()
+            .chain(profiles.success_runs())
+        {
+            g.add_run(&run.report);
+        }
+        g
+    };
+    let g1 = profile_at(1);
+    let g8 = profile_at(8);
+    assert_eq!(
+        g1.folded(),
+        g8.folded(),
+        "folded stacks must be byte-identical"
+    );
+    assert_eq!(
+        g1.render_md(10),
+        g8.render_md(10),
+        "markdown report must be byte-identical"
+    );
+    assert_eq!(
+        g1.to_json(10).encode(),
+        g8.to_json(10).encode(),
+        "JSON report must be byte-identical"
+    );
+    assert!(!g1.folded().is_empty(), "sort must produce samples");
+    // Pin sort's known hot spot: the instrumented run spends its leaf
+    // samples in the hash function the bug lives around.
+    let (top, _) = g1.top_frame().expect("samples exist");
+    assert_eq!(top, "hash", "sort's hottest function must stay pinned");
+}
+
+#[test]
 fn lcra_ranking_json_is_identical_at_1_and_8_threads() {
     let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
     let (runner1, p1) = collect(&b, ProfileKind::Lcr, 1);
