@@ -10,9 +10,11 @@
 //! The emitted file carries two kinds of numbers:
 //!
 //! * informational throughput (`runs_per_sec_t{1,2,4,8}`,
-//!   `speedup_t{2,4,8}_x1000`, `available_parallelism`) — these are
-//!   machine-dependent and deliberately absent from the committed
-//!   baseline, so `bench_diff` never gates on the speed of the box;
+//!   `speedup_t{2,4,8}_x1000`, `available_parallelism`, and the
+//!   top-level `runs_per_sec` headline — the best throughput any case
+//!   reached) — these are machine-dependent and deliberately kept out
+//!   of the committed baseline's `benchmarks` section, so `bench_diff`
+//!   never gates on the speed of the box;
 //! * gate metrics, both scale-free ratios where **higher is worse**:
 //!   `inv_speedup_t4_x1000` (time at 4 threads relative to 1 thread,
 //!   ×1000 — parallel overhead must not blow up) and
@@ -109,6 +111,10 @@ fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut metrics = MetricsEmitter::new("scaling");
+    // Headline throughput: the best runs/sec any case reached at any
+    // thread count on this box. Informational (machine-dependent) — it
+    // goes in the document top level, outside the gated `benchmarks`.
+    let mut headline = 0.0f64;
     println!("Collection-engine scaling (available_parallelism = {cores})");
     println!(
         "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
@@ -140,6 +146,7 @@ fn main() {
             paths.push((t, report));
         }
         let rps = |s: f64| case.runs as f64 / s;
+        headline = secs.iter().fold(headline, |h, &s| h.max(rps(s)));
 
         println!(
             "{:<10} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>10.0}",
@@ -193,8 +200,14 @@ fn main() {
         );
     }
 
+    println!("\nheadline runs/sec (best case × thread count): {headline:.0}");
+    metrics.top_level("runs_per_sec", Json::from(headline.round()));
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
 }

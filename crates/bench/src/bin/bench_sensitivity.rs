@@ -121,6 +121,10 @@ fn main() {
 
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
 }

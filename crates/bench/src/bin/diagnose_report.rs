@@ -75,7 +75,7 @@ fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
 
 fn main() {
     let (tele, rest) = stm_bench::TelemetryCli::from_env();
-    tele.apply();
+    let _metrics = tele.apply();
     let mut top_k = 5usize;
     let mut ids: Vec<String> = Vec::new();
     let mut args = rest.into_iter();
@@ -143,7 +143,7 @@ fn main() {
         }
     }
     if let Err(e) = tele.finish() {
-        eprintln!("warning: {e}");
+        stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
     }
     if failed {
         std::process::exit(1);

@@ -107,7 +107,9 @@ fn main() {
 
     // The pipeline trace needs telemetry regardless of the shared flags;
     // start it from a clean span buffer so the critical path sees only
-    // this session.
+    // this session. `apply` also starts the observatory endpoint when
+    // `--metrics-addr` was given.
+    let _metrics = tele.apply();
     stm_telemetry::set_enabled(true);
     let _ = stm_telemetry::take_spans();
     let profiles = DiagnosisSession::from_runner(&runner)
@@ -194,7 +196,7 @@ fn main() {
 
     if tele.trace_out.is_some() {
         if let Err(e) = write_trace(&spans, tele.trace_out.as_deref().unwrap()) {
-            eprintln!("warning: {e}");
+            stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
         }
     }
 

@@ -9,7 +9,7 @@ use stm_telemetry::json::Json;
 
 fn main() {
     let (tele, _) = TelemetryCli::from_env();
-    tele.apply();
+    let _metrics = tele.apply();
     let mut metrics = MetricsEmitter::new("table4");
     println!("Table 4: Features of real-world failures evaluated");
     println!(
@@ -45,9 +45,13 @@ fn main() {
     }
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
     if let Err(e) = tele.finish() {
-        eprintln!("warning: {e}");
+        stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
     }
 }

@@ -33,7 +33,7 @@ const PAPER: &[(&str, f64)] = &[
 
 fn main() {
     let (tele, _) = TelemetryCli::from_env();
-    tele.apply();
+    let _metrics = tele.apply();
     let mut metrics = MetricsEmitter::new("table5");
     println!("Table 5: Resolution of control-flow uncertainties by LBRLOG");
     println!(
@@ -67,9 +67,13 @@ fn main() {
     println!("paper range: 0.74 - 0.98 across 6945 logging sites of 13 applications");
     match metrics.finish() {
         Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
     if let Err(e) = tele.finish() {
-        eprintln!("warning: {e}");
+        stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
     }
 }

@@ -10,7 +10,7 @@ use stm_telemetry::json::Json;
 
 fn main() {
     let (tele, args) = TelemetryCli::from_env();
-    tele.apply();
+    let _metrics = tele.apply();
     let timed = args.iter().any(|a| a == "--timed");
     let cbi_runs = args
         .iter()
@@ -117,9 +117,13 @@ fn main() {
     }
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
     if let Err(e) = tele.finish() {
-        eprintln!("warning: {e}");
+        stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
     }
 }

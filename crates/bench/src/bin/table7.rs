@@ -8,7 +8,7 @@ use stm_suite::eval::evaluate_concurrency;
 
 fn main() {
     let (tele, _) = TelemetryCli::from_env();
-    tele.apply();
+    let _metrics = tele.apply();
     let mut metrics = MetricsEmitter::new("table7");
     println!("Table 7: Failure diagnosis capability of LCR (paper values in parentheses)");
     println!(
@@ -47,9 +47,13 @@ fn main() {
     println!("Conf2 = space-consuming (invalid loads/stores + exclusive loads); LCRA uses Conf2.");
     match metrics.finish() {
         Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        Err(e) => stm_telemetry::log::warn(
+            "bench",
+            "metrics.write_failed",
+            vec![("error", e.to_string())],
+        ),
     }
     if let Err(e) = tele.finish() {
-        eprintln!("warning: {e}");
+        stm_telemetry::log::warn("bench", "trace.write_failed", vec![("error", e)]);
     }
 }

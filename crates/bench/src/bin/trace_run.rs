@@ -60,7 +60,7 @@ fn main() {
     if tele.trace_out.is_none() {
         tele.trace_out = Some(format!("results/TRACE_{id}.json"));
     }
-    tele.apply();
+    let _metrics = tele.apply();
     {
         let _run = stm_telemetry::span_cat("trace_run", "harness");
         match b.info.bug_class {

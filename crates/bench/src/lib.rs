@@ -176,6 +176,7 @@ pub struct MetricsEmitter {
     harness: &'static str,
     last: stm_telemetry::MetricsSnapshot,
     benchmarks: Vec<(String, stm_telemetry::json::Json)>,
+    top_level: Vec<(&'static str, stm_telemetry::json::Json)>,
 }
 
 impl MetricsEmitter {
@@ -186,7 +187,16 @@ impl MetricsEmitter {
             harness,
             last: stm_telemetry::metrics_snapshot(),
             benchmarks: Vec::new(),
+            top_level: Vec::new(),
         }
+    }
+
+    /// Records a harness-wide headline field at the top level of the
+    /// document — *outside* `benchmarks`, which `bench_diff` gates, so
+    /// informational values (throughput headlines) never fail a
+    /// regression gate.
+    pub fn top_level(&mut self, key: &'static str, value: stm_telemetry::json::Json) {
+        self.top_level.push((key, value));
     }
 
     /// Records the counter deltas accumulated since the previous
@@ -231,14 +241,17 @@ impl MetricsEmitter {
                 }
             }
         }
-        let doc = Json::obj([
-            ("harness", Json::from(self.harness)),
-            ("benchmarks", Json::Obj(merged)),
-            (
-                "totals",
-                stm_telemetry::export::metrics_json(&stm_telemetry::metrics_snapshot()),
-            ),
-        ]);
+        let mut doc = std::collections::BTreeMap::new();
+        doc.insert("harness".to_string(), Json::from(self.harness));
+        doc.insert("benchmarks".to_string(), Json::Obj(merged));
+        doc.insert(
+            "totals".to_string(),
+            stm_telemetry::export::metrics_json(&stm_telemetry::metrics_snapshot()),
+        );
+        for (k, v) in self.top_level {
+            doc.insert(k.to_string(), v);
+        }
+        let doc = Json::Obj(doc);
         std::fs::create_dir_all("results")?;
         let path = format!("results/BENCH_{}.json", self.harness);
         std::fs::write(&path, doc.encode() + "\n")?;
@@ -248,16 +261,21 @@ impl MetricsEmitter {
 
 /// The shared observability flags every harness binary understands:
 /// `--telemetry` turns span/metric collection on for the whole process,
-/// and `--trace-out <path>` additionally exports a Chrome `trace_event`
-/// JSON when the harness exits (implying `--telemetry`). One parser, one
+/// `--trace-out <path>` additionally exports a Chrome `trace_event`
+/// JSON when the harness exits, and `--metrics-addr <addr>` serves the
+/// live registry over HTTP (`/metrics`, `/health`, `/events`) for the
+/// process's lifetime — both imply `--telemetry`. One parser, one
 /// behaviour — `table4`…`table7`, `diagnose_report`, `trace_run` and
 /// `profile_run` all route through here instead of hand-rolling flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetryCli {
-    /// Collection requested (`--telemetry`, or implied by `--trace-out`).
+    /// Collection requested (`--telemetry`, or implied by the others).
     pub enabled: bool,
     /// Export path for the Chrome trace, when requested.
     pub trace_out: Option<String>,
+    /// Bind address for the observatory endpoint (`127.0.0.1:0` picks an
+    /// ephemeral port, printed on startup), when requested.
+    pub metrics_addr: Option<String>,
 }
 
 impl TelemetryCli {
@@ -284,6 +302,16 @@ impl TelemetryCli {
                     cli.trace_out = Some(args.remove(i));
                     cli.enabled = true;
                 }
+                "--metrics-addr" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err(
+                            "--metrics-addr needs a bind address (e.g. 127.0.0.1:0)".to_string()
+                        );
+                    }
+                    cli.metrics_addr = Some(args.remove(i));
+                    cli.enabled = true;
+                }
                 _ => i += 1,
             }
         }
@@ -304,13 +332,30 @@ impl TelemetryCli {
         }
     }
 
-    /// Applies the flags: enables collection and drains any spans a
-    /// previous phase left behind, so an exported trace starts at this
-    /// harness's own work. No-op when the flags were not given.
-    pub fn apply(&self) {
+    /// Applies the flags: enables collection, drains any spans a
+    /// previous phase left behind (so an exported trace starts at this
+    /// harness's own work), and starts the observatory endpoint when
+    /// `--metrics-addr` was given. The returned server, if any, serves
+    /// for as long as the caller keeps it alive — bind it for the
+    /// harness's whole run. Exits with the usage error when the bind
+    /// address is unusable, matching [`TelemetryCli::from_env`].
+    #[must_use = "bind the returned server: dropping it stops the metrics endpoint"]
+    pub fn apply(&self) -> Option<stm_observatory::MetricsServer> {
         if self.enabled {
             stm_telemetry::set_enabled(true);
             let _ = stm_telemetry::take_spans();
+        }
+        let addr = self.metrics_addr.as_ref()?;
+        match stm_observatory::MetricsServer::start(addr) {
+            Ok(server) => {
+                // The one place a `:0` caller can learn the real port.
+                eprintln!("metrics endpoint listening on http://{}", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("--metrics-addr {addr}: {e}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -425,13 +470,26 @@ mod tests {
         assert_eq!(cli.trace_out.as_deref(), Some("results/T.json"));
         assert_eq!(args, vec!["apache4"]);
 
+        let mut args: Vec<String> = ["--metrics-addr", "127.0.0.1:0", "sort"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = TelemetryCli::extract(&mut args).unwrap();
+        assert!(cli.enabled, "--metrics-addr implies --telemetry");
+        assert_eq!(cli.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args, vec!["sort"]);
+
         let mut args = vec!["--trace-out".to_string()];
+        assert!(TelemetryCli::extract(&mut args).is_err());
+
+        let mut args = vec!["--metrics-addr".to_string()];
         assert!(TelemetryCli::extract(&mut args).is_err());
 
         let mut args = vec!["plain".to_string()];
         let cli = TelemetryCli::extract(&mut args).unwrap();
         assert_eq!(cli, TelemetryCli::default());
         assert!(cli.finish().unwrap().is_none(), "no trace requested");
+        assert!(cli.apply().is_none(), "no endpoint requested");
     }
 
     #[test]

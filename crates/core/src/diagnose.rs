@@ -410,15 +410,32 @@ pub fn find_workloads(
 
 #[cfg(test)]
 mod tests {
-    // The legacy entry points stay covered until the deprecation window
-    // closes; the engine's own tests cover the session API.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::engine::DiagnosisSession;
     use crate::transform::InstrumentOptions;
     use stm_machine::builder::ProgramBuilder;
     use stm_machine::ids::LogSiteId;
     use stm_machine::ir::{BinOp, Program};
+
+    /// The session-API equivalent of the retired `lbra()` shim call the
+    /// tests used to make.
+    fn lbra_session(
+        runner: &Runner,
+        failing: &[Workload],
+        passing: &[Workload],
+        spec: &FailureSpec,
+        config: &DiagnosisConfig,
+    ) -> LbraDiagnosis {
+        DiagnosisSession::from_runner(runner)
+            .failure(spec.clone())
+            .failing(failing.to_vec())
+            .passing(passing.to_vec())
+            .profile_kind(ProfileKind::Lbr)
+            .diagnosis_config(config)
+            .collect()
+            .expect("witness-mode collection succeeds")
+            .lbra()
+    }
 
     /// A sanity-check program: the error fires iff input 0 is negative,
     /// after passing through a couple of unrelated branches.
@@ -479,7 +496,7 @@ mod tests {
             .map(|i| Workload::new(vec![1 + i as i64, (i as i64 * 29) % 100]))
             .collect();
         let spec = FailureSpec::ErrorLogAt(site);
-        let d = lbra(
+        let d = lbra_session(
             &runner,
             &failing,
             &passing,
@@ -511,7 +528,7 @@ mod tests {
             success_profiles: 3,
             max_runs: 20,
         };
-        let d = lbra(&runner, &failing, &passing, &spec, &cfg);
+        let d = lbra_session(&runner, &failing, &passing, &spec, &cfg);
         assert_eq!(d.stats.failure_runs_used, 0);
         assert_eq!(d.stats.success_runs_used, 3);
     }
@@ -533,9 +550,9 @@ mod tests {
             success_profiles: 6,
             max_runs: 100,
         };
-        let first = lbra(&runner, &failing, &passing, &spec, &cfg);
+        let first = lbra_session(&runner, &failing, &passing, &spec, &cfg);
         for _ in 0..3 {
-            let again = lbra(&runner, &failing, &passing, &spec, &cfg);
+            let again = lbra_session(&runner, &failing, &passing, &spec, &cfg);
             assert_eq!(again.ranked, first.ranked, "rank order must not drift");
         }
     }
@@ -553,7 +570,7 @@ mod tests {
             success_profiles: 1,
             max_runs: 20,
         };
-        let d = lbra(&runner, &failing, &passing, &spec, &cfg);
+        let d = lbra_session(&runner, &failing, &passing, &spec, &cfg);
         let top = d
             .ranked
             .iter()
@@ -571,18 +588,19 @@ mod tests {
     }
 
     #[test]
-    fn find_workloads_scans_seeds() {
+    fn scan_mode_session_finds_failing_workloads() {
         let (p, site, _) = guarded_program();
         let runner = Runner::instrumented(&p, &InstrumentOptions::lbrlog());
         let spec = FailureSpec::ErrorLogAt(site);
-        let found = find_workloads(
-            &runner,
-            &Workload::new(vec![-1, 0]),
-            &spec,
-            RunClass::TargetFailure,
-            3,
-            0..10,
-        );
+        let found = DiagnosisSession::from_runner(&runner)
+            .failure(spec)
+            .workloads(vec![Workload::new(vec![-1, 0])])
+            .seeds(0..10)
+            .failure_profiles(3)
+            .success_profiles(0)
+            .collect()
+            .expect("scan-mode collection succeeds")
+            .failing_workloads();
         assert_eq!(found.len(), 3);
         assert_eq!(found[0].seed, 0);
     }

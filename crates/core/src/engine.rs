@@ -489,7 +489,62 @@ impl DiagnosisSession {
     /// Runs the collection: replays jobs (in parallel when
     /// `threads > 1`), classifies each run, and keeps the deterministic
     /// prefix that fills the profile quotas.
+    ///
+    /// Besides the result, the session reports its outcome to the
+    /// observability layer: the `engine.failure_streak` gauge counts
+    /// consecutive sessions that errored or ended short of their
+    /// profile quota (perturbation loss — the `CtlResponse::Lost`
+    /// symptom), and a structured `session.complete` / `session.error`
+    /// event records what happened (see `stm_telemetry::log`).
     pub fn collect(self) -> Result<CollectedProfiles, SessionError> {
+        let result = self.collect_inner();
+        // The streak gauge must keep this single call site: snapshots
+        // sum same-name gauges across call sites, so a `set(0)` here
+        // could not clear a contribution added elsewhere.
+        let streak = stm_telemetry::gauge!("engine.failure_streak");
+        match &result {
+            Ok((profiles, loss)) => {
+                if loss.quota_met() {
+                    streak.set(0);
+                } else {
+                    streak.add(1);
+                }
+                if stm_telemetry::log::would_log(stm_telemetry::log::Level::Info) {
+                    if loss.missing_profiles > 0 || !loss.quota_met() {
+                        stm_telemetry::log::info(
+                            "engine",
+                            "profile.lost",
+                            vec![
+                                ("missing_profiles", loss.missing_profiles.to_string()),
+                                ("quota_shortfall", loss.shortfall.to_string()),
+                            ],
+                        );
+                    }
+                    stm_telemetry::log::info(
+                        "engine",
+                        "session.complete",
+                        vec![
+                            ("runs", profiles.stats.total_runs.to_string()),
+                            ("failures", profiles.failures.len().to_string()),
+                            ("successes", profiles.successes.len().to_string()),
+                            ("quota_met", loss.quota_met().to_string()),
+                        ],
+                    );
+                }
+            }
+            Err(e) => {
+                streak.add(1);
+                stm_telemetry::log::error(
+                    "engine",
+                    "session.error",
+                    vec![("error", format!("{e:?}"))],
+                );
+            }
+        }
+        result.map(|(profiles, _)| profiles)
+    }
+
+    fn collect_inner(self) -> Result<(CollectedProfiles, SessionLoss), SessionError> {
         let spec = self.spec.ok_or(SessionError::MissingFailureSpec)?;
         self.config
             .hw
@@ -516,6 +571,7 @@ impl DiagnosisSession {
             let spec = spec.clone();
             move |job: &Job| r.run_classified(&job.workload, &spec)
         };
+        let mut loss = SessionLoss::default();
         if scan {
             let seeds = self.seeds.unwrap_or(0..self.config.max_runs as u64);
             let plan = JobPlan::scan(self.bases, seeds);
@@ -523,26 +579,72 @@ impl DiagnosisSession {
             run_plan(
                 &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
             )?;
+            loss.absorb(&quota);
         } else {
             let plan = JobPlan::cycle(self.failing, self.config.max_runs as u64);
             let mut quota = Quota::witness_fail(self.config.failure_profiles, self.kind);
             run_plan(
                 &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
             )?;
+            loss.absorb(&quota);
             let plan = JobPlan::cycle(self.passing, self.config.max_runs as u64);
             let mut quota = Quota::witness_pass(self.config.success_profiles, self.kind);
             run_plan(
                 &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
             )?;
+            loss.absorb(&quota);
         }
-        Ok(CollectedProfiles {
-            runner,
-            spec,
-            kind: self.kind,
-            failures: sink.failures,
-            successes: sink.successes,
-            stats: sink.stats,
-        })
+        Ok((
+            CollectedProfiles {
+                runner,
+                spec,
+                kind: self.kind,
+                failures: sink.failures,
+                successes: sink.successes,
+                stats: sink.stats,
+            },
+            loss,
+        ))
+    }
+}
+
+/// What a session failed to collect: runs whose class matched the quota
+/// but whose profile was lost (the perturbation layer's
+/// `CtlResponse::Lost` symptom), and the final quota shortfall.
+#[derive(Debug, Default, Clone, Copy)]
+struct SessionLoss {
+    /// Quota-class runs discarded for lacking the required profile.
+    missing_profiles: usize,
+    /// Profiles still owed when the plans were exhausted.
+    shortfall: usize,
+}
+
+impl SessionLoss {
+    fn absorb(&mut self, quota: &Quota) {
+        self.missing_profiles += quota.missing;
+        // A `usize::MAX` quota means "keep everything the plan
+        // produces", not a target the session owes — an exhaustive
+        // scan is never short.
+        let owed = |want: usize, got: usize| {
+            if want == usize::MAX {
+                0
+            } else {
+                want.saturating_sub(got)
+            }
+        };
+        self.shortfall = self
+            .shortfall
+            .saturating_add(owed(quota.want_fail, quota.got_fail))
+            .saturating_add(owed(quota.want_pass, quota.got_pass));
+    }
+
+    /// A session that filled every quota keeps the failure streak at
+    /// zero even if some runs lost profiles along the way — it
+    /// compensated with extra runs, which is normal operation under
+    /// perturbation. Only an unfilled quota (or an error) is a failed
+    /// cycle.
+    fn quota_met(&self) -> bool {
+        self.shortfall == 0
     }
 }
 
@@ -670,6 +772,10 @@ struct Quota {
     got_fail: usize,
     got_pass: usize,
     kind: Option<ProfileKind>,
+    /// Runs whose class matched an unfilled quota but whose profile was
+    /// absent or of the wrong ring — the observable trace of
+    /// perturbation loss (`CtlResponse::Lost`).
+    missing: usize,
 }
 
 enum QuotaMode {
@@ -691,6 +797,7 @@ impl Quota {
             got_fail: 0,
             got_pass: 0,
             kind,
+            missing: 0,
         }
     }
 
@@ -702,6 +809,7 @@ impl Quota {
             got_fail: 0,
             got_pass: 0,
             kind,
+            missing: 0,
         }
     }
 
@@ -713,6 +821,7 @@ impl Quota {
             got_fail: 0,
             got_pass: 0,
             kind: None,
+            missing: 0,
         }
     }
 
@@ -727,19 +836,23 @@ impl Quota {
         spec: &FailureSpec,
     ) -> Option<Pick> {
         match (&self.mode, class) {
-            (QuotaMode::WitnessFail, RunClass::TargetFailure)
-                if self.got_fail < self.want_fail
-                    && profile_matches(failure_profile(report, spec), self.kind) =>
-            {
-                self.got_fail += 1;
-                Some(Pick::Failure)
+            (QuotaMode::WitnessFail, RunClass::TargetFailure) if self.got_fail < self.want_fail => {
+                if profile_matches(failure_profile(report, spec), self.kind) {
+                    self.got_fail += 1;
+                    Some(Pick::Failure)
+                } else {
+                    self.missing += 1;
+                    None
+                }
             }
-            (QuotaMode::WitnessPass, RunClass::Success)
-                if self.got_pass < self.want_pass
-                    && profile_matches(success_profile(report, spec), self.kind) =>
-            {
-                self.got_pass += 1;
-                Some(Pick::Success)
+            (QuotaMode::WitnessPass, RunClass::Success) if self.got_pass < self.want_pass => {
+                if profile_matches(success_profile(report, spec), self.kind) {
+                    self.got_pass += 1;
+                    Some(Pick::Success)
+                } else {
+                    self.missing += 1;
+                    None
+                }
             }
             (QuotaMode::Scan, RunClass::TargetFailure) if self.got_fail < self.want_fail => {
                 self.got_fail += 1;
@@ -865,10 +978,13 @@ where
             stm_telemetry::counter!("engine.runs").incr();
             let jid = job.index;
             let (report, class) = catch_unwind(AssertUnwindSafe(|| exec(&job))).map_err(|p| {
-                SessionError::WorkerPanicked {
-                    job: jid,
-                    message: panic_message(p),
-                }
+                let message = panic_message(p);
+                stm_telemetry::log::error(
+                    "engine",
+                    "worker.panic",
+                    vec![("job", jid.to_string()), ("message", message.clone())],
+                );
+                SessionError::WorkerPanicked { job: jid, message }
             })?;
             consume(job, report, class, quota, spec, sink);
             index += 1;
@@ -877,6 +993,11 @@ where
     }
 
     let depth = stm_telemetry::gauge!("engine.queue_depth");
+    // Pool-size gauge: one call site for both `set`s (snapshots sum
+    // same-name gauges across call sites, so a second site could not
+    // zero this one).
+    let workers = stm_telemetry::gauge!("engine.workers");
+    workers.set(threads as i64);
     let outcome = std::thread::scope(|s| -> Result<(), SessionError> {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -888,6 +1009,9 @@ where
             s.spawn(move || {
                 {
                     let _worker_span = stm_telemetry::span_cat("engine.worker", "engine");
+                    // Net-zero across add(+1)/add(-1), so the shared
+                    // static needs no reset between sessions.
+                    let busy = stm_telemetry::gauge!("engine.workers_busy");
                     loop {
                         // Hold the lock only to dequeue, never while running.
                         let job = {
@@ -905,7 +1029,10 @@ where
                             .with_flow(job.flow, stm_telemetry::FlowPhase::Step);
                         stm_telemetry::counter!("engine.runs").incr();
                         let index = job.index;
-                        let msg = match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                        busy.add(1);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| exec(&job)));
+                        busy.add(-1);
+                        let msg = match outcome {
                             Ok((report, class)) => WorkerMsg::Done {
                                 job,
                                 report: Box::new(report),
@@ -949,6 +1076,18 @@ where
                     job.enqueued = Some(std::time::Instant::now());
                 }
                 let flow = job.flow;
+                if stm_telemetry::log::would_log(stm_telemetry::log::Level::Debug) {
+                    stm_telemetry::log::emit(
+                        stm_telemetry::log::Level::Debug,
+                        "engine",
+                        "job.enqueue",
+                        flow,
+                        vec![
+                            ("job", job.index.to_string()),
+                            ("seed", job.workload.seed.to_string()),
+                        ],
+                    );
+                }
                 let sent = {
                     let _enq = stm_telemetry::span_cat("engine.enqueue", "engine")
                         .with_flow(flow, stm_telemetry::FlowPhase::Start);
@@ -972,6 +1111,11 @@ where
                     pending.insert(job.index, (job, *report, class, arrived));
                 }
                 WorkerMsg::Panicked { job, message } => {
+                    stm_telemetry::log::error(
+                        "engine",
+                        "worker.panic",
+                        vec![("job", job.to_string()), ("message", message.clone())],
+                    );
                     failure = Some(SessionError::WorkerPanicked { job, message });
                 }
             }
@@ -1005,6 +1149,7 @@ where
             None => Ok(()),
         }
     });
+    workers.set(0);
     outcome
 }
 

@@ -1,0 +1,202 @@
+//! The engine's observability contract: the `engine.failure_streak`
+//! gauge and the structured session events that feed the
+//! `stm-observatory` health model.
+//!
+//! These live in their own integration binary because they enable the
+//! process-global telemetry registry and assert on its exact state —
+//! the library's unit tests run sessions concurrently and would race.
+
+use std::sync::Mutex;
+use stm_core::prelude::*;
+use stm_core::transform::InstrumentOptions;
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ids::LogSiteId;
+use stm_machine::ir::{BinOp, Program};
+
+/// Error iff input 0 is negative (the engine unit tests' shape).
+fn guarded_program() -> (Program, LogSiteId) {
+    let mut pb = ProgramBuilder::new("p");
+    let main = pb.declare_function("main");
+    let site;
+    {
+        let mut f = pb.build_function(main, "m.c");
+        let err = f.new_block();
+        let ok = f.new_block();
+        let x = f.read_input(0);
+        let neg = f.bin(BinOp::Lt, x, 0);
+        f.br(neg, err, ok);
+        f.set_block(err);
+        site = f.log_error("x must be non-negative");
+        f.exit(1);
+        f.ret(None);
+        f.set_block(ok);
+        f.output(x);
+        f.ret(None);
+        f.finish();
+    }
+    (pb.finish(main), site)
+}
+
+/// A session that fills its quotas (no perturbation).
+fn clean_session(threads: usize) -> Result<CollectedProfiles, SessionError> {
+    let (p, site) = guarded_program();
+    DiagnosisSession::new(&p)
+        .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+        .failure(FailureSpec::ErrorLogAt(site))
+        .failing(vec![Workload::new(vec![-1])])
+        .passing(vec![Workload::new(vec![1])])
+        .failure_profiles(2)
+        .success_profiles(2)
+        .threads(threads)
+        .collect()
+}
+
+/// A session whose perturbation layer loses every snapshot, so the
+/// quotas cannot fill (the `CtlResponse::Lost` symptom).
+fn lossy_session() -> Result<CollectedProfiles, SessionError> {
+    let (p, site) = guarded_program();
+    DiagnosisSession::new(&p)
+        .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+        .failure(FailureSpec::ErrorLogAt(site))
+        .failing(vec![Workload::new(vec![-1])])
+        .passing(vec![Workload::new(vec![1])])
+        .failure_profiles(2)
+        .success_profiles(2)
+        .max_runs(8)
+        .hw_config(stm_hardware::HwConfig {
+            perturb: stm_hardware::PerturbConfig::NONE.loss_rate(1.0),
+            ..stm_hardware::HwConfig::default()
+        })
+        .collect()
+}
+
+/// Telemetry is process-global; serialise the tests and start each from
+/// a reset, enabled, echo-quiet registry.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    stm_telemetry::reset();
+    stm_telemetry::set_enabled(true);
+    stm_telemetry::log::set_stderr_level(None);
+    guard
+}
+
+fn unlock() {
+    stm_telemetry::log::set_stderr_level(Some(stm_telemetry::log::Level::Warn));
+    stm_telemetry::set_enabled(false);
+}
+
+fn streak() -> i64 {
+    stm_telemetry::metrics_snapshot()
+        .gauge("engine.failure_streak")
+        .unwrap_or(0)
+}
+
+#[test]
+fn failure_streak_counts_consecutive_bad_sessions_and_resets() {
+    let _g = lock();
+    clean_session(1).expect("clean session");
+    assert_eq!(streak(), 0, "a clean session keeps the streak at zero");
+    lossy_session().expect("lossy session terminates");
+    assert_eq!(streak(), 1, "an unfilled quota is a failed cycle");
+    lossy_session().expect("lossy session terminates");
+    assert_eq!(streak(), 2, "consecutive failures accumulate");
+    // Session errors count too (here: no failure spec).
+    let (p, _) = guarded_program();
+    DiagnosisSession::new(&p)
+        .failing(vec![Workload::new(vec![-1])])
+        .collect()
+        .unwrap_err();
+    assert_eq!(streak(), 3, "an errored session extends the streak");
+    clean_session(1).expect("clean session");
+    assert_eq!(streak(), 0, "one clean session resets the streak");
+    unlock();
+}
+
+#[test]
+fn sessions_emit_structured_progress_events() {
+    let _g = lock();
+    clean_session(2).expect("clean session");
+    let events = stm_telemetry::log::take_events();
+    let complete = events
+        .iter()
+        .find(|e| e.event == "session.complete")
+        .expect("session.complete event");
+    assert_eq!(complete.component, "engine");
+    assert_eq!(complete.level, stm_telemetry::log::Level::Info);
+    let field = |e: &stm_telemetry::log::Event, k: &str| {
+        e.fields
+            .iter()
+            .find(|(n, _)| *n == k)
+            .map(|(_, v)| v.clone())
+    };
+    assert_eq!(field(complete, "quota_met").as_deref(), Some("true"));
+    assert_eq!(field(complete, "failures").as_deref(), Some("2"));
+    assert!(
+        !events.iter().any(|e| e.event == "profile.lost"),
+        "clean sessions lose nothing"
+    );
+
+    lossy_session().expect("lossy session terminates");
+    let events = stm_telemetry::log::take_events();
+    let lost = events
+        .iter()
+        .find(|e| e.event == "profile.lost")
+        .expect("profile.lost event");
+    assert_eq!(field(lost, "quota_shortfall").as_deref(), Some("4"));
+    let complete = events
+        .iter()
+        .find(|e| e.event == "session.complete")
+        .expect("lossy sessions still complete");
+    assert_eq!(field(complete, "quota_met").as_deref(), Some("false"));
+
+    let (p, _) = guarded_program();
+    DiagnosisSession::new(&p)
+        .failing(vec![Workload::new(vec![-1])])
+        .collect()
+        .unwrap_err();
+    let events = stm_telemetry::log::take_events();
+    let error = events
+        .iter()
+        .find(|e| e.event == "session.error")
+        .expect("session.error event");
+    assert_eq!(error.level, stm_telemetry::log::Level::Error);
+    assert!(
+        field(error, "error")
+            .unwrap()
+            .contains("MissingFailureSpec"),
+        "the error field names the failure"
+    );
+    unlock();
+}
+
+#[test]
+fn enqueue_events_carry_the_job_flow_id() {
+    let _g = lock();
+    clean_session(4).expect("threaded session");
+    let events = stm_telemetry::log::take_events();
+    let enqueues: Vec<_> = events.iter().filter(|e| e.event == "job.enqueue").collect();
+    assert!(!enqueues.is_empty(), "threaded sessions enqueue jobs");
+    assert!(
+        enqueues.iter().all(|e| e.flow != 0),
+        "every enqueue is tied into its job's causal chain"
+    );
+    assert!(
+        enqueues
+            .iter()
+            .all(|e| e.level == stm_telemetry::log::Level::Debug),
+        "per-job events stay at debug level"
+    );
+    unlock();
+}
+
+#[test]
+fn worker_gauges_return_to_idle_after_a_session() {
+    let _g = lock();
+    clean_session(4).expect("threaded session");
+    let m = stm_telemetry::metrics_snapshot();
+    assert_eq!(m.gauge("engine.workers"), Some(0), "pool gone");
+    assert_eq!(m.gauge("engine.workers_busy"), Some(0), "nobody working");
+    assert_eq!(m.gauge("engine.queue_depth"), Some(0), "queue drained");
+    unlock();
+}

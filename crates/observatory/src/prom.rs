@@ -1,0 +1,125 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`] — std-only, no client library.
+//!
+//! Metric names translate as `stm_` + the registry name with every
+//! non-`[a-zA-Z0-9_:]` byte replaced by `_` (`engine.queue_depth` →
+//! `stm_engine_queue_depth`). Counters gain the conventional `_total`
+//! suffix. Histograms emit cumulative `_bucket{le="..."}` series using
+//! the registry's log2 bucket upper bounds (`2^i - 1`), a `_sum` and a
+//! `_count`; empty tail buckets are elided (the `+Inf` bucket always
+//! closes the series, so the cumulative contract holds).
+
+use stm_telemetry::{HistogramSnapshot, MetricsSnapshot};
+
+/// `stm_` + the registry name, sanitised to Prometheus' charset.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("stm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = metric_name(&h.name);
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    // Cumulative buckets up to the last occupied one; bucket i of the
+    // registry covers [2^(i-1), 2^i), so its inclusive upper bound is
+    // 2^i - 1 (bucket 0 is exactly zero).
+    let last = h.buckets.iter().rposition(|&b| b > 0);
+    let mut cum = 0u64;
+    if let Some(last) = last {
+        for (i, &b) in h.buckets.iter().take(last + 1).enumerate() {
+            cum += b;
+            let le = match i {
+                0 => "0".to_string(),
+                64.. => continue, // the top bucket is the +Inf line below
+                _ => ((1u64 << i) - 1).to_string(),
+            };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders the whole snapshot as Prometheus text.
+pub fn render(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &m.counters {
+        let name = metric_name(name);
+        out.push_str(&format!("# TYPE {name}_total counter\n"));
+        out.push_str(&format!("{name}_total {v}\n"));
+    }
+    for (name, v) in &m.gauges {
+        let name = metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for h in &m.histograms {
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sanitise_and_prefix() {
+        assert_eq!(metric_name("engine.queue_depth"), "stm_engine_queue_depth");
+        assert_eq!(metric_name("perturb.drop-rate"), "stm_perturb_drop_rate");
+        assert_eq!(metric_name("a:b"), "stm_a:b");
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let m = MetricsSnapshot {
+            counters: vec![("engine.runs".to_string(), 42)],
+            histograms: vec![],
+            gauges: vec![("engine.queue_depth".to_string(), -3)],
+        };
+        let text = render(&m);
+        assert!(text.contains("# TYPE stm_engine_runs_total counter\n"));
+        assert!(text.contains("stm_engine_runs_total 42\n"));
+        assert!(text.contains("# TYPE stm_engine_queue_depth gauge\n"));
+        assert!(text.contains("stm_engine_queue_depth -3\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_log2_buckets() {
+        let mut buckets = vec![0u64; stm_telemetry::HISTOGRAM_BUCKETS];
+        buckets[0] = 1; // one zero
+        buckets[1] = 2; // two ones
+        buckets[4] = 1; // one sample in [8,16)
+        let m = MetricsSnapshot {
+            counters: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "engine.queue_wait_us".to_string(),
+                count: 4,
+                sum: 12,
+                min: 0,
+                max: 10,
+                buckets,
+            }],
+            gauges: vec![],
+        };
+        let text = render(&m);
+        assert!(text.contains("# TYPE stm_engine_queue_wait_us histogram\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_bucket{le=\"15\"} 4\n"));
+        assert!(!text.contains("le=\"31\""), "empty tail buckets elided");
+        assert!(text.contains("stm_engine_queue_wait_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_sum 12\n"));
+        assert!(text.contains("stm_engine_queue_wait_us_count 4\n"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Client-side pieces of the status board: a minimal HTTP/1.1 GET,
+//! a Prometheus text parser, and the one-screen board renderer used
+//! by the `stm_watch` binary.
+//!
+//! The parser and renderer are pure functions over strings so the
+//! board can be unit-tested without a live server.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use stm_telemetry::json::Json;
+
+/// Fetches `path` from `addr` and returns the response body.
+///
+/// Deliberately tiny: one request per connection (`Connection: close`),
+/// no redirects, no chunked decoding — the observatory server sends
+/// plain `Content-Length` bodies.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response had no header/body separator",
+        )),
+    }
+}
+
+/// Parses Prometheus text exposition into `series name -> value`.
+///
+/// Comment (`#`) and blank lines are skipped; the series name keeps
+/// its label set verbatim (`..._bucket{le="1"}` stays one key).
+pub fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(name.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// One scrape: the parsed `/metrics` series plus the `/health` report.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Parsed `/metrics` series.
+    pub metrics: BTreeMap<String, f64>,
+    /// Parsed `/health` JSON.
+    pub health: Json,
+}
+
+impl Sample {
+    /// Parses raw endpoint bodies into a sample. Fails when the health
+    /// body is not valid JSON.
+    pub fn parse(metrics_body: &str, health_body: &str) -> Result<Sample, String> {
+        Ok(Sample {
+            metrics: parse_prometheus(metrics_body),
+            health: Json::parse(health_body.trim()).map_err(|e| format!("{e:?}"))?,
+        })
+    }
+}
+
+fn health_str<'a>(health: &'a Json, key: &str) -> &'a str {
+    health.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+fn observed(health: &Json, key: &str) -> Option<f64> {
+    health.get("observed")?.get(key)?.as_f64()
+}
+
+/// Renders the one-screen status board.
+///
+/// `prev` is the previous sample plus the seconds elapsed since it was
+/// taken; when present, every monotonic series (`_total` counters and
+/// histogram `_count`s) gains a per-second rate column.
+pub fn render_board(cur: &Sample, prev: Option<(&Sample, f64)>) -> String {
+    let mut out = String::new();
+    let state = health_str(&cur.health, "state");
+    let raw = health_str(&cur.health, "raw");
+    out.push_str(&format!("stm observatory — health: {state}"));
+    if raw != state {
+        out.push_str(&format!(" (raw: {raw})"));
+    }
+    out.push('\n');
+    if let Some(Json::Arr(reasons)) = cur.health.get("reasons") {
+        for r in reasons {
+            if let Some(r) = r.as_str() {
+                out.push_str(&format!("  reason: {r}\n"));
+            }
+        }
+    }
+    let gauge_rows: [(&str, &str); 4] = [
+        ("queue depth", "queue_depth"),
+        ("failure streak", "failure_streak"),
+        ("workers busy", "workers_busy"),
+        ("workers", "workers"),
+    ];
+    for (label, key) in gauge_rows {
+        let v = observed(&cur.health, key).unwrap_or(0.0);
+        out.push_str(&format!("  {label:<16} {v:>12.0}\n"));
+    }
+    let rps =
+        observed(&cur.health, "runs_per_sec").map_or("n/a".to_string(), |v| format!("{v:.1}"));
+    out.push_str(&format!("  {:<16} {rps:>12}\n", "runs/sec"));
+    out.push_str("\n  series                                     value       per-sec\n");
+    for (name, &v) in &cur.metrics {
+        let monotonic = name.ends_with("_total") || name.ends_with("_count");
+        if !monotonic {
+            continue;
+        }
+        let rate = prev.and_then(|(p, secs)| {
+            let before = p.metrics.get(name).copied()?;
+            (secs > 0.0).then(|| (v - before).max(0.0) / secs)
+        });
+        let rate = rate.map_or("-".to_string(), |r| format!("{r:.1}"));
+        out.push_str(&format!("  {name:<40} {v:>11.0} {rate:>13}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METRICS: &str = "\
+# TYPE stm_engine_runs_total counter
+stm_engine_runs_total 120
+# TYPE stm_engine_queue_depth gauge
+stm_engine_queue_depth 3
+stm_engine_queue_wait_us_bucket{le=\"1\"} 5
+stm_engine_queue_wait_us_count 40
+";
+
+    const HEALTH: &str = r#"{"state":"degraded","raw":"degraded","reasons":["queue depth 3 exceeds 2"],"observed":{"queue_depth":3,"failure_streak":0,"runs_per_sec":60.0,"workers_busy":2,"workers":4},"last_cycle_failed":false,"seq":7,"transitions":[]}"#;
+
+    #[test]
+    fn prometheus_text_parses_to_series_map() {
+        let m = parse_prometheus(METRICS);
+        assert_eq!(m.get("stm_engine_runs_total"), Some(&120.0));
+        assert_eq!(m.get("stm_engine_queue_depth"), Some(&3.0));
+        assert_eq!(
+            m.get("stm_engine_queue_wait_us_bucket{le=\"1\"}"),
+            Some(&5.0),
+            "labelled series keep their labels"
+        );
+        assert!(!m.contains_key("# TYPE stm_engine_runs_total counter"));
+    }
+
+    #[test]
+    fn board_shows_health_gauges_and_rates() {
+        let prev = Sample::parse(
+            "stm_engine_runs_total 100\nstm_engine_queue_wait_us_count 20\n",
+            HEALTH,
+        )
+        .unwrap();
+        let cur = Sample::parse(METRICS, HEALTH).unwrap();
+        let board = render_board(&cur, Some((&prev, 2.0)));
+        assert!(board.contains("health: degraded"), "{board}");
+        assert!(board.contains("reason: queue depth 3 exceeds 2"), "{board}");
+        assert!(board.contains("queue depth"), "{board}");
+        assert!(board.contains("60.0"), "runs/sec from health: {board}");
+        // (120 - 100) / 2s = 10.0 runs/sec for the counter row.
+        assert!(board.contains("10.0"), "{board}");
+        // (40 - 20) / 2s = 10.0 as well; the span-count row must exist.
+        assert!(board.contains("stm_engine_queue_wait_us_count"), "{board}");
+        // Gauges are not rate rows.
+        assert!(!board.contains("stm_engine_queue_depth  "), "{board}");
+    }
+
+    #[test]
+    fn board_without_history_shows_dashes_for_rates() {
+        let cur = Sample::parse(METRICS, HEALTH).unwrap();
+        let board = render_board(&cur, None);
+        assert!(board.contains("stm_engine_runs_total"), "{board}");
+        let rate_line = board
+            .lines()
+            .find(|l| l.contains("stm_engine_runs_total"))
+            .unwrap();
+        assert!(rate_line.trim_end().ends_with('-'), "{rate_line}");
+    }
+}

@@ -12,9 +12,15 @@
 //!   use site with [`counter!`];
 //! * [`Histogram`] — log2-bucketed value distribution (count, sum, min,
 //!   max, percentile estimates), declared with [`histogram!`];
+//! * [`Gauge`] — an instantaneous level (queue depth, failure streak)
+//!   that moves both ways, declared with [`gauge!`];
 //! * spans — hierarchical RAII wall-clock timers created with [`span`] /
 //!   [`span_cat`], recorded as Chrome `trace_event` complete events, plus
 //!   zero-duration [`instant`] markers.
+//!
+//! A structured, leveled JSONL event log (what *happened*, not how much
+//! or how long) lives in [`log`]; the live health model and HTTP
+//! endpoint built on these metrics live in the `stm-observatory` crate.
 //!
 //! Collection is gated by one global switch ([`set_enabled`]); when off,
 //! every operation is a load of one relaxed atomic and an early return —
@@ -47,6 +53,7 @@
 
 pub mod export;
 pub mod json;
+pub mod log;
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -839,6 +846,7 @@ pub fn reset() {
     SPAN_EPOCH.fetch_add(1, Ordering::Relaxed);
     let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().sync_epoch());
     registry().spans.lock().unwrap().clear();
+    log::reset_events();
 }
 
 #[cfg(test)]
@@ -1169,6 +1177,122 @@ mod tests {
         assert_eq!(inner.flow_phase, Some(FlowPhase::Start));
         assert_eq!(outer.flow, 0);
         assert_eq!(outer.flow_phase, None);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn events_buffer_in_order_and_drain() {
+        let _g = lock();
+        log::set_stderr_level(None); // keep test output clean
+        log::info("test", "first", vec![("k", "v".to_string())]);
+        log::warn("test", "second", vec![]);
+        let peeked = log::recent_events(10);
+        assert_eq!(peeked.len(), 2, "recent_events must not drain");
+        let events = log::take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, "first");
+        assert_eq!(events[0].level, log::Level::Info);
+        assert_eq!(events[0].fields, vec![("k", "v".to_string())]);
+        assert_eq!(events[1].event, "second");
+        assert!(events[0].ts_us <= events[1].ts_us);
+        assert!(log::take_events().is_empty(), "drain empties the buffer");
+        // Each event is one canonical JSONL line.
+        let line = events[0].to_json().encode();
+        let parsed = json::Json::parse(&line).expect("event line parses");
+        assert_eq!(
+            parsed.get("level").and_then(json::Json::as_str),
+            Some("info")
+        );
+        assert_eq!(
+            parsed
+                .get("fields")
+                .and_then(|f| f.get("k"))
+                .and_then(json::Json::as_str),
+            Some("v")
+        );
+        log::set_stderr_level(Some(log::Level::Warn));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn events_do_not_buffer_while_disabled() {
+        let _g = lock();
+        log::set_stderr_level(None);
+        set_enabled(false);
+        log::error("test", "silent", vec![]);
+        assert!(!log::would_log(log::Level::Error));
+        set_enabled(true);
+        assert!(log::take_events().is_empty());
+        log::set_stderr_level(Some(log::Level::Warn));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded_and_counts_drops() {
+        let _g = lock();
+        log::set_stderr_level(None);
+        for _ in 0..log::EVENT_CAPACITY + 5 {
+            log::debug("test", "flood", vec![]);
+        }
+        assert_eq!(log::dropped_events(), 5);
+        let events = log::take_events();
+        assert_eq!(events.len(), log::EVENT_CAPACITY);
+        reset();
+        assert_eq!(log::dropped_events(), 0, "reset clears the drop count");
+        log::set_stderr_level(Some(log::Level::Warn));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn reset_keeps_gauge_and_delta_semantics_across_worker_flush() {
+        // Regression companion to the epoch-stamped span-buffer fix: a
+        // worker still running across a reset() must not resurrect
+        // pre-reset state. Counters/gauges are registered statics, so a
+        // post-reset snapshot must see exactly the post-reset activity,
+        // and delta_since must never go negative (saturating) even when
+        // the "earlier" snapshot predates the reset.
+        let _g = lock();
+        let before = {
+            counter!("test.rst.counter").add(10);
+            gauge!("test.rst.gauge").set(7);
+            metrics_snapshot()
+        };
+        assert_eq!(before.gauge("test.rst.gauge"), Some(7));
+
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            {
+                let _s = span_cat("test.rst.stale", "test");
+            }
+            counter!("test.rst.counter").add(5);
+            ready_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+            // Post-reset worker activity: the only state a subsequent
+            // snapshot may observe.
+            counter!("test.rst.counter").add(3);
+            gauge!("test.rst.gauge").add(2);
+            {
+                let _s = span_cat("test.rst.fresh", "test");
+            }
+            flush_thread();
+        });
+        ready_rx.recv().unwrap();
+        reset();
+        go_tx.send(()).unwrap();
+        worker.join().unwrap();
+
+        let after = metrics_snapshot();
+        assert_eq!(after.counter("test.rst.counter"), Some(3));
+        assert_eq!(after.gauge("test.rst.gauge"), Some(2));
+        // Diffing across a reset: counters saturate to zero-and-drop
+        // rather than underflowing; the gauge reports the level change.
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.counter("test.rst.counter"), None);
+        assert_eq!(delta.gauge("test.rst.gauge"), Some(-5));
+        let names: Vec<_> = take_spans().iter().map(|s| s.name).collect();
+        assert!(!names.contains(&"test.rst.stale"), "{names:?}");
+        assert!(names.contains(&"test.rst.fresh"), "{names:?}");
         set_enabled(false);
     }
 

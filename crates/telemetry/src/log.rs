@@ -1,0 +1,232 @@
+//! Structured, leveled event log for the diagnosis pipeline.
+//!
+//! Counters and spans answer *how much* and *how long*; this module
+//! answers *what happened*: discrete, timestamped events with a severity
+//! [`Level`], a component, an optional flow id (the same ids
+//! [`new_flow_id`](crate::new_flow_id) hands to spans, so an event can be
+//! correlated with its causal chain in a trace), and free-form
+//! `key = value` fields. Each event serialises to one canonical JSONL
+//! line via the offline [`json`](crate::json) encoder.
+//!
+//! Two independent outputs:
+//!
+//! * **buffer** — events are kept in a bounded in-memory ring (capacity
+//!   [`EVENT_CAPACITY`], drop-oldest) *only while collection is enabled*
+//!   ([`crate::set_enabled`]); consumers drain with [`take_events`] or
+//!   peek with [`recent_events`] (the observatory's `/events` endpoint).
+//! * **stderr echo** — events at or above the echo threshold (default
+//!   [`Level::Warn`]) print their JSONL line to stderr *regardless* of
+//!   the collection switch, replacing the harness binaries' ad-hoc
+//!   `eprintln!` warnings with a machine-parseable form.
+//!
+//! When collection is off and the level is below the echo threshold,
+//! [`emit`] is a near-no-op (two relaxed atomic loads); hot paths that
+//! would allocate fields should guard on [`would_log`] first.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume progress detail (per-job enqueue).
+    Debug,
+    /// Normal lifecycle milestones (session complete).
+    Info,
+    /// Degraded-but-continuing conditions (lost profile, failed write).
+    Warn,
+    /// Failures that abort work (worker panic, session error).
+    Error,
+}
+
+impl Level {
+    /// The lowercase name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Maximum number of buffered events; beyond it the oldest are dropped
+/// (and counted — see [`dropped_events`]).
+pub const EVENT_CAPACITY: usize = 4096;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the process telemetry epoch (same clock as
+    /// span timestamps, so events and spans line up in a trace).
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component (`"engine"`, `"bench"`, ...).
+    pub component: &'static str,
+    /// Event name within the component (`"session.complete"`, ...).
+    pub event: &'static str,
+    /// Cross-thread flow id tying the event to a span chain; 0 when the
+    /// event is not part of any flow.
+    pub flow: u64,
+    /// Free-form `key = value` payload.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// The event as a JSON object (one JSONL line once encoded).
+    pub fn to_json(&self) -> Json {
+        let fields: std::collections::BTreeMap<String, Json> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Str(v.clone())))
+            .collect();
+        Json::obj([
+            ("ts_us", Json::from(self.ts_us)),
+            ("level", Json::from(self.level.as_str())),
+            ("component", Json::from(self.component)),
+            ("event", Json::from(self.event)),
+            ("flow", Json::from(self.flow)),
+            ("fields", Json::Obj(fields)),
+        ])
+    }
+}
+
+/// Encodes events as JSONL, one canonical line per event.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().encode());
+        out.push('\n');
+    }
+    out
+}
+
+struct EventSink {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+fn sink() -> &'static Mutex<EventSink> {
+    static SINK: OnceLock<Mutex<EventSink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(EventSink {
+            events: VecDeque::new(),
+            dropped: 0,
+        })
+    })
+}
+
+/// Echo threshold as a `Level` discriminant; `OFF` disables the echo.
+const ECHO_OFF: u8 = u8::MAX;
+static ECHO_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the stderr echo threshold: events at or above `level` print
+/// their JSONL line to stderr as they are emitted. `None` silences the
+/// echo entirely. The default is [`Level::Warn`].
+pub fn set_stderr_level(level: Option<Level>) {
+    ECHO_LEVEL.store(level.map_or(ECHO_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+fn echoes(level: Level) -> bool {
+    (level as u8) >= ECHO_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether an event at `level` would be recorded anywhere right now —
+/// buffered (collection enabled) or echoed (at/above the stderr
+/// threshold). Hot paths guard field construction on this.
+#[inline]
+pub fn would_log(level: Level) -> bool {
+    crate::enabled() || echoes(level)
+}
+
+/// Emits one event. Buffered while collection is enabled; echoed to
+/// stderr at/above the echo threshold (independent of the collection
+/// switch). A near-no-op when neither applies.
+pub fn emit(
+    level: Level,
+    component: &'static str,
+    event: &'static str,
+    flow: u64,
+    fields: Vec<(&'static str, String)>,
+) {
+    let buffer = crate::enabled();
+    let echo = echoes(level);
+    if !buffer && !echo {
+        return;
+    }
+    let e = Event {
+        ts_us: crate::now_us(),
+        level,
+        component,
+        event,
+        flow,
+        fields,
+    };
+    if echo {
+        eprintln!("{}", e.to_json().encode());
+    }
+    if buffer {
+        let mut s = sink().lock().unwrap_or_else(|p| p.into_inner());
+        if s.events.len() >= EVENT_CAPACITY {
+            s.events.pop_front();
+            s.dropped += 1;
+        }
+        s.events.push_back(e);
+    }
+}
+
+/// Emits a [`Level::Debug`] event (no flow).
+pub fn debug(component: &'static str, event: &'static str, fields: Vec<(&'static str, String)>) {
+    emit(Level::Debug, component, event, 0, fields);
+}
+
+/// Emits a [`Level::Info`] event (no flow).
+pub fn info(component: &'static str, event: &'static str, fields: Vec<(&'static str, String)>) {
+    emit(Level::Info, component, event, 0, fields);
+}
+
+/// Emits a [`Level::Warn`] event (no flow).
+pub fn warn(component: &'static str, event: &'static str, fields: Vec<(&'static str, String)>) {
+    emit(Level::Warn, component, event, 0, fields);
+}
+
+/// Emits a [`Level::Error`] event (no flow).
+pub fn error(component: &'static str, event: &'static str, fields: Vec<(&'static str, String)>) {
+    emit(Level::Error, component, event, 0, fields);
+}
+
+/// Drains every buffered event, oldest first.
+///
+/// Dropping the result silently discards the events — export them.
+#[must_use = "draining removes the events; dropping the result loses them"]
+pub fn take_events() -> Vec<Event> {
+    let mut s = sink().lock().unwrap_or_else(|p| p.into_inner());
+    s.events.drain(..).collect()
+}
+
+/// Clones the most recent `n` buffered events (oldest of those first)
+/// without draining — the live `/events` endpoint's read.
+#[must_use = "the copied events are the result; use them"]
+pub fn recent_events(n: usize) -> Vec<Event> {
+    let s = sink().lock().unwrap_or_else(|p| p.into_inner());
+    let skip = s.events.len().saturating_sub(n);
+    s.events.iter().skip(skip).cloned().collect()
+}
+
+/// How many events the bounded buffer has dropped (oldest-first) since
+/// the last [`reset`](crate::reset).
+pub fn dropped_events() -> u64 {
+    sink().lock().unwrap_or_else(|p| p.into_inner()).dropped
+}
+
+/// Clears the buffer and the dropped-event count (called by
+/// [`crate::reset`]).
+pub(crate) fn reset_events() {
+    let mut s = sink().lock().unwrap_or_else(|p| p.into_inner());
+    s.events.clear();
+    s.dropped = 0;
+}

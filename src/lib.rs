@@ -20,6 +20,7 @@
 //! | [`telemetry`] | `stm-telemetry` | tracing, metrics, trace export |
 //! | [`forensics`] | `stm-forensics` | failure dossiers, explainable reports, bench diffing |
 //! | [`profiler`] | `stm-profiler` | guest sampling profiles, pipeline critical-path attribution |
+//! | [`observatory`] | `stm-observatory` | live health model, `/metrics` + `/health` endpoint, status board |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@ pub use stm_core as core;
 pub use stm_forensics as forensics;
 pub use stm_hardware as hardware;
 pub use stm_machine as machine;
+pub use stm_observatory as observatory;
 pub use stm_profiler as profiler;
 pub use stm_suite as suite;
 pub use stm_telemetry as telemetry;

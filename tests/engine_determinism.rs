@@ -194,6 +194,65 @@ fn guest_profile_is_identical_at_1_and_8_threads() {
 }
 
 #[test]
+fn observatory_scrapes_do_not_change_rankings() {
+    // The observability layer is read-only by construction: telemetry
+    // collection on, the metrics endpoint live, and a scraper hammering
+    // /metrics and /health throughout collection must leave the ranking
+    // artifacts byte-identical across thread counts. (Nothing in this
+    // binary asserts registry contents, so flipping the global enable
+    // flag here cannot disturb the other tests.)
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    stm::telemetry::set_enabled(true);
+    let server = stm::observatory::MetricsServer::start("127.0.0.1:0").expect("bind endpoint");
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    let (p1, p8, scrapes) = std::thread::scope(|s| {
+        let scraper = s.spawn(|| {
+            let mut scrapes = 0u64;
+            let timeout = std::time::Duration::from_secs(2);
+            while !stop.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/health"] {
+                    if stm::observatory::watch::http_get(addr, path, timeout).is_ok() {
+                        scrapes += 1;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            scrapes
+        });
+        let (_, p1) = collect(&b, ProfileKind::Lbr, 1);
+        let (_, p8) = collect(&b, ProfileKind::Lbr, 8);
+        stop.store(true, Ordering::Relaxed);
+        (p1, p8, scraper.join().expect("scraper thread"))
+    });
+    stm::telemetry::set_enabled(false);
+
+    assert!(scrapes > 0, "the endpoint must have answered live scrapes");
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let runner = {
+        let opts = reactive_options(&b, true, None);
+        Runner::new(Machine::new(instrument(&b.program, &opts)))
+    };
+    let report = |p: &CollectedProfiles| {
+        let mut d = p.lbra();
+        d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
+        RankingReport::from_lbra(runner.machine().program(), b.info.id, &d, 10)
+            .to_json()
+            .encode()
+    };
+    assert_eq!(
+        report(&p1),
+        report(&p8),
+        "rankings must be byte-identical with the observatory enabled"
+    );
+}
+
+#[test]
 fn lcra_ranking_json_is_identical_at_1_and_8_threads() {
     let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
     let (runner1, p1) = collect(&b, ProfileKind::Lcr, 1);
