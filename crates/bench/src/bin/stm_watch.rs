@@ -39,6 +39,8 @@ const REQUIRED_SERIES: &[&str] = &[
     "stm_engine_jobs_total",
     "stm_engine_queue_depth",
     "stm_engine_failure_streak",
+    "stm_engine_rank_churn",
+    "stm_engine_top1_stable_for",
 ];
 
 fn usage() -> ! {
@@ -52,7 +54,13 @@ fn fetch(addr: SocketAddr) -> Result<Sample, String> {
         http_get(addr, "/metrics", HTTP_TIMEOUT).map_err(|e| format!("GET /metrics: {e}"))?;
     let health =
         http_get(addr, "/health", HTTP_TIMEOUT).map_err(|e| format!("GET /health: {e}"))?;
-    Sample::parse(&metrics, &health)
+    let sample = Sample::parse(&metrics, &health)?;
+    // The convergence panel is best-effort: keep the board usable
+    // against servers without a /diagnosis route.
+    match http_get(addr, "/diagnosis", HTTP_TIMEOUT) {
+        Ok(body) => Ok(sample.clone().with_diagnosis(&body).unwrap_or(sample)),
+        Err(_) => Ok(sample),
+    }
 }
 
 fn watch(addr: SocketAddr, interval: Duration, once: bool) -> ! {
@@ -110,6 +118,9 @@ fn smoke() -> i32 {
             .failure_profiles(usize::MAX)
             .success_profiles(usize::MAX)
             .threads(4)
+            // Monitor-only: publish the convergence gauges and the
+            // /diagnosis document without cutting the scan short.
+            .converge(stm_core::converge::StabilityPolicy::never())
             .collect()
     });
     // Scrape while the session runs: the endpoint must serve live.
@@ -151,9 +162,31 @@ fn smoke() -> i32 {
             "terminal health state is {state:?}, expected healthy"
         ));
     }
+    // /diagnosis must serve a parseable verdict: the session ran with a
+    // convergence monitor, so the terminal document is its verdict (the
+    // scan ran to quota under `never()`, i.e. stable or stalled — any
+    // non-idle verdict string proves the monitor published).
+    match http_get(addr, "/diagnosis", HTTP_TIMEOUT) {
+        Ok(body) => match Json::parse(body.trim()) {
+            Ok(doc) => match doc.get("verdict").and_then(Json::as_str) {
+                Some(verdict) if verdict != "idle" => {
+                    println!("smoke: /diagnosis verdict: {verdict}");
+                }
+                other => failures.push(format!(
+                    "/diagnosis verdict is {other:?}, expected a session verdict"
+                )),
+            },
+            Err(e) => failures.push(format!("/diagnosis body is not JSON: {e:?}")),
+        },
+        Err(e) => failures.push(format!("GET /diagnosis: {e}")),
+    }
+
     let board = render_board(&sample, None);
     if !board.contains("health:") {
         failures.push("status board failed to render".to_string());
+    }
+    if !board.contains("diagnosis —") {
+        failures.push("board is missing the convergence panel".to_string());
     }
     println!("\n{board}");
 

@@ -70,10 +70,7 @@ pub fn failure_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<
 
 /// Selects the success-run profile matching the spec: the last snapshot
 /// taken at the corresponding success logging site.
-pub(crate) fn success_profile<'r>(
-    report: &'r RunReport,
-    spec: &FailureSpec,
-) -> Option<&'r ProfileEvent> {
+pub fn success_profile<'r>(report: &'r RunReport, spec: &FailureSpec) -> Option<&'r ProfileEvent> {
     let want_site = match spec {
         FailureSpec::ErrorLogAt(site) => Some(*site),
         _ => None,
@@ -167,6 +164,32 @@ impl CollectedProfiles {
             ranked,
             stats: *self.stats(),
         }
+    }
+
+    /// The raw batch [`RankingModel`] over the collected LBR profiles —
+    /// the exact model [`CollectedProfiles::lbra`] ranks before its
+    /// proximity tie-break. The incremental ranking's final output
+    /// ([`crate::converge::FinalRanking::Lbr`]) is pinned bit-identical
+    /// to this model's `rank()`.
+    pub fn lbr_model(&self) -> RankingModel<BranchOutcome> {
+        let layout = self.runner().machine().layout();
+        build_model(self, "lbra.profile_extraction", |p| match &p.data {
+            ProfileData::Lbr(records) => Some(lbr_events(layout, records)),
+            ProfileData::Lcr(_) => None,
+        })
+    }
+
+    /// The raw batch [`RankingModel`] over the collected LCR profiles —
+    /// the exact model [`CollectedProfiles::lcra`] ranks before its
+    /// proximity tie-break. The incremental ranking's final output
+    /// ([`crate::converge::FinalRanking::Lcr`]) is pinned bit-identical
+    /// to this model's `rank_with_absence()`.
+    pub fn lcr_model(&self) -> RankingModel<CoherenceEvent> {
+        let layout = self.runner().machine().layout();
+        build_model(self, "lcra.profile_extraction", |p| match &p.data {
+            ProfileData::Lcr(records) => Some(lcr_events(layout, records)),
+            ProfileData::Lbr(_) => None,
+        })
     }
 }
 

@@ -39,6 +39,7 @@
 //! `catch_unwind`, reported over the results channel, and surfaces as
 //! [`SessionError::WorkerPanicked`] instead of a hang.
 
+use crate::converge::{ConvergenceMonitor, ConvergenceReport, StabilityPolicy};
 use crate::diagnose::{failure_profile, success_profile, DiagnosisConfig, DiagnosisStats};
 use crate::runner::{FailureSpec, RunClass, Runner, Workload};
 use crate::transform::{instrument, InstrumentOptions};
@@ -243,6 +244,7 @@ pub struct CollectedProfiles {
     pub(crate) failures: Vec<CollectedRun>,
     pub(crate) successes: Vec<CollectedRun>,
     pub(crate) stats: DiagnosisStats,
+    pub(crate) convergence: Option<ConvergenceReport>,
 }
 
 impl CollectedProfiles {
@@ -286,6 +288,14 @@ impl CollectedProfiles {
     /// The workloads (seeds applied) of the kept success runs.
     pub fn passing_workloads(&self) -> Vec<Workload> {
         self.successes.iter().map(|r| r.workload.clone()).collect()
+    }
+
+    /// The convergence report, when the session was built with
+    /// [`DiagnosisSession::converge`]: verdict, churn/streak history,
+    /// trajectories, and the final incremental ranking (bit-identical to
+    /// the batch model over the same witnesses).
+    pub fn convergence(&self) -> Option<&ConvergenceReport> {
+        self.convergence.as_ref()
     }
 }
 
@@ -336,6 +346,7 @@ pub struct DiagnosisSession {
     seeds: Option<Range<u64>>,
     kind: Option<ProfileKind>,
     config: SessionConfig,
+    policy: Option<StabilityPolicy>,
 }
 
 impl DiagnosisSession {
@@ -356,6 +367,7 @@ impl DiagnosisSession {
             seeds: None,
             kind: None,
             config: SessionConfig::default(),
+            policy: None,
         }
     }
 
@@ -471,6 +483,24 @@ impl DiagnosisSession {
         self
     }
 
+    /// Attaches a convergence monitor: the session feeds every consumed
+    /// witness into an incremental ranking
+    /// ([`IncrementalRanking`](crate::converge::IncrementalRanking)),
+    /// publishes the `engine.rank_churn` / `engine.top1_stable_for` /
+    /// `engine.witnesses_ingested` gauges and the live `/diagnosis`
+    /// document, and — when `policy.stop` is set — stops collecting as
+    /// soon as the top-1 predictor has been stable for
+    /// `policy.stable_for` consecutive witnesses (both class floors
+    /// permitting). The stop decision is taken at the strict-ordered
+    /// consumption seam, so an early-stopped session is still
+    /// bit-identical across thread counts. The resulting
+    /// [`ConvergenceReport`] rides on
+    /// [`CollectedProfiles::convergence`].
+    pub fn converge(mut self, policy: StabilityPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Replaces the whole configuration at once.
     pub fn config(mut self, config: SessionConfig) -> Self {
         self.config = config;
@@ -571,29 +601,62 @@ impl DiagnosisSession {
             let spec = spec.clone();
             move |job: &Job| r.run_classified(&job.workload, &spec)
         };
+        // The monitor ingests witnesses at the ordered consumption seam,
+        // one incremental ranking update per kept run; it persists across
+        // both witness phases so the success phase continues the failure
+        // phase's statistics.
+        let mut monitor = self
+            .policy
+            .map(|p| ConvergenceMonitor::new(runner.machine().layout(), spec.clone(), p));
         let mut loss = SessionLoss::default();
         if scan {
             let seeds = self.seeds.unwrap_or(0..self.config.max_runs as u64);
             let plan = JobPlan::scan(self.bases, seeds);
             let mut quota = Quota::scan(self.config.failure_profiles, self.config.success_profiles);
             run_plan(
-                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+                &plan,
+                threads,
+                window,
+                &mut quota,
+                &spec,
+                &mut sink,
+                &mut monitor,
+                &factory,
             )?;
             loss.absorb(&quota);
         } else {
             let plan = JobPlan::cycle(self.failing, self.config.max_runs as u64);
             let mut quota = Quota::witness_fail(self.config.failure_profiles, self.kind);
             run_plan(
-                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+                &plan,
+                threads,
+                window,
+                &mut quota,
+                &spec,
+                &mut sink,
+                &mut monitor,
+                &factory,
             )?;
             loss.absorb(&quota);
             let plan = JobPlan::cycle(self.passing, self.config.max_runs as u64);
             let mut quota = Quota::witness_pass(self.config.success_profiles, self.kind);
             run_plan(
-                &plan, threads, window, &mut quota, &spec, &mut sink, &factory,
+                &plan,
+                threads,
+                window,
+                &mut quota,
+                &spec,
+                &mut sink,
+                &mut monitor,
+                &factory,
             )?;
             loss.absorb(&quota);
         }
+        // A stability-policy stop leaves the quota legitimately unfilled;
+        // record that before finishing so the streak accounting treats
+        // the session as a success, not a shortfall.
+        loss.converged_early = monitor.as_ref().is_some_and(|m| m.should_stop());
+        let convergence = monitor.and_then(|m| m.finish());
         Ok((
             CollectedProfiles {
                 runner,
@@ -602,6 +665,7 @@ impl DiagnosisSession {
                 failures: sink.failures,
                 successes: sink.successes,
                 stats: sink.stats,
+                convergence,
             },
             loss,
         ))
@@ -617,6 +681,9 @@ struct SessionLoss {
     missing_profiles: usize,
     /// Profiles still owed when the plans were exhausted.
     shortfall: usize,
+    /// The stability policy stopped collection before the quota; the
+    /// remaining shortfall is by design, not a signal problem.
+    converged_early: bool,
 }
 
 impl SessionLoss {
@@ -644,7 +711,7 @@ impl SessionLoss {
     /// perturbation. Only an unfilled quota (or an error) is a failed
     /// cycle.
     fn quota_met(&self) -> bool {
-        self.shortfall == 0
+        self.shortfall == 0 || self.converged_early
     }
 }
 
@@ -921,28 +988,40 @@ fn consume(
     quota: &mut Quota,
     spec: &FailureSpec,
     sink: &mut Sink,
+    monitor: &mut Option<ConvergenceMonitor<'_>>,
 ) {
     sink.stats.total_runs += 1;
-    let witness = |kind: &str| format!("{kind}:w{}:seed{}", job.widx, job.workload.seed);
-    match quota.consider(class, &report, spec) {
-        Some(Pick::Failure) => {
-            sink.stats.failure_runs_used += 1;
-            sink.failures.push(CollectedRun {
-                witness: witness("fail"),
-                workload: job.workload,
-                report,
-            });
-        }
-        Some(Pick::Success) => {
-            sink.stats.success_runs_used += 1;
-            sink.successes.push(CollectedRun {
-                witness: witness("pass"),
-                workload: job.workload,
-                report,
-            });
-        }
-        None => {}
+    let Some(pick) = quota.consider(class, &report, spec) else {
+        return;
+    };
+    let (kind, is_failure) = match pick {
+        Pick::Failure => ("fail", true),
+        Pick::Success => ("pass", false),
+    };
+    let witness = format!("{kind}:w{}:seed{}", job.widx, job.workload.seed);
+    // One incremental ranking update per kept run, still inside the
+    // ordered consumption seam — the early-stop decision this feeds is
+    // therefore identical at any thread count.
+    if let Some(m) = monitor.as_mut() {
+        m.observe(is_failure, &witness, &report);
     }
+    let run = CollectedRun {
+        witness,
+        workload: job.workload,
+        report,
+    };
+    if is_failure {
+        sink.stats.failure_runs_used += 1;
+        sink.failures.push(run);
+    } else {
+        sink.stats.success_runs_used += 1;
+        sink.successes.push(run);
+    }
+}
+
+/// Has an attached convergence monitor decided to stop the session?
+fn converged(monitor: &Option<ConvergenceMonitor<'_>>) -> bool {
+    monitor.as_ref().is_some_and(|m| m.should_stop())
 }
 
 /// Executes one plan, sequentially or on the pool, consuming results in
@@ -951,6 +1030,7 @@ fn consume(
 /// The worker body is injected (`factory` builds one executor per
 /// worker), so tests can drive the pool with hostile executors — e.g. a
 /// panicking run — without a real machine.
+#[allow(clippy::too_many_arguments)] // the engine's one internal seam
 fn run_plan<W, F>(
     plan: &JobPlan,
     threads: usize,
@@ -958,6 +1038,7 @@ fn run_plan<W, F>(
     quota: &mut Quota,
     spec: &FailureSpec,
     sink: &mut Sink,
+    monitor: &mut Option<ConvergenceMonitor<'_>>,
     factory: &F,
 ) -> Result<(), SessionError>
 where
@@ -965,14 +1046,14 @@ where
     W: FnMut(&Job) -> (RunReport, RunClass) + Send,
 {
     let limit = plan.len();
-    if limit == 0 || quota.done() {
+    if limit == 0 || quota.done() || converged(monitor) {
         return Ok(());
     }
 
     if threads <= 1 {
         let mut exec = factory(0);
         let mut index = 0u64;
-        while index < limit && !quota.done() {
+        while index < limit && !quota.done() && !converged(monitor) {
             let job = plan.job_at(index);
             let _span = stm_telemetry::span_cat("engine.job", "engine");
             stm_telemetry::counter!("engine.runs").incr();
@@ -986,7 +1067,7 @@ where
                 );
                 SessionError::WorkerPanicked { job: jid, message }
             })?;
-            consume(job, report, class, quota, spec, sink);
+            consume(job, report, class, quota, spec, sink, monitor);
             index += 1;
         }
         return Ok(());
@@ -1065,7 +1146,7 @@ where
         type Parked = (Job, RunReport, RunClass, Option<std::time::Instant>);
         let mut pending: BTreeMap<u64, Parked> = BTreeMap::new();
         let mut failure: Option<SessionError> = None;
-        while consumed < limit && !quota.done() && failure.is_none() {
+        while consumed < limit && !quota.done() && !converged(monitor) && failure.is_none() {
             // Keep the queue primed up to the speculation window.
             while dispatched < limit && dispatched < consumed + window as u64 {
                 let mut job = plan.job_at(dispatched);
@@ -1120,8 +1201,9 @@ where
                 }
             }
             // Consume the ready prefix, in order, re-checking the quota
-            // after each job exactly as the sequential loop does.
-            while !quota.done() {
+            // (and the convergence stop) after each job exactly as the
+            // sequential loop does.
+            while !quota.done() && !converged(monitor) {
                 let Some((job, report, class, arrived)) = pending.remove(&consumed) else {
                     break;
                 };
@@ -1131,7 +1213,7 @@ where
                 }
                 let _span = stm_telemetry::span_cat("engine.consume", "engine")
                     .with_flow(job.flow, stm_telemetry::FlowPhase::End);
-                consume(job, report, class, quota, spec, sink);
+                consume(job, report, class, quota, spec, sink, monitor);
                 consumed += 1;
             }
         }
@@ -1351,7 +1433,10 @@ mod tests {
                 runner.run_classified(&job.workload, &FailureSpec::AnyCrash)
             }
         };
-        let err = run_plan(&plan, 4, 8, &mut quota, &spec, &mut sink, &factory).unwrap_err();
+        let err = run_plan(
+            &plan, 4, 8, &mut quota, &spec, &mut sink, &mut None, &factory,
+        )
+        .unwrap_err();
         match err {
             SessionError::WorkerPanicked { message, .. } => {
                 assert!(message.contains("poisoned run"), "{message}");

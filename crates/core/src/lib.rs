@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod converge;
 pub mod diagnose;
 pub mod engine;
 pub mod logging;
@@ -75,6 +76,9 @@ pub mod transform;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::analysis::{useful_branch_ratio, UsefulBranchReport};
+    pub use crate::converge::{
+        ConvergenceReport, FinalRanking, IncrementalRanking, StabilityPolicy, Verdict,
+    };
     #[allow(deprecated)] // re-exported through the deprecation window
     pub use crate::diagnose::{find_workloads, lbra, lcra};
     pub use crate::diagnose::{DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis};

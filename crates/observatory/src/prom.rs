@@ -122,4 +122,122 @@ mod tests {
         assert!(text.contains("stm_engine_queue_wait_us_sum 12\n"));
         assert!(text.contains("stm_engine_queue_wait_us_count 4\n"));
     }
+
+    #[test]
+    fn hostile_metric_names_sanitise_to_the_prometheus_charset() {
+        // Quotes, backslashes, braces and spaces would corrupt the text
+        // exposition (they terminate label values or series lines); every
+        // non-charset byte must flatten to '_'.
+        assert_eq!(metric_name(r#"a"b"#), "stm_a_b");
+        assert_eq!(metric_name(r"a\b"), "stm_a_b");
+        assert_eq!(metric_name("a{le=1}"), "stm_a_le_1_");
+        assert_eq!(metric_name("a b\nc"), "stm_a_b_c");
+        // Multi-byte characters flatten to one '_' each, not one per byte.
+        assert_eq!(metric_name("héllo"), "stm_h_llo");
+        assert_eq!(metric_name("日本"), "stm___");
+        assert_eq!(metric_name(""), "stm_");
+        // The sanitised name itself satisfies the charset.
+        for name in [r#"a"b{}"#, "x y\tz", "é—ü"] {
+            let clean = metric_name(name);
+            assert!(
+                clean
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{clean}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_bucket_and_zero_count() {
+        // A registered-but-never-recorded histogram must still emit a
+        // well-formed series: the +Inf bucket always closes the family
+        // and agrees with _count, even with every bucket empty.
+        let m = MetricsSnapshot {
+            counters: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "engine.idle_us".to_string(),
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: vec![0u64; stm_telemetry::HISTOGRAM_BUCKETS],
+            }],
+            gauges: vec![],
+        };
+        let text = render(&m);
+        assert!(text.contains("# TYPE stm_engine_idle_us histogram\n"));
+        assert!(
+            !text.contains("le=\"0\""),
+            "no finite buckets for an empty histogram: {text}"
+        );
+        assert!(text.contains("stm_engine_idle_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("stm_engine_idle_us_sum 0\n"));
+        assert!(text.contains("stm_engine_idle_us_count 0\n"));
+    }
+
+    /// Extracts `(le, cumulative)` pairs for one histogram, in emission
+    /// order, mapping `+Inf` to `u64::MAX` for comparison.
+    fn bucket_series(text: &str, name: &str) -> Vec<(u64, u64)> {
+        let prefix = format!("{name}_bucket{{le=\"");
+        text.lines()
+            .filter_map(|l| l.strip_prefix(&prefix))
+            .filter_map(|rest| {
+                let (le, value) = rest.split_once("\"} ")?;
+                let le = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse().ok()?
+                };
+                Some((le, value.parse().ok()?))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_close_at_count() {
+        // A scraper trusts two invariants: cumulative counts never
+        // decrease as `le` grows, and the +Inf bucket equals _count.
+        // Exercise a spread of occupancy patterns, including the top
+        // overflow bucket (index 64, folded into +Inf).
+        let patterns: Vec<Vec<(usize, u64)>> = vec![
+            vec![(0, 5)],
+            vec![(1, 1), (10, 3), (63, 2)],
+            vec![(0, 1), (64, 7)],
+            vec![(32, 1)],
+        ];
+        for occupancy in patterns {
+            let mut buckets = vec![0u64; stm_telemetry::HISTOGRAM_BUCKETS];
+            let mut count = 0;
+            for &(i, n) in &occupancy {
+                buckets[i] = n;
+                count += n;
+            }
+            let m = MetricsSnapshot {
+                counters: vec![],
+                histograms: vec![HistogramSnapshot {
+                    name: "engine.lat_us".to_string(),
+                    count,
+                    sum: count, // sum is free-form; any value renders
+                    min: 0,
+                    max: 0,
+                    buckets,
+                }],
+                gauges: vec![],
+            };
+            let text = render(&m);
+            let series = bucket_series(&text, "stm_engine_lat_us");
+            assert!(!series.is_empty(), "{occupancy:?}");
+            for pair in series.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "le must ascend: {series:?}");
+                assert!(
+                    pair[0].1 <= pair[1].1,
+                    "cumulative counts must be monotone for {occupancy:?}: {series:?}"
+                );
+            }
+            let (le, last) = *series.last().unwrap();
+            assert_eq!(le, u64::MAX, "+Inf closes the series: {series:?}");
+            assert_eq!(last, count, "+Inf equals _count for {occupancy:?}");
+        }
+    }
 }

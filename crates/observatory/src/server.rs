@@ -7,7 +7,13 @@
 //! * `GET /health` — one [`HealthEngine`](crate::HealthEngine)
 //!   observation as JSON (runs/sec derived from the `engine.runs`
 //!   counter delta since the previous `/health` poll);
-//! * `GET /events` — the most recent structured log events as JSONL.
+//! * `GET /events` — the most recent structured log events as JSONL
+//!   (`?tail=N` overrides the default tail of 64; invalid or oversized
+//!   values are rejected with 400);
+//! * `GET /diagnosis` — the live convergence document a monitored
+//!   [`DiagnosisSession`](../../stm_core/engine/struct.DiagnosisSession.html)
+//!   publishes (current top-k, score trajectories, stability verdict);
+//!   `{"verdict":"idle"}` when no session has published one.
 //!
 //! One background thread accepts connections and answers each request
 //! inline — scrapes are small and rare, so there is no per-connection
@@ -122,7 +128,11 @@ fn serve_one(mut stream: TcpStream, state: &Mutex<ServerState>) -> std::io::Resu
     let head = String::from_utf8_lossy(&head);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
     let (status, content_type, body) = if method != "GET" {
         (
             "405 Method Not Allowed",
@@ -137,15 +147,19 @@ fn serve_one(mut stream: TcpStream, state: &Mutex<ServerState>) -> std::io::Resu
                 crate::prom::render(&stm_telemetry::metrics_snapshot()),
             ),
             "/health" => ("200 OK", "application/json", health_body(state)),
-            "/events" => (
-                "200 OK",
-                "application/x-ndjson",
-                stm_telemetry::log::to_jsonl(&stm_telemetry::log::recent_events(EVENTS_TAIL)),
-            ),
+            "/events" => match events_tail(query) {
+                Ok(tail) => (
+                    "200 OK",
+                    "application/x-ndjson",
+                    stm_telemetry::log::to_jsonl(&stm_telemetry::log::recent_events(tail)),
+                ),
+                Err(reason) => ("400 Bad Request", "text/plain; charset=utf-8", reason),
+            },
+            "/diagnosis" => ("200 OK", "application/json", diagnosis_body()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "routes: /metrics /health /events\n".to_string(),
+                "routes: /metrics /health /events /diagnosis\n".to_string(),
             ),
         }
     };
@@ -154,6 +168,44 @@ fn serve_one(mut stream: TcpStream, state: &Mutex<ServerState>) -> std::io::Resu
         body.len(),
     );
     stream.write_all(response.as_bytes())
+}
+
+/// Resolves the `/events` tail: the default with no query string, an
+/// explicit `tail=N` otherwise. Malformed input is an explicit 400 —
+/// a silently-applied default would hand a scraper asking for
+/// `tail=10O0` (typo) 64 events and no hint anything was wrong.
+fn events_tail(query: Option<&str>) -> Result<usize, String> {
+    let Some(query) = query else {
+        return Ok(EVENTS_TAIL);
+    };
+    let mut tail = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key != "tail" {
+            return Err(format!("unknown query parameter {key:?}; only tail=N\n"));
+        }
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("tail must be a non-negative integer, got {value:?}\n"))?;
+        if n > stm_telemetry::log::EVENT_CAPACITY {
+            return Err(format!(
+                "tail {n} exceeds the event buffer capacity {}\n",
+                stm_telemetry::log::EVENT_CAPACITY
+            ));
+        }
+        tail = Some(n);
+    }
+    Ok(tail.unwrap_or(EVENTS_TAIL))
+}
+
+/// The `/diagnosis` body: the live convergence document, or the idle
+/// placeholder when no monitored session has published one (or telemetry
+/// is disabled).
+fn diagnosis_body() -> String {
+    let doc = stm_telemetry::status::get("diagnosis").unwrap_or_else(|| {
+        stm_telemetry::json::Json::obj([("verdict", stm_telemetry::json::Json::from("idle"))])
+    });
+    doc.encode() + "\n"
 }
 
 /// One health observation: snapshot the registry, derive runs/sec from
@@ -221,8 +273,98 @@ mod tests {
 
         let miss = http_get(addr, "/nope", IO_TIMEOUT).expect("404 body");
         assert!(miss.contains("routes:"));
+        assert!(miss.contains("/diagnosis"), "{miss}");
         server.stop();
         stm_telemetry::log::set_stderr_level(Some(stm_telemetry::log::Level::Warn));
+        stm_telemetry::set_enabled(false);
+    }
+
+    /// Like [`http_get`], but returns the raw response including the
+    /// status line, so tests can assert on the status code.
+    fn http_get_raw(addr: SocketAddr, path: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT).expect("connect");
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        stream.set_write_timeout(Some(IO_TIMEOUT)).unwrap();
+        let request = format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn events_tail_parameter_is_validated_not_defaulted() {
+        let _g = lock();
+        stm_telemetry::log::set_stderr_level(None);
+        for i in 0..5 {
+            stm_telemetry::log::info("test", "tail.check", vec![("i", i.to_string())]);
+        }
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // A valid explicit tail narrows the window.
+        let two = http_get(addr, "/events?tail=2", IO_TIMEOUT).expect("tail=2");
+        assert_eq!(two.lines().count(), 2, "{two}");
+        // tail=0 is valid and empty.
+        let zero = http_get(addr, "/events?tail=0", IO_TIMEOUT).expect("tail=0");
+        assert_eq!(zero.lines().count(), 0, "{zero}");
+        // No query string keeps the default.
+        let default = http_get(addr, "/events", IO_TIMEOUT).expect("no query");
+        assert_eq!(default.lines().count(), 5, "{default}");
+
+        // Non-numeric, oversized, negative and unknown parameters are
+        // explicit 400s, not silent defaults.
+        for bad in [
+            "/events?tail=abc",
+            "/events?tail=10O0",
+            "/events?tail=-1",
+            "/events?tail=",
+            "/events?tail=99999999",
+            "/events?limit=3",
+        ] {
+            let raw = http_get_raw(addr, bad);
+            assert!(raw.starts_with("HTTP/1.1 400 "), "{bad} -> {raw}");
+        }
+
+        server.stop();
+        stm_telemetry::log::set_stderr_level(Some(stm_telemetry::log::Level::Warn));
+        stm_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn diagnosis_endpoint_serves_idle_then_published_document() {
+        let _g = lock();
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let idle = http_get(addr, "/diagnosis", IO_TIMEOUT).expect("/diagnosis");
+        let j = stm_telemetry::json::Json::parse(idle.trim()).expect("idle JSON");
+        assert_eq!(
+            j.get("verdict").and_then(stm_telemetry::json::Json::as_str),
+            Some("idle")
+        );
+
+        stm_telemetry::status::publish(
+            "diagnosis",
+            stm_telemetry::json::Json::obj([
+                ("verdict", stm_telemetry::json::Json::from("collecting")),
+                ("witnesses_ingested", stm_telemetry::json::Json::from(7u64)),
+            ]),
+        );
+        let live = http_get(addr, "/diagnosis", IO_TIMEOUT).expect("/diagnosis");
+        let j = stm_telemetry::json::Json::parse(live.trim()).expect("live JSON");
+        assert_eq!(
+            j.get("verdict").and_then(stm_telemetry::json::Json::as_str),
+            Some("collecting")
+        );
+        assert_eq!(
+            j.get("witnesses_ingested")
+                .and_then(stm_telemetry::json::Json::as_f64),
+            Some(7.0)
+        );
+
+        server.stop();
         stm_telemetry::set_enabled(false);
     }
 

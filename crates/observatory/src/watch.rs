@@ -54,13 +54,16 @@ pub fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
-/// One scrape: the parsed `/metrics` series plus the `/health` report.
+/// One scrape: the parsed `/metrics` series plus the `/health` report,
+/// optionally joined by the `/diagnosis` convergence document.
 #[derive(Debug, Clone)]
 pub struct Sample {
     /// Parsed `/metrics` series.
     pub metrics: BTreeMap<String, f64>,
     /// Parsed `/health` JSON.
     pub health: Json,
+    /// Parsed `/diagnosis` JSON, when the scrape fetched it.
+    pub diagnosis: Option<Json>,
 }
 
 impl Sample {
@@ -70,7 +73,15 @@ impl Sample {
         Ok(Sample {
             metrics: parse_prometheus(metrics_body),
             health: Json::parse(health_body.trim()).map_err(|e| format!("{e:?}"))?,
+            diagnosis: None,
         })
+    }
+
+    /// Attaches a `/diagnosis` body to the sample; a body that fails to
+    /// parse is an error (the endpoint always serves valid JSON).
+    pub fn with_diagnosis(mut self, diagnosis_body: &str) -> Result<Sample, String> {
+        self.diagnosis = Some(Json::parse(diagnosis_body.trim()).map_err(|e| format!("{e:?}"))?);
+        Ok(self)
     }
 }
 
@@ -116,6 +127,9 @@ pub fn render_board(cur: &Sample, prev: Option<(&Sample, f64)>) -> String {
     let rps =
         observed(&cur.health, "runs_per_sec").map_or("n/a".to_string(), |v| format!("{v:.1}"));
     out.push_str(&format!("  {:<16} {rps:>12}\n", "runs/sec"));
+    if let Some(d) = &cur.diagnosis {
+        out.push_str(&render_convergence(d));
+    }
     out.push_str("\n  series                                     value       per-sec\n");
     for (name, &v) in &cur.metrics {
         let monotonic = name.ends_with("_total") || name.ends_with("_count");
@@ -128,6 +142,34 @@ pub fn render_board(cur: &Sample, prev: Option<(&Sample, f64)>) -> String {
         });
         let rate = rate.map_or("-".to_string(), |r| format!("{r:.1}"));
         out.push_str(&format!("  {name:<40} {v:>11.0} {rate:>13}\n"));
+    }
+    out
+}
+
+/// Renders the convergence panel from a `/diagnosis` document: the
+/// verdict line, the ingest/churn/streak gauges, and the current top
+/// predictors with their scores.
+fn render_convergence(d: &Json) -> String {
+    let mut out = String::new();
+    let verdict = d.get("verdict").and_then(Json::as_str).unwrap_or("?");
+    out.push_str(&format!("\n  diagnosis — {verdict}\n"));
+    if verdict == "idle" {
+        return out;
+    }
+    let num = |key: &str| d.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    for (label, key) in [
+        ("witnesses", "witnesses_ingested"),
+        ("rank churn", "rank_churn"),
+        ("top-1 stable for", "top1_stable_for"),
+    ] {
+        out.push_str(&format!("  {label:<16} {:>12.0}\n", num(key)));
+    }
+    if let Some(Json::Arr(top)) = d.get("top") {
+        for (i, p) in top.iter().take(5).enumerate() {
+            let name = p.get("predictor").and_then(Json::as_str).unwrap_or("?");
+            let score = p.get("score").and_then(Json::as_f64).unwrap_or(0.0);
+            out.push_str(&format!("    #{:<2} {score:.4}  {name}\n", i + 1));
+        }
     }
     out
 }
@@ -179,6 +221,48 @@ stm_engine_queue_wait_us_count 40
         assert!(board.contains("stm_engine_queue_wait_us_count"), "{board}");
         // Gauges are not rate rows.
         assert!(!board.contains("stm_engine_queue_depth  "), "{board}");
+    }
+
+    const DIAGNOSIS: &str = r#"{"verdict":"collecting","witnesses_ingested":14,"rank_churn":2,"top1_stable_for":6,"top":[{"predictor":"b12:taken","score":0.9231,"precision":0.9,"recall":0.95},{"predictor":"!L3:S:read","score":0.5,"precision":0.5,"recall":0.5}]}"#;
+
+    #[test]
+    fn board_renders_convergence_panel_when_diagnosis_present() {
+        let cur = Sample::parse(METRICS, HEALTH)
+            .unwrap()
+            .with_diagnosis(DIAGNOSIS)
+            .unwrap();
+        let board = render_board(&cur, None);
+        assert!(board.contains("diagnosis — collecting"), "{board}");
+        assert!(board.contains("witnesses"), "{board}");
+        assert!(board.contains("top-1 stable for"), "{board}");
+        assert!(board.contains("#1  0.9231  b12:taken"), "{board}");
+        assert!(board.contains("!L3:S:read"), "{board}");
+    }
+
+    #[test]
+    fn board_skips_convergence_panel_without_diagnosis() {
+        let cur = Sample::parse(METRICS, HEALTH).unwrap();
+        let board = render_board(&cur, None);
+        assert!(!board.contains("diagnosis —"), "{board}");
+    }
+
+    #[test]
+    fn idle_diagnosis_renders_just_the_verdict_line() {
+        let cur = Sample::parse(METRICS, HEALTH)
+            .unwrap()
+            .with_diagnosis(r#"{"verdict":"idle"}"#)
+            .unwrap();
+        let board = render_board(&cur, None);
+        assert!(board.contains("diagnosis — idle"), "{board}");
+        assert!(!board.contains("top-1 stable for"), "{board}");
+    }
+
+    #[test]
+    fn malformed_diagnosis_body_is_an_error() {
+        let err = Sample::parse(METRICS, HEALTH)
+            .unwrap()
+            .with_diagnosis("not json");
+        assert!(err.is_err());
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod export;
 pub mod json;
 pub mod log;
+pub mod status;
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -847,6 +848,7 @@ pub fn reset() {
     let _ = LOCAL_SPANS.try_with(|l| l.borrow_mut().sync_epoch());
     registry().spans.lock().unwrap().clear();
     log::reset_events();
+    status::clear();
 }
 
 #[cfg(test)]

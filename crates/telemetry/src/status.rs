@@ -1,0 +1,57 @@
+//! Named live-status documents: small JSON blobs a subsystem publishes
+//! for observers to read (e.g. the engine's convergence monitor feeding
+//! the observatory's `/diagnosis` endpoint).
+//!
+//! Unlike counters/gauges (cumulative, summed across call sites) or the
+//! event log (append-only history), a status document is
+//! *last-writer-wins current state*: each `publish` replaces the
+//! previous document under that name. Reads return a clone, so holders
+//! never block publishers.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+fn store() -> &'static Mutex<BTreeMap<String, Json>> {
+    static STORE: OnceLock<Mutex<BTreeMap<String, Json>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Publishes (replacing any previous) the document under `name`.
+pub fn publish(name: &str, doc: Json) {
+    store()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(name.to_string(), doc);
+}
+
+/// The current document under `name`, if one has been published.
+pub fn get(name: &str) -> Option<Json> {
+    store()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(name)
+        .cloned()
+}
+
+/// Removes every published document (part of [`crate::reset`]).
+pub fn clear() {
+    store().lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_replaces_and_get_clones() {
+        clear();
+        assert_eq!(get("doc"), None);
+        publish("doc", Json::from(1u64));
+        assert_eq!(get("doc"), Some(Json::from(1u64)));
+        publish("doc", Json::from("two"));
+        assert_eq!(get("doc"), Some(Json::from("two")), "last writer wins");
+        clear();
+        assert_eq!(get("doc"), None, "clear removes everything");
+    }
+}

@@ -45,6 +45,30 @@ fn collect(b: &Benchmark, kind: ProfileKind, threads: usize) -> (Runner, Collect
     collect_hw(b, kind, threads, None)
 }
 
+/// Collects with a convergence monitor attached.
+fn collect_converge(
+    b: &Benchmark,
+    kind: ProfileKind,
+    threads: usize,
+    policy: stm::core::converge::StabilityPolicy,
+) -> CollectedProfiles {
+    let opts = match kind {
+        ProfileKind::Lbr => reactive_options(b, true, None),
+        ProfileKind::Lcr => reactive_options(b, false, Some(LcrConfig::SPACE_CONSUMING)),
+    };
+    let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+    let (failing, passing) = expand_workloads(b, &runner);
+    DiagnosisSession::from_runner(&runner)
+        .failure(b.truth.spec.clone())
+        .failing(failing)
+        .passing(passing)
+        .profile_kind(kind)
+        .threads(threads)
+        .converge(policy)
+        .collect()
+        .expect("collection succeeds")
+}
+
 fn witnesses(p: &CollectedProfiles) -> (Vec<String>, Vec<String>) {
     let names = |runs: &[stm::core::engine::CollectedRun]| {
         runs.iter().map(|r| r.witness.clone()).collect::<Vec<_>>()
@@ -249,6 +273,90 @@ fn observatory_scrapes_do_not_change_rankings() {
         report(&p1),
         report(&p8),
         "rankings must be byte-identical with the observatory enabled"
+    );
+}
+
+#[test]
+fn incremental_ranking_at_quota_is_bit_identical_to_batch_rank() {
+    // The tentpole invariant: a monitored session run to its full quota
+    // (policy may never stop) must hand back a final ranking that is
+    // bit-identical — scores, tie-break order, witness lists — to the
+    // batch model over the same collected profiles, at both thread
+    // counts.
+    use stm::core::converge::{FinalRanking, StabilityPolicy};
+
+    let sort = stm::suite::by_id("sort").expect("sort benchmark");
+    let apache4 = stm::suite::by_id("apache4").expect("apache4 benchmark");
+    for threads in [1, 8] {
+        let p = collect_converge(&sort, ProfileKind::Lbr, threads, StabilityPolicy::never());
+        let report = p.convergence().expect("monitored session reports");
+        match &report.final_ranking {
+            FinalRanking::Lbr(incremental) => {
+                assert_eq!(
+                    incremental,
+                    &p.lbr_model().rank(),
+                    "sort threads({threads}): incremental != batch rank()"
+                );
+            }
+            FinalRanking::Lcr(_) => panic!("sort is an LBR session"),
+        }
+
+        let p = collect_converge(
+            &apache4,
+            ProfileKind::Lcr,
+            threads,
+            StabilityPolicy::never(),
+        );
+        let report = p.convergence().expect("monitored session reports");
+        match &report.final_ranking {
+            FinalRanking::Lcr(incremental) => {
+                assert_eq!(
+                    incremental,
+                    &p.lcr_model().rank_with_absence(),
+                    "apache4 threads({threads}): incremental != batch rank_with_absence()"
+                );
+            }
+            FinalRanking::Lbr(_) => panic!("apache4 is an LCR session"),
+        }
+    }
+}
+
+#[test]
+fn early_stop_is_identical_at_1_and_8_threads() {
+    // The stability policy decides only at the strict-ordered consumption
+    // seam, so an early-stopped session must keep every headline
+    // determinism guarantee: same witnesses kept, same stop point, same
+    // verdict and evidence, same final ranking at any thread count.
+    use stm::core::converge::StabilityPolicy;
+
+    let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
+    let p1 = collect_converge(&b, ProfileKind::Lcr, 1, StabilityPolicy::default());
+    let p8 = collect_converge(&b, ProfileKind::Lcr, 8, StabilityPolicy::default());
+
+    assert_eq!(p1.stats(), p8.stats(), "run accounting must match");
+    assert_eq!(witnesses(&p1), witnesses(&p8), "witness sets must match");
+
+    let r1 = p1.convergence().expect("monitored session reports");
+    let r8 = p8.convergence().expect("monitored session reports");
+    assert_eq!(r1.verdict, r8.verdict, "verdict must match");
+    assert_eq!(r1.evidence, r8.evidence, "evidence must match");
+    assert_eq!(r1.final_ranking, r8.final_ranking, "ranking must match");
+    assert_eq!(
+        r1.to_json().encode(),
+        r8.to_json().encode(),
+        "serialized convergence report must be byte-identical"
+    );
+    // The policy must actually have fired on apache4: fewer witnesses
+    // than the 10 + 10 quota (the bench gate pins the exact count).
+    assert_eq!(
+        r1.verdict,
+        stm::core::converge::Verdict::ConvergedEarly,
+        "apache4 must converge early under the default policy"
+    );
+    assert!(
+        r1.evidence.witnesses < 20,
+        "early stop must ingest fewer witnesses than the quota, got {}",
+        r1.evidence.witnesses
     );
 }
 
