@@ -24,11 +24,14 @@
 //!   counts on both profile classes so a failure-only prefix can never
 //!   declare victory.
 //!
-//! The engine-facing wrapper ([`ConvergenceMonitor`]) lives here too; it
-//! decodes ring snapshots exactly as the batch extractors do and owns the
-//! single call sites for the `engine.rank_churn` /
-//! `engine.top1_stable_for` / `engine.witnesses_ingested` gauges and the
-//! live `/diagnosis` status document.
+//! The snapshot-level ingest entry point ([`SnapshotIngest`]) lives here
+//! too: owned, publication-free per-diagnosis state that decodes ring
+//! snapshots exactly as the batch extractors do — the seam the fleet
+//! daemon feeds externally-produced snapshots through, one per shard.
+//! The engine-facing [`ConvergenceMonitor`] wraps it and owns the single
+//! call sites for the `engine.rank_churn` / `engine.top1_stable_for` /
+//! `engine.witnesses_ingested` gauges and the live `/diagnosis` status
+//! document.
 
 use crate::diagnose::{failure_profile, success_profile};
 use crate::profile::{lbr_events, lcr_events, BranchOutcome, CoherenceEvent};
@@ -701,17 +704,31 @@ impl ConvergenceReport {
     }
 }
 
-/// The engine-facing monitor: dispatches consumed witness runs to the
-/// ring-appropriate tracker, publishes the live gauges and `/diagnosis`
-/// document, and emits the `diagnosis.converged` / `diagnosis.stalled`
-/// events when the session ends.
+/// The snapshot-level ingest entry point, factored out of the session
+/// run loop so long-lived consumers (the fleet daemon's per-shard state)
+/// can feed *externally-produced* ring snapshots instead of runs the
+/// engine executes itself.
 ///
-/// Non-generic on purpose: the gauge macros declare one static per call
-/// site and snapshots *sum* same-name gauges, so the `set()` calls must
-/// not be monomorphised into one copy per event type.
+/// One ingest owns everything a diagnosis needs — the program [`Layout`]
+/// (for snapshot decoding), the [`FailureSpec`] (for profile selection)
+/// and the ring-appropriate [`ConvergenceTracker`] — and publishes
+/// nothing: no gauges, no status documents, no structured events. The
+/// engine-facing [`ConvergenceMonitor`] wraps it and adds the global
+/// observability surface; a fleet shard uses it directly and publishes
+/// per-shard series instead.
+///
+/// **Determinism contract** (pinned in `tests/fleet_determinism.rs`):
+/// observing the same `(is_failure, witness, report)` sequence always
+/// produces the same stop decision at the same snapshot, and
+/// [`SnapshotIngest::finish`] returns a final ranking bit-identical to
+/// the batch [`RankingModel`](crate::ranking::RankingModel) over the
+/// ingested snapshots — the shadow-model guarantee of
+/// [`IncrementalRanking::finish`]. Snapshots whose profile is missing or
+/// of the wrong ring are skipped exactly as the batch extractors skip
+/// them.
 #[derive(Debug)]
-pub struct ConvergenceMonitor<'a> {
-    layout: &'a Layout,
+pub struct SnapshotIngest {
+    layout: Layout,
     spec: FailureSpec,
     policy: StabilityPolicy,
     inner: Option<MonitorInner>,
@@ -724,26 +741,26 @@ enum MonitorInner {
     Lcr(ConvergenceTracker<CoherenceEvent>),
 }
 
-impl<'a> ConvergenceMonitor<'a> {
-    /// A monitor for one session. The ring kind is inferred from the
-    /// first profile-bearing witness (so unpinned witness-mode sessions
-    /// work); runs whose profile is missing or of the other ring are
-    /// skipped, exactly as the batch extractors skip them.
-    pub fn new(layout: &'a Layout, spec: FailureSpec, policy: StabilityPolicy) -> Self {
-        let monitor = ConvergenceMonitor {
+impl SnapshotIngest {
+    /// An empty ingest. The ring kind is inferred from the first
+    /// profile-bearing snapshot (so unpinned witness streams work).
+    pub fn new(layout: Layout, spec: FailureSpec, policy: StabilityPolicy) -> Self {
+        SnapshotIngest {
             layout,
             spec,
             policy,
             inner: None,
             fired: false,
-        };
-        monitor.publish();
-        monitor
+        }
     }
 
-    /// Observes one kept witness run at the strict-ordered consumption
-    /// seam. Returns `true` when the run carried a usable profile and was
-    /// ingested.
+    /// The policy in force.
+    pub fn policy(&self) -> &StabilityPolicy {
+        &self.policy
+    }
+
+    /// Observes one snapshot-bearing run. Returns `true` when the run
+    /// carried a usable profile and was ingested.
     pub fn observe(&mut self, is_failure: bool, witness: &str, report: &RunReport) -> bool {
         let profile = if is_failure {
             failure_profile(report, &self.spec)
@@ -755,39 +772,38 @@ impl<'a> ConvergenceMonitor<'a> {
         };
         let ingested = match (&profile.data, &mut self.inner) {
             (ProfileData::Lbr(records), Some(MonitorInner::Lbr(t))) => {
-                t.observe(is_failure, witness, lbr_events(self.layout, records));
+                t.observe(is_failure, witness, lbr_events(&self.layout, records));
                 true
             }
             (ProfileData::Lcr(records), Some(MonitorInner::Lcr(t))) => {
-                t.observe(is_failure, witness, lcr_events(self.layout, records));
+                t.observe(is_failure, witness, lcr_events(&self.layout, records));
                 true
             }
             (ProfileData::Lbr(records), inner @ None) => {
                 let mut t = ConvergenceTracker::new(IncrementalRanking::new(), self.policy);
-                t.observe(is_failure, witness, lbr_events(self.layout, records));
+                t.observe(is_failure, witness, lbr_events(&self.layout, records));
                 *inner = Some(MonitorInner::Lbr(t));
                 true
             }
             (ProfileData::Lcr(records), inner @ None) => {
                 let mut t =
                     ConvergenceTracker::new(IncrementalRanking::with_absence(), self.policy);
-                t.observe(is_failure, witness, lcr_events(self.layout, records));
+                t.observe(is_failure, witness, lcr_events(&self.layout, records));
                 *inner = Some(MonitorInner::Lcr(t));
                 true
             }
             // A profile of the other ring: the batch model skips it too.
             _ => false,
         };
-        if ingested {
-            if self.should_stop() {
-                self.fired = true;
-            }
-            self.publish();
+        if ingested && self.should_stop() {
+            self.fired = true;
         }
         ingested
     }
 
-    /// Whether the policy has decided to stop the session.
+    /// Whether the policy has decided to stop the stream. Latches once
+    /// fired, so speculative snapshots observed after the stop point
+    /// cannot un-stop a diagnosis.
     pub fn should_stop(&self) -> bool {
         self.fired
             || match &self.inner {
@@ -797,8 +813,54 @@ impl<'a> ConvergenceMonitor<'a> {
             }
     }
 
-    /// Live verdict string for the `/diagnosis` document.
-    fn live_verdict(&self) -> &'static str {
+    /// Snapshots ingested so far (both classes).
+    pub fn witnesses(&self) -> usize {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.witnesses(),
+            Some(MonitorInner::Lcr(t)) => t.witnesses(),
+            None => 0,
+        }
+    }
+
+    /// Failure snapshots ingested so far.
+    pub fn failures(&self) -> usize {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.failures(),
+            Some(MonitorInner::Lcr(t)) => t.failures(),
+            None => 0,
+        }
+    }
+
+    /// Success snapshots ingested so far.
+    pub fn successes(&self) -> usize {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.successes(),
+            Some(MonitorInner::Lcr(t)) => t.successes(),
+            None => 0,
+        }
+    }
+
+    /// Top-k churn at the latest ingest.
+    pub fn churn(&self) -> u64 {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.churn(),
+            Some(MonitorInner::Lcr(t)) => t.churn(),
+            None => 0,
+        }
+    }
+
+    /// Consecutive snapshots the current top-1 predictor has survived.
+    pub fn top1_streak(&self) -> usize {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.top1_streak(),
+            Some(MonitorInner::Lcr(t)) => t.top1_streak(),
+            None => 0,
+        }
+    }
+
+    /// Live verdict string: `converged` once the policy has fired,
+    /// `collecting` before.
+    pub fn live_verdict(&self) -> &'static str {
         if self.fired {
             Verdict::ConvergedEarly.as_str()
         } else {
@@ -806,38 +868,23 @@ impl<'a> ConvergenceMonitor<'a> {
         }
     }
 
-    /// Pushes the gauges and the `/diagnosis` status document. These are
-    /// the single call sites for the three convergence gauges (snapshots
-    /// sum same-name gauges across call sites, so a second `set()` site
-    /// could not overwrite this one).
-    fn publish(&self) {
-        let (witnesses, churn, streak) = match &self.inner {
-            Some(MonitorInner::Lbr(t)) => (t.witnesses(), t.churn(), t.top1_streak()),
-            Some(MonitorInner::Lcr(t)) => (t.witnesses(), t.churn(), t.top1_streak()),
-            None => (0, 0, 0),
-        };
-        stm_telemetry::gauge!("engine.rank_churn").set(churn as i64);
-        stm_telemetry::gauge!("engine.top1_stable_for").set(streak as i64);
-        stm_telemetry::gauge!("engine.witnesses_ingested").set(witnesses as i64);
-        if stm_telemetry::enabled() {
-            let doc = match &self.inner {
-                Some(MonitorInner::Lbr(t)) => t.to_json(self.live_verdict()),
-                Some(MonitorInner::Lcr(t)) => t.to_json(self.live_verdict()),
-                None => Json::obj([
-                    ("verdict", Json::from("collecting")),
-                    ("witnesses_ingested", Json::from(0usize)),
-                    ("policy", self.policy.to_json()),
-                ]),
-            };
-            stm_telemetry::status::publish("diagnosis", doc);
+    /// The live state as a `/diagnosis`-shaped JSON document.
+    pub fn to_json(&self) -> Json {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => t.to_json(self.live_verdict()),
+            Some(MonitorInner::Lcr(t)) => t.to_json(self.live_verdict()),
+            None => Json::obj([
+                ("verdict", Json::from(self.live_verdict())),
+                ("witnesses_ingested", Json::from(0usize)),
+                ("policy", self.policy.to_json()),
+            ]),
         }
     }
 
-    /// Finalises the monitor: computes the verdict, emits the
-    /// `diagnosis.converged` / `diagnosis.stalled` structured event,
-    /// publishes the terminal `/diagnosis` document, and returns the
-    /// report. `None` when no witness ever carried a usable profile.
-    #[must_use = "finishing consumes the monitor; use the returned report"]
+    /// Finalises the ingest: computes the verdict and returns the report
+    /// — pure, with no side channel. `None` when no snapshot ever
+    /// carried a usable profile.
+    #[must_use = "finishing consumes the ingest; use the returned report"]
     pub fn finish(self) -> Option<ConvergenceReport> {
         let policy = self.policy;
         let fired = self.fired;
@@ -858,12 +905,83 @@ impl<'a> ConvergenceMonitor<'a> {
         } else {
             Verdict::Stalled
         };
-        let report = ConvergenceReport {
+        Some(ConvergenceReport {
             verdict,
             policy,
             evidence,
             final_ranking,
+        })
+    }
+}
+
+/// The engine-facing monitor: a [`SnapshotIngest`] plus the *global*
+/// observability surface — the `engine.rank_churn` /
+/// `engine.top1_stable_for` / `engine.witnesses_ingested` gauges, the
+/// live `/diagnosis` status document, and the `diagnosis.converged` /
+/// `diagnosis.stalled` events emitted when the session ends. A fleet
+/// shard uses [`SnapshotIngest`] directly instead: these gauge names are
+/// single-call-site by contract (snapshots sum same-name gauges), so a
+/// per-shard consumer must publish per-shard labeled series, not these.
+///
+/// Non-generic on purpose: the gauge macros declare one static per call
+/// site and snapshots *sum* same-name gauges, so the `set()` calls must
+/// not be monomorphised into one copy per event type.
+#[derive(Debug)]
+pub struct ConvergenceMonitor {
+    ingest: SnapshotIngest,
+}
+
+impl ConvergenceMonitor {
+    /// A monitor for one session. The ring kind is inferred from the
+    /// first profile-bearing witness (so unpinned witness-mode sessions
+    /// work); runs whose profile is missing or of the other ring are
+    /// skipped, exactly as the batch extractors skip them.
+    pub fn new(layout: &Layout, spec: FailureSpec, policy: StabilityPolicy) -> Self {
+        let monitor = ConvergenceMonitor {
+            ingest: SnapshotIngest::new(layout.clone(), spec, policy),
         };
+        monitor.publish();
+        monitor
+    }
+
+    /// Observes one kept witness run at the strict-ordered consumption
+    /// seam. Returns `true` when the run carried a usable profile and was
+    /// ingested.
+    pub fn observe(&mut self, is_failure: bool, witness: &str, report: &RunReport) -> bool {
+        let ingested = self.ingest.observe(is_failure, witness, report);
+        if ingested {
+            self.publish();
+        }
+        ingested
+    }
+
+    /// Whether the policy has decided to stop the session.
+    pub fn should_stop(&self) -> bool {
+        self.ingest.should_stop()
+    }
+
+    /// Pushes the gauges and the `/diagnosis` status document. These are
+    /// the single call sites for the three convergence gauges (snapshots
+    /// sum same-name gauges across call sites, so a second `set()` site
+    /// could not overwrite this one).
+    fn publish(&self) {
+        stm_telemetry::gauge!("engine.rank_churn").set(self.ingest.churn() as i64);
+        stm_telemetry::gauge!("engine.top1_stable_for").set(self.ingest.top1_streak() as i64);
+        stm_telemetry::gauge!("engine.witnesses_ingested").set(self.ingest.witnesses() as i64);
+        if stm_telemetry::enabled() {
+            stm_telemetry::status::publish("diagnosis", self.ingest.to_json());
+        }
+    }
+
+    /// Finalises the monitor: computes the verdict, emits the
+    /// `diagnosis.converged` / `diagnosis.stalled` structured event,
+    /// publishes the terminal `/diagnosis` document, and returns the
+    /// report. `None` when no witness ever carried a usable profile.
+    #[must_use = "finishing consumes the monitor; use the returned report"]
+    pub fn finish(self) -> Option<ConvergenceReport> {
+        let report = self.ingest.finish()?;
+        let policy = report.policy;
+        let verdict = report.verdict;
         let e = &report.evidence;
         let fields = || {
             vec![

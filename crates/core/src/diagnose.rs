@@ -13,18 +13,21 @@
 //! latency** — the headline advantage over sampling-based CBI (§7.2: 10
 //! vs. 1000 failure occurrences).
 
-use crate::engine::{CollectedProfiles, DiagnosisSession, ProfileKind};
+use crate::engine::CollectedProfiles;
 use crate::profile::{lbr_events, lcr_events, BranchOutcome, CoherenceEvent};
 use crate::ranking::{Polarity, RankedEvent, RankingModel};
-use crate::runner::{FailureSpec, RunClass, Runner, Workload};
+use crate::runner::FailureSpec;
 use std::collections::{BTreeSet, HashMap};
 use stm_machine::ids::BranchId;
 use stm_machine::ir::{ProfileRole, SourceLoc};
 use stm_machine::report::{ProfileData, ProfileEvent, RunReport};
 
-/// How many profiles of each class a diagnosis collects.
+/// How many profiles of each class a collection keeps — the one quota
+/// surface shared by [`SessionConfig`](crate::engine::SessionConfig),
+/// the [`DiagnosisSession`](crate::engine::DiagnosisSession) builder and
+/// the fleet daemon's per-shard configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DiagnosisConfig {
+pub struct Quotas {
     /// Failure-run profiles to collect (the paper uses 10).
     pub failure_profiles: usize,
     /// Success-run profiles to collect (the paper uses 10).
@@ -34,13 +37,39 @@ pub struct DiagnosisConfig {
     pub max_runs: usize,
 }
 
-impl Default for DiagnosisConfig {
+/// The quota type under its original name. `Quotas` used to be private
+/// to the diagnosis layer; the alias keeps struct-literal construction
+/// sites compiling while the session, scan and fleet surfaces all speak
+/// [`Quotas`].
+pub type DiagnosisConfig = Quotas;
+
+impl Default for Quotas {
     fn default() -> Self {
-        DiagnosisConfig {
+        Quotas {
             failure_profiles: 10,
             success_profiles: 10,
             max_runs: 2000,
         }
+    }
+}
+
+impl Quotas {
+    /// Sets the failure-profile quota.
+    pub fn failure_profiles(mut self, n: usize) -> Self {
+        self.failure_profiles = n;
+        self
+    }
+
+    /// Sets the success-profile quota.
+    pub fn success_profiles(mut self, n: usize) -> Self {
+        self.success_profiles = n;
+        self
+    }
+
+    /// Sets the per-phase run cap.
+    pub fn max_runs(mut self, n: usize) -> Self {
+        self.max_runs = n;
+        self
     }
 }
 
@@ -232,34 +261,6 @@ impl LbraDiagnosis {
     }
 }
 
-/// Runs LBRA: collects LBR profiles from failing and passing workloads and
-/// ranks branch outcomes.
-///
-/// `runner` must wrap a program instrumented with success-site profiling
-/// ([`InstrumentOptions::lbra_reactive`](crate::transform::InstrumentOptions::lbra_reactive)
-/// or `lbra_proactive`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use DiagnosisSession::from_runner(..).failure(..).failing(..).passing(..).collect()?.lbra()"
-)]
-pub fn lbra(
-    runner: &Runner,
-    failing: &[Workload],
-    passing: &[Workload],
-    spec: &FailureSpec,
-    config: &DiagnosisConfig,
-) -> LbraDiagnosis {
-    DiagnosisSession::from_runner(runner)
-        .failure(spec.clone())
-        .failing(failing.to_vec())
-        .passing(passing.to_vec())
-        .profile_kind(ProfileKind::Lbr)
-        .diagnosis_config(config)
-        .collect()
-        .expect("witness-mode collection cannot fail")
-        .lbra()
-}
-
 /// Stable-reorders equal-scored predictors by their average ring position
 /// in the failure profiles (closest to the failure first). This follows
 /// the paper's locality observation (§1.2): information recorded closer to
@@ -350,91 +351,11 @@ impl LcraDiagnosis {
     }
 }
 
-/// Runs LCRA: collects LCR profiles and ranks coherence events, including
-/// absence predictors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DiagnosisSession::from_runner(..).failure(..).failing(..).passing(..).collect()?.lcra()"
-)]
-pub fn lcra(
-    runner: &Runner,
-    failing: &[Workload],
-    passing: &[Workload],
-    spec: &FailureSpec,
-    config: &DiagnosisConfig,
-) -> LcraDiagnosis {
-    DiagnosisSession::from_runner(runner)
-        .failure(spec.clone())
-        .failing(failing.to_vec())
-        .passing(passing.to_vec())
-        .profile_kind(ProfileKind::Lcr)
-        .diagnosis_config(config)
-        .collect()
-        .expect("witness-mode collection cannot fail")
-        .lcra()
-}
-
-/// Scans scheduler seeds for workloads reproducing (or avoiding) the target
-/// failure — how the suite pins down failing/passing interleavings for
-/// concurrency bugs.
-///
-/// Prefer a single scan-mode session, which finds failing *and* passing
-/// witnesses in one pass over the seed range instead of one pass per
-/// class.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DiagnosisSession::from_runner(..).failure(..).workloads(vec![base]).seeds(..).collect()"
-)]
-pub fn find_workloads(
-    runner: &Runner,
-    base: &Workload,
-    spec: &FailureSpec,
-    class: RunClass,
-    count: usize,
-    seed_range: std::ops::Range<u64>,
-) -> Vec<Workload> {
-    let session = || {
-        DiagnosisSession::from_runner(runner)
-            .failure(spec.clone())
-            .workloads(vec![base.clone()])
-            .seeds(seed_range.clone())
-    };
-    match class {
-        RunClass::TargetFailure => session()
-            .failure_profiles(count)
-            .success_profiles(0)
-            .collect()
-            .expect("scan-mode collection cannot fail")
-            .failing_workloads(),
-        RunClass::Success => session()
-            .failure_profiles(0)
-            .success_profiles(count)
-            .collect()
-            .expect("scan-mode collection cannot fail")
-            .passing_workloads(),
-        // The engine only buckets target failures and successes; `Other`
-        // keeps the legacy scan.
-        RunClass::Other => {
-            let mut found = Vec::new();
-            for seed in seed_range {
-                if found.len() >= count {
-                    break;
-                }
-                let w = base.clone().with_seed(seed);
-                let (_, c) = runner.run_classified(&w, spec);
-                if c == class {
-                    found.push(w);
-                }
-            }
-            found
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::DiagnosisSession;
+    use crate::engine::{DiagnosisSession, ProfileKind};
+    use crate::runner::{Runner, Workload};
     use crate::transform::InstrumentOptions;
     use stm_machine::builder::ProgramBuilder;
     use stm_machine::ids::LogSiteId;
@@ -447,14 +368,14 @@ mod tests {
         failing: &[Workload],
         passing: &[Workload],
         spec: &FailureSpec,
-        config: &DiagnosisConfig,
+        config: &Quotas,
     ) -> LbraDiagnosis {
         DiagnosisSession::from_runner(runner)
             .failure(spec.clone())
             .failing(failing.to_vec())
             .passing(passing.to_vec())
             .profile_kind(ProfileKind::Lbr)
-            .diagnosis_config(config)
+            .quotas(*config)
             .collect()
             .expect("witness-mode collection succeeds")
             .lbra()

@@ -14,7 +14,7 @@
 //! logical job index `i` to the `i`-th (workload, seed) pair. Witness-mode
 //! plans cycle a workload list, perturbing the scheduler seed on each lap
 //! exactly as the sequential driver did; scan-mode plans enumerate
-//! `bases × seeds` (the `find_workloads` seed scan). Because the plan is a
+//! `bases × seeds` (the retired `find_workloads` seed scan). Because the plan is a
 //! function of the index, jobs need no shared state and can be regenerated
 //! anywhere.
 //!
@@ -40,7 +40,7 @@
 //! [`SessionError::WorkerPanicked`] instead of a hang.
 
 use crate::converge::{ConvergenceMonitor, ConvergenceReport, StabilityPolicy};
-use crate::diagnose::{failure_profile, success_profile, DiagnosisConfig, DiagnosisStats};
+use crate::diagnose::{failure_profile, success_profile, DiagnosisStats, Quotas};
 use crate::runner::{FailureSpec, RunClass, Runner, Workload};
 use crate::transform::{instrument, InstrumentOptions};
 use std::collections::BTreeMap;
@@ -108,23 +108,17 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-/// Unified configuration for a diagnosis session: the profile quotas that
-/// used to live in [`DiagnosisConfig`], the interpreter's [`RunConfig`],
-/// the simulated-hardware [`HwConfig`], and the engine's parallelism
-/// knobs, behind one `Default` + builder-setter surface.
+/// Unified configuration for a diagnosis session: the shared profile
+/// [`Quotas`], the interpreter's [`RunConfig`], the simulated-hardware
+/// [`HwConfig`], and the engine's parallelism knobs, behind one
+/// `Default` + builder-setter surface.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
-    /// Failure-run profiles to collect. The paper diagnoses from 10
-    /// failure occurrences (§5.2; §7.2 contrasts this diagnosis latency
-    /// with CBI's ~1000).
-    pub failure_profiles: usize,
-    /// Success-run profiles to collect — 10, mirroring the failure quota
-    /// (§5.2's statistical model needs both populations).
-    pub success_profiles: usize,
-    /// Hard cap on runs *per collection phase* (failure and success
-    /// each), bounding non-reproducing workload sets. An engineering
-    /// guard; the paper assumes reproducing workloads (§5.2).
-    pub max_runs: usize,
+    /// Profile quotas — failure/success profile counts and the per-phase
+    /// run cap. The paper diagnoses from 10 failure occurrences (§5.2;
+    /// §7.2 contrasts this diagnosis latency with CBI's ~1000). The same
+    /// [`Quotas`] type configures the fleet daemon's per-shard caps.
+    pub quotas: Quotas,
     /// Worker threads for profile collection; `1` keeps the sequential
     /// driver, `0` asks the OS for the available parallelism. Runs are
     /// independent production executions (§2's per-run short-term memory
@@ -144,11 +138,8 @@ pub struct SessionConfig {
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        let d = DiagnosisConfig::default();
         SessionConfig {
-            failure_profiles: d.failure_profiles,
-            success_profiles: d.success_profiles,
-            max_runs: d.max_runs,
+            quotas: Quotas::default(),
             threads: 1,
             chunk: 0,
             run: RunConfig::default(),
@@ -158,21 +149,27 @@ impl Default for SessionConfig {
 }
 
 impl SessionConfig {
+    /// Replaces the profile quotas.
+    pub fn quotas(mut self, quotas: Quotas) -> Self {
+        self.quotas = quotas;
+        self
+    }
+
     /// Sets the failure-profile quota.
     pub fn failure_profiles(mut self, n: usize) -> Self {
-        self.failure_profiles = n;
+        self.quotas.failure_profiles = n;
         self
     }
 
     /// Sets the success-profile quota.
     pub fn success_profiles(mut self, n: usize) -> Self {
-        self.success_profiles = n;
+        self.quotas.success_profiles = n;
         self
     }
 
     /// Sets the per-phase run cap.
     pub fn max_runs(mut self, n: usize) -> Self {
-        self.max_runs = n;
+        self.quotas.max_runs = n;
         self
     }
 
@@ -199,23 +196,14 @@ impl SessionConfig {
         self.hw = hw;
         self
     }
-
-    /// The quota subset as the legacy [`DiagnosisConfig`].
-    pub fn diagnosis(&self) -> DiagnosisConfig {
-        DiagnosisConfig {
-            failure_profiles: self.failure_profiles,
-            success_profiles: self.success_profiles,
-            max_runs: self.max_runs,
-        }
-    }
 }
 
-impl From<DiagnosisConfig> for SessionConfig {
-    fn from(d: DiagnosisConfig) -> Self {
-        SessionConfig::default()
-            .failure_profiles(d.failure_profiles)
-            .success_profiles(d.success_profiles)
-            .max_runs(d.max_runs)
+impl From<Quotas> for SessionConfig {
+    fn from(quotas: Quotas) -> Self {
+        SessionConfig {
+            quotas,
+            ..SessionConfig::default()
+        }
     }
 }
 
@@ -417,7 +405,7 @@ impl DiagnosisSession {
 
     /// Scan mode: base workloads whose scheduler seeds are enumerated
     /// (see [`DiagnosisSession::seeds`]) to *find* failing and passing
-    /// interleavings — the redesigned `find_workloads`. Mutually
+    /// interleavings — the redesign of the retired `find_workloads`. Mutually
     /// exclusive with the witness lists.
     pub fn workloads(mut self, bases: Vec<Workload>) -> Self {
         self.bases = bases;
@@ -446,20 +434,20 @@ impl DiagnosisSession {
     /// Sets the failure-profile quota (scan mode: failing witnesses to
     /// find).
     pub fn failure_profiles(mut self, n: usize) -> Self {
-        self.config.failure_profiles = n;
+        self.config.quotas.failure_profiles = n;
         self
     }
 
     /// Sets the success-profile quota (scan mode: passing witnesses to
     /// find).
     pub fn success_profiles(mut self, n: usize) -> Self {
-        self.config.success_profiles = n;
+        self.config.quotas.success_profiles = n;
         self
     }
 
     /// Sets the per-phase run cap.
     pub fn max_runs(mut self, n: usize) -> Self {
-        self.config.max_runs = n;
+        self.config.quotas.max_runs = n;
         self
     }
 
@@ -507,12 +495,10 @@ impl DiagnosisSession {
         self
     }
 
-    /// Copies the quota subset from a legacy [`DiagnosisConfig`],
-    /// keeping the session's run/hw configs and parallelism knobs.
-    pub fn diagnosis_config(mut self, d: &DiagnosisConfig) -> Self {
-        self.config.failure_profiles = d.failure_profiles;
-        self.config.success_profiles = d.success_profiles;
-        self.config.max_runs = d.max_runs;
+    /// Replaces the profile quotas, keeping the session's run/hw configs
+    /// and parallelism knobs.
+    pub fn quotas(mut self, quotas: Quotas) -> Self {
+        self.config.quotas = quotas;
         self
     }
 
@@ -610,9 +596,12 @@ impl DiagnosisSession {
             .map(|p| ConvergenceMonitor::new(runner.machine().layout(), spec.clone(), p));
         let mut loss = SessionLoss::default();
         if scan {
-            let seeds = self.seeds.unwrap_or(0..self.config.max_runs as u64);
+            let seeds = self.seeds.unwrap_or(0..self.config.quotas.max_runs as u64);
             let plan = JobPlan::scan(self.bases, seeds);
-            let mut quota = Quota::scan(self.config.failure_profiles, self.config.success_profiles);
+            let mut quota = Quota::scan(
+                self.config.quotas.failure_profiles,
+                self.config.quotas.success_profiles,
+            );
             run_plan(
                 &plan,
                 threads,
@@ -625,8 +614,8 @@ impl DiagnosisSession {
             )?;
             loss.absorb(&quota);
         } else {
-            let plan = JobPlan::cycle(self.failing, self.config.max_runs as u64);
-            let mut quota = Quota::witness_fail(self.config.failure_profiles, self.kind);
+            let plan = JobPlan::cycle(self.failing, self.config.quotas.max_runs as u64);
+            let mut quota = Quota::witness_fail(self.config.quotas.failure_profiles, self.kind);
             run_plan(
                 &plan,
                 threads,
@@ -638,8 +627,8 @@ impl DiagnosisSession {
                 &factory,
             )?;
             loss.absorb(&quota);
-            let plan = JobPlan::cycle(self.passing, self.config.max_runs as u64);
-            let mut quota = Quota::witness_pass(self.config.success_profiles, self.kind);
+            let plan = JobPlan::cycle(self.passing, self.config.quotas.max_runs as u64);
+            let mut quota = Quota::witness_pass(self.config.quotas.success_profiles, self.kind);
             run_plan(
                 &plan,
                 threads,
@@ -988,7 +977,7 @@ fn consume(
     quota: &mut Quota,
     spec: &FailureSpec,
     sink: &mut Sink,
-    monitor: &mut Option<ConvergenceMonitor<'_>>,
+    monitor: &mut Option<ConvergenceMonitor>,
 ) {
     sink.stats.total_runs += 1;
     let Some(pick) = quota.consider(class, &report, spec) else {
@@ -1020,7 +1009,7 @@ fn consume(
 }
 
 /// Has an attached convergence monitor decided to stop the session?
-fn converged(monitor: &Option<ConvergenceMonitor<'_>>) -> bool {
+fn converged(monitor: &Option<ConvergenceMonitor>) -> bool {
     monitor.as_ref().is_some_and(|m| m.should_stop())
 }
 
@@ -1038,7 +1027,7 @@ fn run_plan<W, F>(
     quota: &mut Quota,
     spec: &FailureSpec,
     sink: &mut Sink,
-    monitor: &mut Option<ConvergenceMonitor<'_>>,
+    monitor: &mut Option<ConvergenceMonitor>,
     factory: &F,
 ) -> Result<(), SessionError>
 where

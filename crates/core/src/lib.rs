@@ -74,14 +74,20 @@ pub mod runner;
 pub mod transform;
 
 /// Convenient re-exports for downstream users.
+///
+/// This is the blessed public surface: the [`DiagnosisSession`] engine,
+/// its [`SessionConfig`]/[`Quotas`] configuration, and the whole
+/// [`converge`] module (incremental ranking, stability policies, the
+/// snapshot-level [`SnapshotIngest`](converge::SnapshotIngest) entry
+/// point). The PR-3 era free functions (`lbra`, `lcra`,
+/// `find_workloads`) are gone; every caller goes through a session or a
+/// snapshot ingest.
 pub mod prelude {
     pub use crate::analysis::{useful_branch_ratio, UsefulBranchReport};
-    pub use crate::converge::{
-        ConvergenceReport, FinalRanking, IncrementalRanking, StabilityPolicy, Verdict,
+    pub use crate::converge::*;
+    pub use crate::diagnose::{
+        DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis, Quotas,
     };
-    #[allow(deprecated)] // re-exported through the deprecation window
-    pub use crate::diagnose::{find_workloads, lbra, lcra};
-    pub use crate::diagnose::{DiagnosisConfig, DiagnosisStats, LbraDiagnosis, LcraDiagnosis};
     pub use crate::engine::{
         CollectedProfiles, CollectedRun, DiagnosisSession, ProfileKind, SessionConfig, SessionError,
     };

@@ -1,0 +1,390 @@
+//! The fleet ingest daemon driver: simulates thousands of endpoints
+//! pushing ring snapshots at a sharded [`FleetDaemon`], then reports
+//! per-shard verdicts and backpressure accounting.
+//!
+//! ```text
+//! stm_fleetd [--endpoints N] [--capacity N] [--seed N] [--shed drop|reject]
+//! stm_fleetd --smoke    (self-contained CI gate, writes results/FLEET_smoke.json)
+//! ```
+//!
+//! The driver builds two tiny guarded programs (two workload
+//! populations), batch-collects a snapshot pool for each with a
+//! [`DiagnosisSession`], and replays the pools through the daemon from a
+//! seeded endpoint schedule across four shards. One shard is paused
+//! mid-run and deliberately overloaded, so the run demonstrates — and
+//! the smoke gate *asserts* — exact shed accounting: `overflow` extra
+//! submissions beyond a full queue shed exactly `overflow` snapshots,
+//! each counted in `fleet.shed_total` and emitted as a `fleet`/`shed`
+//! event.
+
+use std::time::Instant;
+
+use stm_core::engine::{CollectedProfiles, DiagnosisSession};
+use stm_core::runner::{FailureSpec, Workload};
+use stm_core::transform::InstrumentOptions;
+use stm_fleet::{FleetDaemon, ShardConfig, ShedPolicy, Snapshot, SubmitOutcome};
+use stm_machine::builder::ProgramBuilder;
+use stm_machine::ids::LogSiteId;
+use stm_machine::ir::{BinOp, Program};
+use stm_telemetry::json::Json;
+use stm_telemetry::log;
+
+fn usage() -> ! {
+    eprintln!("usage: stm_fleetd [--endpoints N] [--capacity N] [--seed N] [--shed drop|reject]");
+    eprintln!("       stm_fleetd --smoke   (self-contained CI gate)");
+    std::process::exit(2);
+}
+
+/// Deterministic xorshift64* schedule generator — the "endpoint
+/// schedule seed" of the determinism contract.
+struct Schedule(u64);
+
+impl Schedule {
+    fn next(&mut self) -> u64 {
+        // xorshift64*: full-period, good enough to spread endpoints.
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0 = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        self.0
+    }
+}
+
+/// A program that fails (logs an error) when input 0 is negative.
+fn alpha_program() -> (Program, LogSiteId) {
+    let mut pb = ProgramBuilder::new("fleet-alpha");
+    let main = pb.declare_function("main");
+    let mut f = pb.build_function(main, "alpha.c");
+    let err = f.new_block();
+    let ok = f.new_block();
+    let x = f.read_input(0);
+    let neg = f.bin(BinOp::Lt, x, 0);
+    f.br(neg, err, ok);
+    f.set_block(err);
+    let site = f.log_error("negative input");
+    f.exit(1);
+    f.ret(None);
+    f.set_block(ok);
+    f.output(x);
+    f.ret(None);
+    f.finish();
+    (pb.finish(main), site)
+}
+
+/// A program that fails when input 0 exceeds a threshold — a different
+/// branch shape, so the two populations have distinct root causes.
+fn beta_program() -> (Program, LogSiteId) {
+    let mut pb = ProgramBuilder::new("fleet-beta");
+    let main = pb.declare_function("main");
+    let mut f = pb.build_function(main, "beta.c");
+    let big = f.new_block();
+    let small = f.new_block();
+    let done = f.new_block();
+    let x = f.read_input(0);
+    let over = f.bin(BinOp::Gt, x, 100);
+    f.br(over, big, small);
+    f.set_block(big);
+    let site = f.log_error("threshold exceeded");
+    f.exit(1);
+    f.ret(None);
+    f.set_block(small);
+    let doubled = f.bin(BinOp::Add, x, x);
+    f.output(doubled);
+    f.jmp(done);
+    f.set_block(done);
+    f.ret(None);
+    f.finish();
+    (pb.finish(main), site)
+}
+
+/// Batch-collects a snapshot pool for one population: the runs whose
+/// reports the simulated endpoints will replay at the daemon.
+fn collect_pool(
+    program: &Program,
+    site: LogSiteId,
+    failing: Vec<Workload>,
+    passing: Vec<Workload>,
+) -> CollectedProfiles {
+    DiagnosisSession::new(program)
+        .instrument(&InstrumentOptions::lbra_reactive(vec![site], vec![]))
+        .failure(FailureSpec::ErrorLogAt(site))
+        .failing(failing)
+        .passing(passing)
+        .failure_profiles(12)
+        .success_profiles(12)
+        .collect()
+        .expect("pool collection succeeds")
+}
+
+/// (is_failure, witness, report) triples of a pool, failures first —
+/// the replayable snapshot source.
+fn pool_snapshots(
+    profiles: &CollectedProfiles,
+) -> Vec<(bool, String, stm_machine::report::RunReport)> {
+    let mut out = Vec::new();
+    for run in profiles.failure_runs() {
+        out.push((true, run.witness.clone(), run.report.clone()));
+    }
+    for run in profiles.success_runs() {
+        out.push((false, run.witness.clone(), run.report.clone()));
+    }
+    out
+}
+
+struct RunParams {
+    endpoints: usize,
+    capacity: usize,
+    seed: u64,
+    shed: ShedPolicy,
+    overflow: usize,
+    smoke: bool,
+}
+
+fn run_fleet(p: &RunParams) -> i32 {
+    stm_telemetry::set_enabled(true);
+    let started = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    let (alpha, alpha_site) = alpha_program();
+    let (beta, beta_site) = beta_program();
+    let alpha_pool = collect_pool(
+        &alpha,
+        alpha_site,
+        vec![Workload::new(vec![-1]), Workload::new(vec![-50])],
+        vec![Workload::new(vec![3]), Workload::new(vec![70])],
+    );
+    let beta_pool = collect_pool(
+        &beta,
+        beta_site,
+        vec![Workload::new(vec![101]), Workload::new(vec![500])],
+        vec![Workload::new(vec![10]), Workload::new(vec![99])],
+    );
+    let pools = [pool_snapshots(&alpha_pool), pool_snapshots(&beta_pool)];
+    println!(
+        "fleetd: pools ready ({} alpha, {} beta snapshots)",
+        pools[0].len(),
+        pools[1].len()
+    );
+
+    // Four shards over two populations. Generous quotas keep every
+    // endpoint's snapshot eligible; the stability policy early-stops
+    // each shard on its own.
+    let config = ShardConfig::default()
+        .queue_capacity(p.capacity)
+        .shed(p.shed)
+        .quotas(
+            stm_core::diagnose::Quotas::default()
+                .failure_profiles(p.endpoints)
+                .success_profiles(p.endpoints)
+                .max_runs(p.endpoints.saturating_mul(4).max(2000)),
+        );
+    let shards = ["alpha-0", "alpha-1", "beta-0", "beta-1"];
+    let mut fleet = FleetDaemon::new();
+    for (i, name) in shards.iter().enumerate() {
+        let profiles = if i < 2 { &alpha_pool } else { &beta_pool };
+        fleet.add_shard(
+            *name,
+            profiles.runner().machine().layout().clone(),
+            profiles.spec().clone(),
+            config,
+        );
+    }
+    fleet.start();
+
+    // The seeded endpoint schedule: each endpoint reports one snapshot
+    // into a schedule-chosen shard.
+    let mut schedule = Schedule(p.seed | 1);
+    let mut submitted = 0usize;
+    for endpoint in 0..p.endpoints {
+        let r = schedule.next();
+        let shard_idx = (r % shards.len() as u64) as usize;
+        let pool = &pools[shard_idx / 2];
+        let (is_failure, witness, report) = &pool[(r >> 8) as usize % pool.len()];
+        let outcome = fleet.submit(Snapshot {
+            shard: shards[shard_idx].to_string(),
+            witness: format!("ep{endpoint}:{witness}"),
+            is_failure: *is_failure,
+            report: report.clone(),
+        });
+        if outcome == SubmitOutcome::UnknownShard || outcome == SubmitOutcome::Closed {
+            failures.push(format!(
+                "endpoint {endpoint}: unexpected outcome {outcome:?}"
+            ));
+        }
+        submitted += 1;
+    }
+    fleet.drain();
+
+    // Forced overload: hold beta-1's worker, fill its queue to capacity
+    // and push `overflow` more. Exactly `overflow` snapshots must shed.
+    let _ = log::take_events(); // isolate the shed-storm event window
+    fleet.pause("beta-1");
+    let shed_before = fleet.shed_count("beta-1");
+    let mut schedule = Schedule(p.seed.wrapping_add(0xBEEF) | 1);
+    let mut sheds_seen = 0u64;
+    for extra in 0..p.capacity + p.overflow {
+        let pool = &pools[1];
+        let (is_failure, witness, report) = &pool[schedule.next() as usize % pool.len()];
+        match fleet.submit(Snapshot {
+            shard: "beta-1".to_string(),
+            witness: format!("overload{extra}:{witness}"),
+            is_failure: *is_failure,
+            report: report.clone(),
+        }) {
+            SubmitOutcome::Enqueued => {}
+            SubmitOutcome::ShedOldest | SubmitOutcome::RejectedNew => sheds_seen += 1,
+            other => failures.push(format!("overload {extra}: unexpected outcome {other:?}")),
+        }
+        submitted += 1;
+    }
+    let forced_shed = fleet.shed_count("beta-1") - shed_before;
+    if forced_shed != p.overflow as u64 || sheds_seen != p.overflow as u64 {
+        failures.push(format!(
+            "forced overload shed {forced_shed} (outcomes: {sheds_seen}), expected exactly {}",
+            p.overflow
+        ));
+    } else {
+        println!(
+            "fleetd: forced overload shed exactly {forced_shed} snapshots ({})",
+            p.shed.as_str()
+        );
+    }
+    let shed_events = log::take_events()
+        .iter()
+        .filter(|e| e.component == "fleet" && e.event == "shed")
+        .count();
+    if shed_events != p.overflow {
+        failures.push(format!(
+            "saw {shed_events} fleet/shed events, expected {}",
+            p.overflow
+        ));
+    }
+    fleet.resume("beta-1");
+    fleet.drain();
+
+    // The fleet status document must cover every shard before shutdown.
+    match stm_telemetry::status::get("fleet") {
+        Some(doc) => {
+            let covered = shards
+                .iter()
+                .all(|s| doc.get("shards").and_then(|m| m.get(s)).is_some());
+            if !covered {
+                failures.push("fleet status document is missing shards".to_string());
+            }
+        }
+        None => failures.push("no \"fleet\" status document published".to_string()),
+    }
+
+    let reports = fleet.finish();
+    let elapsed = started.elapsed();
+    let mut shard_entries: Vec<(String, Json)> = Vec::new();
+    let mut shed_total = 0u64;
+    for (name, report) in &reports {
+        println!(
+            "fleetd: {name}: {} (ingested {}, shed {}, after-stop {})",
+            report.verdict, report.ingested, report.shed, report.after_stop
+        );
+        if report.verdict == "warming" {
+            failures.push(format!("shard {name} never ingested a snapshot"));
+        }
+        shed_total += report.shed;
+        shard_entries.push((name.clone(), report.to_json()));
+    }
+    let metrics = stm_telemetry::metrics_snapshot();
+    if metrics.counter("fleet.shed_total").unwrap_or(0) != shed_total {
+        failures.push(format!(
+            "fleet.shed_total counter {:?} != per-shard sum {shed_total}",
+            metrics.counter("fleet.shed_total")
+        ));
+    }
+    let labeled = stm_telemetry::series_name("fleet.shed", "shard", "beta-1");
+    if metrics.counter(&labeled).unwrap_or(0) < forced_shed {
+        failures.push(format!("labeled series {labeled} missing the forced sheds"));
+    }
+
+    let eps = submitted as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "fleetd: {submitted} endpoint submissions in {:.1} ms ({eps:.0}/s), shed_total {shed_total}",
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    let doc = Json::obj([
+        ("endpoints", Json::from(submitted)),
+        ("capacity", Json::from(p.capacity)),
+        ("seed", Json::from(p.seed)),
+        ("shed_policy", Json::from(p.shed.as_str())),
+        ("forced_overflow", Json::from(p.overflow)),
+        ("forced_shed", Json::from(forced_shed)),
+        ("shed_total", Json::from(shed_total)),
+        ("elapsed_ms", Json::from(elapsed.as_secs_f64() * 1e3)),
+        ("endpoints_per_sec", Json::from(eps)),
+        ("shards", Json::Obj(shard_entries.into_iter().collect())),
+    ]);
+    let out = if p.smoke {
+        "results/FLEET_smoke.json"
+    } else {
+        "results/FLEET_run.json"
+    };
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(out, doc.encode() + "\n"))
+    {
+        failures.push(format!("could not write {out}: {e}"));
+    } else {
+        println!("wrote {out}");
+    }
+
+    if failures.is_empty() {
+        println!("fleetd: OK");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("fleetd: FAILED: {f}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let mut p = RunParams {
+        endpoints: 400,
+        capacity: 16,
+        seed: 42,
+        shed: ShedPolicy::DropOldest,
+        overflow: 8,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--endpoints" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                p.endpoints = n;
+            }
+            "--capacity" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    usage()
+                };
+                p.capacity = n.max(1);
+            }
+            "--seed" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                p.seed = n;
+            }
+            "--shed" => match args.next().as_deref() {
+                Some("drop") => p.shed = ShedPolicy::DropOldest,
+                Some("reject") => p.shed = ShedPolicy::RejectNew,
+                _ => usage(),
+            },
+            "--smoke" => {
+                p.smoke = true;
+                p.endpoints = 96;
+            }
+            _ => usage(),
+        }
+    }
+    std::process::exit(run_fleet(&p));
+}

@@ -49,18 +49,52 @@ fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
     out.push_str(&format!("{name}_count {}\n", h.count));
 }
 
-/// Renders the whole snapshot as Prometheus text.
+/// Splits a registry series name into a sanitised base name and a
+/// verbatim `{key="value"}` label suffix (the labeled-series form of
+/// [`stm_telemetry::series_name`]). A suffix that is not exactly one
+/// well-formed label — key in `[a-zA-Z0-9_]`, value free of quotes,
+/// backslashes, braces and newlines — is NOT trusted: the whole name is
+/// flattened through [`metric_name`] instead, so a hostile name can
+/// never smuggle raw bytes into the exposition.
+fn split_series(name: &str) -> (String, &str) {
+    if let Some(start) = name.find('{') {
+        if name.ends_with('}') {
+            let labels = &name[start..];
+            let inner = &labels[1..labels.len() - 1];
+            if let Some((key, rest)) = inner.split_once("=\"") {
+                if let Some(value) = rest.strip_suffix('"') {
+                    let key_ok = !key.is_empty()
+                        && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                    let value_ok = !value.contains(['"', '\\', '{', '}', '\n']);
+                    if key_ok && value_ok {
+                        return (metric_name(&name[..start]), labels);
+                    }
+                }
+            }
+        }
+    }
+    (metric_name(name), "")
+}
+
+/// Renders the whole snapshot as Prometheus text. Labeled series of the
+/// same base metric share one `# TYPE` line.
 pub fn render(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut typed = std::collections::BTreeSet::new();
     for (name, v) in &m.counters {
-        let name = metric_name(name);
-        out.push_str(&format!("# TYPE {name}_total counter\n"));
-        out.push_str(&format!("{name}_total {v}\n"));
+        let (base, labels) = split_series(name);
+        if typed.insert(base.clone()) {
+            out.push_str(&format!("# TYPE {base}_total counter\n"));
+        }
+        out.push_str(&format!("{base}_total{labels} {v}\n"));
     }
+    typed.clear();
     for (name, v) in &m.gauges {
-        let name = metric_name(name);
-        out.push_str(&format!("# TYPE {name} gauge\n"));
-        out.push_str(&format!("{name} {v}\n"));
+        let (base, labels) = split_series(name);
+        if typed.insert(base.clone()) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+        }
+        out.push_str(&format!("{base}{labels} {v}\n"));
     }
     for h in &m.histograms {
         render_histogram(&mut out, h);
@@ -91,6 +125,66 @@ mod tests {
         assert!(text.contains("stm_engine_runs_total 42\n"));
         assert!(text.contains("# TYPE stm_engine_queue_depth gauge\n"));
         assert!(text.contains("stm_engine_queue_depth -3\n"));
+    }
+
+    #[test]
+    fn labeled_series_keep_their_label_set() {
+        let m = MetricsSnapshot {
+            counters: vec![
+                ("fleet.shed{shard=\"apache\"}".to_string(), 2),
+                ("fleet.shed{shard=\"sort\"}".to_string(), 5),
+            ],
+            histograms: vec![],
+            gauges: vec![("fleet.queue_depth{shard=\"sort\"}".to_string(), 3)],
+        };
+        let text = render(&m);
+        // The counter suffix lands on the base name, before the labels.
+        assert!(
+            text.contains("stm_fleet_shed_total{shard=\"apache\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stm_fleet_shed_total{shard=\"sort\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stm_fleet_queue_depth{shard=\"sort\"} 3\n"),
+            "{text}"
+        );
+        // One TYPE line per base metric, not per labeled series.
+        assert_eq!(
+            text.matches("# TYPE stm_fleet_shed_total counter\n")
+                .count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn malformed_label_suffixes_flatten_instead_of_passing_through() {
+        // A name that *looks* labeled but is not one clean key="value"
+        // pair must flatten through the charset filter, never reach the
+        // exposition verbatim.
+        let m = MetricsSnapshot {
+            counters: vec![
+                ("bad{shard=\"a\"\nevil 1}".to_string(), 1),
+                ("bad{shard=unquoted}".to_string(), 2),
+                ("bad{=\"x\"}".to_string(), 3),
+            ],
+            histograms: vec![],
+            gauges: vec![],
+        };
+        let text = render(&m);
+        // The embedded newline must not have minted a standalone
+        // "evil 1}" series line.
+        for line in text.lines() {
+            assert!(!line.starts_with("evil"), "raw bytes leaked: {line}");
+        }
+        assert!(
+            text.contains("stm_bad_shard__a__evil_1__total 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("stm_bad_shard_unquoted__total 2\n"), "{text}");
     }
 
     #[test]

@@ -200,11 +200,18 @@ fn events_tail(query: Option<&str>) -> Result<usize, String> {
 
 /// The `/diagnosis` body: the live convergence document, or the idle
 /// placeholder when no monitored session has published one (or telemetry
-/// is disabled).
+/// is disabled). When a fleet daemon has published its `"fleet"` status
+/// document (per-shard verdicts and backpressure gauges), it rides along
+/// under the `fleet` key so one scrape shows the whole fleet.
 fn diagnosis_body() -> String {
-    let doc = stm_telemetry::status::get("diagnosis").unwrap_or_else(|| {
-        stm_telemetry::json::Json::obj([("verdict", stm_telemetry::json::Json::from("idle"))])
-    });
+    use stm_telemetry::json::Json;
+    let mut doc = stm_telemetry::status::get("diagnosis")
+        .unwrap_or_else(|| Json::obj([("verdict", Json::from("idle"))]));
+    if let Some(fleet) = stm_telemetry::status::get("fleet") {
+        if let Json::Obj(map) = &mut doc {
+            map.insert("fleet".to_string(), fleet);
+        }
+    }
     doc.encode() + "\n"
 }
 
@@ -362,6 +369,41 @@ mod tests {
             j.get("witnesses_ingested")
                 .and_then(stm_telemetry::json::Json::as_f64),
             Some(7.0)
+        );
+
+        server.stop();
+        stm_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn diagnosis_endpoint_attaches_the_fleet_document() {
+        let _g = lock();
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        stm_telemetry::status::publish(
+            "fleet",
+            stm_telemetry::json::Json::parse(
+                r#"{"shed_total":4,"shards":{"sort-0":{"verdict":"collecting","witnesses":3}}}"#,
+            )
+            .unwrap(),
+        );
+        let body = http_get(addr, "/diagnosis", IO_TIMEOUT).expect("/diagnosis");
+        let j = stm_telemetry::json::Json::parse(body.trim()).expect("JSON");
+        // No session published: the top-level verdict stays idle, but
+        // the fleet document rides along.
+        assert_eq!(
+            j.get("verdict").and_then(stm_telemetry::json::Json::as_str),
+            Some("idle")
+        );
+        let fleet = j.get("fleet").expect("fleet key");
+        assert_eq!(
+            fleet
+                .get("shards")
+                .and_then(|s| s.get("sort-0"))
+                .and_then(|s| s.get("verdict"))
+                .and_then(stm_telemetry::json::Json::as_str),
+            Some("collecting")
         );
 
         server.stop();

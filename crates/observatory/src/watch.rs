@@ -129,6 +129,9 @@ pub fn render_board(cur: &Sample, prev: Option<(&Sample, f64)>) -> String {
     out.push_str(&format!("  {:<16} {rps:>12}\n", "runs/sec"));
     if let Some(d) = &cur.diagnosis {
         out.push_str(&render_convergence(d));
+        if let Some(fleet) = d.get("fleet") {
+            out.push_str(&render_fleet(fleet));
+        }
     }
     out.push_str("\n  series                                     value       per-sec\n");
     for (name, &v) in &cur.metrics {
@@ -170,6 +173,41 @@ fn render_convergence(d: &Json) -> String {
             let score = p.get("score").and_then(Json::as_f64).unwrap_or(0.0);
             out.push_str(&format!("    #{:<2} {score:.4}  {name}\n", i + 1));
         }
+    }
+    out
+}
+
+/// Renders the fleet panel from the `"fleet"` sub-document the daemon
+/// publishes: one row per shard with its live verdict and backpressure
+/// gauges.
+///
+/// Robust by construction against shards the renderer has never seen:
+/// a shard entry with no `verdict` (or one that is not even an object)
+/// renders as `warming` with zeroed gauges — a brand-new shard must
+/// never panic the board.
+fn render_fleet(f: &Json) -> String {
+    let mut out = String::new();
+    let shed_total = f.get("shed_total").and_then(Json::as_f64).unwrap_or(0.0);
+    out.push_str(&format!("\n  fleet — shed total {shed_total:.0}\n"));
+    let Some(Json::Obj(shards)) = f.get("shards") else {
+        out.push_str("    (no shards)\n");
+        return out;
+    };
+    if shards.is_empty() {
+        out.push_str("    (no shards)\n");
+    }
+    for (name, entry) in shards {
+        let verdict = entry
+            .get("verdict")
+            .and_then(Json::as_str)
+            .unwrap_or("warming");
+        let num = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "    {name:<18} {verdict:<10} witnesses {:>5.0}  queue {:>4.0}  shed {:>5.0}\n",
+            num("witnesses"),
+            num("queue_depth"),
+            num("shed"),
+        ));
     }
     out
 }
@@ -237,6 +275,42 @@ stm_engine_queue_wait_us_count 40
         assert!(board.contains("top-1 stable for"), "{board}");
         assert!(board.contains("#1  0.9231  b12:taken"), "{board}");
         assert!(board.contains("!L3:S:read"), "{board}");
+    }
+
+    const FLEET_DIAGNOSIS: &str = r#"{"verdict":"idle","fleet":{"shed_total":12,"shards":{"apache4-0":{"verdict":"converged","witnesses":40,"queue_depth":0,"shed":12},"sort-0":{"verdict":"collecting","witnesses":9,"queue_depth":3,"shed":0},"brand-new":{},"weird":"not-an-object"}}}"#;
+
+    #[test]
+    fn board_renders_fleet_panel_with_warming_fallback() {
+        let cur = Sample::parse(METRICS, HEALTH)
+            .unwrap()
+            .with_diagnosis(FLEET_DIAGNOSIS)
+            .unwrap();
+        let board = render_board(&cur, None);
+        assert!(board.contains("fleet — shed total 12"), "{board}");
+        assert!(board.contains("apache4-0"), "{board}");
+        assert!(board.contains("converged"), "{board}");
+        assert!(board.contains("collecting"), "{board}");
+        // Unknown/new shards render as warming — no verdict field, no
+        // panic, including a shard entry that is not even an object.
+        let new_row = board
+            .lines()
+            .find(|l| l.contains("brand-new"))
+            .expect("brand-new shard row");
+        assert!(new_row.contains("warming"), "{new_row}");
+        let weird_row = board
+            .lines()
+            .find(|l| l.contains("weird"))
+            .expect("weird shard row");
+        assert!(weird_row.contains("warming"), "{weird_row}");
+    }
+
+    #[test]
+    fn fleet_panel_handles_missing_or_empty_shards() {
+        let empty = render_fleet(&Json::parse(r#"{"shed_total":0,"shards":{}}"#).unwrap());
+        assert!(empty.contains("(no shards)"), "{empty}");
+        let missing = render_fleet(&Json::parse(r#"{"shed_total":3}"#).unwrap());
+        assert!(missing.contains("(no shards)"), "{missing}");
+        assert!(missing.contains("shed total 3"), "{missing}");
     }
 
     #[test]

@@ -797,11 +797,94 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
     for g in registry().gauges.lock().unwrap().iter() {
         *gauges.entry(g.name.to_string()).or_insert(0) += g.get();
     }
+    for (name, v) in labeled()
+        .counters
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
+        *counters.entry(name.clone()).or_insert(0) += v;
+    }
+    for (name, v) in labeled()
+        .gauges
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
+        *gauges.entry(name.clone()).or_insert(0) += v;
+    }
     MetricsSnapshot {
         counters: counters.into_iter().collect(),
         histograms: histograms.into_values().collect(),
         gauges: gauges.into_iter().collect(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metrics
+// ---------------------------------------------------------------------------
+
+/// Dynamically-labeled counters and gauges — the per-shard series the
+/// fleet daemon publishes (`fleet.queue_depth{shard="sort"}`).
+///
+/// The `counter!`/`gauge!` macros declare one `&'static` cell per call
+/// site, which cannot express a label set only known at runtime. Labeled
+/// series instead live in one mutex-protected map keyed by the full
+/// rendered series name, are created on first record, merge into
+/// [`metrics_snapshot`] alongside the static metrics, and are cleared by
+/// [`reset`]. They cost a lock plus a map lookup per record — fine for
+/// per-snapshot daemon accounting, not for interpreter-hot paths.
+struct LabeledRegistry {
+    counters: Mutex<std::collections::BTreeMap<String, u64>>,
+    gauges: Mutex<std::collections::BTreeMap<String, i64>>,
+}
+
+fn labeled() -> &'static LabeledRegistry {
+    static LABELED: OnceLock<LabeledRegistry> = OnceLock::new();
+    LABELED.get_or_init(|| LabeledRegistry {
+        counters: Mutex::new(std::collections::BTreeMap::new()),
+        gauges: Mutex::new(std::collections::BTreeMap::new()),
+    })
+}
+
+/// The full series name of a labeled metric:
+/// `name{label="value"}`. Quotes and backslashes in the value are
+/// replaced with `_` so the rendered name always stays one
+/// Prometheus-parseable token.
+#[must_use = "the rendered series name is the result; use it"]
+pub fn series_name(name: &str, label: &str, value: &str) -> String {
+    let clean: String = value
+        .chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect();
+    format!("{name}{{{label}=\"{clean}\"}}")
+}
+
+/// Adds to a labeled counter, creating the series on first record.
+pub fn labeled_counter_add(name: &str, label: &str, value: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let key = series_name(name, label, value);
+    *labeled()
+        .counters
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .entry(key)
+        .or_insert(0) += delta;
+}
+
+/// Sets a labeled gauge level, creating the series on first record.
+pub fn labeled_gauge_set(name: &str, label: &str, value: &str, level: i64) {
+    if !enabled() {
+        return;
+    }
+    let key = series_name(name, label, value);
+    labeled()
+        .gauges
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(key, level);
 }
 
 /// Pushes the calling thread's buffered spans to the global sink now,
@@ -840,6 +923,16 @@ pub fn reset() {
     for g in registry().gauges.lock().unwrap().iter() {
         g.reset();
     }
+    labeled()
+        .counters
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
+    labeled()
+        .gauges
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
     // Spans may still be batched in the thread-local buffers of *other*
     // live threads, where this thread cannot reach them. Bumping the
     // epoch invalidates those buffers in place: each one clears itself
@@ -874,6 +967,30 @@ mod tests {
         c.add(41);
         assert_eq!(c.get(), 42);
         assert_eq!(metrics_snapshot().counter("test.counter"), Some(42));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn labeled_series_snapshot_and_reset() {
+        let _g = lock();
+        labeled_counter_add("test.fleet.shed", "shard", "sort", 3);
+        labeled_counter_add("test.fleet.shed", "shard", "sort", 2);
+        labeled_counter_add("test.fleet.shed", "shard", "apache", 1);
+        labeled_gauge_set("test.fleet.depth", "shard", "sort", 7);
+        labeled_gauge_set("test.fleet.depth", "shard", "sort", 4);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.counter("test.fleet.shed{shard=\"sort\"}"), Some(5));
+        assert_eq!(snap.counter("test.fleet.shed{shard=\"apache\"}"), Some(1));
+        assert_eq!(snap.gauge("test.fleet.depth{shard=\"sort\"}"), Some(4));
+        // Quotes/backslashes in values cannot break the series token.
+        assert_eq!(
+            series_name("n", "l", "a\"b\\c"),
+            "n{l=\"a_b_c\"}".to_string()
+        );
+        reset();
+        let snap = metrics_snapshot();
+        assert_eq!(snap.counter("test.fleet.shed{shard=\"sort\"}"), None);
+        assert_eq!(snap.gauge("test.fleet.depth{shard=\"sort\"}"), None);
         set_enabled(false);
     }
 

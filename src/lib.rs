@@ -19,6 +19,7 @@
 //! | [`suite`] | `stm-suite` | the 31 Table 4 failures with ground truth |
 //! | [`telemetry`] | `stm-telemetry` | tracing, metrics, trace export |
 //! | [`forensics`] | `stm-forensics` | failure dossiers, explainable reports, bench diffing |
+//! | [`fleet`] | `stm-fleet` | long-lived sharded ingest daemon with explicit backpressure |
 //! | [`profiler`] | `stm-profiler` | guest sampling profiles, pipeline critical-path attribution |
 //! | [`observatory`] | `stm-observatory` | live health model, `/metrics` + `/health` endpoint, status board |
 //!
@@ -67,6 +68,7 @@
 
 pub use stm_baselines as baselines;
 pub use stm_core as core;
+pub use stm_fleet as fleet;
 pub use stm_forensics as forensics;
 pub use stm_hardware as hardware;
 pub use stm_machine as machine;
