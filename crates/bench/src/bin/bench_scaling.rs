@@ -13,17 +13,26 @@
 //!   `speedup_t{2,4,8}_x1000`, `available_parallelism`, and the
 //!   top-level `runs_per_sec` headline — the best throughput any case
 //!   reached) — these are machine-dependent and deliberately kept out
-//!   of the committed baseline's `benchmarks` section, so `bench_diff`
-//!   never gates on the speed of the box;
-//! * gate metrics, both scale-free ratios where **higher is worse**:
+//!   of the committed baseline, so `bench_diff` never gates on the
+//!   exact speed of the box;
+//! * scale-free ratio gates where **higher is worse**:
 //!   `inv_speedup_t4_x1000` (time at 4 threads relative to 1 thread,
 //!   ×1000 — parallel overhead must not blow up) and
 //!   `seq_cost_vs_raw_x1000` (engine at 1 thread relative to a bare
 //!   `Runner::run_classified` loop, ×1000 — the session machinery must
-//!   stay close to free).
+//!   stay close to free);
+//! * floor gates (`*_floor`, **lower is worse** under `bench_diff`'s
+//!   name-suffix convention): per-case `speedup_t4_x1000_floor` — on a
+//!   multi-core runner four collection threads must actually beat one —
+//!   and the top-level `runs_per_sec_floor`, a deliberately conservative
+//!   absolute throughput floor that catches order-of-magnitude collapses
+//!   of the interpreter/engine hot path (the headline `runs_per_sec`
+//!   stays informational next to it).
 //!
 //! CI compares against `baselines/BENCH_scaling.json` with
-//! `bench_diff --tol-pct 25`.
+//! `bench_diff --tol-pct 25`. The speedup floor assumes a multi-core
+//! runner: on a single hardware thread the 4-thread sweep timeshares one
+//! core and lands around 0.7–0.9× of sequential, below any honest floor.
 
 use std::time::Instant;
 
@@ -186,6 +195,9 @@ fn main() {
                 // Gate metrics: scale-free, higher-is-worse.
                 ("inv_speedup_t4_x1000", x1000(secs[2] / secs[0])),
                 ("seq_cost_vs_raw_x1000", x1000(secs[0] / raw)),
+                // Floor gate: lower-is-worse (the `_floor` suffix flips
+                // the comparison in `bench_diff`).
+                ("speedup_t4_x1000_floor", x1000(secs[0] / secs[2])),
                 // Informational: machine-dependent, not in the baseline.
                 ("runs", Json::from(case.runs)),
                 ("runs_per_sec_t1", Json::from(rps(secs[0]).round())),
@@ -202,6 +214,10 @@ fn main() {
 
     println!("\nheadline runs/sec (best case × thread count): {headline:.0}");
     metrics.top_level("runs_per_sec", Json::from(headline.round()));
+    // The gated twin: same number under the lower-is-worse suffix, so the
+    // committed baseline can hold a conservative absolute floor without
+    // ever gating on how fast the box happens to be today.
+    metrics.top_level("runs_per_sec_floor", Json::from(headline.round()));
     match metrics.finish() {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => stm_telemetry::log::warn(

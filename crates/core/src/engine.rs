@@ -16,7 +16,13 @@
 //! exactly as the sequential driver did; scan-mode plans enumerate
 //! `bases × seeds` (the retired `find_workloads` seed scan). Because the plan is a
 //! function of the index, jobs need no shared state and can be regenerated
-//! anywhere.
+//! anywhere — which is exactly what the transport exploits: the driver
+//! sends workers contiguous **index chunks** (two integers per message),
+//! and each worker regenerates its jobs from the shared plan and answers
+//! with one result message per chunk. On the paper's short workloads the
+//! old job-per-message queue spent more time in channel sends, queue-mutex
+//! traffic and thread wakes than in the runs themselves; chunking divides
+//! that fixed cost by the chunk size.
 //!
 //! ## Merge determinism
 //!
@@ -34,10 +40,12 @@
 //!
 //! Each worker owns a deep clone of the [`Runner`] (machine + configs, all
 //! plain data — compile-time `Send + Sync` assertions live in the machine
-//! and hardware crates) and builds a private `HardwareCtx` per run, so
-//! workers share nothing mutable. A run that panics is caught with
-//! `catch_unwind`, reported over the results channel, and surfaces as
-//! [`SessionError::WorkerPanicked`] instead of a hang.
+//! and hardware crates) and runs on its own thread-local hardware context
+//! and interpreter scratch (reset to the exactly-fresh state between runs
+//! — see `crate::runner`), so workers share nothing mutable. A run that
+//! panics is caught with `catch_unwind`, reported over the results
+//! channel, and surfaces as [`SessionError::WorkerPanicked`] instead of a
+//! hang.
 
 use crate::converge::{ConvergenceMonitor, ConvergenceReport, StabilityPolicy};
 use crate::diagnose::{failure_profile, success_profile, DiagnosisStats, Quotas};
@@ -575,7 +583,7 @@ impl DiagnosisSession {
             .with_hw_config(self.config.hw);
         let threads = resolve_threads(self.config.threads);
         let window = if self.config.chunk == 0 {
-            threads.saturating_mul(4).max(1)
+            threads.saturating_mul(16).max(1)
         } else {
             self.config.chunk
         };
@@ -718,18 +726,16 @@ fn resolve_threads(threads: usize) -> usize {
 /// One replay: its logical index (the determinism key), which workload it
 /// came from (for witness naming), and the exact workload to run.
 ///
-/// `flow` and `enqueued` are telemetry plumbing stamped at dispatch time:
-/// the flow id ties the job's enqueue, execution and ordered consumption
-/// into one Chrome-trace causal chain, and the enqueue timestamp feeds
-/// the queue-wait histogram. Both stay zero/`None` when collection is
-/// off and never influence execution.
+/// `flow` is telemetry plumbing stamped at dispatch time: the flow id
+/// ties the job's enqueue, execution and ordered consumption into one
+/// Chrome-trace causal chain. It stays zero when collection is off and
+/// never influences execution.
 #[derive(Debug, Clone)]
 struct Job {
     index: u64,
     widx: usize,
     workload: Workload,
     flow: u64,
-    enqueued: Option<std::time::Instant>,
 }
 
 /// A pure index → job function; see the module docs.
@@ -792,7 +798,6 @@ impl JobPlan {
                     widx,
                     workload,
                     flow: 0,
-                    enqueued: None,
                 }
             }
             JobPlan::Scan {
@@ -807,7 +812,6 @@ impl JobPlan {
                     widx,
                     workload,
                     flow: 0,
-                    enqueued: None,
                 }
             }
         }
@@ -935,18 +939,37 @@ fn profile_matches(profile: Option<&ProfileEvent>, kind: Option<ProfileKind>) ->
     }
 }
 
-/// A finished (or failed) job coming back from a worker. The report is
-/// boxed so the channel moves a pointer, not the full profile payload.
-enum WorkerMsg {
-    Done {
-        job: Job,
-        report: Box<RunReport>,
-        class: RunClass,
-    },
-    Panicked {
-        job: u64,
-        message: String,
-    },
+/// A contiguous slab of job indices handed to a worker in one channel
+/// message. Workers regenerate the jobs themselves from the shared
+/// [`JobPlan`], so the transport moves two integers (plus flow ids when
+/// tracing) instead of a workload clone per run — the per-job channel
+/// send, queue-mutex acquisition and thread wake were the dominant cost
+/// of parallel collection on the paper's short workloads.
+struct Chunk {
+    /// First job index in the slab.
+    start: u64,
+    /// Number of consecutive jobs.
+    len: u32,
+    /// Flow ids stamped at enqueue time, one per job, empty when
+    /// telemetry is off.
+    flows: Vec<u64>,
+    /// Enqueue timestamp for the queue-wait histogram.
+    enqueued: Option<std::time::Instant>,
+}
+
+/// A chunk's results coming back from a worker in one message. Reports
+/// are boxed so the vector moves pointers, not full profile payloads.
+struct ChunkResult {
+    /// First job index of the chunk this answers.
+    start: u64,
+    /// The chunk's dispatched length (for queue-depth accounting; `runs`
+    /// is shorter when a job panicked).
+    len: u32,
+    /// Per-job outcomes for jobs `start..start + runs.len()`, in order.
+    runs: Vec<(Job, Box<RunReport>, RunClass)>,
+    /// The job that panicked, when one did; the worker stops its chunk
+    /// there.
+    panicked: Option<(u64, String)>,
 }
 
 /// Where consumed runs accumulate: the run accounting plus the collected
@@ -1068,10 +1091,14 @@ where
     // zero this one).
     let workers = stm_telemetry::gauge!("engine.workers");
     workers.set(threads as i64);
+    // Chunk size: the speculation window split across the pool, so a
+    // full window keeps every worker holding exactly one chunk while the
+    // next one is in flight.
+    let chunk_size = (window / threads).max(1) as u64;
     let outcome = std::thread::scope(|s| -> Result<(), SessionError> {
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (job_tx, job_rx) = mpsc::channel::<Chunk>();
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
+        let (res_tx, res_rx) = mpsc::channel::<ChunkResult>();
         for w in 0..threads {
             let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();
@@ -1084,37 +1111,45 @@ where
                     let busy = stm_telemetry::gauge!("engine.workers_busy");
                     loop {
                         // Hold the lock only to dequeue, never while running.
-                        let job = {
+                        let chunk = {
                             let rx = job_rx.lock().unwrap_or_else(|p| p.into_inner());
                             match rx.recv() {
-                                Ok(job) => job,
+                                Ok(chunk) => chunk,
                                 Err(_) => break, // queue closed: drain done
                             }
                         };
-                        if let Some(at) = job.enqueued {
+                        if let Some(at) = chunk.enqueued {
                             stm_telemetry::histogram!("engine.queue_wait_us")
                                 .record(at.elapsed().as_micros() as u64);
                         }
-                        let _span = stm_telemetry::span_cat("engine.job", "engine")
-                            .with_flow(job.flow, stm_telemetry::FlowPhase::Step);
-                        stm_telemetry::counter!("engine.runs").incr();
-                        let index = job.index;
+                        let mut runs = Vec::with_capacity(chunk.len as usize);
+                        let mut panicked = None;
                         busy.add(1);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| exec(&job)));
+                        for i in 0..chunk.len as u64 {
+                            let index = chunk.start + i;
+                            let mut job = plan.job_at(index);
+                            job.flow = chunk.flows.get(i as usize).copied().unwrap_or(0);
+                            let _span = stm_telemetry::span_cat("engine.job", "engine")
+                                .with_flow(job.flow, stm_telemetry::FlowPhase::Step);
+                            stm_telemetry::counter!("engine.runs").incr();
+                            match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                                Ok((report, class)) => {
+                                    runs.push((job, Box::new(report), class));
+                                }
+                                Err(p) => {
+                                    panicked = Some((index, panic_message(p)));
+                                    break;
+                                }
+                            }
+                        }
                         busy.add(-1);
-                        let msg = match outcome {
-                            Ok((report, class)) => WorkerMsg::Done {
-                                job,
-                                report: Box::new(report),
-                                class,
-                            },
-                            Err(p) => WorkerMsg::Panicked {
-                                job: index,
-                                message: panic_message(p),
-                            },
-                        };
-                        let poisoned = matches!(msg, WorkerMsg::Panicked { .. });
-                        let _ = res_tx.send(msg);
+                        let poisoned = panicked.is_some();
+                        let _ = res_tx.send(ChunkResult {
+                            start: chunk.start,
+                            len: chunk.len,
+                            runs,
+                            panicked,
+                        });
                         if poisoned {
                             break; // a panicked executor is not reusable
                         }
@@ -1136,58 +1171,65 @@ where
         let mut pending: BTreeMap<u64, Parked> = BTreeMap::new();
         let mut failure: Option<SessionError> = None;
         while consumed < limit && !quota.done() && !converged(monitor) && failure.is_none() {
-            // Keep the queue primed up to the speculation window.
+            // Keep the queue primed up to the speculation window, one
+            // chunk per send.
             while dispatched < limit && dispatched < consumed + window as u64 {
-                let mut job = plan.job_at(dispatched);
+                let cap = (consumed + window as u64 - dispatched).min(limit - dispatched);
+                let len = chunk_size.min(cap);
+                let mut flows = Vec::new();
                 if stm_telemetry::enabled() {
-                    // Stamp the causal chain: enqueue → worker execution
-                    // → ordered consumption share this flow id.
-                    job.flow = stm_telemetry::new_flow_id();
-                    job.enqueued = Some(std::time::Instant::now());
+                    // Stamp the causal chain per job: enqueue → worker
+                    // execution → ordered consumption share one flow id.
+                    flows.reserve(len as usize);
+                    for i in 0..len {
+                        let flow = stm_telemetry::new_flow_id();
+                        if stm_telemetry::log::would_log(stm_telemetry::log::Level::Debug) {
+                            let job = plan.job_at(dispatched + i);
+                            stm_telemetry::log::emit(
+                                stm_telemetry::log::Level::Debug,
+                                "engine",
+                                "job.enqueue",
+                                flow,
+                                vec![
+                                    ("job", job.index.to_string()),
+                                    ("seed", job.workload.seed.to_string()),
+                                ],
+                            );
+                        }
+                        let _enq = stm_telemetry::span_cat("engine.enqueue", "engine")
+                            .with_flow(flow, stm_telemetry::FlowPhase::Start);
+                        flows.push(flow);
+                    }
                 }
-                let flow = job.flow;
-                if stm_telemetry::log::would_log(stm_telemetry::log::Level::Debug) {
-                    stm_telemetry::log::emit(
-                        stm_telemetry::log::Level::Debug,
-                        "engine",
-                        "job.enqueue",
-                        flow,
-                        vec![
-                            ("job", job.index.to_string()),
-                            ("seed", job.workload.seed.to_string()),
-                        ],
-                    );
-                }
-                let sent = {
-                    let _enq = stm_telemetry::span_cat("engine.enqueue", "engine")
-                        .with_flow(flow, stm_telemetry::FlowPhase::Start);
-                    job_tx.send(job).is_ok()
+                let chunk = Chunk {
+                    start: dispatched,
+                    len: len as u32,
+                    flows,
+                    enqueued: stm_telemetry::enabled().then(std::time::Instant::now),
                 };
-                if !sent {
+                if job_tx.send(chunk).is_err() {
                     break;
                 }
-                stm_telemetry::counter!("engine.jobs").incr();
-                depth.add(1);
-                dispatched += 1;
+                stm_telemetry::counter!("engine.jobs").add(len);
+                depth.add(len as i64);
+                dispatched += len;
             }
             let msg = match res_rx.recv() {
                 Ok(msg) => msg,
                 Err(_) => break, // all workers gone
             };
-            depth.add(-1);
-            match msg {
-                WorkerMsg::Done { job, report, class } => {
-                    let arrived = stm_telemetry::enabled().then(std::time::Instant::now);
-                    pending.insert(job.index, (job, *report, class, arrived));
-                }
-                WorkerMsg::Panicked { job, message } => {
-                    stm_telemetry::log::error(
-                        "engine",
-                        "worker.panic",
-                        vec![("job", job.to_string()), ("message", message.clone())],
-                    );
-                    failure = Some(SessionError::WorkerPanicked { job, message });
-                }
+            depth.add(-(msg.len as i64));
+            let arrived = stm_telemetry::enabled().then(std::time::Instant::now);
+            for (i, (job, report, class)) in msg.runs.into_iter().enumerate() {
+                pending.insert(msg.start + i as u64, (job, *report, class, arrived));
+            }
+            if let Some((job, message)) = msg.panicked {
+                stm_telemetry::log::error(
+                    "engine",
+                    "worker.panic",
+                    vec![("job", job.to_string()), ("message", message.clone())],
+                );
+                failure = Some(SessionError::WorkerPanicked { job, message });
             }
             // Consume the ready prefix, in order, re-checking the quota
             // (and the convergence stop) after each job exactly as the
@@ -1210,8 +1252,8 @@ where
         // Stop feeding; let the workers drain the queue and exit, then
         // account the speculative overshoot.
         drop(job_tx);
-        for _ in res_rx.iter() {
-            depth.add(-1);
+        for msg in res_rx.iter() {
+            depth.add(-(msg.len as i64));
         }
         stm_telemetry::counter!("engine.jobs_discarded").add(dispatched.saturating_sub(consumed));
         depth.set(0);

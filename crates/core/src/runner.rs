@@ -9,12 +9,36 @@
 //! paper's per-failure-site grouping does).
 
 use crate::transform::{instrument, InstrumentOptions};
+use std::cell::RefCell;
 use stm_hardware::{HardwareCtx, HwConfig};
 use stm_machine::ids::LogSiteId;
-use stm_machine::interp::{Machine, RunConfig};
+use stm_machine::interp::{Machine, RunConfig, RunScratch};
 use stm_machine::ir::Program;
 use stm_machine::report::{RunOutcome, RunReport};
 use stm_machine::sched::SchedPolicy;
+
+thread_local! {
+    /// Per-thread run cache. The collection engine calls [`Runner::run`]
+    /// once per replay, and on the paper's short workloads building the
+    /// run state costs more than running it: a fresh [`HardwareCtx`]
+    /// allocates one `Vec` per cache set per core (~2k allocations) and a
+    /// fresh interpreter scratch re-grows memory, thread and register
+    /// buffers from zero. The cache keeps one hardware context (keyed by
+    /// its [`HwConfig`]) and one [`RunScratch`] per thread and recycles
+    /// their capacity across runs. [`HardwareCtx::reset`] restores the
+    /// exact fresh state (pinned by the hardware crate's
+    /// `reset_restores_the_fresh_state` test) and every run re-seeds the
+    /// perturbation stream from its workload seed, so reuse is invisible
+    /// in results — only in allocator traffic.
+    static RUN_CACHE: RefCell<RunCache> = RefCell::new(RunCache::default());
+}
+
+/// The per-thread state recycled across [`Runner::run`] calls.
+#[derive(Default)]
+struct RunCache {
+    hw: Option<(HwConfig, HardwareCtx)>,
+    scratch: RunScratch,
+}
 
 /// One run's inputs: data inputs, scheduler seed and the expected output
 /// (for wrong-output symptom checking).
@@ -157,8 +181,14 @@ pub fn classify(
     }
 }
 
-/// Executes runs of one (instrumented) machine with a fresh
-/// [`HardwareCtx`] per run.
+/// Executes runs of one (instrumented) machine, each on logically fresh
+/// hardware.
+///
+/// [`Runner::run`] and the classified variants recycle a thread-local
+/// hardware context and interpreter scratch (reset to the fresh state
+/// between runs); [`Runner::run_with_hw`] builds a genuinely fresh
+/// [`HardwareCtx`] because it hands the final hardware state back to the
+/// caller.
 ///
 /// `Runner` is `Clone + Send + Sync`: the machine and both configs are
 /// plain data, so the collection engine can hand each worker thread its
@@ -212,18 +242,54 @@ impl Runner {
         &self.run_config
     }
 
-    /// Runs one workload on fresh hardware; returns the report.
+    /// Runs one workload on (logically) fresh hardware; returns the
+    /// report. The hardware context and interpreter scratch come from the
+    /// thread-local [`RUN_CACHE`], so the hot collection path allocates
+    /// no per-run state.
     pub fn run(&self, workload: &Workload) -> RunReport {
-        self.run_with_hw(workload).0
+        self.run_cached(workload, None)
+    }
+
+    /// The cached-state run underneath [`Runner::run`] and the classified
+    /// variants. `sample_seed` overrides the run config's sampling seed
+    /// when set.
+    fn run_cached(&self, workload: &Workload, sample_seed: Option<u64>) -> RunReport {
+        let _span = stm_telemetry::span_cat("runner.run", "runner");
+        RUN_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let cache = &mut *cache;
+            match &mut cache.hw {
+                Some((cfg, hw)) if *cfg == self.hw_config => hw.reset(),
+                slot => *slot = Some((self.hw_config, HardwareCtx::new(self.hw_config))),
+            }
+            let hw = &mut cache.hw.as_mut().expect("cache primed above").1;
+            // Fault injection draws from a stream derived from the
+            // workload's scheduler seed, so perturbed runs replay
+            // identically regardless of which worker thread executes them.
+            hw.seed_perturbations(workload.seed);
+            let mut cfg = self.run_config.clone();
+            cfg.scheduler = SchedPolicy::Random {
+                seed: workload.seed,
+            };
+            if let Some(seed) = sample_seed {
+                cfg.sample_seed = seed;
+            }
+            let report = self
+                .machine
+                .run_reusing(&workload.inputs, &cfg, hw, &mut cache.scratch);
+            hw.counters().flush_run_telemetry();
+            report
+        })
     }
 
     /// Runs one workload and also returns the final hardware state.
+    ///
+    /// Unlike [`Runner::run`], this builds a genuinely fresh
+    /// [`HardwareCtx`] every time — the context escapes to the caller, so
+    /// it cannot come from the thread-local cache.
     pub fn run_with_hw(&self, workload: &Workload) -> (RunReport, HardwareCtx) {
         let _span = stm_telemetry::span_cat("runner.run", "runner");
         let mut hw = HardwareCtx::new(self.hw_config);
-        // Fault injection draws from a stream derived from the workload's
-        // scheduler seed, so perturbed runs replay identically regardless
-        // of which worker thread executes them.
         hw.seed_perturbations(workload.seed);
         let mut cfg = self.run_config.clone();
         cfg.scheduler = SchedPolicy::Random {
@@ -251,15 +317,7 @@ impl Runner {
         spec: &FailureSpec,
         sample_seed: u64,
     ) -> (RunReport, RunClass) {
-        let mut hw = HardwareCtx::new(self.hw_config);
-        hw.seed_perturbations(workload.seed);
-        let mut cfg = self.run_config.clone();
-        cfg.scheduler = SchedPolicy::Random {
-            seed: workload.seed,
-        };
-        cfg.sample_seed = sample_seed;
-        let report = self.machine.run(&workload.inputs, &cfg, &mut hw);
-        hw.counters().flush_run_telemetry();
+        let report = self.run_cached(workload, Some(sample_seed));
         let class = classify(self.machine.program(), &report, workload, spec);
         note_class(class);
         (report, class)

@@ -8,6 +8,18 @@
 //! ranks, ring positions, overhead percentages and telemetry counters all
 //! degrade upward — with a configurable relative tolerance. The
 //! `bench_diff` binary wraps it as the CI regression gate.
+//!
+//! Two extensions to that convention:
+//!
+//! * metrics whose name ends in **`_floor`** are **lower-is-worse**: a
+//!   drop beyond tolerance regresses, growth improves. This is how
+//!   throughput numbers (`runs_per_sec_floor`) and parallel speedups
+//!   (`speedup_t4_x1000_floor`) get a regression floor without inverting
+//!   them into opaque reciprocals;
+//! * numeric metrics at the **document top level** (outside `harness`,
+//!   `benchmarks` and `totals`) are compared too, under the pseudo
+//!   benchmark name `(top-level)` — that is where harnesses put
+//!   whole-document headlines like `bench_scaling`'s best runs/sec.
 
 use stm_telemetry::json::Json;
 
@@ -138,8 +150,9 @@ fn numeric(v: &Json) -> Result<Option<f64>, ()> {
     }
 }
 
-/// Compares one metric under the higher-is-worse rule, recording a delta
-/// when it moved beyond tolerance.
+/// Compares one metric, recording a delta when it moved beyond
+/// tolerance. Metrics named `*_floor` are lower-is-worse; everything
+/// else is higher-is-worse.
 fn compare_metric(
     benchmark: &str,
     metric: &str,
@@ -148,6 +161,7 @@ fn compare_metric(
     opts: &DiffOptions,
     deltas: &mut Vec<Delta>,
 ) {
+    let lower_is_worse = metric.ends_with("_floor");
     let push = |deltas: &mut Vec<Delta>, direction, change_pct| {
         deltas.push(Delta {
             benchmark: benchmark.to_string(),
@@ -175,7 +189,8 @@ fn compare_metric(
                 return;
             }
             let change_pct = (b != 0.0).then(|| (a - b) / b.abs() * 100.0);
-            if a > b {
+            let worse = if lower_is_worse { a < b } else { a > b };
+            if worse {
                 push(deltas, Direction::Regression, change_pct);
             } else {
                 push(deltas, Direction::Improvement, change_pct);
@@ -187,11 +202,14 @@ fn compare_metric(
 /// Diffs two `BENCH_*.json` documents (baseline vs. candidate).
 ///
 /// Every numeric (or `null`) metric of every baseline benchmark is
-/// compared — top-level extras (ranks, positions, overheads) and the
-/// nested `counters` object alike. Benchmarks missing from the candidate
-/// regress; benchmarks new in the candidate are ignored (they have no
-/// baseline to regress against). The `totals` object is skipped: it
-/// aggregates the per-benchmark counters already compared.
+/// compared — per-benchmark extras (ranks, positions, overheads) and the
+/// nested `counters` object alike — plus every numeric metric at the
+/// baseline's document top level (whole-document headlines such as
+/// `runs_per_sec_floor`), reported under the pseudo benchmark
+/// `(top-level)`. Benchmarks missing from the candidate regress;
+/// benchmarks new in the candidate are ignored (they have no baseline to
+/// regress against). The `totals` object is skipped: it aggregates the
+/// per-benchmark counters already compared.
 pub fn diff_benchmarks(
     baseline: &Json,
     candidate: &Json,
@@ -261,6 +279,20 @@ pub fn diff_benchmarks(
             };
             compared += 1;
             compare_metric(id, metric, before, after, opts, &mut deltas);
+        }
+    }
+    if let Some(top) = baseline.as_object() {
+        for (metric, bval) in top {
+            if matches!(metric.as_str(), "harness" | "benchmarks" | "totals") {
+                continue;
+            }
+            let Ok(before) = numeric(bval) else { continue };
+            let after = match candidate.get(metric) {
+                Some(v) => numeric(v).unwrap_or(None),
+                None => None,
+            };
+            compared += 1;
+            compare_metric("(top-level)", metric, before, after, opts, &mut deltas);
         }
     }
     deltas.sort_by_key(|d| d.direction == Direction::Improvement);
@@ -400,6 +432,82 @@ mod tests {
         let bad = doc(r#"{"harness":"x"}"#);
         assert!(diff_benchmarks(&bad, &b, &DiffOptions::default()).is_err());
         assert!(diff_benchmarks(&b, &bad, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn floor_metric_regresses_downward_and_improves_upward() {
+        let b = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"speedup_t4_x1000_floor":1000,"counters":{}}
+            }}"#);
+        // A drop beyond tolerance is the regression direction for floors.
+        let c = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"speedup_t4_x1000_floor":700,"counters":{}}
+            }}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.has_regressions());
+        let r = d.regressions().next().unwrap();
+        assert_eq!(r.metric, "speedup_t4_x1000_floor");
+        assert_eq!(r.change_pct, Some(-30.0));
+        // Growth is an improvement, and within-tolerance drift is quiet.
+        let c = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"speedup_t4_x1000_floor":1400,"counters":{}}
+            }}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas.len(), 1);
+        let c = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"speedup_t4_x1000_floor":950,"counters":{}}
+            }}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.deltas.is_empty(), "{:?}", d.deltas);
+    }
+
+    #[test]
+    fn lost_floor_metric_is_a_regression() {
+        let b = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"speedup_t4_x1000_floor":1000,"counters":{}}
+            }}"#);
+        let c = doc(r#"{"harness":"scaling","benchmarks":{
+                "apache4":{"counters":{}}
+            }}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.has_regressions());
+        assert_eq!(d.regressions().next().unwrap().after, None);
+    }
+
+    #[test]
+    fn top_level_metrics_are_gated() {
+        let b = doc(r#"{"harness":"scaling","benchmarks":{},
+                        "runs_per_sec_floor":100000}"#);
+        // Falling through the floor regresses...
+        let c = doc(r#"{"harness":"scaling","benchmarks":{},
+                        "runs_per_sec_floor":50000}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.has_regressions());
+        let r = d.regressions().next().unwrap();
+        assert_eq!(r.benchmark, "(top-level)");
+        assert_eq!(r.metric, "runs_per_sec_floor");
+        // ... so does losing the headline entirely ...
+        let c = doc(r#"{"harness":"scaling","benchmarks":{}}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.has_regressions());
+        // ... while clearing it comfortably stays quiet or improves.
+        let c = doc(r#"{"harness":"scaling","benchmarks":{},
+                        "runs_per_sec_floor":180000}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn top_level_strings_and_candidate_extras_are_ignored() {
+        // `harness` is a string, `totals` is structural, and candidate
+        // keys absent from the baseline have nothing to regress against.
+        let b = doc(r#"{"harness":"scaling","benchmarks":{},"totals":{"x":1}}"#);
+        let c = doc(r#"{"harness":"scaling","benchmarks":{},
+                        "runs_per_sec":123456,"totals":{"x":99}}"#);
+        let d = diff_benchmarks(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(d.deltas.is_empty(), "{:?}", d.deltas);
+        assert_eq!(d.compared, 0);
     }
 
     #[test]

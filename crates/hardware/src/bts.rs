@@ -61,8 +61,17 @@ impl Bts {
 
     /// Offers a retired branch to the trace.
     pub fn record(&mut self, ev: BranchEvent) {
+        if self.push(ev) {
+            stm_telemetry::counter!("hw.bts.pushes").incr();
+        }
+    }
+
+    /// The telemetry-free append underneath [`Bts::record`] — the batch
+    /// ingest path counts admitted appends itself. Returns whether the
+    /// branch was recorded.
+    pub fn push(&mut self, ev: BranchEvent) -> bool {
         if !self.enabled || !lbr_select_admits(self.select, &ev) {
-            return;
+            return false;
         }
         if let Some(limit) = self.limit {
             if self.buffer.len() == limit {
@@ -70,7 +79,7 @@ impl Bts {
             }
         }
         self.buffer.push_back(ev.into());
-        stm_telemetry::counter!("hw.bts.pushes").incr();
+        true
     }
 
     /// The trace, oldest branch first.

@@ -120,6 +120,21 @@ impl CacheSystem {
         &self.cfg
     }
 
+    /// Restores the exactly-fresh state (every line invalid, statistics
+    /// zeroed) while keeping all per-set allocations — rebuilding a cache
+    /// system allocates one `Vec` per set per core, which dominates run
+    /// setup when runs are short.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            for set in &mut core.sets {
+                set.clear();
+            }
+        }
+        self.tick = 0;
+        self.evictions = 0;
+        self.invalidations = 0;
+    }
+
     /// Number of cores.
     pub fn num_cores(&self) -> u32 {
         self.cores.len() as u32

@@ -11,7 +11,7 @@ use crate::lcr::{Lcr, DEFAULT_ENTRIES};
 use crate::perturb::{PerturbConfig, PerturbLayer};
 use std::fmt;
 use stm_machine::events::{
-    AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp, LcrConfig, Ring,
+    AccessEvent, BranchEvent, CtlResponse, Hardware, HwCtlOp, HwEvent, LcrConfig, Ring,
 };
 use stm_machine::ids::{CoreId, ThreadId};
 
@@ -118,6 +118,7 @@ impl HwConfig {
 /// The full simulated performance-monitoring unit.
 #[derive(Debug, Clone)]
 pub struct HardwareCtx {
+    config: HwConfig,
     lbrs: Vec<Lbr>,
     cache: CacheSystem,
     lcr: Lcr,
@@ -133,6 +134,7 @@ impl HardwareCtx {
         let mut lcr = Lcr::new(config.lcr_entries);
         lcr.configure(config.lcr_config);
         HardwareCtx {
+            config,
             lbrs: (0..config.num_cores.max(1))
                 .map(|_| Lbr::new(config.lbr_entries))
                 .collect(),
@@ -152,6 +154,37 @@ impl HardwareCtx {
                 s
             }),
             perturb: PerturbLayer::new(&config.perturb, 0),
+        }
+    }
+
+    /// Restores the unit to the exact state a fresh
+    /// [`HardwareCtx::new`] with the same configuration would produce,
+    /// while keeping every internal allocation (rings, cache sets,
+    /// sample buffers). Building a paper-default context allocates one
+    /// `Vec` per cache set per core — thousands of allocations that used
+    /// to be paid per run; a runner that resets instead pays none.
+    ///
+    /// Callers that inject perturbations must still call
+    /// [`HardwareCtx::seed_perturbations`] per run, exactly as they must
+    /// after `new`.
+    pub fn reset(&mut self) {
+        for lbr in &mut self.lbrs {
+            lbr.reset();
+        }
+        self.cache.reset();
+        self.lcr.reset();
+        self.lcr.configure(self.config.lcr_config);
+        self.counters.reset();
+        if let Some(bts) = &mut self.bts {
+            bts.clean();
+            bts.enable();
+        }
+        if let Some(s) = &mut self.sampler {
+            s.reset();
+            s.enable();
+        }
+        if let Some(layer) = &mut self.perturb {
+            layer.reseed(0);
         }
     }
 
@@ -246,6 +279,59 @@ impl Hardware for HardwareCtx {
         }
     }
 
+    /// The batched ingest path: one virtual call per interpreter flush
+    /// instead of one per retired event, with the per-event telemetry
+    /// counters accumulated locally and published in one add per batch.
+    /// State changes and counter totals are exactly those of replaying
+    /// the batch through `on_branch`/`on_access` in order.
+    fn on_batch(&mut self, events: &[HwEvent]) {
+        let mut lbr_pushes = 0u64;
+        let mut bts_pushes = 0u64;
+        let mut lcr_pushes = 0u64;
+        let mut accesses = 0u64;
+        for ev in events {
+            match *ev {
+                HwEvent::Branch { core, ev } => {
+                    if self.lbrs[core.index()].push(ev) {
+                        lbr_pushes += 1;
+                    }
+                    if let Some(bts) = &mut self.bts {
+                        if bts.push(ev) {
+                            bts_pushes += 1;
+                        }
+                    }
+                }
+                HwEvent::Access { core, thread, ev } => {
+                    let observed = self.cache.access(core, ev.addr, ev.kind);
+                    self.counters.observe_quiet(ev.kind, observed);
+                    accesses += 1;
+                    if self.lcr.push(thread, ev.pc, observed, ev.kind, ev.ring) {
+                        lcr_pushes += 1;
+                    }
+                    if let Some(s) = &mut self.sampler {
+                        if ev.ring == Ring::User {
+                            s.observe(ev.pc, observed, ev.kind);
+                        }
+                    }
+                }
+            }
+        }
+        // Guarded adds so a counter a batch never touched stays
+        // unregistered, exactly as on the per-event path.
+        if lbr_pushes > 0 {
+            stm_telemetry::counter!("hw.lbr.pushes").add(lbr_pushes);
+        }
+        if bts_pushes > 0 {
+            stm_telemetry::counter!("hw.bts.pushes").add(bts_pushes);
+        }
+        if lcr_pushes > 0 {
+            stm_telemetry::counter!("hw.lcr.pushes").add(lcr_pushes);
+        }
+        if accesses > 0 {
+            stm_telemetry::counter!("hw.counters.events").add(accesses);
+        }
+    }
+
     fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse {
         match op {
             // LBR control applies to every core (the kernel module writes
@@ -276,10 +362,17 @@ impl Hardware for HardwareCtx {
                 CtlResponse::Done
             }
             HwCtlOp::ProfileLbr => {
-                let snap = self.lbrs[core.index()].snapshot();
+                // The ring copy is deferred: a read the perturbation layer
+                // loses at the head of its pipeline never materializes a
+                // snapshot. Telemetry still counts the read attempt,
+                // exactly as the eager path did.
+                let lbr = &self.lbrs[core.index()];
+                stm_telemetry::counter!("hw.lbr.snapshots").incr();
+                stm_telemetry::histogram!("hw.lbr.snapshot_records").record(lbr.len() as u64);
+                stm_telemetry::instant("hw.lbr.snapshot", "hardware");
                 match &mut self.perturb {
-                    None => CtlResponse::Lbr(snap),
-                    Some(layer) => match layer.lbr_snapshot(snap) {
+                    None => CtlResponse::Lbr(lbr.read()),
+                    Some(layer) => match layer.lbr_snapshot_lazy(|| lbr.read()) {
                         Some(records) => CtlResponse::Lbr(records),
                         None => CtlResponse::Lost,
                     },
@@ -302,10 +395,14 @@ impl Hardware for HardwareCtx {
                 CtlResponse::Done
             }
             HwCtlOp::ProfileLcr => {
-                let snap = self.lcr.snapshot(thread);
+                let lcr = &self.lcr;
+                stm_telemetry::counter!("hw.lcr.snapshots").incr();
+                stm_telemetry::histogram!("hw.lcr.snapshot_records")
+                    .record(lcr.len(thread) as u64);
+                stm_telemetry::instant("hw.lcr.snapshot", "hardware");
                 match &mut self.perturb {
-                    None => CtlResponse::Lcr(snap),
-                    Some(layer) => match layer.lcr_snapshot(snap) {
+                    None => CtlResponse::Lcr(lcr.read(thread)),
+                    Some(layer) => match layer.lcr_snapshot_lazy(|| lcr.read(thread)) {
                         Some(records) => CtlResponse::Lcr(records),
                         None => CtlResponse::Lost,
                     },
@@ -497,6 +594,149 @@ mod tests {
         hw.ctl(C0, T0, HwCtlOp::EnableLcr);
         hw.on_access(C0, T0, load(0x200, 0x1000));
         assert_eq!(hw.ctl(C0, T0, HwCtlOp::ProfileLcr), CtlResponse::Lost);
+    }
+
+    /// A mixed event stream exercising rings, cache, counters, sampler
+    /// and BTS across cores and threads.
+    fn mixed_events() -> Vec<HwEvent> {
+        let mut evs = Vec::new();
+        for i in 0..200u64 {
+            let core = CoreId((i % 3) as u32);
+            let thread = ThreadId((i % 2) as u32);
+            if i % 4 == 0 {
+                evs.push(HwEvent::Branch {
+                    core,
+                    ev: branch(0x1000 + i * 0x10),
+                });
+            } else {
+                evs.push(HwEvent::Access {
+                    core,
+                    thread,
+                    ev: AccessEvent {
+                        pc: 0x400000 + i * 4,
+                        addr: 0x1000 + (i % 7) * 64,
+                        kind: if i % 5 == 0 {
+                            AccessKind::Store
+                        } else {
+                            AccessKind::Load
+                        },
+                        ring: Ring::User,
+                    },
+                });
+            }
+        }
+        evs
+    }
+
+    fn batch_config() -> HwConfig {
+        HwConfig {
+            enable_bts: true,
+            sampler_period: Some(3),
+            ..HwConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_ingest_matches_per_event_ingest() {
+        let events = mixed_events();
+        let mut per_event = HardwareCtx::new(batch_config());
+        let mut batched = HardwareCtx::new(batch_config());
+        for hw in [&mut per_event, &mut batched] {
+            hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+            hw.ctl(C0, T0, HwCtlOp::EnableLcr);
+        }
+        for ev in &events {
+            match *ev {
+                HwEvent::Branch { core, ev } => per_event.on_branch(core, ev),
+                HwEvent::Access { core, thread, ev } => per_event.on_access(core, thread, ev),
+            }
+        }
+        // Deliver the same stream in uneven batch sizes.
+        for chunk in events.chunks(17) {
+            batched.on_batch(chunk);
+        }
+        for core in 0..3 {
+            assert_eq!(
+                per_event.lbr(CoreId(core)).snapshot(),
+                batched.lbr(CoreId(core)).snapshot(),
+                "core {core} LBR"
+            );
+        }
+        for t in [T0, T1] {
+            assert_eq!(per_event.lcr().read(t), batched.lcr().read(t));
+        }
+        for kind in [AccessKind::Load, AccessKind::Store] {
+            for state in [
+                CoherenceState::Modified,
+                CoherenceState::Exclusive,
+                CoherenceState::Shared,
+                CoherenceState::Invalid,
+            ] {
+                assert_eq!(
+                    per_event.counters().count(kind, state),
+                    batched.counters().count(kind, state)
+                );
+            }
+        }
+        assert_eq!(
+            per_event.bts().unwrap().trace(),
+            batched.bts().unwrap().trace()
+        );
+        assert_eq!(
+            per_event.sampler().unwrap().samples(),
+            batched.sampler().unwrap().samples()
+        );
+        assert_eq!(per_event.cache().evictions(), batched.cache().evictions());
+        assert_eq!(
+            per_event.cache().invalidations(),
+            batched.cache().invalidations()
+        );
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let config = HwConfig {
+            perturb: PerturbConfig::NONE.drop_rate(0.3),
+            ..batch_config()
+        };
+        let mut reused = HardwareCtx::new(config);
+        // Dirty everything: enable, record, reconfigure, profile.
+        reused.seed_perturbations(42);
+        reused.ctl(C0, T0, HwCtlOp::EnableLbr);
+        reused.ctl(C0, T0, HwCtlOp::EnableLcr);
+        reused.ctl(C0, T0, HwCtlOp::ConfigLbr(0));
+        reused.ctl(C0, T0, HwCtlOp::ConfigLcr(LcrConfig::SPACE_SAVING));
+        reused.on_batch(&mixed_events());
+        let _ = reused.ctl(C0, T0, HwCtlOp::ProfileLbr);
+        reused.reset();
+
+        // After reset, an identical run must be indistinguishable from
+        // one on a brand-new context.
+        let mut fresh = HardwareCtx::new(config);
+        for hw in [&mut reused, &mut fresh] {
+            hw.seed_perturbations(7);
+            hw.ctl(C0, T0, HwCtlOp::EnableLbr);
+            hw.ctl(C1, T1, HwCtlOp::EnableLcr);
+            hw.on_batch(&mixed_events());
+        }
+        assert_eq!(
+            reused.ctl(C0, T0, HwCtlOp::ProfileLbr),
+            fresh.ctl(C0, T0, HwCtlOp::ProfileLbr)
+        );
+        assert_eq!(
+            reused.ctl(C1, T1, HwCtlOp::ProfileLcr),
+            fresh.ctl(C1, T1, HwCtlOp::ProfileLcr)
+        );
+        assert_eq!(reused.counters().total(), fresh.counters().total());
+        assert_eq!(reused.cache().evictions(), fresh.cache().evictions());
+        assert_eq!(
+            reused.bts().unwrap().trace(),
+            fresh.bts().unwrap().trace()
+        );
+        assert_eq!(
+            reused.sampler().unwrap().samples(),
+            fresh.sampler().unwrap().samples()
+        );
     }
 
     #[test]

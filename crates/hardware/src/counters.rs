@@ -8,14 +8,32 @@
 //! access, which is exactly the per-instruction coherence predicate stream
 //! PBI feeds its statistical model.
 
-use std::collections::HashMap;
 use stm_machine::events::{AccessKind, CoherenceRecord, CoherenceState};
 
+/// Register index of an access kind.
+fn kind_idx(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+    }
+}
+
+/// Register index of a coherence state.
+fn state_idx(state: CoherenceState) -> usize {
+    match state {
+        CoherenceState::Modified => 0,
+        CoherenceState::Exclusive => 1,
+        CoherenceState::Shared => 2,
+        CoherenceState::Invalid => 3,
+    }
+}
+
 /// Per-(access kind, state) event counts — one logical counter register
-/// per pair.
+/// per pair, stored as a fixed 2×4 array so counting a retired access is
+/// one indexed add.
 #[derive(Debug, Clone, Default)]
 pub struct PerfCounters {
-    counts: HashMap<(AccessKind, CoherenceState), u64>,
+    counts: [[u64; 4]; 2],
 }
 
 impl PerfCounters {
@@ -26,23 +44,29 @@ impl PerfCounters {
 
     /// Counts one retired access.
     pub fn observe(&mut self, kind: AccessKind, state: CoherenceState) {
-        *self.counts.entry((kind, state)).or_insert(0) += 1;
+        self.observe_quiet(kind, state);
         stm_telemetry::counter!("hw.counters.events").incr();
+    }
+
+    /// The telemetry-free count underneath [`PerfCounters::observe`] —
+    /// the batch ingest path reports event volume in one counter add.
+    pub fn observe_quiet(&mut self, kind: AccessKind, state: CoherenceState) {
+        self.counts[kind_idx(kind)][state_idx(state)] += 1;
     }
 
     /// Reads one counter.
     pub fn count(&self, kind: AccessKind, state: CoherenceState) -> u64 {
-        self.counts.get(&(kind, state)).copied().unwrap_or(0)
+        self.counts[kind_idx(kind)][state_idx(state)]
     }
 
     /// Total events counted.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().flatten().sum()
     }
 
     /// Resets all counters.
     pub fn reset(&mut self) {
-        self.counts.clear();
+        self.counts = [[0; 4]; 2];
     }
 
     /// Flushes this run's totals into the telemetry collector: one
@@ -105,6 +129,14 @@ impl CoherenceSampler {
             self.samples.push(CoherenceRecord { pc, state, access });
             stm_telemetry::counter!("hw.sampler.samples").incr();
         }
+    }
+
+    /// Restores the exactly-fresh latch state (no samples, countdown at a
+    /// full period) while keeping the sample buffer's allocation. Leaves
+    /// the enable state alone — that is the owner's wiring to restore.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.countdown = self.period;
     }
 
     /// The latched samples, in order.

@@ -80,14 +80,23 @@ impl Lbr {
     /// Offers a retired branch to the ring; records it when enabled and
     /// admitted by the filter.
     pub fn record(&mut self, ev: BranchEvent) {
+        if self.push(ev) {
+            stm_telemetry::counter!("hw.lbr.pushes").incr();
+        }
+    }
+
+    /// The telemetry-free push underneath [`Lbr::record`] — the batch
+    /// ingest path counts admitted pushes itself and reports them in one
+    /// counter add per batch. Returns whether the branch was recorded.
+    pub fn push(&mut self, ev: BranchEvent) -> bool {
         if !self.enabled || !lbr_select_admits(self.select, &ev) {
-            return;
+            return false;
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
         self.ring.push_back(ev.into());
-        stm_telemetry::counter!("hw.lbr.pushes").incr();
+        true
     }
 
     /// Reads the stack, most recent branch first (`DRIVER_PROFILE_LBR`).
@@ -95,7 +104,22 @@ impl Lbr {
         stm_telemetry::counter!("hw.lbr.snapshots").incr();
         stm_telemetry::histogram!("hw.lbr.snapshot_records").record(self.ring.len() as u64);
         stm_telemetry::instant("hw.lbr.snapshot", "hardware");
+        self.read()
+    }
+
+    /// The telemetry-free ring read underneath [`Lbr::snapshot`]. The
+    /// control path uses it to defer the copy until the perturbation
+    /// layer has decided the read is not lost.
+    pub fn read(&self) -> Vec<BranchRecord> {
         self.ring.iter().rev().copied().collect()
+    }
+
+    /// Restores the exactly-fresh state (empty, disabled, diagnosis
+    /// filter) while keeping the ring's allocation.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.enabled = false;
+        self.select = lbr_select::DIAGNOSIS;
     }
 
     /// Number of records currently held.

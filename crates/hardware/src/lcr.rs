@@ -14,8 +14,6 @@
 //!
 //! Memory addresses are never stored — only program counters and states.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use stm_machine::events::{AccessKind, CoherenceRecord, CoherenceState, LcrConfig, Ring};
 use stm_machine::ids::ThreadId;
@@ -27,12 +25,16 @@ pub const DEFAULT_ENTRIES: usize = 16;
 pub const POLLUTION_PC: u64 = 0xDEAD_0000;
 
 /// The per-thread LCR facility.
+///
+/// Thread ids are dense per run (spawn order), so the per-thread rings
+/// live in a `Vec` indexed by thread — the record hot path is one bounds
+/// check, not a hash.
 #[derive(Debug, Clone)]
 pub struct Lcr {
     capacity: usize,
     config: LcrConfig,
     enabled: bool,
-    rings: HashMap<ThreadId, VecDeque<CoherenceRecord>>,
+    rings: Vec<VecDeque<CoherenceRecord>>,
 }
 
 impl Lcr {
@@ -50,7 +52,7 @@ impl Lcr {
             capacity,
             config: LcrConfig::default(),
             enabled: false,
-            rings: HashMap::new(),
+            rings: Vec::new(),
         }
     }
 
@@ -76,8 +78,18 @@ impl Lcr {
 
     /// Clears the calling thread's ring.
     pub fn clean(&mut self, thread: ThreadId) {
-        if let Entry::Occupied(mut e) = self.rings.entry(thread) {
-            e.get_mut().clear();
+        if let Some(buf) = self.rings.get_mut(thread.index()) {
+            buf.clear();
+        }
+    }
+
+    /// Restores the exactly-fresh state (disabled, all rings empty) while
+    /// keeping every ring's allocation. The event selection is the
+    /// caller's to restore — it is configuration, not recording state.
+    pub fn reset(&mut self) {
+        self.enabled = false;
+        for buf in &mut self.rings {
+            buf.clear();
         }
     }
 
@@ -128,28 +140,58 @@ impl Lcr {
         access: AccessKind,
         ring: Ring,
     ) {
-        if !self.enabled || !self.config.admits(access, state, ring) {
-            return;
+        if self.push(thread, pc, state, access, ring) {
+            stm_telemetry::counter!("hw.lcr.pushes").incr();
         }
-        let buf = self.rings.entry(thread).or_default();
+    }
+
+    /// The telemetry-free push underneath [`Lcr::record`] — the batch
+    /// ingest path counts admitted pushes itself. Returns whether the
+    /// access was recorded.
+    pub fn push(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        state: CoherenceState,
+        access: AccessKind,
+        ring: Ring,
+    ) -> bool {
+        if !self.enabled || !self.config.admits(access, state, ring) {
+            return false;
+        }
+        let idx = thread.index();
+        if idx >= self.rings.len() {
+            self.rings.resize_with(idx + 1, VecDeque::new);
+        }
+        let buf = &mut self.rings[idx];
         if buf.len() == self.capacity {
             buf.pop_front();
         }
         buf.push_back(CoherenceRecord { pc, state, access });
-        stm_telemetry::counter!("hw.lcr.pushes").incr();
+        true
     }
 
     /// Reads the calling thread's ring, most recent access first.
     pub fn snapshot(&self, thread: ThreadId) -> Vec<CoherenceRecord> {
-        let records: Vec<CoherenceRecord> = self
-            .rings
-            .get(&thread)
-            .map(|b| b.iter().rev().copied().collect())
-            .unwrap_or_default();
         stm_telemetry::counter!("hw.lcr.snapshots").incr();
-        stm_telemetry::histogram!("hw.lcr.snapshot_records").record(records.len() as u64);
+        stm_telemetry::histogram!("hw.lcr.snapshot_records").record(self.len(thread) as u64);
         stm_telemetry::instant("hw.lcr.snapshot", "hardware");
-        records
+        self.read(thread)
+    }
+
+    /// The telemetry-free ring read underneath [`Lcr::snapshot`]. The
+    /// control path uses it to defer the copy until the perturbation
+    /// layer has decided the read is not lost.
+    pub fn read(&self, thread: ThreadId) -> Vec<CoherenceRecord> {
+        self.rings
+            .get(thread.index())
+            .map(|b| b.iter().rev().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of records currently held for `thread`.
+    pub fn len(&self, thread: ThreadId) -> usize {
+        self.rings.get(thread.index()).map_or(0, VecDeque::len)
     }
 }
 

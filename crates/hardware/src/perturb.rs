@@ -445,28 +445,60 @@ impl PerturbLayer {
     }
 
     /// Runs an LBR snapshot through the pipeline; `None` = snapshot lost.
-    pub fn lbr_snapshot(&mut self, mut records: Vec<BranchRecord>) -> Option<Vec<BranchRecord>> {
+    pub fn lbr_snapshot(&mut self, records: Vec<BranchRecord>) -> Option<Vec<BranchRecord>> {
+        self.lbr_snapshot_lazy(move || records)
+    }
+
+    /// Like [`PerturbLayer::lbr_snapshot`], but the ring copy is deferred
+    /// until an injector actually touches records: a read lost at the
+    /// head of the pipeline (the common `SnapshotLoss` case — loss is
+    /// always built first) never materializes the snapshot at all.
+    ///
+    /// Draw-order equivalence with the eager path: `loses_snapshot` never
+    /// sees the records, and reading the ring consumes no draws, so
+    /// deferring the copy past the loss checks leaves the RNG stream
+    /// bit-identical.
+    pub fn lbr_snapshot_lazy(
+        &mut self,
+        read: impl FnOnce() -> Vec<BranchRecord>,
+    ) -> Option<Vec<BranchRecord>> {
+        let mut read = Some(read);
+        let mut records: Option<Vec<BranchRecord>> = None;
         for inj in &self.injectors {
             if inj.loses_snapshot(&mut self.rng) {
                 return None;
             }
-            inj.perturb_lbr(&mut self.rng, &mut records);
+            let recs =
+                records.get_or_insert_with(|| (read.take().expect("single materialization"))());
+            inj.perturb_lbr(&mut self.rng, recs);
         }
-        Some(records)
+        Some(records.unwrap_or_else(|| (read.take().expect("single materialization"))()))
     }
 
     /// Runs an LCR snapshot through the pipeline; `None` = snapshot lost.
     pub fn lcr_snapshot(
         &mut self,
-        mut records: Vec<CoherenceRecord>,
+        records: Vec<CoherenceRecord>,
     ) -> Option<Vec<CoherenceRecord>> {
+        self.lcr_snapshot_lazy(move || records)
+    }
+
+    /// The LCR analogue of [`PerturbLayer::lbr_snapshot_lazy`].
+    pub fn lcr_snapshot_lazy(
+        &mut self,
+        read: impl FnOnce() -> Vec<CoherenceRecord>,
+    ) -> Option<Vec<CoherenceRecord>> {
+        let mut read = Some(read);
+        let mut records: Option<Vec<CoherenceRecord>> = None;
         for inj in &self.injectors {
             if inj.loses_snapshot(&mut self.rng) {
                 return None;
             }
-            inj.perturb_lcr(&mut self.rng, &mut records);
+            let recs =
+                records.get_or_insert_with(|| (read.take().expect("single materialization"))());
+            inj.perturb_lcr(&mut self.rng, recs);
         }
-        Some(records)
+        Some(records.unwrap_or_else(|| (read.take().expect("single materialization"))()))
     }
 
     /// Runs the PBI sampler's latched records through the pipeline.

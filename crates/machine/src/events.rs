@@ -299,6 +299,31 @@ pub enum CtlResponse {
     Lost,
 }
 
+/// One retirement event in a batched push, tagged with the core (and, for
+/// accesses, the thread) it retired on. A single ordered `HwEvent` stream
+/// is exactly the interleaved `on_branch`/`on_access` call sequence the
+/// interpreter would otherwise have made, so consuming a batch in order is
+/// observationally identical to the per-event path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwEvent {
+    /// A retired branch (an `on_branch` call).
+    Branch {
+        /// Core the branch retired on.
+        core: CoreId,
+        /// The branch event.
+        ev: BranchEvent,
+    },
+    /// A retired data access (an `on_access` call).
+    Access {
+        /// Core the access retired on.
+        core: CoreId,
+        /// Thread that performed the access.
+        thread: ThreadId,
+        /// The access event.
+        ev: AccessEvent,
+    },
+}
+
 /// The interface through which the interpreter drives the simulated
 /// performance-monitoring hardware.
 ///
@@ -311,6 +336,25 @@ pub trait Hardware {
 
     /// Called for every retired data access.
     fn on_access(&mut self, core: CoreId, thread: ThreadId, ev: AccessEvent);
+
+    /// Pushes a batch of retirement events, in retirement order.
+    ///
+    /// The interpreter buffers events and flushes them here at block/ctl
+    /// boundaries instead of making one virtual call per event. The default
+    /// implementation replays the batch through [`Hardware::on_branch`] /
+    /// [`Hardware::on_access`] one event at a time — the reference
+    /// semantics every override must preserve bit-for-bit. Implementations
+    /// may override it to amortize per-event bookkeeping (telemetry,
+    /// lookups), but the observable ring/cache/counter state after the call
+    /// must equal the default's.
+    fn on_batch(&mut self, events: &[HwEvent]) {
+        for e in events {
+            match *e {
+                HwEvent::Branch { core, ev } => self.on_branch(core, ev),
+                HwEvent::Access { core, thread, ev } => self.on_access(core, thread, ev),
+            }
+        }
+    }
 
     /// Called when a thread executes a hardware control operation.
     fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse;
@@ -338,6 +382,10 @@ impl<H: Hardware + ?Sized> Hardware for &mut H {
 
     fn on_access(&mut self, core: CoreId, thread: ThreadId, ev: AccessEvent) {
         (**self).on_access(core, thread, ev);
+    }
+
+    fn on_batch(&mut self, events: &[HwEvent]) {
+        (**self).on_batch(events);
     }
 
     fn ctl(&mut self, core: CoreId, thread: ThreadId, op: HwCtlOp) -> CtlResponse {

@@ -8,15 +8,29 @@
 //! Determinism: given the same `(program, inputs, config)` triple, a run
 //! replays identically — the scheduler and the sampling countdowns use the
 //! seeded [`SplitMix64`].
+//!
+//! ## The hot path
+//!
+//! Loading a program pre-lowers the block-structured IR into a flat
+//! instruction stream (see [`crate::flat`]): per-step dispatch is a single
+//! indexed fetch plus one `match` over pre-decoded operands, with branch
+//! targets, call entry addresses and const-folded rvalues resolved at load
+//! time. Hardware events are buffered and pushed in batches
+//! ([`Hardware::on_batch`]) instead of one virtual call per event; the
+//! buffer is always flushed before a [`Hardware::ctl`] call and at run end,
+//! so the hardware observes exactly the per-event order. Per-run state
+//! (memory tables, thread stacks, register arenas, the event buffer) lives
+//! in a caller-owned [`RunScratch`] that [`Machine::run_reusing`] recycles
+//! across runs, eliminating per-run allocation storms on the collection
+//! path.
 
 use crate::events::{
-    AccessEvent, AccessKind, BranchEvent, BranchKind, CtlResponse, Hardware, HwCtlOp, Ring,
+    AccessEvent, AccessKind, BranchEvent, BranchKind, CtlResponse, Hardware, HwCtlOp, HwEvent,
+    Ring,
 };
-use crate::ids::{BlockId, CoreId, FuncId, ThreadId, VarId};
-use crate::ir::{
-    BinOp, Callee, Instr, Operand, Program, Rvalue, SourceLoc, Terminator, UnOp, STACK_BASE,
-    STACK_STRIDE,
-};
+use crate::flat::{FlatProgram, Op, Val};
+use crate::ids::{BlockId, CoreId, FuncId, ThreadId};
+use crate::ir::{BinOp, Program, SourceLoc, UnOp, STACK_BASE, STACK_STRIDE};
 use crate::layout::{Layout, SLOT};
 use crate::memory::{MemFault, Memory, RegionKind};
 use crate::report::{
@@ -35,7 +49,7 @@ pub struct RunConfig {
     pub scheduler: SchedPolicy,
     /// Number of simulated cores; threads map to cores round-robin.
     pub num_cores: u32,
-    /// Mean period of the [`Instr::Sample`] countdown (the CBI `1/rate`).
+    /// Mean period of the `Sample` countdown (the CBI `1/rate`).
     pub sample_mean: u32,
     /// Seed of the sampling countdown PRNG.
     pub sample_seed: u64,
@@ -79,10 +93,12 @@ impl RunConfig {
 pub struct Machine {
     program: Program,
     layout: Layout,
+    flat: FlatProgram,
 }
 
 impl Machine {
-    /// Loads a program, computing its address layout.
+    /// Loads a program, computing its address layout and pre-lowering the
+    /// IR into the flat dispatch stream.
     ///
     /// # Panics
     ///
@@ -93,7 +109,12 @@ impl Machine {
             .validate()
             .expect("program failed validation; build with ProgramBuilder");
         let layout = Layout::build(&program);
-        Machine { program, layout }
+        let flat = FlatProgram::lower(&program, &layout);
+        Machine {
+            program,
+            layout,
+            flat,
+        }
     }
 
     /// The loaded program.
@@ -108,7 +129,77 @@ impl Machine {
 
     /// Executes one run.
     pub fn run<H: Hardware>(&self, inputs: &[i64], config: &RunConfig, hw: &mut H) -> RunReport {
-        Exec::new(self, inputs, config, hw).run()
+        let mut scratch = RunScratch::new();
+        self.run_reusing(inputs, config, hw, &mut scratch)
+    }
+
+    /// Executes one run reusing a caller-owned [`RunScratch`].
+    ///
+    /// Behaviourally identical to [`Machine::run`] — the scratch only
+    /// recycles allocations (memory tables, thread state, the hardware
+    /// event buffer), never state: every run starts from the same freshly
+    /// initialised memory image. One scratch may be reused across
+    /// machines, workloads and configs in any order.
+    pub fn run_reusing<H: Hardware>(
+        &self,
+        inputs: &[i64],
+        config: &RunConfig,
+        hw: &mut H,
+        scratch: &mut RunScratch,
+    ) -> RunReport {
+        scratch.begin_run(&self.program);
+        Exec::new(self, inputs, config, hw, scratch).run()
+    }
+}
+
+/// Reusable per-run allocations for [`Machine::run_reusing`].
+///
+/// Holds the memory tables, thread states (call frames + register arena),
+/// the scheduler's runnable buffer and the hardware event batch buffer of a
+/// run. Reusing one scratch across many runs keeps the capacity those
+/// structures grew to, so steady-state collection does not allocate per
+/// run. A scratch carries no state between runs — only capacity.
+#[derive(Debug)]
+pub struct RunScratch {
+    mem: Memory,
+    threads: Vec<ThreadState>,
+    /// Retired thread states kept for their frame/register capacity.
+    spare: Vec<ThreadState>,
+    runnable: Vec<ThreadId>,
+    events: Vec<HwEvent>,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        RunScratch {
+            mem: Memory::new(),
+            threads: Vec::new(),
+            spare: Vec::new(),
+            runnable: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Resets the scratch to a fresh run over `program`: clears memory and
+    /// re-maps the globals, recycles old thread states, empties buffers.
+    fn begin_run(&mut self, program: &Program) {
+        self.mem.reset();
+        for g in &program.globals {
+            self.mem.map_fixed(g.addr, g.words * 8, RegionKind::Global);
+            for (i, v) in g.init.iter().enumerate() {
+                self.mem.poke(g.addr + i as u64 * 8, *v);
+            }
+        }
+        self.spare.append(&mut self.threads);
+        self.runnable.clear();
+        self.events.clear();
+    }
+}
+
+impl Default for RunScratch {
+    fn default() -> Self {
+        RunScratch::new()
     }
 }
 
@@ -120,14 +211,16 @@ enum Status {
     Done,
 }
 
-#[derive(Debug)]
+/// One call frame. Locals live in the thread's flat register arena at
+/// `vars_base ..`; `ip` indexes the function's flat instruction stream.
+#[derive(Debug, Clone, Copy)]
 struct Frame {
-    func: FuncId,
-    block: BlockId,
-    ip: usize,
-    vars: Vec<i64>,
+    func: u32,
+    block: u32,
+    ip: u32,
+    vars_base: u32,
     stack_base: u64,
-    ret_dst: Option<VarId>,
+    ret_dst: Option<u32>,
     ret_pc: u64,
 }
 
@@ -144,12 +237,28 @@ struct PendingLock {
 struct ThreadState {
     status: Status,
     frames: Vec<Frame>,
+    /// Flat register arena: every live frame's locals, innermost last.
+    regs: Vec<i64>,
     sp: u64,
     countdown: u32,
     /// Global step at which this thread last retired an instruction.
     last_step: u64,
     /// Contended acquisition in progress (guest profiling only).
     pending_lock: Option<PendingLock>,
+}
+
+impl Default for ThreadState {
+    fn default() -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            frames: Vec::new(),
+            regs: Vec::new(),
+            sp: 0,
+            countdown: 0,
+            last_step: 0,
+            pending_lock: None,
+        }
+    }
 }
 
 enum Flow {
@@ -165,13 +274,16 @@ enum Flow {
     Fault(FailureKind),
 }
 
-struct Exec<'m, 'h, H> {
+/// Hardware events are flushed whenever the buffer reaches this many
+/// entries (and always before a `ctl` call and at run end).
+const EVENT_BATCH: usize = 4096;
+
+struct Exec<'m, 'h, 's, H> {
     m: &'m Machine,
-    cfg: &'m RunConfig,
+    cfg: &'s RunConfig,
+    inputs: &'s [i64],
     hw: &'h mut H,
-    inputs: Vec<i64>,
-    mem: Memory,
-    threads: Vec<ThreadState>,
+    scratch: &'s mut RunScratch,
     sched: Scheduler,
     sample_rng: SplitMix64,
     report: RunReport,
@@ -184,15 +296,14 @@ struct Exec<'m, 'h, H> {
     last_tid: Option<ThreadId>,
 }
 
-impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
-    fn new(m: &'m Machine, inputs: &[i64], cfg: &'m RunConfig, hw: &'h mut H) -> Self {
-        let mut mem = Memory::new();
-        for g in &m.program.globals {
-            mem.map_fixed(g.addr, g.words * 8, RegionKind::Global);
-            for (i, v) in g.init.iter().enumerate() {
-                mem.poke(g.addr + i as u64 * 8, *v);
-            }
-        }
+impl<'m, 'h, 's, H: Hardware> Exec<'m, 'h, 's, H> {
+    fn new(
+        m: &'m Machine,
+        inputs: &'s [i64],
+        cfg: &'s RunConfig,
+        hw: &'h mut H,
+        scratch: &'s mut RunScratch,
+    ) -> Self {
         let report = RunReport {
             outcome: RunOutcome::Completed { exit_code: 0 },
             outputs: Vec::new(),
@@ -210,10 +321,9 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         let mut exec = Exec {
             m,
             cfg,
+            inputs,
             hw,
-            inputs: inputs.to_vec(),
-            mem,
-            threads: Vec::new(),
+            scratch,
             sched: Scheduler::new(cfg.scheduler),
             sample_rng: SplitMix64::new(cfg.sample_seed),
             report,
@@ -223,7 +333,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             ctx_switches: 0,
             last_tid: None,
         };
-        exec.spawn_thread(m.program.entry, &[]);
+        exec.spawn_thread(m.program.entry.raw());
         exec
     }
 
@@ -231,44 +341,44 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         CoreId(tid.0 % self.cfg.num_cores.max(1))
     }
 
-    fn spawn_thread(&mut self, func: FuncId, args: &[i64]) -> ThreadId {
-        let tid = ThreadId(self.threads.len() as u32);
+    /// Spawns a thread running `func` with zeroed arguments; the caller
+    /// copies real argument values into the new thread's registers.
+    fn spawn_thread(&mut self, func: u32) -> ThreadId {
+        let tid = ThreadId(self.scratch.threads.len() as u32);
         let stack_region = STACK_BASE + tid.0 as u64 * STACK_STRIDE;
-        self.mem
+        self.scratch
+            .mem
             .map_fixed(stack_region, STACK_STRIDE / 2, RegionKind::Stack);
-        let f = self.m.program.function(func);
-        let mut vars = vec![0i64; f.num_vars as usize];
-        for (i, a) in args.iter().enumerate().take(f.params as usize) {
-            vars[i] = *a;
-        }
-        let frame = Frame {
+        let f = &self.m.flat.funcs[func as usize];
+        let mut t = self.scratch.spare.pop().unwrap_or_default();
+        t.status = Status::Runnable;
+        t.frames.clear();
+        t.frames.push(Frame {
             func,
-            block: BlockId::new(0),
+            block: 0,
             ip: 0,
-            vars,
+            vars_base: 0,
             stack_base: stack_region,
             ret_dst: None,
             ret_pc: 0,
-        };
-        let sp = f.frame_slots as u64 * 8;
-        self.threads.push(ThreadState {
-            status: Status::Runnable,
-            frames: vec![frame],
-            sp,
-            countdown: self.sample_rng.next_countdown(self.cfg.sample_mean),
-            last_step: 0,
-            pending_lock: None,
         });
+        t.regs.clear();
+        t.regs.resize(f.num_vars as usize, 0);
+        t.sp = f.frame_slots as u64 * 8;
+        t.countdown = self.sample_rng.next_countdown(self.cfg.sample_mean);
+        t.last_step = 0;
+        t.pending_lock = None;
+        self.scratch.threads.push(t);
         self.report.threads_spawned += 1;
         tid
     }
 
     fn is_runnable(&self, tid: ThreadId) -> bool {
-        match self.threads[tid.index()].status {
+        match self.scratch.threads[tid.index()].status {
             Status::Runnable => true,
-            Status::BlockedLock(addr) => matches!(self.mem.read(addr), Ok(0) | Err(_)),
+            Status::BlockedLock(addr) => matches!(self.scratch.mem.read(addr), Ok(0) | Err(_)),
             Status::BlockedJoin(t) => {
-                self.threads.get(t.index()).map(|t| t.status) == Some(Status::Done)
+                self.scratch.threads.get(t.index()).map(|t| t.status) == Some(Status::Done)
             }
             Status::Done => false,
         }
@@ -277,22 +387,24 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
     fn run(mut self) -> RunReport {
         let _span = stm_telemetry::span_cat("machine.run", "machine");
         loop {
-            if self.threads[0].status == Status::Done {
+            if self.scratch.threads[0].status == Status::Done {
                 break;
             }
-            let runnable: Vec<ThreadId> = (0..self.threads.len() as u32)
-                .map(ThreadId)
-                .filter(|t| self.is_runnable(*t))
-                .collect();
+            let mut runnable = std::mem::take(&mut self.scratch.runnable);
+            runnable.clear();
+            let n = self.scratch.threads.len() as u32;
+            runnable.extend((0..n).map(ThreadId).filter(|t| self.is_runnable(*t)));
             if runnable.is_empty() {
-                let victim = (0..self.threads.len() as u32)
+                self.scratch.runnable = runnable;
+                let victim = (0..n)
                     .map(ThreadId)
-                    .find(|t| self.threads[t.index()].status != Status::Done)
+                    .find(|t| self.scratch.threads[t.index()].status != Status::Done)
                     .unwrap_or(ThreadId::MAIN);
                 self.fail(victim, FailureKind::Deadlock);
                 break;
             }
             let tid = self.sched.pick(&runnable);
+            self.scratch.runnable = runnable;
             if self.last_tid.is_some_and(|last| last != tid) {
                 self.ctx_switches += 1;
             }
@@ -303,8 +415,9 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                 break;
             }
             // Unblock the thread; blocked statements re-execute.
-            self.threads[tid.index()].status = Status::Runnable;
-            self.threads[tid.index()].last_step = self.steps;
+            let t = &mut self.scratch.threads[tid.index()];
+            t.status = Status::Runnable;
+            t.last_step = self.steps;
             // The guest profiler's "sampling interrupt": driven by the
             // retired-instruction count, not wall-clock, so the sample
             // stream replays identically with the run.
@@ -313,7 +426,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
             match self.step(tid) {
                 Flow::Next => {
-                    self.threads[tid.index()]
+                    self.scratch.threads[tid.index()]
                         .frames
                         .last_mut()
                         .expect("running thread has a frame")
@@ -331,6 +444,9 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
         }
         self.report.steps = self.steps;
+        // Deliver any buffered retirement events before the run report is
+        // handed back — post-run hardware inspection must see everything.
+        self.flush_events();
         self.record_thread_states();
         self.flush_telemetry();
         self.report
@@ -340,8 +456,8 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
     /// flight-recorder view of where each thread stood when the run ended.
     fn record_thread_states(&mut self) {
         use crate::report::{FinalStatus, ThreadFinalState};
-        let mut states = Vec::with_capacity(self.threads.len());
-        for (i, t) in self.threads.iter().enumerate() {
+        let mut states = Vec::with_capacity(self.scratch.threads.len());
+        for (i, t) in self.scratch.threads.iter().enumerate() {
             let tid = ThreadId(i as u32);
             let status = match t.status {
                 Status::Runnable => FinalStatus::Runnable,
@@ -365,10 +481,10 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
     /// Captures the scheduled thread's call stack, outermost frame first —
     /// the guest profiler's sample. Only called while profiling is on.
     fn record_stack_sample(&mut self, tid: ThreadId) {
-        let frames = self.threads[tid.index()]
+        let frames = self.scratch.threads[tid.index()]
             .frames
             .iter()
-            .map(|f| (f.func, f.block))
+            .map(|f| (FuncId::new(f.func), BlockId::new(f.block)))
             .collect();
         self.report.stack_samples.push(StackSample {
             thread: tid,
@@ -384,8 +500,8 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         let holder = u32::try_from(held - 1)
             .ok()
             .map(ThreadId)
-            .filter(|h| h.index() < self.threads.len());
-        let t = &mut self.threads[tid.index()];
+            .filter(|h| h.index() < self.scratch.threads.len());
+        let t = &mut self.scratch.threads[tid.index()];
         let fresh = match t.pending_lock {
             Some(p) => p.addr != addr,
             None => true,
@@ -403,7 +519,7 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
     /// been blocked on this same lock, emit the wait record (uncontended
     /// acquisitions record nothing).
     fn record_lock_acquired(&mut self, tid: ThreadId, addr: u64, pc: u64) {
-        let t = &mut self.threads[tid.index()];
+        let t = &mut self.scratch.threads[tid.index()];
         let Some(p) = t.pending_lock.take() else {
             return;
         };
@@ -462,8 +578,8 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         let core = self.core_of(tid);
         let fp = self.m.program.fault_profile;
         if fp.lbr {
-            self.hw.ctl(core, tid, HwCtlOp::DisableLbr);
-            if let CtlResponse::Lbr(records) = self.hw.ctl(core, tid, HwCtlOp::ProfileLbr) {
+            self.ctl(core, tid, HwCtlOp::DisableLbr);
+            if let CtlResponse::Lbr(records) = self.ctl(core, tid, HwCtlOp::ProfileLbr) {
                 self.report.profiles.push(ProfileEvent {
                     site: None,
                     role: crate::ir::ProfileRole::FailureSite,
@@ -474,8 +590,8 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
             }
         }
         if fp.lcr {
-            self.hw.ctl(core, tid, HwCtlOp::DisableLcr);
-            if let CtlResponse::Lcr(records) = self.hw.ctl(core, tid, HwCtlOp::ProfileLcr) {
+            self.ctl(core, tid, HwCtlOp::DisableLcr);
+            if let CtlResponse::Lcr(records) = self.ctl(core, tid, HwCtlOp::ProfileLcr) {
                 self.report.profiles.push(ProfileEvent {
                     site: None,
                     role: crate::ir::ProfileRole::FailureSite,
@@ -487,67 +603,72 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         }
     }
 
-    /// Current (function, location, pc) of a thread.
+    /// Current (function, location, pc) of a thread, off the flat side
+    /// tables (which cover statements and terminators uniformly).
     fn position(&self, tid: ThreadId) -> (FuncId, SourceLoc, u64) {
-        let Some(frame) = self.threads[tid.index()].frames.last() else {
+        let Some(frame) = self.scratch.threads[tid.index()].frames.last() else {
             return (self.m.program.entry, SourceLoc::UNKNOWN, 0);
         };
-        let block = self.m.program.function(frame.func).block(frame.block);
-        if frame.ip < block.stmts.len() {
-            (
-                frame.func,
-                block.stmts[frame.ip].loc,
-                self.m
-                    .layout
-                    .stmt_addr(frame.func, frame.block, frame.ip as u32),
-            )
-        } else {
-            (
-                frame.func,
-                block.term_loc,
-                self.m.layout.term_addr(frame.func, frame.block),
-            )
+        let ff = &self.m.flat.funcs[frame.func as usize];
+        let ip = frame.ip as usize;
+        (FuncId::new(frame.func), ff.loc[ip], ff.pc[ip])
+    }
+
+    /// Reads register `r` of the frame whose arena base is `base`.
+    #[inline]
+    fn reg(&self, tid: ThreadId, base: usize, r: u32) -> i64 {
+        self.scratch.threads[tid.index()].regs[base + r as usize]
+    }
+
+    /// Evaluates a pre-decoded operand against the current frame.
+    #[inline]
+    fn val(&self, tid: ThreadId, base: usize, v: Val) -> i64 {
+        match v {
+            Val::C(c) => c,
+            Val::V(r) => self.reg(tid, base, r),
         }
     }
 
-    fn eval(&self, tid: ThreadId, op: Operand) -> i64 {
-        match op {
-            Operand::Const(c) => c,
-            Operand::Var(v) => {
-                let frame = self.threads[tid.index()]
-                    .frames
-                    .last()
-                    .expect("running thread has a frame");
-                frame.vars[v.index()]
-            }
-        }
+    #[inline]
+    fn set_reg(&mut self, tid: ThreadId, base: usize, r: u32, value: i64) {
+        self.scratch.threads[tid.index()].regs[base + r as usize] = value;
     }
 
-    fn set_var(&mut self, tid: ThreadId, v: VarId, value: i64) {
-        let frame = self.threads[tid.index()]
-            .frames
-            .last_mut()
-            .expect("running thread has a frame");
-        frame.vars[v.index()] = value;
-    }
-
+    /// Buffers a retired-branch event (flushing at capacity).
     fn emit_branch(&mut self, tid: ThreadId, from: u64, to: u64, kind: BranchKind, ring: Ring) {
         let core = self.core_of(tid);
-        self.hw.on_branch(
+        self.scratch.events.push(HwEvent::Branch {
             core,
-            BranchEvent {
+            ev: BranchEvent {
                 from,
                 to,
                 kind,
                 ring,
             },
-        );
+        });
         self.report.branches_retired += 1;
+        if self.scratch.events.len() >= EVENT_BATCH {
+            self.flush_events();
+        }
     }
 
-    /// Emits the kernel-side branches of a syscall/ioctl.
-    fn emit_kernel_branches(&mut self, tid: ThreadId, conds: u8) {
-        let (_, _, pc) = self.position(tid);
+    /// Delivers all buffered retirement events to the hardware, in order.
+    fn flush_events(&mut self) {
+        if !self.scratch.events.is_empty() {
+            self.hw.on_batch(&self.scratch.events);
+            self.scratch.events.clear();
+        }
+    }
+
+    /// A hardware control call; buffered events are flushed first so the
+    /// hardware observes them in exactly the per-event order.
+    fn ctl(&mut self, core: CoreId, tid: ThreadId, op: HwCtlOp) -> CtlResponse {
+        self.flush_events();
+        self.hw.ctl(core, tid, op)
+    }
+
+    /// Emits the kernel-side branches of a syscall/ioctl at `pc`.
+    fn emit_kernel_branches(&mut self, tid: ThreadId, pc: u64, conds: u8) {
         const KERNEL_BASE: u64 = 0xffff_8000_0000_0000;
         self.emit_branch(tid, pc, KERNEL_BASE, BranchKind::Far, Ring::Kernel);
         for i in 0..conds {
@@ -579,20 +700,23 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         kind: AccessKind,
         write_value: Option<i64>,
     ) -> Result<i64, FailureKind> {
-        if !self.mem.is_mapped(addr) {
+        if !self.scratch.mem.is_mapped(addr) {
             return Err(FailureKind::Segfault { addr });
         }
         let core = self.core_of(tid);
-        self.hw.on_access(
+        self.scratch.events.push(HwEvent::Access {
             core,
-            tid,
-            AccessEvent {
+            thread: tid,
+            ev: AccessEvent {
                 pc,
                 addr,
                 kind,
                 ring: Ring::User,
             },
-        );
+        });
+        if self.scratch.events.len() >= EVENT_BATCH {
+            self.flush_events();
+        }
         self.report.accesses_retired += 1;
         match kind {
             AccessKind::Load => self.loads += 1,
@@ -600,120 +724,188 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
         }
         match write_value {
             Some(v) => {
-                self.mem.write(addr, v).map_err(fault_to_failure)?;
+                self.scratch.mem.write(addr, v).map_err(fault_to_failure)?;
                 Ok(v)
             }
-            None => self.mem.read(addr).map_err(fault_to_failure),
+            None => self.scratch.mem.read(addr).map_err(fault_to_failure),
         }
+    }
+
+    /// Pushes a call frame: depth check, branch event, argument copy into
+    /// the register arena, stack accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn do_call(
+        &mut self,
+        tid: ThreadId,
+        base: usize,
+        pc: u64,
+        dst: Option<u32>,
+        target: u32,
+        entry: u64,
+        args: &[Val],
+        kind: BranchKind,
+    ) -> Flow {
+        if self.scratch.threads[tid.index()].frames.len() >= self.cfg.max_call_depth {
+            return Flow::Fault(FailureKind::StackOverflow);
+        }
+        self.emit_branch(tid, pc, entry, kind, Ring::User);
+        let f = &self.m.flat.funcs[target as usize];
+        let (params, num_vars, frame_slots) =
+            (f.params as usize, f.num_vars as usize, f.frame_slots as u64);
+        let t = &mut self.scratch.threads[tid.index()];
+        let nbase = t.regs.len();
+        t.regs.resize(nbase + num_vars, 0);
+        for (i, a) in args.iter().enumerate().take(params) {
+            t.regs[nbase + i] = match *a {
+                Val::C(c) => c,
+                Val::V(r) => t.regs[base + r as usize],
+            };
+        }
+        let stack_base = STACK_BASE + tid.0 as u64 * STACK_STRIDE + t.sp;
+        t.sp += frame_slots * 8;
+        if t.sp >= STACK_STRIDE / 2 {
+            return Flow::Fault(FailureKind::StackOverflow);
+        }
+        t.frames.push(Frame {
+            func: target,
+            block: 0,
+            ip: 0,
+            vars_base: nbase as u32,
+            stack_base,
+            ret_dst: dst,
+            ret_pc: pc + SLOT,
+        });
+        Flow::Jumped
     }
 
     fn step(&mut self, tid: ThreadId) -> Flow {
-        let frame = self.threads[tid.index()]
-            .frames
-            .last()
-            .expect("running thread has a frame");
-        let (func, block, ip) = (frame.func, frame.block, frame.ip);
-        // Borrow the program through the machine's own lifetime so the
+        // Borrow the flat code through the machine's own lifetime so the
         // instruction stays readable while execution state is mutated.
         let m: &'m Machine = self.m;
-        let blk = m.program.function(func).block(block);
-        if ip < blk.stmts.len() {
-            let instr = &blk.stmts[ip].instr;
-            let pc = m.layout.stmt_addr(func, block, ip as u32);
-            self.exec_instr(tid, pc, instr)
-        } else {
-            let term = blk.term;
-            self.exec_term(tid, func, block, term)
-        }
-    }
-
-    fn exec_instr(&mut self, tid: ThreadId, pc: u64, instr: &Instr) -> Flow {
-        match instr {
-            Instr::Assign { dst, rv } => {
-                let value = match rv {
-                    Rvalue::Use(op) => self.eval(tid, *op),
-                    Rvalue::Binary { op, lhs, rhs } => {
-                        let l = self.eval(tid, *lhs);
-                        let r = self.eval(tid, *rhs);
-                        match eval_bin(*op, l, r) {
-                            Some(v) => v,
-                            None => return Flow::Fault(FailureKind::DivByZero),
-                        }
+        let (fi, ip, base, sbase) = {
+            let f = self.scratch.threads[tid.index()]
+                .frames
+                .last()
+                .expect("running thread has a frame");
+            (
+                f.func as usize,
+                f.ip as usize,
+                f.vars_base as usize,
+                f.stack_base,
+            )
+        };
+        let ff = &m.flat.funcs[fi];
+        let op = &ff.code[ip];
+        let pc = ff.pc[ip];
+        match op {
+            Op::AssignConst { dst, value } => {
+                self.set_reg(tid, base, *dst, *value);
+                Flow::Next
+            }
+            Op::AssignVar { dst, src } => {
+                let v = self.reg(tid, base, *src);
+                self.set_reg(tid, base, *dst, v);
+                Flow::Next
+            }
+            Op::BinVV { op, dst, lhs, rhs } => {
+                let l = self.reg(tid, base, *lhs);
+                let r = self.reg(tid, base, *rhs);
+                match eval_bin(*op, l, r) {
+                    Some(v) => {
+                        self.set_reg(tid, base, *dst, v);
+                        Flow::Next
                     }
-                    Rvalue::Unary { op, operand } => {
-                        let v = self.eval(tid, *operand);
-                        match op {
-                            UnOp::Neg => v.wrapping_neg(),
-                            UnOp::Not => i64::from(v == 0),
-                            UnOp::BitNot => !v,
-                        }
+                    None => Flow::Fault(FailureKind::DivByZero),
+                }
+            }
+            Op::BinVC { op, dst, lhs, rhs } => {
+                let l = self.reg(tid, base, *lhs);
+                match eval_bin(*op, l, *rhs) {
+                    Some(v) => {
+                        self.set_reg(tid, base, *dst, v);
+                        Flow::Next
                     }
-                    Rvalue::ReadInput { index } => {
-                        let i = self.eval(tid, *index);
-                        usize::try_from(i)
-                            .ok()
-                            .and_then(|i| self.inputs.get(i).copied())
-                            .unwrap_or(0)
+                    None => Flow::Fault(FailureKind::DivByZero),
+                }
+            }
+            Op::BinCV { op, dst, lhs, rhs } => {
+                let r = self.reg(tid, base, *rhs);
+                match eval_bin(*op, *lhs, r) {
+                    Some(v) => {
+                        self.set_reg(tid, base, *dst, v);
+                        Flow::Next
                     }
+                    None => Flow::Fault(FailureKind::DivByZero),
+                }
+            }
+            Op::Unary { op, dst, operand } => {
+                let v = self.reg(tid, base, *operand);
+                let value = match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                    UnOp::BitNot => !v,
                 };
-                self.set_var(tid, *dst, value);
+                self.set_reg(tid, base, *dst, value);
                 Flow::Next
             }
-            Instr::Load { dst, addr, disp } => {
-                let a = (self.eval(tid, *addr)).wrapping_add(*disp) as u64;
+            Op::ReadInput { dst, index } => {
+                let i = self.val(tid, base, *index);
+                if i < 0 {
+                    return Flow::Fault(FailureKind::NegativeInputIndex { index: i });
+                }
+                let value = usize::try_from(i)
+                    .ok()
+                    .and_then(|i| self.inputs.get(i).copied())
+                    .unwrap_or(0);
+                self.set_reg(tid, base, *dst, value);
+                Flow::Next
+            }
+            Op::ConstDivByZero => Flow::Fault(FailureKind::DivByZero),
+            Op::Load { dst, addr, disp } => {
+                let a = self.val(tid, base, *addr).wrapping_add(*disp) as u64;
                 match self.access(tid, pc, a, AccessKind::Load, None) {
                     Ok(v) => {
-                        self.set_var(tid, *dst, v);
+                        self.set_reg(tid, base, *dst, v);
                         Flow::Next
                     }
                     Err(k) => Flow::Fault(k),
                 }
             }
-            Instr::Store { addr, disp, value } => {
-                let a = (self.eval(tid, *addr)).wrapping_add(*disp) as u64;
-                let v = self.eval(tid, *value);
+            Op::Store { addr, disp, value } => {
+                let a = self.val(tid, base, *addr).wrapping_add(*disp) as u64;
+                let v = self.val(tid, base, *value);
                 match self.access(tid, pc, a, AccessKind::Store, Some(v)) {
                     Ok(_) => Flow::Next,
                     Err(k) => Flow::Fault(k),
                 }
             }
-            Instr::StackLoad { dst, slot } => {
-                let base = self.threads[tid.index()]
-                    .frames
-                    .last()
-                    .expect("running thread has a frame")
-                    .stack_base;
-                let a = base + *slot as u64 * 8;
+            Op::StackLoad { dst, slot } => {
+                let a = sbase + *slot as u64 * 8;
                 match self.access(tid, pc, a, AccessKind::Load, None) {
                     Ok(v) => {
-                        self.set_var(tid, *dst, v);
+                        self.set_reg(tid, base, *dst, v);
                         Flow::Next
                     }
                     Err(k) => Flow::Fault(k),
                 }
             }
-            Instr::StackStore { slot, value } => {
-                let base = self.threads[tid.index()]
-                    .frames
-                    .last()
-                    .expect("running thread has a frame")
-                    .stack_base;
-                let a = base + *slot as u64 * 8;
-                let v = self.eval(tid, *value);
+            Op::StackStore { slot, value } => {
+                let a = sbase + *slot as u64 * 8;
+                let v = self.val(tid, base, *value);
                 match self.access(tid, pc, a, AccessKind::Store, Some(v)) {
                     Ok(_) => Flow::Next,
                     Err(k) => Flow::Fault(k),
                 }
             }
-            Instr::Alloc { dst, words } => {
-                let w = self.eval(tid, *words).max(0) as u64;
-                let base = self.mem.alloc(w);
-                self.set_var(tid, *dst, base as i64);
+            Op::Alloc { dst, words } => {
+                let w = self.val(tid, base, *words).max(0) as u64;
+                let heap_base = self.scratch.mem.alloc(w);
+                self.set_reg(tid, base, *dst, heap_base as i64);
                 Flow::Next
             }
-            Instr::Free { addr } => {
-                let a = self.eval(tid, *addr) as u64;
-                match self.mem.free(a) {
+            Op::Free { addr } => {
+                let a = self.val(tid, base, *addr) as u64;
+                match self.scratch.mem.free(a) {
                     Ok(()) => Flow::Next,
                     Err(MemFault::InvalidFree { addr }) => {
                         Flow::Fault(FailureKind::InvalidFree { addr })
@@ -721,68 +913,70 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                     Err(MemFault::Unmapped { addr }) => Flow::Fault(FailureKind::Segfault { addr }),
                 }
             }
-            Instr::Call { dst, callee, args } => {
-                let (target, kind) = match callee {
-                    Callee::Direct(f) => (*f, BranchKind::NearRelCall),
-                    Callee::Indirect { targets, selector } => {
-                        let s = self.eval(tid, *selector);
-                        let idx = (s.rem_euclid(targets.len() as i64)) as usize;
-                        (targets[idx], BranchKind::NearIndCall)
-                    }
-                };
-                if self.threads[tid.index()].frames.len() >= self.cfg.max_call_depth {
-                    return Flow::Fault(FailureKind::StackOverflow);
-                }
-                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
-                let entry = self.m.layout.func_entry(target);
-                self.emit_branch(tid, pc, entry, kind, Ring::User);
-                let f = self.m.program.function(target);
-                let mut vars = vec![0i64; f.num_vars as usize];
-                for (i, v) in arg_vals.iter().enumerate().take(f.params as usize) {
-                    vars[i] = *v;
-                }
-                let t = &mut self.threads[tid.index()];
-                let stack_base = STACK_BASE + tid.0 as u64 * STACK_STRIDE + t.sp;
-                t.sp += f.frame_slots as u64 * 8;
-                if t.sp >= STACK_STRIDE / 2 {
-                    return Flow::Fault(FailureKind::StackOverflow);
-                }
-                t.frames.push(Frame {
-                    func: target,
-                    block: BlockId::new(0),
-                    ip: 0,
-                    vars,
-                    stack_base,
-                    ret_dst: *dst,
-                    ret_pc: pc + SLOT,
-                });
-                Flow::Jumped
+            Op::CallDirect {
+                dst,
+                target,
+                entry,
+                args,
+            } => self.do_call(
+                tid,
+                base,
+                pc,
+                *dst,
+                *target,
+                *entry,
+                args,
+                BranchKind::NearRelCall,
+            ),
+            Op::CallIndirect {
+                dst,
+                targets,
+                selector,
+                args,
+            } => {
+                let s = self.val(tid, base, *selector);
+                let idx = (s.rem_euclid(targets.len() as i64)) as usize;
+                let (target, entry) = targets[idx];
+                self.do_call(
+                    tid,
+                    base,
+                    pc,
+                    *dst,
+                    target,
+                    entry,
+                    args,
+                    BranchKind::NearIndCall,
+                )
             }
-            Instr::Spawn { dst, func, args } => {
-                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
-                let new_tid = self.spawn_thread(*func, &arg_vals);
-                self.set_var(tid, *dst, new_tid.0 as i64);
+            Op::Spawn { dst, func, args } => {
+                let new_tid = self.spawn_thread(*func);
+                let params = self.m.flat.funcs[*func as usize].params as usize;
+                for (i, a) in args.iter().enumerate().take(params) {
+                    let v = self.val(tid, base, *a);
+                    self.scratch.threads[new_tid.index()].regs[i] = v;
+                }
+                self.set_reg(tid, base, *dst, new_tid.0 as i64);
                 Flow::Next
             }
-            Instr::Join { thread } => {
-                let t = self.eval(tid, *thread);
+            Op::Join { thread } => {
+                let t = self.val(tid, base, *thread);
                 let target = ThreadId(t.max(0) as u32);
-                if target.index() >= self.threads.len() {
+                if target.index() >= self.scratch.threads.len() {
                     return Flow::Next; // joining a never-spawned thread is a no-op
                 }
-                if self.threads[target.index()].status == Status::Done {
+                if self.scratch.threads[target.index()].status == Status::Done {
                     Flow::Next
                 } else {
-                    self.threads[tid.index()].status = Status::BlockedJoin(target);
+                    self.scratch.threads[tid.index()].status = Status::BlockedJoin(target);
                     Flow::Blocked
                 }
             }
-            Instr::Lock { addr } => {
-                let a = self.eval(tid, *addr) as u64;
-                if !self.mem.is_mapped(a) {
+            Op::Lock { addr } => {
+                let a = self.val(tid, base, *addr) as u64;
+                if !self.scratch.mem.is_mapped(a) {
                     return Flow::Fault(FailureKind::Segfault { addr: a });
                 }
-                let held = self.mem.read(a).unwrap_or(0);
+                let held = self.scratch.mem.read(a).unwrap_or(0);
                 if held == 0 {
                     match self.access(tid, pc, a, AccessKind::Store, Some(tid.0 as i64 + 1)) {
                         Ok(_) => {
@@ -801,39 +995,39 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                     if self.cfg.profile_period != 0 {
                         self.record_lock_blocked(tid, a, held);
                     }
-                    self.threads[tid.index()].status = Status::BlockedLock(a);
+                    self.scratch.threads[tid.index()].status = Status::BlockedLock(a);
                     Flow::Blocked
                 }
             }
-            Instr::Unlock { addr } => {
-                let a = self.eval(tid, *addr) as u64;
+            Op::Unlock { addr } => {
+                let a = self.val(tid, base, *addr) as u64;
                 match self.access(tid, pc, a, AccessKind::Store, Some(0)) {
                     Ok(_) => Flow::Next,
                     Err(k) => Flow::Fault(k),
                 }
             }
-            Instr::Output { value } => {
-                let v = self.eval(tid, *value);
+            Op::Output { value } => {
+                let v = self.val(tid, base, *value);
                 self.report.outputs.push(v);
                 Flow::Next
             }
-            Instr::Log { site, kind, .. } => {
+            Op::Log { site, kind } => {
                 self.report.logs.push(LogEvent {
                     site: *site,
                     kind: *kind,
                     thread: tid,
                     step: self.steps,
                 });
-                self.emit_kernel_branches(tid, 2);
+                self.emit_kernel_branches(tid, pc, 2);
                 Flow::Next
             }
-            Instr::HwCtl { op, site, role } => {
+            Op::HwCtl { op, site, role } => {
                 let core = self.core_of(tid);
                 match op {
                     HwCtlOp::ProfileLbr => {
                         // The access path executes no user-level branches;
                         // the ioctl's kernel branches happen after the read.
-                        let resp = self.hw.ctl(core, tid, *op);
+                        let resp = self.ctl(core, tid, *op);
                         if let CtlResponse::Lbr(records) = resp {
                             self.report.profiles.push(ProfileEvent {
                                 site: *site,
@@ -843,10 +1037,10 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                                 data: ProfileData::Lbr(records),
                             });
                         }
-                        self.emit_kernel_branches(tid, 1);
+                        self.emit_kernel_branches(tid, pc, 1);
                     }
                     HwCtlOp::ProfileLcr => {
-                        let resp = self.hw.ctl(core, tid, *op);
+                        let resp = self.ctl(core, tid, *op);
                         if let CtlResponse::Lcr(records) = resp {
                             self.report.profiles.push(ProfileEvent {
                                 site: *site,
@@ -856,30 +1050,30 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                                 data: ProfileData::Lcr(records),
                             });
                         }
-                        self.emit_kernel_branches(tid, 1);
+                        self.emit_kernel_branches(tid, pc, 1);
                     }
                     HwCtlOp::DisableLbr | HwCtlOp::DisableLcr => {
                         // Kernel entry happens first, then the facility is
                         // disabled inside the driver.
-                        self.emit_kernel_branches(tid, 1);
-                        self.hw.ctl(core, tid, *op);
+                        self.emit_kernel_branches(tid, pc, 1);
+                        self.ctl(core, tid, *op);
                     }
                     _ => {
                         // Enable/clean/config: the facility switches state
                         // inside the driver; the return path branches are
                         // visible to an unfiltered LBR.
-                        self.hw.ctl(core, tid, *op);
-                        self.emit_kernel_branches(tid, 1);
+                        self.ctl(core, tid, *op);
+                        self.emit_kernel_branches(tid, pc, 1);
                     }
                 }
                 Flow::Next
             }
-            Instr::Sample { id, value } => {
-                let t = &mut self.threads[tid.index()];
+            Op::Sample { id, value } => {
+                let t = &mut self.scratch.threads[tid.index()];
                 t.countdown = t.countdown.saturating_sub(1);
                 if t.countdown == 0 {
                     t.countdown = self.sample_rng.next_countdown(self.cfg.sample_mean);
-                    let v = self.eval(tid, *value);
+                    let v = self.val(tid, base, *value);
                     self.report.samples.push(SampleEvent {
                         id: *id,
                         value: v,
@@ -889,87 +1083,96 @@ impl<'m, 'h, H: Hardware> Exec<'m, 'h, H> {
                 }
                 Flow::Next
             }
-            Instr::Assert { cond, message } => {
-                if self.eval(tid, *cond) == 0 {
+            Op::Assert { cond, message } => {
+                if self.val(tid, base, *cond) == 0 {
                     Flow::Fault(FailureKind::AssertFailed {
-                        message: message.clone(),
+                        message: message.to_string(),
                     })
                 } else {
                     Flow::Next
                 }
             }
-            Instr::Syscall { kernel_branches } => {
-                self.emit_kernel_branches(tid, *kernel_branches);
+            Op::Syscall { kernel_branches } => {
+                self.emit_kernel_branches(tid, pc, *kernel_branches);
                 Flow::Next
             }
-            Instr::Exit { code } => Flow::Exit(self.eval(tid, *code)),
-            Instr::Yield | Instr::Nop => Flow::Next,
-        }
-    }
-
-    fn exec_term(&mut self, tid: ThreadId, func: FuncId, block: BlockId, term: Terminator) -> Flow {
-        let taddr = self.m.layout.term_addr(func, block);
-        match term {
-            Terminator::Br {
+            Op::Exit { code } => Flow::Exit(self.val(tid, base, *code)),
+            Op::Nop => Flow::Next,
+            Op::Br {
                 cond,
                 then_blk,
+                then_ip,
+                then_to,
                 else_blk,
+                else_ip,
+                else_to,
             } => {
-                let taken_then = self.eval(tid, cond) != 0;
-                let (target, from, kind) = if taken_then {
+                let taken_then = self.val(tid, base, *cond) != 0;
+                let (blk, nip, from, to, kind) = if taken_then {
                     // Fall-through unconditional jump on the true edge.
-                    (then_blk, taddr + SLOT, BranchKind::UncondRelative)
+                    (
+                        *then_blk,
+                        *then_ip,
+                        pc + SLOT,
+                        *then_to,
+                        BranchKind::UncondRelative,
+                    )
                 } else {
                     // Taken conditional jump on the false edge.
-                    (else_blk, taddr, BranchKind::CondJump)
+                    (*else_blk, *else_ip, pc, *else_to, BranchKind::CondJump)
                 };
-                let to = self.m.layout.block_addr(func, target);
                 self.emit_branch(tid, from, to, kind, Ring::User);
-                self.goto(tid, target);
+                let f = self.scratch.threads[tid.index()]
+                    .frames
+                    .last_mut()
+                    .expect("running thread has a frame");
+                f.block = blk;
+                f.ip = nip;
                 Flow::Jumped
             }
-            Terminator::Jmp(target) => {
-                if !self.m.layout.jmp_is_fallthrough(func, block) {
-                    let to = self.m.layout.block_addr(func, target);
-                    self.emit_branch(tid, taddr, to, BranchKind::UncondRelative, Ring::User);
+            Op::Jmp {
+                target_blk,
+                target_ip,
+                to,
+                record,
+            } => {
+                if *record {
+                    self.emit_branch(tid, pc, *to, BranchKind::UncondRelative, Ring::User);
                 }
-                self.goto(tid, target);
+                let f = self.scratch.threads[tid.index()]
+                    .frames
+                    .last_mut()
+                    .expect("running thread has a frame");
+                f.block = *target_blk;
+                f.ip = *target_ip;
                 Flow::Jumped
             }
-            Terminator::Ret(value) => {
-                let v = value.map(|op| self.eval(tid, op)).unwrap_or(0);
-                let t = &mut self.threads[tid.index()];
+            Op::Ret { value } => {
+                let v = value.map(|val| self.val(tid, base, val)).unwrap_or(0);
+                let t = &mut self.scratch.threads[tid.index()];
                 let done_frame = t.frames.pop().expect("running thread has a frame");
-                let slots = self.m.program.function(done_frame.func).frame_slots;
+                t.regs.truncate(done_frame.vars_base as usize);
+                let slots = m.flat.funcs[done_frame.func as usize].frame_slots;
                 t.sp = t.sp.saturating_sub(slots as u64 * 8);
-                let ret_pc = done_frame.ret_pc;
-                self.emit_branch(tid, taddr, ret_pc, BranchKind::NearReturn, Ring::User);
-                let t = &mut self.threads[tid.index()];
-                if let Some(caller) = t.frames.last_mut() {
-                    if let Some(dst) = done_frame.ret_dst {
-                        caller.vars[dst.index()] = v;
-                    }
-                    caller.ip += 1; // move past the call
-                    Flow::Jumped
-                } else {
+                self.emit_branch(tid, pc, done_frame.ret_pc, BranchKind::NearReturn, Ring::User);
+                let t = &mut self.scratch.threads[tid.index()];
+                if t.frames.is_empty() {
                     t.status = Status::Done;
-                    Flow::Jumped
+                    return Flow::Jumped;
                 }
+                let (frames, regs) = (&mut t.frames, &mut t.regs);
+                let caller = frames.last_mut().expect("caller frame");
+                if let Some(dst) = done_frame.ret_dst {
+                    regs[caller.vars_base as usize + dst as usize] = v;
+                }
+                caller.ip += 1; // move past the call
+                Flow::Jumped
             }
         }
-    }
-
-    fn goto(&mut self, tid: ThreadId, target: BlockId) {
-        let frame = self.threads[tid.index()]
-            .frames
-            .last_mut()
-            .expect("running thread has a frame");
-        frame.block = target;
-        frame.ip = 0;
     }
 }
 
-fn eval_bin(op: BinOp, l: i64, r: i64) -> Option<i64> {
+pub(crate) fn eval_bin(op: BinOp, l: i64, r: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => l.wrapping_add(r),
         BinOp::Sub => l.wrapping_sub(r),
@@ -1018,6 +1221,7 @@ const _: () = {
     assert_send_sync::<crate::ir::Program>();
     assert_send_sync::<RunConfig>();
     assert_send_sync::<crate::report::RunReport>();
+    assert_send_sync::<RunScratch>();
 };
 
 #[cfg(test)]
@@ -1025,7 +1229,7 @@ mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
     use crate::events::NullHardware;
-    use crate::ir::LogKind;
+    use crate::ir::{LogKind, Operand};
 
     fn run(p: Program, inputs: &[i64]) -> RunReport {
         let m = Machine::new(p);
@@ -1208,6 +1412,43 @@ mod tests {
             r.outcome.failure().map(|f| &f.kind),
             Some(&FailureKind::DivByZero)
         );
+    }
+
+    #[test]
+    fn negative_read_input_index_faults() {
+        // inputs[0] = -3 feeds back in as an index: a typed guest fault,
+        // not a silent zero (bad ground truth must not mask itself).
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let x = f.read_input(0);
+        let _ = f.read_input(x);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[-3]);
+        match r.outcome.failure() {
+            Some(Failure {
+                kind: FailureKind::NegativeInputIndex { index: -3 },
+                ..
+            }) => {}
+            other => panic!("expected negative-input-index fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_read_input_reads_zero() {
+        // Reading past the end of the input vector stays the documented
+        // zero sentinel (workloads are logically zero-padded).
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_function("main");
+        let mut f = pb.build_function(main, "m.c");
+        let v = f.read_input(5);
+        f.output(v);
+        f.ret(None);
+        f.finish();
+        let r = run(pb.finish(main), &[1]);
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.outputs, vec![0]);
     }
 
     #[test]
@@ -1469,8 +1710,8 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn runs_are_deterministic_for_fixed_seed() {
+    /// The seeded two-spawn race used by the determinism tests.
+    fn racy_program() -> Program {
         let mut pb = ProgramBuilder::new("p");
         let g = pb.global("g", 1);
         let main = pb.declare_function("main");
@@ -1493,12 +1734,41 @@ mod tests {
             f.ret(None);
             f.finish();
         }
-        let p = pb.finish(main);
-        let m = Machine::new(p);
+        pb.finish(main)
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_fixed_seed() {
+        let m = Machine::new(racy_program());
         let r1 = m.run(&[], &RunConfig::with_seed(9), &mut NullHardware);
         let r2 = m.run(&[], &RunConfig::with_seed(9), &mut NullHardware);
         assert_eq!(r1.outputs, r2.outputs);
         assert_eq!(r1.steps, r2.steps);
+    }
+
+    #[test]
+    fn scratch_reuse_replays_identically() {
+        // One scratch, reused across repeated runs, a multithreaded
+        // program (thread-state recycling) and a different machine: every
+        // run must be byte-identical to a fresh-scratch run.
+        let racy = Machine::new(racy_program());
+        let cfg = RunConfig::with_seed(9);
+        let mut scratch = RunScratch::new();
+        let fresh = racy.run(&[], &cfg, &mut NullHardware);
+        let r1 = racy.run_reusing(&[], &cfg, &mut NullHardware, &mut scratch);
+        let r2 = racy.run_reusing(&[], &cfg, &mut NullHardware, &mut scratch);
+        assert_eq!(fresh, r1);
+        assert_eq!(fresh, r2);
+
+        // Same scratch against a different program and workload.
+        let m2 = Machine::new(looping_program());
+        let cfg2 = RunConfig {
+            profile_period: 10,
+            ..RunConfig::with_seed(3)
+        };
+        let fresh2 = m2.run(&[50], &cfg2, &mut NullHardware);
+        let r3 = m2.run_reusing(&[50], &cfg2, &mut NullHardware, &mut scratch);
+        assert_eq!(fresh2, r3);
     }
 
     #[test]

@@ -195,7 +195,12 @@ pub enum Rvalue {
         /// The operand.
         operand: Operand,
     },
-    /// Reads the workload input at the given index (0 when out of range).
+    /// Reads the workload input at the given index.
+    ///
+    /// An index past the end of the input vector yields the documented
+    /// zero sentinel (workloads are logically zero-padded); a *negative*
+    /// index is a typed guest fault
+    /// ([`FailureKind::NegativeInputIndex`](crate::report::FailureKind)).
     ReadInput {
         /// Index into the run's input vector.
         index: Operand,

@@ -48,6 +48,7 @@
 
 pub mod builder;
 pub mod events;
+mod flat;
 pub mod ids;
 pub mod interp;
 pub mod ir;
@@ -60,12 +61,12 @@ pub mod sched;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use events::{
     AccessEvent, AccessKind, BranchEvent, BranchKind, BranchRecord, CoherenceRecord,
-    CoherenceState, CtlResponse, Hardware, HwCtlOp, LcrConfig, NullHardware, Ring,
+    CoherenceState, CtlResponse, Hardware, HwCtlOp, HwEvent, LcrConfig, NullHardware, Ring,
 };
 pub use ids::{
     BlockId, BranchId, CoreId, FileId, FuncId, GlobalId, LogSiteId, SampleId, ThreadId, VarId,
 };
-pub use interp::{Machine, RunConfig};
+pub use interp::{Machine, RunConfig, RunScratch};
 pub use ir::{
     BinOp, Instr, LogKind, Operand, ProfileRole, Program, Rvalue, SourceLoc, Terminator, UnOp,
 };

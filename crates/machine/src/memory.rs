@@ -68,6 +68,15 @@ impl Memory {
         }
     }
 
+    /// Resets to the empty state while keeping the table capacity — the
+    /// allocation-free path for reusing one `Memory` across runs.
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.regions.clear();
+        self.heap_next = HEAP_BASE;
+        self.bytes_mapped = 0;
+    }
+
     /// Maps a region at a fixed address (globals, stacks).
     ///
     /// # Panics

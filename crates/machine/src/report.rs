@@ -36,6 +36,15 @@ pub enum FailureKind {
     Hang,
     /// Call depth exceeded the configured maximum.
     StackOverflow,
+    /// A workload input was read with a negative index.
+    ///
+    /// Reading *past the end* of the input vector yields the documented
+    /// zero sentinel (workloads are logically zero-padded), but a negative
+    /// index is always a guest bug and must not be maskable.
+    NegativeInputIndex {
+        /// The offending index value.
+        index: i64,
+    },
 }
 
 impl fmt::Display for FailureKind {
@@ -48,6 +57,9 @@ impl fmt::Display for FailureKind {
             FailureKind::Deadlock => write!(f, "deadlock"),
             FailureKind::Hang => write!(f, "hang (step budget exhausted)"),
             FailureKind::StackOverflow => write!(f, "stack overflow"),
+            FailureKind::NegativeInputIndex { index } => {
+                write!(f, "negative input index {index}")
+            }
         }
     }
 }

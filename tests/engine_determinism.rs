@@ -360,6 +360,96 @@ fn early_stop_is_identical_at_1_and_8_threads() {
     );
 }
 
+/// A reference hardware stack that forwards only the per-event
+/// [`Hardware`](stm::machine::events::Hardware) methods, so the
+/// trait-default `on_batch` replays every batch one event at a time —
+/// exactly the pre-batching ingestion path the real
+/// [`HardwareCtx`](stm::hardware::HardwareCtx) override must stay
+/// bit-identical to.
+struct PerEvent(stm::hardware::HardwareCtx);
+
+impl stm::machine::events::Hardware for PerEvent {
+    fn on_branch(&mut self, core: stm::machine::ids::CoreId, ev: stm::machine::events::BranchEvent) {
+        self.0.on_branch(core, ev);
+    }
+
+    fn on_access(
+        &mut self,
+        core: stm::machine::ids::CoreId,
+        thread: stm::machine::ids::ThreadId,
+        ev: stm::machine::events::AccessEvent,
+    ) {
+        self.0.on_access(core, thread, ev);
+    }
+
+    fn ctl(
+        &mut self,
+        core: stm::machine::ids::CoreId,
+        thread: stm::machine::ids::ThreadId,
+        op: stm::machine::events::HwCtlOp,
+    ) -> stm::machine::events::CtlResponse {
+        self.0.ctl(core, thread, op)
+    }
+}
+
+/// Collects a benchmark through the engine (batched event path, cached
+/// per-thread hardware) and replays every kept witness on a fresh
+/// per-event hardware stack: the full run reports — ring-snapshot
+/// profiles included — must be byte-identical.
+fn assert_batched_matches_per_event(
+    bench: &str,
+    kind: ProfileKind,
+    hw: Option<stm::hardware::HwConfig>,
+) {
+    let b = stm::suite::by_id(bench).expect("benchmark exists");
+    for threads in [1usize, 8] {
+        let (runner, profiles) = collect_hw(&b, kind, threads, hw);
+        let kept: Vec<_> = profiles
+            .failure_runs()
+            .iter()
+            .chain(profiles.success_runs())
+            .collect();
+        assert!(!kept.is_empty(), "{bench} must keep witnesses");
+        let hw_config = hw.unwrap_or_default();
+        for run in kept {
+            let mut reference = PerEvent(stm::hardware::HardwareCtx::new(hw_config));
+            reference.0.seed_perturbations(run.workload.seed);
+            let mut cfg = runner.run_config().clone();
+            cfg.scheduler = stm::machine::sched::SchedPolicy::Random {
+                seed: run.workload.seed,
+            };
+            let report = runner
+                .machine()
+                .run(&run.workload.inputs, &cfg, &mut reference);
+            assert_eq!(
+                report, run.report,
+                "{bench} threads({threads}) witness {}: batched rings must \
+                 equal the per-event replay",
+                run.witness
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_rings_match_per_event_replay_on_sort() {
+    assert_batched_matches_per_event("sort", ProfileKind::Lbr, None);
+}
+
+#[test]
+fn batched_rings_match_per_event_replay_on_apache4() {
+    assert_batched_matches_per_event("apache4", ProfileKind::Lcr, None);
+}
+
+#[test]
+fn perturbed_batched_rings_match_per_event_replay() {
+    // The copy-elided (lazy) snapshot path defers the ring read past the
+    // perturbation layer's loss draws; the RNG draw order must still
+    // match the per-event reference exactly, or these reports diverge.
+    assert_batched_matches_per_event("sort", ProfileKind::Lbr, Some(perturbed_hw()));
+    assert_batched_matches_per_event("apache4", ProfileKind::Lcr, Some(perturbed_hw()));
+}
+
 #[test]
 fn lcra_ranking_json_is_identical_at_1_and_8_threads() {
     let b = stm::suite::by_id("apache4").expect("apache4 benchmark");
