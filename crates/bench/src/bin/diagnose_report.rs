@@ -10,12 +10,15 @@
 //! `apache4`). The shared observability flags enable span/metric
 //! collection and export a Chrome trace of the whole emission.
 
-use stm_core::engine::{DiagnosisSession, ProfileKind};
+use stm_core::diagnose::failure_profile;
+use stm_core::engine::{CollectedProfiles, DiagnosisSession, ProfileKind};
+use stm_core::profile::{decode_lbr, decode_lcr, DecodedLbrEntry, DecodedLcrEntry};
 use stm_core::runner::Runner;
 use stm_core::transform::instrument;
-use stm_forensics::{FailureDossier, ForensicReport, RankingReport};
+use stm_forensics::{CausalChain, FailureDossier, ForensicReport, RankingReport};
 use stm_machine::events::LcrConfig;
 use stm_machine::interp::Machine;
+use stm_machine::report::ProfileData;
 use stm_suite::eval::{default_threads, expand_workloads, reactive_options};
 use stm_suite::{Benchmark, BugClass};
 use stm_telemetry::json::Json;
@@ -50,15 +53,38 @@ fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
         .threads(default_threads())
         .collect()
         .map_err(|e| e.to_string())?;
-    let ranking = match kind {
+    let program = runner.machine().program();
+    let (ranking, chain) = match kind {
         ProfileKind::Lbr => {
             let mut d = profiles.lbra();
-            d.exclude_site_guards(runner.machine().program(), &b.truth.spec);
-            RankingReport::from_lbra(runner.machine().program(), b.info.id, &d, top_k)
+            d.exclude_site_guards(program, &b.truth.spec);
+            let traces = lbr_traces(&profiles, &b.truth.spec);
+            let chain = CausalChain::from_lbra(
+                Some(program),
+                &d.ranked,
+                &traces,
+                d.stats.failure_runs_used,
+                d.stats.success_runs_used,
+            );
+            (
+                RankingReport::from_lbra(program, b.info.id, &d, top_k),
+                chain,
+            )
         }
         ProfileKind::Lcr => {
             let d = profiles.lcra();
-            RankingReport::from_lcra(runner.machine().program(), b.info.id, &d, top_k)
+            let traces = lcr_traces(&profiles, &b.truth.spec);
+            let chain = CausalChain::from_lcra(
+                Some(program),
+                &d.ranked,
+                &traces,
+                d.stats.failure_runs_used,
+                d.stats.success_runs_used,
+            );
+            (
+                RankingReport::from_lcra(program, b.info.id, &d, top_k),
+                chain,
+            )
         }
     };
     // Flight-record the first collected failure witness — the run is
@@ -70,7 +96,54 @@ fn report_for(b: &Benchmark, top_k: usize) -> Result<ForensicReport, String> {
             FailureDossier::collect(&runner, &run.report, &run.workload, Some(&b.truth.spec))
         })
         .ok_or("no run yielded a failure-site profile")?;
-    Ok(ForensicReport { dossier, ranking })
+    let chain = chain.map(|c| c.with_symptom(dossier.symptom.clone()));
+    Ok(ForensicReport {
+        dossier,
+        ranking,
+        chain,
+    })
+}
+
+/// Decodes every failing witness's LBR failure-site snapshot.
+fn lbr_traces(
+    profiles: &CollectedProfiles,
+    spec: &stm_core::runner::FailureSpec,
+) -> Vec<(String, Vec<DecodedLbrEntry>)> {
+    let layout = profiles.runner().machine().layout();
+    profiles
+        .failure_runs()
+        .iter()
+        .filter_map(|run| {
+            let p = failure_profile(&run.report, spec)?;
+            match &p.data {
+                ProfileData::Lbr(records) => {
+                    Some((run.witness.clone(), decode_lbr(layout, records)))
+                }
+                ProfileData::Lcr(_) => None,
+            }
+        })
+        .collect()
+}
+
+/// Decodes every failing witness's LCR failure-site snapshot.
+fn lcr_traces(
+    profiles: &CollectedProfiles,
+    spec: &stm_core::runner::FailureSpec,
+) -> Vec<(String, Vec<DecodedLcrEntry>)> {
+    let layout = profiles.runner().machine().layout();
+    profiles
+        .failure_runs()
+        .iter()
+        .filter_map(|run| {
+            let p = failure_profile(&run.report, spec)?;
+            match &p.data {
+                ProfileData::Lcr(records) => {
+                    Some((run.witness.clone(), decode_lcr(layout, records)))
+                }
+                ProfileData::Lbr(_) => None,
+            }
+        })
+        .collect()
 }
 
 fn main() {

@@ -190,6 +190,24 @@ fn smoke() -> i32 {
     }
     println!("\n{board}");
 
+    // The fleet chain panel must render a chain-bearing shard's
+    // storyline and fall back to `warming` for a chain-less shard —
+    // the same fallback the verdict column uses, never a panic.
+    let fleet_doc = r#"{"verdict":"idle","fleet":{"shed_total":0,"shards":{"with-chain":{"verdict":"converged","chain":{"kind":"lbr","links":[{"role":"root-cause","event":"br1=true"},{"role":"failure","event":"br2=false"}]}},"brand-new":{}}}}"#;
+    let fleet_board = match sample.clone().with_diagnosis(fleet_doc) {
+        Ok(s) => render_board(&s, None),
+        Err(e) => {
+            failures.push(format!("synthetic fleet doc rejected: {e}"));
+            String::new()
+        }
+    };
+    if !fleet_board.contains("chain: br1=true → br2=false") {
+        failures.push("fleet panel did not render the chain storyline".to_string());
+    }
+    if !fleet_board.lines().any(|l| l.trim() == "chain: warming") {
+        failures.push("chain-less shard did not fall back to a warming chain row".to_string());
+    }
+
     if let Err(e) = std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/HEALTH_smoke.json", sample.health.encode() + "\n"))
     {

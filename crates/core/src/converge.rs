@@ -418,6 +418,14 @@ impl<E: Ord + Clone + Display> ConvergenceTracker<E> {
         &self.top
     }
 
+    /// The full live ranking over every observed event — the causal-chain
+    /// reconstructor's support source (link candidates deep in a ring
+    /// window rarely make the top-k).
+    #[must_use = "scoring computes a fresh ranking; use the returned list"]
+    pub fn scores(&self) -> Vec<ScoredPredictor<E>> {
+        self.ranking.scores()
+    }
+
     /// Per-witness poll history.
     pub fn history(&self) -> &[PollPoint] {
         &self.history
@@ -733,12 +741,31 @@ pub struct SnapshotIngest {
     policy: StabilityPolicy,
     inner: Option<MonitorInner>,
     fired: bool,
+    chain_traces: Vec<(String, ProfileData)>,
 }
+
+/// How many failing-witness ring snapshots an ingest retains verbatim for
+/// live causal-chain reconstruction. The first `CHAIN_TRACE_CAP` kept
+/// failure snapshots are retained in consumption order, so the retained
+/// set is deterministic for a deterministic stream.
+pub const CHAIN_TRACE_CAP: usize = 8;
 
 #[derive(Debug)]
 enum MonitorInner {
     Lbr(ConvergenceTracker<BranchOutcome>),
     Lcr(ConvergenceTracker<CoherenceEvent>),
+}
+
+/// The live scored ranking of an ingest, typed by ring kind — the
+/// prefix-accurate counterpart of [`FinalRanking`] for consumers (the
+/// causal-chain reconstructor) that need support scores *before* the
+/// ingest finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveRanking {
+    /// LBRA: presence predictors over branch outcomes.
+    Lbr(Vec<ScoredPredictor<BranchOutcome>>),
+    /// LCRA: presence and absence predictors over coherence events.
+    Lcr(Vec<ScoredPredictor<CoherenceEvent>>),
 }
 
 impl SnapshotIngest {
@@ -751,6 +778,7 @@ impl SnapshotIngest {
             policy,
             inner: None,
             fired: false,
+            chain_traces: Vec::new(),
         }
     }
 
@@ -795,10 +823,36 @@ impl SnapshotIngest {
             // A profile of the other ring: the batch model skips it too.
             _ => false,
         };
+        if ingested && is_failure && self.chain_traces.len() < CHAIN_TRACE_CAP {
+            self.chain_traces
+                .push((witness.to_string(), profile.data.clone()));
+        }
         if ingested && self.should_stop() {
             self.fired = true;
         }
         ingested
+    }
+
+    /// The layout snapshots are decoded against.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The retained failing-witness ring snapshots (first
+    /// [`CHAIN_TRACE_CAP`] kept failures, in consumption order) — the raw
+    /// material a causal-chain reconstructor walks backward through.
+    pub fn chain_traces(&self) -> &[(String, ProfileData)] {
+        &self.chain_traces
+    }
+
+    /// The full live scored ranking, typed by ring kind. `None` before
+    /// the first profile-bearing snapshot pins the kind.
+    pub fn live_ranking(&self) -> Option<LiveRanking> {
+        match &self.inner {
+            Some(MonitorInner::Lbr(t)) => Some(LiveRanking::Lbr(t.scores())),
+            Some(MonitorInner::Lcr(t)) => Some(LiveRanking::Lcr(t.scores())),
+            None => None,
+        }
     }
 
     /// Whether the policy has decided to stop the stream. Latches once

@@ -79,11 +79,9 @@ impl DecodedLbrEntry {
 
 /// Decodes an LBR snapshot (most recent first) against a layout.
 pub fn decode_lbr(layout: &Layout, snapshot: &[BranchRecord]) -> Vec<DecodedLbrEntry> {
-    snapshot
-        .iter()
-        .enumerate()
-        .map(|(i, r)| DecodedLbrEntry {
-            position: i + 1,
+    stm_machine::ring::walk(snapshot)
+        .map(|(position, r)| DecodedLbrEntry {
+            position,
             record: *r,
             decoded: layout.decode_branch(r.from),
         })
@@ -111,16 +109,14 @@ pub struct DecodedLcrEntry {
 
 /// Decodes an LCR snapshot (most recent first) against a layout.
 pub fn decode_lcr(layout: &Layout, snapshot: &[CoherenceRecord]) -> Vec<DecodedLcrEntry> {
-    snapshot
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
+    stm_machine::ring::walk(snapshot)
+        .map(|(position, r)| {
             let loc = layout
                 .decode_stmt(r.pc)
                 .map(|s| s.loc)
                 .unwrap_or(SourceLoc::UNKNOWN);
             DecodedLcrEntry {
-                position: i + 1,
+                position,
                 record: *r,
                 event: CoherenceEvent {
                     loc,

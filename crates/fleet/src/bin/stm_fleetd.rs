@@ -215,9 +215,22 @@ fn run_fleet(p: &RunParams) -> i32 {
     }
     fleet.drain();
 
+    // The main schedule must have formed chains: every shard ingested
+    // failing snapshots, so `diagnosis.chain` events fired as the
+    // chains formed and re-formed.
+    let warmup_events = log::take_events(); // also isolates the shed-storm window
+    let chain_events = warmup_events
+        .iter()
+        .filter(|e| e.component == "fleet" && e.event == "diagnosis.chain")
+        .count();
+    if chain_events == 0 {
+        failures.push("no fleet/diagnosis.chain event fired during ingest".to_string());
+    } else {
+        println!("fleetd: {chain_events} diagnosis.chain events during ingest");
+    }
+
     // Forced overload: hold beta-1's worker, fill its queue to capacity
     // and push `overflow` more. Exactly `overflow` snapshots must shed.
-    let _ = log::take_events(); // isolate the shed-storm event window
     fleet.pause("beta-1");
     let shed_before = fleet.shed_count("beta-1");
     let mut schedule = Schedule(p.seed.wrapping_add(0xBEEF) | 1);
@@ -262,7 +275,10 @@ fn run_fleet(p: &RunParams) -> i32 {
     fleet.resume("beta-1");
     fleet.drain();
 
-    // The fleet status document must cover every shard before shutdown.
+    // The fleet status document must cover every shard before shutdown,
+    // and every ingesting shard's entry must carry a live causal chain
+    // (this is the document /diagnosis serves — the chain must be there
+    // while the daemon is still running, not only in the final report).
     match stm_telemetry::status::get("fleet") {
         Some(doc) => {
             let covered = shards
@@ -270,6 +286,22 @@ fn run_fleet(p: &RunParams) -> i32 {
                 .all(|s| doc.get("shards").and_then(|m| m.get(s)).is_some());
             if !covered {
                 failures.push("fleet status document is missing shards".to_string());
+            }
+            for s in &shards {
+                let chain = doc
+                    .get("shards")
+                    .and_then(|m| m.get(s))
+                    .and_then(|e| e.get("chain"));
+                let links = chain
+                    .and_then(|c| c.get("links"))
+                    .and_then(Json::as_array)
+                    .map(|l| l.len())
+                    .unwrap_or(0);
+                if links == 0 {
+                    failures.push(format!(
+                        "shard {s}: live status entry has no causal chain (chain = {chain:?})"
+                    ));
+                }
             }
         }
         None => failures.push("no \"fleet\" status document published".to_string()),

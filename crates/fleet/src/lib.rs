@@ -45,6 +45,7 @@ use std::thread;
 use stm_core::converge::{ConvergenceReport, SnapshotIngest, StabilityPolicy};
 use stm_core::diagnose::Quotas;
 use stm_core::runner::FailureSpec;
+use stm_forensics::chain::CausalChain;
 use stm_machine::layout::Layout;
 use stm_machine::report::RunReport;
 use stm_telemetry::json::Json;
@@ -186,6 +187,9 @@ pub struct ShardReport {
     /// or quota); dropped without ingesting, like the batch session
     /// ignores post-stop runs.
     pub after_stop: u64,
+    /// The causal chain standing when the shard stopped (JSON form of
+    /// [`CausalChain`]); `None` when no chain ever formed.
+    pub chain: Option<Json>,
 }
 
 impl ShardReport {
@@ -216,6 +220,7 @@ impl ShardReport {
                     .map(Json::from)
                     .unwrap_or(Json::Null),
             ),
+            ("chain", self.chain.clone().unwrap_or(Json::Null)),
         ])
     }
 }
@@ -243,6 +248,12 @@ struct ShardState {
     skipped: u64,
     after_stop: u64,
     done: bool,
+    /// JSON form of the current [`CausalChain`], recomputed after every
+    /// ingested snapshot; `None` until one forms.
+    chain: Option<Json>,
+    /// Fingerprint of `chain` — gates the `diagnosis.chain` event to
+    /// actual form/change transitions.
+    chain_fp: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -323,6 +334,7 @@ impl Shard {
             ("successes", Json::from(successes)),
             ("rank_churn", Json::from(churn)),
             ("top1_stable_for", Json::from(streak)),
+            ("chain", st.chain.clone().unwrap_or(Json::Null)),
             ("queue_depth", Json::from(depth)),
             (
                 "accepted",
@@ -415,6 +427,8 @@ impl FleetDaemon {
                 skipped: 0,
                 after_stop: 0,
                 done: false,
+                chain: None,
+                chain_fp: None,
             }),
             accepted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -576,6 +590,7 @@ impl FleetDaemon {
                 ingested: st.ingested,
                 skipped: st.skipped,
                 after_stop: st.after_stop,
+                chain: st.chain.take(),
             };
             entries.push((name.clone(), shard_report.to_json()));
             reports.insert(name.clone(), shard_report);
@@ -632,8 +647,31 @@ fn worker_loop(shard: &Arc<Shard>, all: &BTreeMap<String, Arc<Shard>>) {
                 let quota_met = ingest.failures() >= quotas.failure_profiles
                     && ingest.successes() >= quotas.success_profiles;
                 let stop = ingest.should_stop();
+                let chain = if ok {
+                    CausalChain::from_ingest(ingest)
+                } else {
+                    None
+                };
                 if ok {
                     st.ingested += 1;
+                    let fp = chain.as_ref().map(CausalChain::fingerprint);
+                    if fp != st.chain_fp {
+                        if let Some(c) = &chain {
+                            log::info(
+                                "fleet",
+                                "diagnosis.chain",
+                                vec![
+                                    ("shard", shard.name.clone()),
+                                    ("kind", c.kind.as_str().to_string()),
+                                    ("links", c.links.len().to_string()),
+                                    ("anchor", c.anchor.clone()),
+                                    ("top_predictor", c.top_predictor.clone()),
+                                ],
+                            );
+                        }
+                        st.chain = chain.as_ref().map(CausalChain::to_json);
+                        st.chain_fp = fp;
+                    }
                 } else {
                     st.skipped += 1;
                 }
@@ -742,6 +780,29 @@ mod tests {
         }
         assert_eq!(reports["only"].ingested, 12);
         assert_eq!(reports["only"].shed, 0);
+    }
+
+    #[test]
+    fn chain_rides_the_shard_verdict() {
+        let (profiles, _site) = collected();
+        let mut fleet = FleetDaemon::new();
+        fleet.add_shard(
+            "only",
+            profiles.runner().machine().layout().clone(),
+            profiles.spec().clone(),
+            ShardConfig::default().policy(StabilityPolicy::never()),
+        );
+        fleet.start();
+        for s in snapshots(&profiles, "only") {
+            assert_eq!(fleet.submit(s), SubmitOutcome::Enqueued);
+        }
+        let reports = fleet.finish();
+        let chain = reports["only"].chain.as_ref().expect("chain formed");
+        let links = chain.get("links").and_then(Json::as_array).expect("links");
+        assert!(!links.is_empty(), "chain has at least the anchor link");
+        // The terminal fleet doc entry carries the same chain.
+        let entry = reports["only"].to_json();
+        assert_eq!(entry.get("chain"), Some(chain));
     }
 
     #[test]

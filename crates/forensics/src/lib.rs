@@ -13,6 +13,12 @@
 //!   [`RankedEvent`]s of an LBRA/LCRA diagnosis rendered with their full
 //!   evidence (precision/recall split, match counts, supporting run ids)
 //!   as strict JSON and as markdown with a "why ranked here" section;
+//! * [`chain`] — the **causal-chain reconstructor**: from the top-ranked
+//!   predictor, a backward walk through the failing witnesses' decoded
+//!   ring snapshots to an ordered root-cause → propagation → failure
+//!   [`CausalChain`] whose every link carries typed evidence (witness
+//!   positions, the branch edge or MESI transition it rides on, and a
+//!   precision/recall support score against the passing population);
 //! * [`diff`] — the **regression tracker**: structural comparison of two
 //!   `results/BENCH_*.json` generations with configurable tolerance,
 //!   behind the `bench_diff` binary the CI gate runs.
@@ -23,16 +29,19 @@
 //! [`RunReport`]: stm_machine::report::RunReport
 //! [`RankedEvent`]: stm_core::ranking::RankedEvent
 //! [`FailureDossier`]: dossier::FailureDossier
+//! [`CausalChain`]: chain::CausalChain
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chain;
 pub mod diff;
 pub mod dossier;
 pub mod report;
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
+    pub use crate::chain::{CausalChain, ChainKind, ChainLink, LinkRole, WitnessMark};
     pub use crate::diff::{diff_benchmarks, BenchDiff, Delta, DiffOptions, Direction};
     pub use crate::dossier::{mesi_transition, FailureDossier, MesiTransition};
     pub use crate::report::{EvidenceRow, ForensicReport, RankingReport};

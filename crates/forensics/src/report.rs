@@ -13,6 +13,7 @@ use stm_core::ranking::{Polarity, RankedEvent};
 use stm_machine::ir::Program;
 use stm_telemetry::json::Json;
 
+use crate::chain::CausalChain;
 use crate::dossier::FailureDossier;
 
 /// One ranked predictor with its full evidence trail.
@@ -318,35 +319,53 @@ impl RankingReport {
 }
 
 /// A complete forensic artifact for one diagnosed failure: the flight
-/// recorder dossier of one failing run plus the explainable ranking
-/// report of the statistical diagnosis.
+/// recorder dossier of one failing run, the explainable ranking report
+/// of the statistical diagnosis, and (when one reconstructs) the causal
+/// chain linking the top-ranked predictor to the failure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ForensicReport {
     /// The flight-recorder dossier.
     pub dossier: FailureDossier,
     /// The ranking evidence.
     pub ranking: RankingReport,
+    /// The evidence-linked root-cause → propagation → failure storyline;
+    /// `None` when no chain reconstructs (empty ranking, or no failing
+    /// trace contains the anchor predictor).
+    pub chain: Option<CausalChain>,
 }
 
 impl ForensicReport {
-    /// Serializes both halves as one strict-JSON document.
+    /// Serializes all sections as one strict-JSON document. The `chain`
+    /// key is always present (`null` when no chain reconstructed).
     #[must_use = "serialization has no side effects; use the returned value"]
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("dossier", self.dossier.to_json()),
             ("ranking", self.ranking.to_json()),
+            (
+                "chain",
+                self.chain
+                    .as_ref()
+                    .map(CausalChain::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 
-    /// Renders both halves as one markdown document.
+    /// Renders all sections as one markdown document.
     #[must_use = "rendering has no side effects; use the returned text"]
     pub fn to_markdown(&self) -> String {
-        format!(
+        let mut out = format!(
             "# Forensic report — `{}`\n\n{}\n{}",
             self.ranking.benchmark,
             self.dossier.to_markdown(),
             self.ranking.to_markdown()
-        )
+        );
+        if let Some(chain) = &self.chain {
+            out.push('\n');
+            out.push_str(&chain.to_markdown());
+        }
+        out
     }
 }
 

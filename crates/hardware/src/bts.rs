@@ -82,6 +82,33 @@ impl Bts {
         true
     }
 
+    /// Appends a whole batch of retired branches in one call — the
+    /// `Hardware::on_batch` fast path. Equivalent to calling [`Bts::push`]
+    /// once per event: the filter admits the same records, and under a
+    /// size limit the buffer ends up holding the last `limit` admitted
+    /// records. Returns how many records were admitted.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = BranchEvent>) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let select = self.select;
+        let before = self.buffer.len();
+        self.buffer.extend(
+            events
+                .into_iter()
+                .filter(|ev| lbr_select_admits(select, ev))
+                .map(BranchRecord::from),
+        );
+        let pushed = (self.buffer.len() - before) as u64;
+        if let Some(limit) = self.limit {
+            let excess = self.buffer.len().saturating_sub(limit);
+            if excess > 0 {
+                self.buffer.drain(..excess);
+            }
+        }
+        pushed
+    }
+
     /// The trace, oldest branch first.
     pub fn trace(&self) -> Vec<BranchRecord> {
         self.buffer.iter().copied().collect()
@@ -148,6 +175,43 @@ mod tests {
         bts.config(stm_machine::events::lbr_select::JCC);
         bts.enable();
         bts.record(ev(1));
+        assert!(bts.is_empty());
+    }
+
+    #[test]
+    fn push_batch_matches_per_event_pushes() {
+        // Unlimited, limited (forcing wrap mid-batch) and filtered BTSes
+        // must end with the same buffer and the same admit count whether
+        // the stream arrives one event or one batch at a time.
+        let configs: &[(Option<usize>, u32)] = &[
+            (None, 0),
+            (Some(3), 0),
+            (Some(7), stm_machine::events::lbr_select::JCC),
+        ];
+        for &(limit, select) in configs {
+            let mut one = limit.map(Bts::with_limit).unwrap_or_default();
+            let mut batch = one.clone();
+            one.config(select);
+            batch.config(select);
+            one.enable();
+            batch.enable();
+            let events: Vec<BranchEvent> = (0..20).map(ev).collect();
+            let mut per_event = 0u64;
+            for e in &events {
+                if one.push(*e) {
+                    per_event += 1;
+                }
+            }
+            let batched = batch.push_batch(events.iter().copied());
+            assert_eq!(per_event, batched, "limit={limit:?} select={select}");
+            assert_eq!(one.trace(), batch.trace(), "limit={limit:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_push_batch_admits_nothing() {
+        let mut bts = Bts::new();
+        assert_eq!(bts.push_batch((0..5).map(ev)), 0);
         assert!(bts.is_empty());
     }
 }

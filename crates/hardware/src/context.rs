@@ -295,11 +295,6 @@ impl Hardware for HardwareCtx {
                     if self.lbrs[core.index()].push(ev) {
                         lbr_pushes += 1;
                     }
-                    if let Some(bts) = &mut self.bts {
-                        if bts.push(ev) {
-                            bts_pushes += 1;
-                        }
-                    }
                 }
                 HwEvent::Access { core, thread, ev } => {
                     let observed = self.cache.access(core, ev.addr, ev.kind);
@@ -315,6 +310,16 @@ impl Hardware for HardwareCtx {
                     }
                 }
             }
+        }
+        // BTS enable/filter state only changes through `ctl`, and the
+        // interpreter flushes before every ctl, so one bulk append over
+        // the batch's branch events is equivalent to the per-event
+        // interleaving above.
+        if let Some(bts) = &mut self.bts {
+            bts_pushes = bts.push_batch(events.iter().filter_map(|e| match *e {
+                HwEvent::Branch { ev, .. } => Some(ev),
+                HwEvent::Access { .. } => None,
+            }));
         }
         // Guarded adds so a counter a batch never touched stays
         // unregistered, exactly as on the per-event path.
@@ -397,8 +402,7 @@ impl Hardware for HardwareCtx {
             HwCtlOp::ProfileLcr => {
                 let lcr = &self.lcr;
                 stm_telemetry::counter!("hw.lcr.snapshots").incr();
-                stm_telemetry::histogram!("hw.lcr.snapshot_records")
-                    .record(lcr.len(thread) as u64);
+                stm_telemetry::histogram!("hw.lcr.snapshot_records").record(lcr.len(thread) as u64);
                 stm_telemetry::instant("hw.lcr.snapshot", "hardware");
                 match &mut self.perturb {
                     None => CtlResponse::Lcr(lcr.read(thread)),
@@ -729,10 +733,7 @@ mod tests {
         );
         assert_eq!(reused.counters().total(), fresh.counters().total());
         assert_eq!(reused.cache().evictions(), fresh.cache().evictions());
-        assert_eq!(
-            reused.bts().unwrap().trace(),
-            fresh.bts().unwrap().trace()
-        );
+        assert_eq!(reused.bts().unwrap().trace(), fresh.bts().unwrap().trace());
         assert_eq!(
             reused.sampler().unwrap().samples(),
             fresh.sampler().unwrap().samples()

@@ -476,10 +476,7 @@ impl PerturbLayer {
     }
 
     /// Runs an LCR snapshot through the pipeline; `None` = snapshot lost.
-    pub fn lcr_snapshot(
-        &mut self,
-        records: Vec<CoherenceRecord>,
-    ) -> Option<Vec<CoherenceRecord>> {
+    pub fn lcr_snapshot(&mut self, records: Vec<CoherenceRecord>) -> Option<Vec<CoherenceRecord>> {
         self.lcr_snapshot_lazy(move || records)
     }
 

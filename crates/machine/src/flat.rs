@@ -60,11 +60,26 @@ pub(crate) enum Op {
     /// `dst = src`.
     AssignVar { dst: u32, src: u32 },
     /// `dst = lhs <op> rhs`, both operands registers.
-    BinVV { op: BinOp, dst: u32, lhs: u32, rhs: u32 },
+    BinVV {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
     /// `dst = lhs <op> const`.
-    BinVC { op: BinOp, dst: u32, lhs: u32, rhs: i64 },
+    BinVC {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: i64,
+    },
     /// `dst = const <op> rhs`.
-    BinCV { op: BinOp, dst: u32, lhs: i64, rhs: u32 },
+    BinCV {
+        op: BinOp,
+        dst: u32,
+        lhs: i64,
+        rhs: u32,
+    },
     /// `dst = <op> operand` (non-foldable: register operand).
     Unary { op: UnOp, dst: u32, operand: u32 },
     /// `dst = inputs[index]`.
@@ -202,11 +217,7 @@ impl FlatProgram {
                     loc.push(stmt.loc);
                 }
                 let resolve = |b: crate::ids::BlockId| {
-                    (
-                        b.raw(),
-                        starts[b.index()],
-                        layout.block_addr(fid, b),
-                    )
+                    (b.raw(), starts[b.index()], layout.block_addr(fid, b))
                 };
                 code.push(match block.term {
                     Terminator::Br {

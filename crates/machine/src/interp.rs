@@ -25,8 +25,7 @@
 //! path.
 
 use crate::events::{
-    AccessEvent, AccessKind, BranchEvent, BranchKind, CtlResponse, Hardware, HwCtlOp, HwEvent,
-    Ring,
+    AccessEvent, AccessKind, BranchEvent, BranchKind, CtlResponse, Hardware, HwCtlOp, HwEvent, Ring,
 };
 use crate::flat::{FlatProgram, Op, Val};
 use crate::ids::{BlockId, CoreId, FuncId, ThreadId};
@@ -1154,7 +1153,13 @@ impl<'m, 'h, 's, H: Hardware> Exec<'m, 'h, 's, H> {
                 t.regs.truncate(done_frame.vars_base as usize);
                 let slots = m.flat.funcs[done_frame.func as usize].frame_slots;
                 t.sp = t.sp.saturating_sub(slots as u64 * 8);
-                self.emit_branch(tid, pc, done_frame.ret_pc, BranchKind::NearReturn, Ring::User);
+                self.emit_branch(
+                    tid,
+                    pc,
+                    done_frame.ret_pc,
+                    BranchKind::NearReturn,
+                    Ring::User,
+                );
                 let t = &mut self.scratch.threads[tid.index()];
                 if t.frames.is_empty() {
                     t.status = Status::Done;

@@ -55,6 +55,7 @@ pub mod ir;
 pub mod layout;
 pub mod memory;
 pub mod report;
+pub mod ring;
 pub mod rng;
 pub mod sched;
 

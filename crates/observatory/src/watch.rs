@@ -208,8 +208,29 @@ fn render_fleet(f: &Json) -> String {
             num("queue_depth"),
             num("shed"),
         ));
+        out.push_str(&format!("      chain: {}\n", render_chain_line(entry)));
     }
     out
+}
+
+/// One-line storyline of a shard's causal chain: the link events joined
+/// root-cause → … → failure. A shard with no chain yet (missing key,
+/// `null`, or no links) renders as `warming` — same fallback as the
+/// verdict column, never a panic or garbage.
+fn render_chain_line(entry: &Json) -> String {
+    let links = entry
+        .get("chain")
+        .and_then(|c| c.get("links"))
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    if links.is_empty() {
+        return "warming".to_string();
+    }
+    links
+        .iter()
+        .map(|l| l.get("event").and_then(Json::as_str).unwrap_or("?"))
+        .collect::<Vec<_>>()
+        .join(" → ")
 }
 
 #[cfg(test)]
@@ -277,7 +298,7 @@ stm_engine_queue_wait_us_count 40
         assert!(board.contains("!L3:S:read"), "{board}");
     }
 
-    const FLEET_DIAGNOSIS: &str = r#"{"verdict":"idle","fleet":{"shed_total":12,"shards":{"apache4-0":{"verdict":"converged","witnesses":40,"queue_depth":0,"shed":12},"sort-0":{"verdict":"collecting","witnesses":9,"queue_depth":3,"shed":0},"brand-new":{},"weird":"not-an-object"}}}"#;
+    const FLEET_DIAGNOSIS: &str = r#"{"verdict":"idle","fleet":{"shed_total":12,"shards":{"apache4-0":{"verdict":"converged","witnesses":40,"queue_depth":0,"shed":12,"chain":{"kind":"lbr","links":[{"role":"root-cause","event":"br3=true"},{"role":"failure","event":"br9=false"}]}},"sort-0":{"verdict":"collecting","witnesses":9,"queue_depth":3,"shed":0,"chain":null},"brand-new":{},"weird":"not-an-object"}}}"#;
 
     #[test]
     fn board_renders_fleet_panel_with_warming_fallback() {
@@ -302,6 +323,24 @@ stm_engine_queue_wait_us_count 40
             .find(|l| l.contains("weird"))
             .expect("weird shard row");
         assert!(weird_row.contains("warming"), "{weird_row}");
+    }
+
+    #[test]
+    fn fleet_panel_renders_chain_storyline_with_warming_fallback() {
+        let cur = Sample::parse(METRICS, HEALTH)
+            .unwrap()
+            .with_diagnosis(FLEET_DIAGNOSIS)
+            .unwrap();
+        let board = render_board(&cur, None);
+        // A shard with a chain shows the link events as a storyline.
+        assert!(board.contains("chain: br3=true → br9=false"), "{board}");
+        // Shards with a null chain, an empty entry, or a non-object
+        // entry all fall back to warming — never a panic or garbage.
+        let warming_chains = board
+            .lines()
+            .filter(|l| l.trim() == "chain: warming")
+            .count();
+        assert_eq!(warming_chains, 3, "{board}");
     }
 
     #[test]

@@ -369,7 +369,11 @@ fn early_stop_is_identical_at_1_and_8_threads() {
 struct PerEvent(stm::hardware::HardwareCtx);
 
 impl stm::machine::events::Hardware for PerEvent {
-    fn on_branch(&mut self, core: stm::machine::ids::CoreId, ev: stm::machine::events::BranchEvent) {
+    fn on_branch(
+        &mut self,
+        core: stm::machine::ids::CoreId,
+        ev: stm::machine::events::BranchEvent,
+    ) {
         self.0.on_branch(core, ev);
     }
 
@@ -448,6 +452,131 @@ fn perturbed_batched_rings_match_per_event_replay() {
     // match the per-event reference exactly, or these reports diverge.
     assert_batched_matches_per_event("sort", ProfileKind::Lbr, Some(perturbed_hw()));
     assert_batched_matches_per_event("apache4", ProfileKind::Lcr, Some(perturbed_hw()));
+}
+
+#[test]
+fn bts_batch_push_matches_per_event_recording() {
+    // With BTS enabled, the interpreter's batched event path lands in
+    // `Bts::push_batch`; the whole-history trace (and the run report)
+    // must be byte-identical to the per-event reference recording.
+    let b = stm::suite::by_id("sort").expect("sort benchmark");
+    let opts = reactive_options(&b, true, None);
+    let runner = Runner::new(Machine::new(instrument(&b.program, &opts)));
+    let (failing, _) = expand_workloads(&b, &runner);
+    let hw_config = stm::hardware::HwConfig {
+        enable_bts: true,
+        ..stm::hardware::HwConfig::default()
+    };
+    for w in failing.iter().take(3) {
+        let mut cfg = runner.run_config().clone();
+        cfg.scheduler = stm::machine::sched::SchedPolicy::Random { seed: w.seed };
+
+        let mut batched = stm::hardware::HardwareCtx::new(hw_config);
+        batched.seed_perturbations(w.seed);
+        let batched_report = runner.machine().run(&w.inputs, &cfg, &mut batched);
+
+        let mut reference = PerEvent(stm::hardware::HardwareCtx::new(hw_config));
+        reference.0.seed_perturbations(w.seed);
+        let reference_report = runner.machine().run(&w.inputs, &cfg, &mut reference);
+
+        assert_eq!(
+            batched_report, reference_report,
+            "seed {}: run reports must match under BTS",
+            w.seed
+        );
+        let trace = batched.bts().expect("BTS enabled").trace();
+        assert_eq!(
+            trace,
+            reference.0.bts().expect("BTS enabled").trace(),
+            "seed {}: batched BTS trace must equal per-event recording",
+            w.seed
+        );
+        assert!(
+            !trace.is_empty(),
+            "seed {}: sort must retire branches",
+            w.seed
+        );
+    }
+}
+
+#[test]
+fn causal_chain_json_is_identical_at_1_and_8_threads() {
+    // The causal-chain reconstruction consumes the ranking AND the raw
+    // decoded rings of every failing witness, so it inherits (and must
+    // preserve) the engine's thread-count invariance end to end.
+    use stm::core::diagnose::failure_profile;
+    use stm::core::profile::{decode_lbr, decode_lcr};
+    use stm::forensics::CausalChain;
+    use stm::machine::report::ProfileData;
+
+    for (id, kind) in [("sort", ProfileKind::Lbr), ("apache4", ProfileKind::Lcr)] {
+        let b = stm::suite::by_id(id).expect("benchmark exists");
+        let (runner, p1) = collect(&b, kind, 1);
+        let (_, p8) = collect(&b, kind, 8);
+
+        let chain = |p: &CollectedProfiles| -> String {
+            let program = runner.machine().program();
+            let layout = runner.machine().layout();
+            let chain = match kind {
+                ProfileKind::Lbr => {
+                    let mut d = p.lbra();
+                    d.exclude_site_guards(program, &b.truth.spec);
+                    let traces: Vec<_> = p
+                        .failure_runs()
+                        .iter()
+                        .filter_map(|run| {
+                            let prof = failure_profile(&run.report, &b.truth.spec)?;
+                            match &prof.data {
+                                ProfileData::Lbr(records) => {
+                                    Some((run.witness.clone(), decode_lbr(layout, records)))
+                                }
+                                ProfileData::Lcr(_) => None,
+                            }
+                        })
+                        .collect();
+                    CausalChain::from_lbra(
+                        Some(program),
+                        &d.ranked,
+                        &traces,
+                        d.stats.failure_runs_used,
+                        d.stats.success_runs_used,
+                    )
+                }
+                ProfileKind::Lcr => {
+                    let d = p.lcra();
+                    let traces: Vec<_> = p
+                        .failure_runs()
+                        .iter()
+                        .filter_map(|run| {
+                            let prof = failure_profile(&run.report, &b.truth.spec)?;
+                            match &prof.data {
+                                ProfileData::Lcr(records) => {
+                                    Some((run.witness.clone(), decode_lcr(layout, records)))
+                                }
+                                ProfileData::Lbr(_) => None,
+                            }
+                        })
+                        .collect();
+                    CausalChain::from_lcra(
+                        Some(program),
+                        &d.ranked,
+                        &traces,
+                        d.stats.failure_runs_used,
+                        d.stats.success_runs_used,
+                    )
+                }
+            };
+            chain
+                .unwrap_or_else(|| panic!("{id}: chain must reconstruct"))
+                .to_json()
+                .encode()
+        };
+        assert_eq!(
+            chain(&p1),
+            chain(&p8),
+            "{id}: causal-chain JSON must be byte-identical across thread counts"
+        );
+    }
 }
 
 #[test]
